@@ -1,0 +1,97 @@
+//! Agglomerative clustering and k-means benchmarks across input sizes and
+//! linkage rules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hiermeans_cluster::{agglomerative, KMeans, KMeansConfig, Linkage};
+use hiermeans_linalg::distance::Metric;
+use hiermeans_linalg::Matrix;
+
+fn points(n: usize) -> Matrix {
+    let data: Vec<f64> = (0..n * 2)
+        .map(|i| ((i.wrapping_mul(2654435761)) % 1000) as f64 / 50.0)
+        .collect();
+    Matrix::from_vec(n, 2, data).expect("length matches")
+}
+
+fn bench_agglomerative(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agglomerative");
+    for n in [13usize, 64, 128] {
+        let pts = points(n);
+        group.bench_with_input(BenchmarkId::new("complete", n), &pts, |b, pts| {
+            b.iter(|| {
+                agglomerative::cluster(
+                    std::hint::black_box(pts),
+                    Metric::Euclidean,
+                    Linkage::Complete,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_linkages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linkage_rules");
+    let pts = points(64);
+    for linkage in Linkage::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(linkage), &pts, |b, pts| {
+            b.iter(|| {
+                agglomerative::cluster(std::hint::black_box(pts), Metric::Euclidean, linkage)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_nnchain_vs_naive(c: &mut Criterion) {
+    // The O(n^2) nearest-neighbor chain against the O(n^3) textbook loop:
+    // equivalent dendrograms (tested), diverging wall-clock as n grows.
+    let mut group = c.benchmark_group("nnchain_vs_naive");
+    group.sample_size(10);
+    for n in [32usize, 128, 256] {
+        let pts = points(n);
+        group.bench_with_input(BenchmarkId::new("naive", n), &pts, |b, pts| {
+            b.iter(|| {
+                agglomerative::cluster(
+                    std::hint::black_box(pts),
+                    Metric::Euclidean,
+                    Linkage::Complete,
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("nn_chain", n), &pts, |b, pts| {
+            b.iter(|| {
+                hiermeans_cluster::nnchain::cluster_nn_chain(
+                    std::hint::black_box(pts),
+                    Metric::Euclidean,
+                    Linkage::Complete,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans");
+    for n in [64usize, 256] {
+        let pts = points(n);
+        group.bench_with_input(BenchmarkId::new("k6", n), &pts, |b, pts| {
+            b.iter(|| KMeans::fit(std::hint::black_box(pts), KMeansConfig::new(6)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_agglomerative,
+    bench_linkages,
+    bench_nnchain_vs_naive,
+    bench_kmeans
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Microbenchmarks of the scoring kernels: plain means, hierarchical means,
+//! and implied-weight computation, across suite sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hiermeans_core::hierarchical::hierarchical_mean;
+use hiermeans_core::means::{geometric_mean, geometric_mean_naive, Mean};
+use hiermeans_core::redundancy::implied_weights;
+
+fn values(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 0.5 + (i % 17) as f64 * 0.37).collect()
+}
+
+fn clusters(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new(); k];
+    for i in 0..n {
+        out[i % k].push(i);
+    }
+    out
+}
+
+fn bench_plain_means(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plain_means");
+    for n in [13usize, 100, 1000] {
+        let xs = values(n);
+        group.bench_with_input(BenchmarkId::new("geometric_log_space", n), &xs, |b, xs| {
+            b.iter(|| geometric_mean(std::hint::black_box(xs)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("geometric_naive", n), &xs, |b, xs| {
+            b.iter(|| geometric_mean_naive(std::hint::black_box(xs)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("arithmetic", n), &xs, |b, xs| {
+            b.iter(|| Mean::Arithmetic.compute(std::hint::black_box(xs)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("harmonic", n), &xs, |b, xs| {
+            b.iter(|| Mean::Harmonic.compute(std::hint::black_box(xs)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_hierarchical_means(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchical_means");
+    for (n, k) in [(13usize, 6usize), (100, 10), (1000, 30)] {
+        let xs = values(n);
+        let cl = clusters(n, k);
+        group.bench_with_input(
+            BenchmarkId::new("hgm", format!("n{n}_k{k}")),
+            &(xs.clone(), cl.clone()),
+            |b, (xs, cl)| b.iter(|| hierarchical_mean(xs, cl, Mean::Geometric).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("implied_weights", format!("n{n}_k{k}")),
+            &(n, cl),
+            |b, (n, cl)| b.iter(|| implied_weights(*n, cl).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plain_means, bench_hierarchical_means);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! End-to-end pipeline benchmarks: each paper experiment timed as a whole,
+//! plus the individual stages (simulation, characterization, SOM,
+//! clustering).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hiermeans_core::analysis::SuiteAnalysis;
+use hiermeans_core::pipeline::{run_pipeline, PipelineConfig};
+use hiermeans_workload::charvec::CharacteristicVectors;
+use hiermeans_workload::execution::ExecutionSimulator;
+use hiermeans_workload::hprof::HprofCollector;
+use hiermeans_workload::measurement::Characterization;
+use hiermeans_workload::sar::SarCollector;
+use hiermeans_workload::Machine;
+
+fn bench_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stages");
+    group.sample_size(10);
+    group.bench_function("simulate_table3", |b| {
+        b.iter(|| ExecutionSimulator::paper().speedup_table().unwrap())
+    });
+    group.bench_function("collect_sar_machine_a", |b| {
+        b.iter(|| SarCollector::paper().collect(Machine::A).unwrap())
+    });
+    group.bench_function("collect_hprof", |b| {
+        b.iter(|| HprofCollector::paper().collect())
+    });
+    let sar = SarCollector::paper().collect(Machine::A).unwrap();
+    group.bench_function("charvec_from_sar", |b| {
+        b.iter(|| CharacteristicVectors::from_sar(std::hint::black_box(&sar)).unwrap())
+    });
+    let vectors = CharacteristicVectors::from_sar(&sar).unwrap();
+    group.bench_function("som_plus_clustering", |b| {
+        b.iter(|| run_pipeline(vectors.matrix(), &PipelineConfig::default()).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_full_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    for ch in Characterization::paper_set() {
+        group.bench_function(format!("analysis[{ch}]"), |b| {
+            b.iter(|| SuiteAnalysis::paper(ch).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages, bench_full_experiments);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! SOM training and inference benchmarks: online vs batch, map sizes, and
+//! BMU search cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hiermeans_linalg::Matrix;
+use hiermeans_som::{SomBuilder, TrainingMode};
+
+fn synthetic(rows: usize, cols: usize) -> Matrix {
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|i| ((i.wrapping_mul(2654435761)) % 1000) as f64 / 100.0)
+        .collect();
+    Matrix::from_vec(rows, cols, data).expect("length matches")
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("som_training");
+    group.sample_size(10);
+    let data = synthetic(13, 200); // the paper's shape: 13 workloads x ~200 counters
+    for (w, h) in [(6usize, 6usize), (10, 10)] {
+        for mode in [TrainingMode::Online, TrainingMode::Batch] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{mode:?}"), format!("{w}x{h}")),
+                &data,
+                |b, data| {
+                    b.iter(|| {
+                        SomBuilder::new(w, h)
+                            .epochs(50)
+                            .seed(7)
+                            .mode(mode)
+                            .train(std::hint::black_box(data))
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_bmu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("som_bmu");
+    let data = synthetic(13, 200);
+    let som = SomBuilder::new(10, 10).epochs(50).seed(7).train(&data).unwrap();
+    let query = data.row(0).to_vec();
+    group.bench_function("bmu_10x10_d200", |b| {
+        b.iter(|| som.bmu(std::hint::black_box(&query)).unwrap())
+    });
+    group.bench_function("project_suite", |b| {
+        b.iter(|| som.project(std::hint::black_box(&data)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_bmu);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro <artifact>...
+//!   paper artifacts: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8
+//!                    table4 table5 table6 all
+//!   extensions:      merger jackknife means-family duplication correlation
+//!                    mica evaluation report extensions
+//! ```
+
+use std::process::ExitCode;
+
+use hiermeans_bench::{experiments, extensions};
+use hiermeans_workload::measurement::Characterization;
+use hiermeans_workload::Machine;
+
+fn run(artifact: &str) -> Result<String, String> {
+    let sar_a = Characterization::SarCounters(Machine::A);
+    let sar_b = Characterization::SarCounters(Machine::B);
+    let methods = Characterization::MethodUtilization;
+    let result = match artifact {
+        "table1" => Ok(experiments::table1()),
+        "table2" => Ok(experiments::table2()),
+        "table3" => experiments::table3(),
+        "fig3" => experiments::figure_som(sar_a),
+        "fig4" => experiments::figure_dendrogram(sar_a),
+        "fig5" => experiments::figure_som(sar_b),
+        "fig6" => experiments::figure_dendrogram(sar_b),
+        "fig7" => experiments::figure_som(methods),
+        "fig8" => experiments::figure_dendrogram(methods),
+        "table4" => experiments::table_hgm(sar_a),
+        "table5" => experiments::table_hgm(sar_b),
+        "table6" => experiments::table_hgm(methods),
+        "report" => extensions::json_reports(),
+        "correlation" => extensions::counter_correlation(),
+        "mica" => extensions::mica_characterization(),
+        "evaluation" => extensions::suite_evaluation(),
+        "merger" => extensions::merger_sweep(),
+        "jackknife" => extensions::jackknife_table(),
+        "means-family" => extensions::mean_family_table(),
+        "duplication" => extensions::duplication_curve(),
+        "all" => experiments::all(),
+        "extensions" => extensions::merger_sweep().and_then(|mut out| {
+            out.push('\n');
+            out.push_str(&extensions::jackknife_table()?);
+            out.push('\n');
+            out.push_str(&extensions::mean_family_table()?);
+            out.push('\n');
+            out.push_str(&extensions::duplication_curve()?);
+            out.push('\n');
+            out.push_str(&extensions::counter_correlation()?);
+            out.push('\n');
+            out.push_str(&extensions::mica_characterization()?);
+            out.push('\n');
+            out.push_str(&extensions::suite_evaluation()?);
+            Ok(out)
+        }),
+        other => return Err(format!("unknown artifact: {other}")),
+    };
+    result.map_err(|e| format!("{artifact} failed: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!(
+            "usage: repro <artifact>...\n  paper artifacts: table1 table2 table3 fig3 fig4 \
+             fig5 fig6 fig7 fig8 table4 table5 table6 all\n  extensions: merger jackknife \
+             means-family duplication correlation mica evaluation report extensions"
+        );
+        return ExitCode::FAILURE;
+    }
+    for artifact in &args {
+        match run(artifact) {
+            Ok(text) => println!("{text}"),
+            Err(message) => {
+                eprintln!("{message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,11 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each `pub fn` in [`experiments`] reproduces one artifact and returns the
+//! rendered text; the `repro` binary dispatches to them. The Criterion
+//! benches under `benches/` measure the algorithmic kernels and the
+//! ablation choices called out in DESIGN.md.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod extensions;

@@ -1,0 +1,315 @@
+//! The agglomerative merge loop.
+//!
+//! Implements the paper's pseudo-code (Section III-B):
+//!
+//! ```text
+//! Initialize: assign each training point to a single cluster
+//! Repeat:
+//!     Compute cluster-to-cluster distance for all pairs of clusters
+//!     Find two clusters such that their distance is the minimum
+//!     Create a new cluster by merging those two clusters
+//! Continue until all the points result in a single cluster
+//! ```
+//!
+//! The pairwise minimum search is O(n³) overall, which is exactly right for
+//! benchmark-suite-sized inputs (tens of workloads). Ties are broken toward
+//! the lexicographically smallest `(i, j)` pair so results are deterministic.
+
+use hiermeans_linalg::distance::{pairwise, Metric};
+use hiermeans_linalg::Matrix;
+
+use crate::dendrogram::{Dendrogram, Merge};
+use crate::{ClusterError, Linkage};
+
+/// Clusters the rows of `points` and returns the full merge history.
+///
+/// # Errors
+///
+/// * [`ClusterError::EmptyInput`] for an empty matrix.
+/// * [`ClusterError::Linalg`] if distances cannot be computed.
+///
+/// # Example
+///
+/// ```
+/// use hiermeans_cluster::{agglomerative::cluster, Linkage};
+/// use hiermeans_linalg::{distance::Metric, Matrix};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let points = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![10.0]])?;
+/// let d = cluster(&points, Metric::Euclidean, Linkage::Complete)?;
+/// // 0 and 1 merge first (distance 1), then 10 joins at distance 10.
+/// assert_eq!(d.merges()[0].distance, 1.0);
+/// assert_eq!(d.merges()[1].distance, 10.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cluster(
+    points: &Matrix,
+    metric: Metric,
+    linkage: Linkage,
+) -> Result<Dendrogram, ClusterError> {
+    if points.is_empty() {
+        return Err(ClusterError::EmptyInput);
+    }
+    let dist = pairwise(points, metric)?;
+    cluster_from_distances(&dist, linkage)
+}
+
+/// Clusters from a precomputed symmetric distance matrix.
+///
+/// # Errors
+///
+/// * [`ClusterError::EmptyInput`] for a 0x0 matrix.
+/// * [`ClusterError::InvalidDistanceMatrix`] if the matrix is not square,
+///   not symmetric, has a nonzero diagonal, or contains negative or
+///   non-finite entries.
+pub fn cluster_from_distances(
+    dist: &Matrix,
+    linkage: Linkage,
+) -> Result<Dendrogram, ClusterError> {
+    validate_distance_matrix(dist)?;
+    let n = dist.nrows();
+    if n == 1 {
+        return Dendrogram::new(1, vec![]);
+    }
+
+    // Working distance matrix indexed by *slot*; each slot holds the current
+    // cluster occupying it (or None once merged away).
+    let mut d = dist.clone();
+    // Per-slot cluster metadata: (dendrogram id, leaf count).
+    let mut info: Vec<Option<(usize, usize)>> = (0..n).map(|i| Some((i, 1))).collect();
+    let mut merges = Vec::with_capacity(n - 1);
+
+    for step in 0..(n - 1) {
+        // Find the closest active pair (ties -> smallest (i, j)).
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..n {
+            if info[i].is_none() {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if info[j].is_none() {
+                    continue;
+                }
+                let dij = d[(i, j)];
+                if best.is_none_or(|(_, _, b)| dij < b) {
+                    best = Some((i, j, dij));
+                }
+            }
+        }
+        let (i, j, dij) = best.expect("at least two active clusters remain");
+        let (id_i, size_i) = info[i].expect("slot i active");
+        let (id_j, size_j) = info[j].expect("slot j active");
+        let new_id = n + step;
+        let new_size = size_i + size_j;
+        merges.push(Merge {
+            left: id_i.min(id_j),
+            right: id_i.max(id_j),
+            distance: dij,
+            size: new_size,
+        });
+
+        // Lance–Williams update: slot i becomes the merged cluster.
+        for k in 0..n {
+            if k == i || k == j || info[k].is_none() {
+                continue;
+            }
+            let (_, size_k) = info[k].expect("slot k active");
+            let updated = linkage.update(d[(k, i)], d[(k, j)], dij, size_i, size_j, size_k);
+            d[(k, i)] = updated;
+            d[(i, k)] = updated;
+        }
+        info[i] = Some((new_id, new_size));
+        info[j] = None;
+    }
+
+    Dendrogram::new(n, merges)
+}
+
+fn validate_distance_matrix(dist: &Matrix) -> Result<(), ClusterError> {
+    let (r, c) = dist.shape();
+    if r == 0 || c == 0 {
+        return Err(ClusterError::EmptyInput);
+    }
+    if r != c {
+        return Err(ClusterError::InvalidDistanceMatrix { reason: "matrix is not square" });
+    }
+    for i in 0..r {
+        if dist[(i, i)] != 0.0 {
+            return Err(ClusterError::InvalidDistanceMatrix {
+                reason: "diagonal must be zero",
+            });
+        }
+        for j in 0..c {
+            let v = dist[(i, j)];
+            if !v.is_finite() {
+                return Err(ClusterError::InvalidDistanceMatrix {
+                    reason: "entries must be finite",
+                });
+            }
+            if v < 0.0 {
+                return Err(ClusterError::InvalidDistanceMatrix {
+                    reason: "entries must be non-negative",
+                });
+            }
+            if (v - dist[(j, i)]).abs() > 1e-9 {
+                return Err(ClusterError::InvalidDistanceMatrix {
+                    reason: "matrix is not symmetric",
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_points() -> Matrix {
+        Matrix::from_rows(&[vec![0.0], vec![1.0], vec![5.0], vec![6.0]]).unwrap()
+    }
+
+    #[test]
+    fn complete_linkage_merge_order() {
+        let d = cluster(&line_points(), Metric::Euclidean, Linkage::Complete).unwrap();
+        // Pairs (0,1) and (2,3) merge at 1.0 each; complete linkage joins the
+        // two pairs at max distance = 6.0.
+        assert_eq!(d.merges()[0].distance, 1.0);
+        assert_eq!(d.merges()[1].distance, 1.0);
+        assert_eq!(d.merges()[2].distance, 6.0);
+    }
+
+    #[test]
+    fn single_linkage_joins_at_gap() {
+        let d = cluster(&line_points(), Metric::Euclidean, Linkage::Single).unwrap();
+        // Single linkage joins the two pairs at the nearest gap = 4.0.
+        assert_eq!(d.merges()[2].distance, 4.0);
+    }
+
+    #[test]
+    fn average_linkage_between_single_and_complete() {
+        let s = cluster(&line_points(), Metric::Euclidean, Linkage::Single).unwrap();
+        let a = cluster(&line_points(), Metric::Euclidean, Linkage::Average).unwrap();
+        let c = cluster(&line_points(), Metric::Euclidean, Linkage::Complete).unwrap();
+        let last = |d: &Dendrogram| d.merges().last().unwrap().distance;
+        assert!(last(&s) <= last(&a));
+        assert!(last(&a) <= last(&c));
+        // UPGMA over {0,1} vs {5,6}: mean of {5,6,4,5} = 5.0.
+        assert!((last(&a) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_linkages_produce_monotone_dendrograms() {
+        let pts = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.2],
+            vec![0.4, 1.1],
+            vec![5.0, 5.0],
+            vec![5.5, 4.8],
+            vec![9.0, 0.5],
+        ])
+        .unwrap();
+        for linkage in Linkage::all() {
+            let d = cluster(&pts, Metric::Euclidean, linkage).unwrap();
+            if linkage.is_monotone() {
+                assert!(d.is_monotone(), "{linkage} should be monotone");
+            }
+        }
+    }
+
+    #[test]
+    fn cut_recovers_planted_clusters() {
+        let pts = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 0.1],
+            vec![0.2, 0.0],
+            vec![10.0, 10.0],
+            vec![10.1, 10.2],
+            vec![20.0, 0.0],
+        ])
+        .unwrap();
+        let d = cluster(&pts, Metric::Euclidean, Linkage::Complete).unwrap();
+        let a = d.cut_into(3).unwrap();
+        assert!(a.same_cluster(0, 1) && a.same_cluster(1, 2));
+        assert!(a.same_cluster(3, 4));
+        assert!(!a.same_cluster(0, 3));
+        assert!(!a.same_cluster(0, 5) && !a.same_cluster(3, 5));
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        // Four equidistant-ish points with exact ties.
+        let pts = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let a = cluster(&pts, Metric::Euclidean, Linkage::Single).unwrap();
+        let b = cluster(&pts, Metric::Euclidean, Linkage::Single).unwrap();
+        assert_eq!(a, b);
+        // Tie broken toward the smallest pair: (0, 1) first.
+        assert_eq!(a.merges()[0].left, 0);
+        assert_eq!(a.merges()[0].right, 1);
+    }
+
+    #[test]
+    fn from_distances_validates() {
+        let asym =
+            Matrix::from_rows(&[vec![0.0, 1.0], vec![2.0, 0.0]]).unwrap();
+        assert!(matches!(
+            cluster_from_distances(&asym, Linkage::Complete).unwrap_err(),
+            ClusterError::InvalidDistanceMatrix { .. }
+        ));
+        let nonzero_diag =
+            Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        assert!(cluster_from_distances(&nonzero_diag, Linkage::Complete).is_err());
+        let negative =
+            Matrix::from_rows(&[vec![0.0, -1.0], vec![-1.0, 0.0]]).unwrap();
+        assert!(cluster_from_distances(&negative, Linkage::Complete).is_err());
+        let not_square = Matrix::zeros(2, 3);
+        assert!(cluster_from_distances(&not_square, Linkage::Complete).is_err());
+    }
+
+    #[test]
+    fn single_point_dendrogram() {
+        let pts = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        let d = cluster(&pts, Metric::Euclidean, Linkage::Complete).unwrap();
+        assert_eq!(d.n_leaves(), 1);
+        assert!(d.merges().is_empty());
+    }
+
+    #[test]
+    fn two_points() {
+        let pts = Matrix::from_rows(&[vec![0.0], vec![3.0]]).unwrap();
+        let d = cluster(&pts, Metric::Euclidean, Linkage::Ward).unwrap();
+        assert_eq!(d.merges().len(), 1);
+        assert!((d.merges()[0].distance - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cophenetic_dominates_pairwise_for_complete_linkage() {
+        // For complete linkage, cophenetic distance >= original distance.
+        let pts = line_points();
+        let d = cluster(&pts, Metric::Euclidean, Linkage::Complete).unwrap();
+        let coph = d.cophenetic();
+        let orig = pairwise(&pts, Metric::Euclidean).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(coph[(i, j)] >= orig[(i, j)] - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn cophenetic_bounded_by_pairwise_for_single_linkage() {
+        // For single linkage, cophenetic distance <= original distance.
+        let pts = line_points();
+        let d = cluster(&pts, Metric::Euclidean, Linkage::Single).unwrap();
+        let coph = d.cophenetic();
+        let orig = pairwise(&pts, Metric::Euclidean).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    assert!(coph[(i, j)] <= orig[(i, j)] + 1e-9);
+                }
+            }
+        }
+    }
+}

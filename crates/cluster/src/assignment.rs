@@ -1,0 +1,196 @@
+//! Normalized cluster assignments.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ClusterError;
+
+/// An assignment of `n` points to clusters, with labels normalized to
+/// `0..k-1` in order of first appearance.
+///
+/// # Example
+///
+/// ```
+/// use hiermeans_cluster::ClusterAssignment;
+///
+/// # fn main() -> Result<(), hiermeans_cluster::ClusterError> {
+/// let a = ClusterAssignment::from_labels(&[7, 2, 7, 9])?;
+/// assert_eq!(a.labels(), &[0, 1, 0, 2]); // renumbered by first appearance
+/// assert_eq!(a.n_clusters(), 3);
+/// assert_eq!(a.clusters()[0], vec![0, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClusterAssignment {
+    labels: Vec<usize>,
+    n_clusters: usize,
+}
+
+impl ClusterAssignment {
+    /// Builds an assignment from arbitrary (possibly sparse) labels,
+    /// renumbering them densely in order of first appearance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::EmptyInput`] for an empty label slice.
+    pub fn from_labels(raw: &[usize]) -> Result<Self, ClusterError> {
+        if raw.is_empty() {
+            return Err(ClusterError::EmptyInput);
+        }
+        let mut mapping: Vec<usize> = Vec::new();
+        let mut labels = Vec::with_capacity(raw.len());
+        for &l in raw {
+            let dense = match mapping.iter().position(|&m| m == l) {
+                Some(d) => d,
+                None => {
+                    mapping.push(l);
+                    mapping.len() - 1
+                }
+            };
+            labels.push(dense);
+        }
+        Ok(ClusterAssignment {
+            labels,
+            n_clusters: mapping.len(),
+        })
+    }
+
+    /// The dense label of each point.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// The number of points.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` if there are no points (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The number of clusters `k`.
+    pub fn n_clusters(&self) -> usize {
+        self.n_clusters
+    }
+
+    /// The member indices of each cluster, indexed by dense label.
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.n_clusters];
+        for (i, &l) in self.labels.iter().enumerate() {
+            out[l].push(i);
+        }
+        out
+    }
+
+    /// The size of each cluster, indexed by dense label.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut out = vec![0usize; self.n_clusters];
+        for &l in &self.labels {
+            out[l] += 1;
+        }
+        out
+    }
+
+    /// Returns `true` if points `a` and `b` share a cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of bounds.
+    pub fn same_cluster(&self, a: usize, b: usize) -> bool {
+        self.labels[a] == self.labels[b]
+    }
+
+    /// Rand index agreement with another assignment over the same points, in
+    /// `[0, 1]` (1 means identical partitions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidLabels`] if lengths differ.
+    pub fn rand_index(&self, other: &ClusterAssignment) -> Result<f64, ClusterError> {
+        if self.len() != other.len() {
+            return Err(ClusterError::InvalidLabels {
+                reason: "assignments cover different numbers of points",
+            });
+        }
+        let n = self.len();
+        if n < 2 {
+            return Ok(1.0);
+        }
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                total += 1;
+                if self.same_cluster(i, j) == other.same_cluster(i, j) {
+                    agree += 1;
+                }
+            }
+        }
+        Ok(agree as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_renumbering() {
+        let a = ClusterAssignment::from_labels(&[5, 5, 1, 9, 1]).unwrap();
+        assert_eq!(a.labels(), &[0, 0, 1, 2, 1]);
+        assert_eq!(a.n_clusters(), 3);
+    }
+
+    #[test]
+    fn clusters_and_sizes() {
+        let a = ClusterAssignment::from_labels(&[0, 1, 0, 2, 1]).unwrap();
+        assert_eq!(a.clusters(), vec![vec![0, 2], vec![1, 4], vec![3]]);
+        assert_eq!(a.sizes(), vec![2, 2, 1]);
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn same_cluster_works() {
+        let a = ClusterAssignment::from_labels(&[0, 1, 0]).unwrap();
+        assert!(a.same_cluster(0, 2));
+        assert!(!a.same_cluster(0, 1));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(
+            ClusterAssignment::from_labels(&[]).unwrap_err(),
+            ClusterError::EmptyInput
+        ));
+    }
+
+    #[test]
+    fn rand_index_identical_is_one() {
+        let a = ClusterAssignment::from_labels(&[0, 0, 1, 1]).unwrap();
+        let b = ClusterAssignment::from_labels(&[9, 9, 4, 4]).unwrap();
+        assert_eq!(a.rand_index(&b).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn rand_index_disjoint_partitions() {
+        let a = ClusterAssignment::from_labels(&[0, 0, 0, 0]).unwrap();
+        let b = ClusterAssignment::from_labels(&[0, 1, 2, 3]).unwrap();
+        assert_eq!(a.rand_index(&b).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rand_index_length_mismatch() {
+        let a = ClusterAssignment::from_labels(&[0, 1]).unwrap();
+        let b = ClusterAssignment::from_labels(&[0, 1, 2]).unwrap();
+        assert!(a.rand_index(&b).is_err());
+    }
+
+    #[test]
+    fn single_point() {
+        let a = ClusterAssignment::from_labels(&[3]).unwrap();
+        assert_eq!(a.n_clusters(), 1);
+        assert_eq!(a.rand_index(&a).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,328 @@
+//! K-means with k-means++ seeding — the partitional baseline the related
+//! benchmark-subsetting literature (paper Section VI) typically uses, kept
+//! here for comparisons against the hierarchical pipeline.
+
+use hiermeans_linalg::distance::Metric;
+use hiermeans_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{ClusterAssignment, ClusterError};
+
+/// Configuration for [`KMeans::fit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// The number of clusters.
+    pub k: usize,
+    /// Lloyd-iteration budget per restart.
+    pub max_iter: usize,
+    /// Independent restarts; the lowest-inertia run wins.
+    pub n_init: usize,
+    /// RNG seed; fitting is deterministic given the seed.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// A sensible default configuration for `k` clusters: 100 iterations,
+    /// 10 restarts, fixed seed.
+    pub fn new(k: usize) -> Self {
+        KMeansConfig {
+            k,
+            max_iter: 100,
+            n_init: 10,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// A fitted k-means model.
+///
+/// # Example
+///
+/// ```
+/// use hiermeans_cluster::{KMeans, KMeansConfig};
+/// use hiermeans_linalg::Matrix;
+///
+/// # fn main() -> Result<(), hiermeans_cluster::ClusterError> {
+/// let pts = Matrix::from_rows(&[
+///     vec![0.0, 0.0], vec![0.2, 0.1], vec![8.0, 8.0], vec![8.1, 7.9],
+/// ])?;
+/// let model = KMeans::fit(&pts, KMeansConfig::new(2))?;
+/// let a = model.assignment();
+/// assert!(a.same_cluster(0, 1));
+/// assert!(!a.same_cluster(0, 2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeans {
+    centroids: Matrix,
+    assignment: ClusterAssignment,
+    inertia: f64,
+    iterations: usize,
+}
+
+impl KMeans {
+    /// Runs Lloyd's algorithm with k-means++ seeding.
+    ///
+    /// # Errors
+    ///
+    /// * [`ClusterError::EmptyInput`] for empty data.
+    /// * [`ClusterError::InvalidClusterCount`] if `k` is zero or exceeds the
+    ///   point count.
+    /// * [`ClusterError::Linalg`] for non-finite data.
+    pub fn fit(points: &Matrix, config: KMeansConfig) -> Result<Self, ClusterError> {
+        if points.is_empty() {
+            return Err(ClusterError::EmptyInput);
+        }
+        if config.k == 0 || config.k > points.nrows() {
+            return Err(ClusterError::InvalidClusterCount {
+                requested: config.k,
+                points: points.nrows(),
+            });
+        }
+        if !points.is_finite() {
+            return Err(ClusterError::Linalg(
+                hiermeans_linalg::LinalgError::NonFinite { what: "k-means input" },
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut best: Option<KMeans> = None;
+        for _ in 0..config.n_init.max(1) {
+            let run = Self::fit_once(points, config, &mut rng)?;
+            if best.as_ref().is_none_or(|b| run.inertia < b.inertia) {
+                best = Some(run);
+            }
+        }
+        Ok(best.expect("n_init >= 1"))
+    }
+
+    fn fit_once(
+        points: &Matrix,
+        config: KMeansConfig,
+        rng: &mut StdRng,
+    ) -> Result<Self, ClusterError> {
+        let n = points.nrows();
+        let dim = points.ncols();
+        let k = config.k;
+        let metric = Metric::SquaredEuclidean;
+
+        // k-means++ seeding.
+        let mut centroids = Matrix::zeros(k, dim);
+        let first = rng.gen_range(0..n);
+        centroids.row_mut(0).copy_from_slice(points.row(first));
+        let mut d2: Vec<f64> = (0..n)
+            .map(|r| metric.distance(points.row(r), centroids.row(0)))
+            .collect::<Result<_, _>>()?;
+        for c in 1..k {
+            let total: f64 = d2.iter().sum();
+            let chosen = if total <= 0.0 {
+                rng.gen_range(0..n)
+            } else {
+                let mut target = rng.gen_range(0.0..total);
+                let mut idx = n - 1;
+                for (r, &w) in d2.iter().enumerate() {
+                    if target < w {
+                        idx = r;
+                        break;
+                    }
+                    target -= w;
+                }
+                idx
+            };
+            centroids.row_mut(c).copy_from_slice(points.row(chosen));
+            for (r, nearest) in d2.iter_mut().enumerate() {
+                let d = metric.distance(points.row(r), centroids.row(c))?;
+                if d < *nearest {
+                    *nearest = d;
+                }
+            }
+        }
+
+        // Lloyd iterations.
+        let mut labels = vec![0usize; n];
+        let mut iterations = 0;
+        for iter in 0..config.max_iter.max(1) {
+            iterations = iter + 1;
+            let mut changed = false;
+            for (r, label) in labels.iter_mut().enumerate() {
+                let mut best = (0usize, f64::INFINITY);
+                for c in 0..k {
+                    let d = metric.distance(points.row(r), centroids.row(c))?;
+                    if d < best.1 {
+                        best = (c, d);
+                    }
+                }
+                if *label != best.0 {
+                    *label = best.0;
+                    changed = true;
+                }
+            }
+            // Recompute centroids; empty clusters keep their old centroid.
+            let mut sums = Matrix::zeros(k, dim);
+            let mut counts = vec![0usize; k];
+            for r in 0..n {
+                counts[labels[r]] += 1;
+                let row = sums.row_mut(labels[r]);
+                for (s, x) in row.iter_mut().zip(points.row(r)) {
+                    *s += x;
+                }
+            }
+            for (c, &count) in counts.iter().enumerate() {
+                if count > 0 {
+                    let row = centroids.row_mut(c);
+                    for (w, s) in row.iter_mut().zip(sums.row(c)) {
+                        *w = s / count as f64;
+                    }
+                }
+            }
+            if !changed && iter > 0 {
+                break;
+            }
+        }
+
+        let mut inertia = 0.0;
+        for (r, &label) in labels.iter().enumerate() {
+            inertia += metric.distance(points.row(r), centroids.row(label))?;
+        }
+        Ok(KMeans {
+            centroids,
+            assignment: ClusterAssignment::from_labels(&labels)?,
+            inertia,
+            iterations,
+        })
+    }
+
+    /// The fitted centroids (`k x dim`). Rows correspond to *raw* labels used
+    /// during fitting, which [`KMeans::assignment`] renumbers densely.
+    pub fn centroids(&self) -> &Matrix {
+        &self.centroids
+    }
+
+    /// The cluster assignment of the training points.
+    pub fn assignment(&self) -> &ClusterAssignment {
+        &self.assignment
+    }
+
+    /// The final within-cluster sum of squared distances.
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Lloyd iterations performed by the winning restart.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Assigns a new point to its nearest centroid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Linalg`] on dimension mismatch.
+    pub fn predict(&self, x: &[f64]) -> Result<usize, ClusterError> {
+        let mut best = (0usize, f64::INFINITY);
+        for c in 0..self.centroids.nrows() {
+            let d = Metric::SquaredEuclidean.distance(x, self.centroids.row(c))?;
+            if d < best.1 {
+                best = (c, d);
+            }
+        }
+        Ok(best.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.3, 0.1],
+            vec![0.1, 0.2],
+            vec![10.0, 10.0],
+            vec![10.2, 9.9],
+            vec![9.8, 10.1],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn recovers_planted_blobs() {
+        let m = KMeans::fit(&blobs(), KMeansConfig::new(2)).unwrap();
+        let a = m.assignment();
+        assert!(a.same_cluster(0, 1) && a.same_cluster(1, 2));
+        assert!(a.same_cluster(3, 4) && a.same_cluster(4, 5));
+        assert!(!a.same_cluster(0, 3));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = KMeans::fit(&blobs(), KMeansConfig::new(2)).unwrap();
+        let b = KMeans::fit(&blobs(), KMeansConfig::new(2)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn centroids_are_cluster_means() {
+        let m = KMeans::fit(&blobs(), KMeansConfig::new(2)).unwrap();
+        let pts = blobs();
+        // For each raw label, centroid = mean of members.
+        for (label, members) in m.assignment().clusters().iter().enumerate() {
+            // Find raw centroid matching this dense label via any member.
+            let rep = members[0];
+            let raw = m.predict(pts.row(rep)).unwrap();
+            for c in 0..2 {
+                let mean: f64 = members.iter().map(|&r| pts[(r, c)]).sum::<f64>()
+                    / members.len() as f64;
+                assert!((m.centroids()[(raw, c)] - mean).abs() < 1e-9, "label {label}");
+            }
+        }
+    }
+
+    #[test]
+    fn inertia_nonincreasing_in_k() {
+        let pts = blobs();
+        let mut prev = f64::INFINITY;
+        for k in 1..=4 {
+            let m = KMeans::fit(&pts, KMeansConfig::new(k)).unwrap();
+            assert!(m.inertia() <= prev + 1e-9, "k={k}");
+            prev = m.inertia();
+        }
+    }
+
+    #[test]
+    fn k_equals_n_zero_inertia() {
+        let pts = blobs();
+        let m = KMeans::fit(&pts, KMeansConfig::new(6)).unwrap();
+        assert!(m.inertia() < 1e-9);
+        assert_eq!(m.assignment().n_clusters(), 6);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let pts = blobs();
+        assert!(KMeans::fit(&pts, KMeansConfig::new(0)).is_err());
+        assert!(KMeans::fit(&pts, KMeansConfig::new(7)).is_err());
+        let empty = Matrix::zeros(0, 2);
+        assert!(KMeans::fit(&empty, KMeansConfig::new(1)).is_err());
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let mut pts = blobs();
+        pts[(0, 0)] = f64::NAN;
+        assert!(KMeans::fit(&pts, KMeansConfig::new(2)).is_err());
+    }
+
+    #[test]
+    fn predict_matches_training_assignment() {
+        let pts = blobs();
+        let m = KMeans::fit(&pts, KMeansConfig::new(2)).unwrap();
+        // Points near blob 0 predict the same raw label as its members.
+        let l0 = m.predict(pts.row(0)).unwrap();
+        let l1 = m.predict(&[0.05, 0.05]).unwrap();
+        assert_eq!(l0, l1);
+    }
+}

@@ -1,0 +1,58 @@
+//! Agglomerative hierarchical clustering — the cluster-detection stage of the
+//! hierarchical-means pipeline — plus a k-means baseline and cluster-validity
+//! indices.
+//!
+//! The paper (Section III-B) assigns each point its own cluster, repeatedly
+//! merges the closest pair of clusters, and reads cluster formations off the
+//! resulting *dendrogram* at a chosen merging distance. Its configuration is
+//! **complete linkage** (cluster distance = "the distance of the furthest
+//! pair of points from each cluster") over **Euclidean** point distances on
+//! the SOM-reduced coordinates.
+//!
+//! * [`linkage`] — Lance–Williams linkage rules (single, complete, average,
+//!   weighted, Ward, centroid, median).
+//! * [`agglomerative`] — the merge loop producing a [`Dendrogram`].
+//! * [`dendrogram`] — cutting at a merging distance or into exactly `k`
+//!   clusters, cophenetic distances, leaf ordering.
+//! * [`assignment`] — normalized cluster label vectors.
+//! * [`kmeans`] — k-means with k-means++ seeding, used as a baseline.
+//! * [`validity`] — silhouette, Davies–Bouldin, Calinski–Harabasz, WCSS.
+//!
+//! # Example
+//!
+//! ```
+//! use hiermeans_cluster::{agglomerative::cluster, Linkage};
+//! use hiermeans_linalg::{distance::Metric, Matrix};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let points = Matrix::from_rows(&[
+//!     vec![0.0, 0.0], vec![0.2, 0.0], vec![5.0, 5.0], vec![5.2, 5.0],
+//! ])?;
+//! let dendrogram = cluster(&points, Metric::Euclidean, Linkage::Complete)?;
+//! let two = dendrogram.cut_into(2)?;
+//! assert_eq!(two.n_clusters(), 2);
+//! assert_eq!(two.labels()[0], two.labels()[1]);
+//! assert_ne!(two.labels()[0], two.labels()[2]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+
+pub mod agglomerative;
+pub mod assignment;
+pub mod dendrogram;
+pub mod kmeans;
+pub mod linkage;
+pub mod nnchain;
+pub mod selection;
+pub mod validity;
+
+pub use assignment::ClusterAssignment;
+pub use dendrogram::{Dendrogram, Merge};
+pub use error::ClusterError;
+pub use kmeans::{KMeans, KMeansConfig};
+pub use linkage::Linkage;

@@ -1,0 +1,191 @@
+//! Cluster-to-cluster distance (linkage) rules.
+//!
+//! When clusters `i` and `j` merge, the distance from the merged cluster to
+//! every other cluster `k` follows the Lance–Williams recurrence. All seven
+//! classic rules are provided; the paper's choice is [`Linkage::Complete`]
+//! ("the distance of the furthest pair of points from each cluster").
+
+use serde::{Deserialize, Serialize};
+
+/// A linkage rule for agglomerative clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Linkage {
+    /// Nearest pair of points (chaining-prone).
+    Single,
+    /// Furthest pair of points — the paper's rule.
+    Complete,
+    /// Unweighted average of pairwise distances (UPGMA).
+    Average,
+    /// Weighted average (WPGMA): each parent contributes equally.
+    Weighted,
+    /// Ward's minimum-variance criterion.
+    Ward,
+    /// Distance between cluster centroids (UPGMC); can produce inversions.
+    Centroid,
+    /// Distance between weighted centroids (WPGMC); can produce inversions.
+    Median,
+}
+
+impl Linkage {
+    /// Updates the distance from the new cluster `i ∪ j` to an existing
+    /// cluster `k`, given the pre-merge distances and cluster sizes.
+    ///
+    /// For [`Linkage::Ward`], [`Linkage::Centroid`] and [`Linkage::Median`],
+    /// the inputs must be *Euclidean* distances; the update is performed on
+    /// squared distances internally, as in standard implementations.
+    pub fn update(
+        &self,
+        d_ki: f64,
+        d_kj: f64,
+        d_ij: f64,
+        ni: usize,
+        nj: usize,
+        nk: usize,
+    ) -> f64 {
+        let (ni, nj, nk) = (ni as f64, nj as f64, nk as f64);
+        match self {
+            Linkage::Single => d_ki.min(d_kj),
+            Linkage::Complete => d_ki.max(d_kj),
+            Linkage::Average => (ni * d_ki + nj * d_kj) / (ni + nj),
+            Linkage::Weighted => 0.5 * (d_ki + d_kj),
+            Linkage::Ward => {
+                let t = ni + nj + nk;
+                (((ni + nk) * d_ki * d_ki + (nj + nk) * d_kj * d_kj - nk * d_ij * d_ij) / t)
+                    .max(0.0)
+                    .sqrt()
+            }
+            Linkage::Centroid => {
+                let s = ni + nj;
+                ((ni * d_ki * d_ki + nj * d_kj * d_kj) / s
+                    - ni * nj * d_ij * d_ij / (s * s))
+                    .max(0.0)
+                    .sqrt()
+            }
+            Linkage::Median => {
+                (0.5 * d_ki * d_ki + 0.5 * d_kj * d_kj - 0.25 * d_ij * d_ij)
+                    .max(0.0)
+                    .sqrt()
+            }
+        }
+    }
+
+    /// Returns `true` if the rule guarantees monotonically non-decreasing
+    /// merge distances (no dendrogram inversions).
+    pub fn is_monotone(&self) -> bool {
+        !matches!(self, Linkage::Centroid | Linkage::Median)
+    }
+
+    /// All linkage rules, for ablation sweeps.
+    pub fn all() -> [Linkage; 7] {
+        [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Weighted,
+            Linkage::Ward,
+            Linkage::Centroid,
+            Linkage::Median,
+        ]
+    }
+}
+
+impl Default for Linkage {
+    /// Complete linkage, the paper's configuration.
+    fn default() -> Self {
+        Linkage::Complete
+    }
+}
+
+impl std::fmt::Display for Linkage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Linkage::Single => "single",
+            Linkage::Complete => "complete",
+            Linkage::Average => "average",
+            Linkage::Weighted => "weighted",
+            Linkage::Ward => "ward",
+            Linkage::Centroid => "centroid",
+            Linkage::Median => "median",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_is_min_complete_is_max() {
+        assert_eq!(Linkage::Single.update(2.0, 5.0, 1.0, 1, 1, 1), 2.0);
+        assert_eq!(Linkage::Complete.update(2.0, 5.0, 1.0, 1, 1, 1), 5.0);
+    }
+
+    #[test]
+    fn average_weights_by_size() {
+        // Cluster i has 3 points, j has 1: average leans toward d_ki.
+        let d = Linkage::Average.update(2.0, 6.0, 1.0, 3, 1, 1);
+        assert!((d - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_ignores_size() {
+        let d = Linkage::Weighted.update(2.0, 6.0, 1.0, 3, 1, 1);
+        assert_eq!(d, 4.0);
+    }
+
+    #[test]
+    fn ward_singletons_formula() {
+        // For singleton clusters, Ward distance to k reduces to
+        // sqrt((2 d_ki² + 2 d_kj² − d_ij²) / 3).
+        let d = Linkage::Ward.update(3.0, 4.0, 5.0, 1, 1, 1);
+        let expect = ((2.0 * 9.0 + 2.0 * 16.0 - 25.0) / 3.0f64).sqrt();
+        assert!((d - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid_collinear_points() {
+        // Points on a line: i at 0, j at 2 (d_ij = 2), k at 5.
+        // Centroid of {i, j} is at 1, so distance to k is 4.
+        let d = Linkage::Centroid.update(5.0, 3.0, 2.0, 1, 1, 1);
+        assert!((d - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_collinear_points() {
+        let d = Linkage::Median.update(5.0, 3.0, 2.0, 1, 1, 1);
+        assert!((d - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotonicity_flags() {
+        assert!(Linkage::Complete.is_monotone());
+        assert!(Linkage::Single.is_monotone());
+        assert!(Linkage::Ward.is_monotone());
+        assert!(!Linkage::Centroid.is_monotone());
+        assert!(!Linkage::Median.is_monotone());
+    }
+
+    #[test]
+    fn default_is_complete() {
+        assert_eq!(Linkage::default(), Linkage::Complete);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Linkage::Ward.to_string(), "ward");
+        assert_eq!(Linkage::Complete.to_string(), "complete");
+    }
+
+    #[test]
+    fn all_has_seven_distinct() {
+        let all = Linkage::all();
+        assert_eq!(all.len(), 7);
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! The nearest-neighbor-chain agglomerative algorithm.
+//!
+//! The textbook merge loop in [`crate::agglomerative`] scans all pairs at
+//! every step — O(n³), perfectly fine for benchmark suites of tens of
+//! workloads. For larger corpora (clustering hundreds of workloads, or SOM
+//! *units*), this module provides the classic NN-chain algorithm
+//! (Murtagh 1983): follow nearest-neighbor pointers until a reciprocal
+//! nearest-neighbor pair is found, merge it, and continue from the chain
+//! tail — O(n²) total for *reducible* linkages.
+//!
+//! A linkage is reducible when merging two clusters never brings the merged
+//! cluster closer to a third than the closer parent was; single, complete,
+//! average, weighted, and Ward linkage are reducible, centroid and median
+//! are not (NN-chain would be incorrect for them, and
+//! [`cluster_nn_chain`] rejects them).
+//!
+//! NN-chain discovers merges in a different *order* than the global-minimum
+//! loop, but for reducible linkages the resulting dendrogram is equivalent:
+//! after sorting merges by distance, every cut produces identical clusters
+//! (verified against the naive implementation by property tests).
+
+use hiermeans_linalg::distance::{pairwise, Metric};
+use hiermeans_linalg::Matrix;
+
+use crate::dendrogram::{Dendrogram, Merge};
+use crate::{ClusterError, Linkage};
+
+/// Returns `true` if `linkage` satisfies the reducibility property that
+/// NN-chain requires.
+pub fn is_reducible(linkage: Linkage) -> bool {
+    !matches!(linkage, Linkage::Centroid | Linkage::Median)
+}
+
+/// Clusters the rows of `points` with the NN-chain algorithm.
+///
+/// # Errors
+///
+/// * [`ClusterError::EmptyInput`] for an empty matrix.
+/// * [`ClusterError::InvalidLabels`] for a non-reducible linkage
+///   (centroid/median) — use [`crate::agglomerative::cluster`] instead.
+///
+/// # Example
+///
+/// ```
+/// use hiermeans_cluster::{nnchain::cluster_nn_chain, Linkage};
+/// use hiermeans_linalg::{distance::Metric, Matrix};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let pts = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![10.0], vec![11.0]])?;
+/// let d = cluster_nn_chain(&pts, Metric::Euclidean, Linkage::Complete)?;
+/// let two = d.cut_into(2)?;
+/// assert!(two.same_cluster(0, 1) && two.same_cluster(2, 3));
+/// assert!(!two.same_cluster(0, 2));
+/// # Ok(())
+/// # }
+/// ```
+pub fn cluster_nn_chain(
+    points: &Matrix,
+    metric: Metric,
+    linkage: Linkage,
+) -> Result<Dendrogram, ClusterError> {
+    if points.is_empty() {
+        return Err(ClusterError::EmptyInput);
+    }
+    let dist = pairwise(points, metric)?;
+    cluster_nn_chain_from_distances(&dist, linkage)
+}
+
+/// NN-chain over a precomputed distance matrix.
+///
+/// # Errors
+///
+/// Same as [`cluster_nn_chain`], plus distance-matrix validation errors.
+pub fn cluster_nn_chain_from_distances(
+    dist: &Matrix,
+    linkage: Linkage,
+) -> Result<Dendrogram, ClusterError> {
+    if !is_reducible(linkage) {
+        return Err(ClusterError::InvalidLabels {
+            reason: "NN-chain requires a reducible linkage (not centroid/median)",
+        });
+    }
+    let (r, c) = dist.shape();
+    if r == 0 {
+        return Err(ClusterError::EmptyInput);
+    }
+    if r != c {
+        return Err(ClusterError::InvalidDistanceMatrix { reason: "matrix is not square" });
+    }
+    let n = r;
+    if n == 1 {
+        return Dendrogram::new(1, vec![]);
+    }
+
+    let mut d = dist.clone();
+    // Slot metadata: Some((dendrogram id, size)) while active.
+    let mut info: Vec<Option<(usize, usize)>> = (0..n).map(|i| Some((i, 1))).collect();
+    let mut raw_merges: Vec<(usize, usize, f64, usize)> = Vec::with_capacity(n - 1);
+    let mut chain: Vec<usize> = Vec::with_capacity(n);
+    let mut remaining = n;
+    let mut next_id = n;
+
+    while remaining > 1 {
+        if chain.is_empty() {
+            let start = info
+                .iter()
+                .position(|s| s.is_some())
+                .expect("at least two active clusters");
+            chain.push(start);
+        }
+        loop {
+            let top = *chain.last().expect("chain non-empty");
+            // Nearest active neighbor of `top` (smallest slot wins ties so
+            // reciprocal pairs are found deterministically).
+            let mut nearest = None;
+            for j in 0..n {
+                if j == top || info[j].is_none() {
+                    continue;
+                }
+                let dj = d[(top, j)];
+                if nearest.is_none_or(|(_, best)| dj < best) {
+                    nearest = Some((j, dj));
+                }
+            }
+            let (nn, dnn) = nearest.expect("another active cluster exists");
+            // Reciprocal pair when the nearest neighbor is the previous
+            // chain element.
+            if chain.len() >= 2 && chain[chain.len() - 2] == nn {
+                chain.pop();
+                chain.pop();
+                let (a, b) = (top.min(nn), top.max(nn));
+                let (id_a, size_a) = info[a].expect("slot a active");
+                let (id_b, size_b) = info[b].expect("slot b active");
+                let new_size = size_a + size_b;
+                raw_merges.push((id_a.min(id_b), id_a.max(id_b), dnn, new_size));
+                // Lance-Williams update into slot a.
+                for k in 0..n {
+                    if k == a || k == b || info[k].is_none() {
+                        continue;
+                    }
+                    let (_, size_k) = info[k].expect("slot k active");
+                    let updated =
+                        linkage.update(d[(k, a)], d[(k, b)], dnn, size_a, size_b, size_k);
+                    d[(k, a)] = updated;
+                    d[(a, k)] = updated;
+                }
+                info[a] = Some((next_id, new_size));
+                info[b] = None;
+                next_id += 1;
+                remaining -= 1;
+                break;
+            }
+            chain.push(nn);
+        }
+    }
+
+    // NN-chain emits merges out of distance order; relabel into the sorted
+    // order so the Dendrogram invariants (and monotone cuts) hold.
+    Ok(sort_merges(n, raw_merges))
+}
+
+/// Sorts raw merges by distance (stable on discovery order) and remaps the
+/// intermediate cluster ids accordingly.
+fn sort_merges(n_leaves: usize, raw: Vec<(usize, usize, f64, usize)>) -> Dendrogram {
+    let mut order: Vec<usize> = (0..raw.len()).collect();
+    order.sort_by(|&i, &j| {
+        raw[i]
+            .2
+            .partial_cmp(&raw[j].2)
+            .expect("finite merge distances")
+            .then(i.cmp(&j))
+    });
+    // Old merge index -> new merge index.
+    let mut new_index = vec![0usize; raw.len()];
+    for (new, &old) in order.iter().enumerate() {
+        new_index[old] = new;
+    }
+    let remap = |id: usize| {
+        if id < n_leaves {
+            id
+        } else {
+            n_leaves + new_index[id - n_leaves]
+        }
+    };
+    let merges: Vec<Merge> = order
+        .iter()
+        .map(|&old| {
+            let (left, right, distance, size) = raw[old];
+            let (l, r) = (remap(left), remap(right));
+            Merge {
+                left: l.min(r),
+                right: l.max(r),
+                distance,
+                size,
+            }
+        })
+        .collect();
+    Dendrogram::new(n_leaves, merges)
+        .expect("NN-chain emits a structurally valid merge sequence")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agglomerative;
+
+    fn grid_points(n: usize) -> Matrix {
+        // Deterministic pseudo-random points with no structured distance
+        // ties — cut equivalence between the two algorithms is only
+        // guaranteed when all merge distances are distinct.
+        fn hash(mut x: u64) -> u64 {
+            x ^= x >> 33;
+            x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+            x ^= x >> 33;
+            x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+            x ^ (x >> 33)
+        }
+        let coord = |seed: u64| (hash(seed) % 1_000_000) as f64 / 50_000.0;
+        let rows: Vec<Vec<f64>> = (0..n as u64)
+            .map(|i| vec![coord(2 * i + 1), coord(2 * i + 2)])
+            .collect();
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn equivalent_cuts_to_naive_for_reducible_linkages() {
+        let pts = grid_points(24);
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+            let fast = cluster_nn_chain(&pts, Metric::Euclidean, linkage).unwrap();
+            let slow = agglomerative::cluster(&pts, Metric::Euclidean, linkage).unwrap();
+            for k in 1..=24 {
+                let a = fast.cut_into(k).unwrap();
+                let b = slow.cut_into(k).unwrap();
+                assert!(
+                    (a.rand_index(&b).unwrap() - 1.0).abs() < 1e-12,
+                    "{linkage} differs at k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_distances_match_naive() {
+        let pts = grid_points(16);
+        for linkage in [Linkage::Complete, Linkage::Average, Linkage::Ward] {
+            let fast = cluster_nn_chain(&pts, Metric::Euclidean, linkage).unwrap();
+            let slow = agglomerative::cluster(&pts, Metric::Euclidean, linkage).unwrap();
+            let mut df = fast.merge_distances();
+            let mut ds = slow.merge_distances();
+            df.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for (a, b) in df.iter().zip(&ds) {
+                assert!((a - b).abs() < 1e-9, "{linkage}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn result_is_monotone_for_reducible_linkages() {
+        let pts = grid_points(20);
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+            let d = cluster_nn_chain(&pts, Metric::Euclidean, linkage).unwrap();
+            assert!(d.is_monotone(), "{linkage}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_reducible_linkages() {
+        let pts = grid_points(5);
+        for linkage in [Linkage::Centroid, Linkage::Median] {
+            assert!(matches!(
+                cluster_nn_chain(&pts, Metric::Euclidean, linkage).unwrap_err(),
+                ClusterError::InvalidLabels { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn trivial_inputs() {
+        let one = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        let d = cluster_nn_chain(&one, Metric::Euclidean, Linkage::Complete).unwrap();
+        assert_eq!(d.n_leaves(), 1);
+        let empty = Matrix::zeros(0, 2);
+        assert!(cluster_nn_chain(&empty, Metric::Euclidean, Linkage::Complete).is_err());
+    }
+
+    #[test]
+    fn two_points() {
+        let pts = Matrix::from_rows(&[vec![0.0], vec![5.0]]).unwrap();
+        let d = cluster_nn_chain(&pts, Metric::Euclidean, Linkage::Ward).unwrap();
+        assert_eq!(d.merges().len(), 1);
+        assert!((d.merges()[0].distance - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reducibility_flags() {
+        assert!(is_reducible(Linkage::Complete));
+        assert!(is_reducible(Linkage::Ward));
+        assert!(!is_reducible(Linkage::Centroid));
+        assert!(!is_reducible(Linkage::Median));
+    }
+
+    #[test]
+    fn handles_exact_ties() {
+        // A square: all nearest-neighbor distances tie.
+        let pts = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ])
+        .unwrap();
+        let d = cluster_nn_chain(&pts, Metric::Euclidean, Linkage::Complete).unwrap();
+        assert_eq!(d.merges().len(), 3);
+        assert!(d.is_monotone());
+    }
+}

@@ -1,0 +1,319 @@
+//! Cluster-validity indices.
+//!
+//! The paper picks the cluster count by eye-balling the dendrogram and the
+//! SOM map ("it aligns well with the SOM analysis results"). These indices
+//! provide the quantitative counterpart used by the suite-analysis facade to
+//! recommend a cluster count, and by the ablation benches.
+
+use hiermeans_linalg::distance::Metric;
+use hiermeans_linalg::Matrix;
+
+use crate::{ClusterAssignment, ClusterError};
+
+/// Mean silhouette coefficient over all points, in `[-1, 1]` (higher is
+/// better separation).
+///
+/// Points in singleton clusters contribute a silhouette of 0, following the
+/// usual convention.
+///
+/// # Errors
+///
+/// * [`ClusterError::InvalidLabels`] if the assignment length differs from
+///   the point count or there are fewer than 2 clusters.
+/// * [`ClusterError::Linalg`] for distance failures.
+///
+/// # Example
+///
+/// ```
+/// use hiermeans_cluster::{validity, ClusterAssignment};
+/// use hiermeans_linalg::Matrix;
+///
+/// # fn main() -> Result<(), hiermeans_cluster::ClusterError> {
+/// let pts = Matrix::from_rows(&[
+///     vec![0.0, 0.0], vec![0.1, 0.0], vec![9.0, 9.0], vec![9.1, 9.0],
+/// ])?;
+/// let good = ClusterAssignment::from_labels(&[0, 0, 1, 1])?;
+/// let bad = ClusterAssignment::from_labels(&[0, 1, 0, 1])?;
+/// assert!(validity::silhouette(&pts, &good)? > validity::silhouette(&pts, &bad)?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn silhouette(points: &Matrix, assignment: &ClusterAssignment) -> Result<f64, ClusterError> {
+    check(points, assignment)?;
+    if assignment.n_clusters() < 2 {
+        return Err(ClusterError::InvalidLabels {
+            reason: "silhouette requires at least two clusters",
+        });
+    }
+    let n = points.nrows();
+    let clusters = assignment.clusters();
+    let labels = assignment.labels();
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = &clusters[labels[i]];
+        if own.len() == 1 {
+            continue; // silhouette 0 by convention
+        }
+        // a(i): mean distance to own cluster (excluding self).
+        let mut a = 0.0;
+        for &j in own {
+            if j != i {
+                a += Metric::Euclidean.distance(points.row(i), points.row(j))?;
+            }
+        }
+        a /= (own.len() - 1) as f64;
+        // b(i): min over other clusters of mean distance.
+        let mut b = f64::INFINITY;
+        for (c, members) in clusters.iter().enumerate() {
+            if c == labels[i] {
+                continue;
+            }
+            let mut m = 0.0;
+            for &j in members {
+                m += Metric::Euclidean.distance(points.row(i), points.row(j))?;
+            }
+            m /= members.len() as f64;
+            b = b.min(m);
+        }
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    Ok(total / n as f64)
+}
+
+/// Davies–Bouldin index (lower is better).
+///
+/// # Errors
+///
+/// Same input requirements as [`silhouette`].
+pub fn davies_bouldin(
+    points: &Matrix,
+    assignment: &ClusterAssignment,
+) -> Result<f64, ClusterError> {
+    check(points, assignment)?;
+    let k = assignment.n_clusters();
+    if k < 2 {
+        return Err(ClusterError::InvalidLabels {
+            reason: "Davies-Bouldin requires at least two clusters",
+        });
+    }
+    let clusters = assignment.clusters();
+    let centroids = cluster_centroids(points, &clusters);
+    // Mean intra-cluster distance to centroid.
+    let mut scatter = vec![0.0f64; k];
+    for (c, members) in clusters.iter().enumerate() {
+        for &i in members {
+            scatter[c] += Metric::Euclidean.distance(points.row(i), centroids.row(c))?;
+        }
+        scatter[c] /= members.len() as f64;
+    }
+    let mut total = 0.0;
+    for i in 0..k {
+        let mut worst = 0.0f64;
+        for j in 0..k {
+            if i == j {
+                continue;
+            }
+            let sep = Metric::Euclidean.distance(centroids.row(i), centroids.row(j))?;
+            if sep > 0.0 {
+                worst = worst.max((scatter[i] + scatter[j]) / sep);
+            }
+        }
+        total += worst;
+    }
+    Ok(total / k as f64)
+}
+
+/// Calinski–Harabasz index (higher is better).
+///
+/// # Errors
+///
+/// Requires `2 <= k < n`; same input requirements as [`silhouette`].
+pub fn calinski_harabasz(
+    points: &Matrix,
+    assignment: &ClusterAssignment,
+) -> Result<f64, ClusterError> {
+    check(points, assignment)?;
+    let k = assignment.n_clusters();
+    let n = points.nrows();
+    if k < 2 || k >= n {
+        return Err(ClusterError::InvalidLabels {
+            reason: "Calinski-Harabasz requires 2 <= k < n",
+        });
+    }
+    let clusters = assignment.clusters();
+    let centroids = cluster_centroids(points, &clusters);
+    let global: Vec<f64> = (0..points.ncols())
+        .map(|c| points.col(c).iter().sum::<f64>() / n as f64)
+        .collect();
+    let mut between = 0.0;
+    for (c, members) in clusters.iter().enumerate() {
+        let d = Metric::SquaredEuclidean.distance(centroids.row(c), &global)?;
+        between += members.len() as f64 * d;
+    }
+    let mut within = 0.0;
+    for (c, members) in clusters.iter().enumerate() {
+        for &i in members {
+            within += Metric::SquaredEuclidean.distance(points.row(i), centroids.row(c))?;
+        }
+    }
+    if within == 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(between * (n - k) as f64 / (within * (k - 1) as f64))
+}
+
+/// Total within-cluster sum of squared distances to centroids.
+///
+/// # Errors
+///
+/// Same input requirements as [`silhouette`], but any `k >= 1` is allowed.
+pub fn wcss(points: &Matrix, assignment: &ClusterAssignment) -> Result<f64, ClusterError> {
+    check(points, assignment)?;
+    let clusters = assignment.clusters();
+    let centroids = cluster_centroids(points, &clusters);
+    let mut total = 0.0;
+    for (c, members) in clusters.iter().enumerate() {
+        for &i in members {
+            total += Metric::SquaredEuclidean.distance(points.row(i), centroids.row(c))?;
+        }
+    }
+    Ok(total)
+}
+
+fn cluster_centroids(points: &Matrix, clusters: &[Vec<usize>]) -> Matrix {
+    let dim = points.ncols();
+    let mut centroids = Matrix::zeros(clusters.len(), dim);
+    for (c, members) in clusters.iter().enumerate() {
+        for &i in members {
+            let row = centroids.row_mut(c);
+            for (acc, x) in row.iter_mut().zip(points.row(i)) {
+                *acc += x;
+            }
+        }
+        let row = centroids.row_mut(c);
+        for v in row {
+            *v /= members.len() as f64;
+        }
+    }
+    centroids
+}
+
+fn check(points: &Matrix, assignment: &ClusterAssignment) -> Result<(), ClusterError> {
+    if points.is_empty() {
+        return Err(ClusterError::EmptyInput);
+    }
+    if points.nrows() != assignment.len() {
+        return Err(ClusterError::InvalidLabels {
+            reason: "assignment length differs from point count",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Matrix, ClusterAssignment) {
+        let pts = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.2, 0.1],
+            vec![0.1, 0.3],
+            vec![8.0, 8.0],
+            vec![8.2, 7.9],
+            vec![7.9, 8.1],
+        ])
+        .unwrap();
+        let a = ClusterAssignment::from_labels(&[0, 0, 0, 1, 1, 1]).unwrap();
+        (pts, a)
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_blobs() {
+        let (pts, a) = blobs();
+        let s = silhouette(&pts, &a).unwrap();
+        assert!(s > 0.9, "s={s}");
+    }
+
+    #[test]
+    fn silhouette_penalizes_bad_split() {
+        let (pts, good) = blobs();
+        let bad = ClusterAssignment::from_labels(&[0, 1, 0, 1, 0, 1]).unwrap();
+        assert!(silhouette(&pts, &good).unwrap() > silhouette(&pts, &bad).unwrap());
+    }
+
+    #[test]
+    fn silhouette_bounds() {
+        let (pts, a) = blobs();
+        let s = silhouette(&pts, &a).unwrap();
+        assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn silhouette_singleton_contributes_zero() {
+        let pts = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![10.0]]).unwrap();
+        let a = ClusterAssignment::from_labels(&[0, 0, 1]).unwrap();
+        let s = silhouette(&pts, &a).unwrap();
+        // Two near-perfect points and one zero contribution.
+        assert!(s > 0.6 && s < 1.0);
+    }
+
+    #[test]
+    fn davies_bouldin_low_for_separated_blobs() {
+        let (pts, good) = blobs();
+        let bad = ClusterAssignment::from_labels(&[0, 1, 0, 1, 0, 1]).unwrap();
+        assert!(davies_bouldin(&pts, &good).unwrap() < davies_bouldin(&pts, &bad).unwrap());
+    }
+
+    #[test]
+    fn calinski_harabasz_high_for_separated_blobs() {
+        let (pts, good) = blobs();
+        let bad = ClusterAssignment::from_labels(&[0, 1, 0, 1, 0, 1]).unwrap();
+        assert!(
+            calinski_harabasz(&pts, &good).unwrap() > calinski_harabasz(&pts, &bad).unwrap()
+        );
+    }
+
+    #[test]
+    fn wcss_zero_for_singletons() {
+        let (pts, _) = blobs();
+        let singletons = ClusterAssignment::from_labels(&[0, 1, 2, 3, 4, 5]).unwrap();
+        assert!(wcss(&pts, &singletons).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn wcss_decreases_with_finer_clustering() {
+        let (pts, two) = blobs();
+        let one = ClusterAssignment::from_labels(&[0; 6]).unwrap();
+        assert!(wcss(&pts, &two).unwrap() < wcss(&pts, &one).unwrap());
+    }
+
+    #[test]
+    fn errors_on_mismatched_lengths() {
+        let (pts, _) = blobs();
+        let short = ClusterAssignment::from_labels(&[0, 1]).unwrap();
+        assert!(silhouette(&pts, &short).is_err());
+        assert!(davies_bouldin(&pts, &short).is_err());
+        assert!(calinski_harabasz(&pts, &short).is_err());
+        assert!(wcss(&pts, &short).is_err());
+    }
+
+    #[test]
+    fn errors_on_single_cluster() {
+        let (pts, _) = blobs();
+        let one = ClusterAssignment::from_labels(&[0; 6]).unwrap();
+        assert!(silhouette(&pts, &one).is_err());
+        assert!(davies_bouldin(&pts, &one).is_err());
+        assert!(wcss(&pts, &one).is_ok());
+    }
+
+    #[test]
+    fn calinski_requires_k_below_n() {
+        let (pts, _) = blobs();
+        let all = ClusterAssignment::from_labels(&[0, 1, 2, 3, 4, 5]).unwrap();
+        assert!(calinski_harabasz(&pts, &all).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+use std::error::Error;
+use std::fmt;
+
+use hiermeans_cluster::ClusterError;
+use hiermeans_linalg::LinalgError;
+use hiermeans_som::SomError;
+use hiermeans_workload::WorkloadError;
+
+/// Errors produced by the hierarchical-means core.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The input values were empty.
+    EmptyInput,
+    /// A value was non-positive where the mean requires positive inputs, or
+    /// non-finite.
+    InvalidValue {
+        /// Index of the offending value.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The cluster structure was not a partition of the value indices.
+    InvalidClusters {
+        /// Why the clusters were rejected.
+        reason: &'static str,
+    },
+    /// Weights were invalid (negative, non-finite, or summing to zero).
+    InvalidWeights {
+        /// Why the weights were rejected.
+        reason: &'static str,
+    },
+    /// An underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+    /// The SOM stage failed.
+    Som(SomError),
+    /// The clustering stage failed.
+    Cluster(ClusterError),
+    /// The workload substrate failed.
+    Workload(WorkloadError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyInput => write!(f, "mean of an empty value set is undefined"),
+            CoreError::InvalidValue { index, value } => {
+                write!(f, "value #{index} ({value}) must be positive and finite")
+            }
+            CoreError::InvalidClusters { reason } => write!(f, "invalid clusters: {reason}"),
+            CoreError::InvalidWeights { reason } => write!(f, "invalid weights: {reason}"),
+            CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            CoreError::Som(e) => write!(f, "SOM error: {e}"),
+            CoreError::Cluster(e) => write!(f, "clustering error: {e}"),
+            CoreError::Workload(e) => write!(f, "workload error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Linalg(e) => Some(e),
+            CoreError::Som(e) => Some(e),
+            CoreError::Cluster(e) => Some(e),
+            CoreError::Workload(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for CoreError {
+    fn from(e: LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+impl From<SomError> for CoreError {
+    fn from(e: SomError) -> Self {
+        CoreError::Som(e)
+    }
+}
+
+impl From<ClusterError> for CoreError {
+    fn from(e: ClusterError) -> Self {
+        CoreError::Cluster(e)
+    }
+}
+
+impl From<WorkloadError> for CoreError {
+    fn from(e: WorkloadError) -> Self {
+        CoreError::Workload(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::EmptyInput.to_string().contains("empty"));
+        let e = CoreError::InvalidValue { index: 3, value: -1.0 };
+        assert!(e.to_string().contains("#3"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e: CoreError = LinalgError::Empty { what: "x" }.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: CoreError = SomError::EmptyData.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: CoreError = ClusterError::EmptyInput.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

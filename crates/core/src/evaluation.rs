@@ -1,0 +1,195 @@
+//! Quantitative suite evaluation.
+//!
+//! "One can use our methods to characterize and evaluate a new benchmark
+//! suite in a quantitative, objective manner" (paper Section VII). This
+//! module turns a clustering into a suite-quality report: how much
+//! redundancy each source suite contributes, how the clusters compose
+//! across source suites, and how diverse the suite is overall.
+
+use hiermeans_cluster::ClusterAssignment;
+use serde::{Deserialize, Serialize};
+
+use crate::redundancy::{effective_suite_size, redundancy_index};
+use crate::CoreError;
+
+/// Redundancy contributed by one source suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceReport {
+    /// The source-suite label.
+    pub source: String,
+    /// Number of workloads from this source.
+    pub workloads: usize,
+    /// Number of distinct clusters its workloads occupy.
+    pub clusters_occupied: usize,
+    /// `1 - clusters_occupied / workloads`: 0 when every workload brings
+    /// its own behaviour, approaching 1 when they all share one cluster.
+    pub internal_redundancy: f64,
+    /// Whether some cluster consists *exclusively* of this source's
+    /// workloads with at least two members — the paper's "exclusive
+    /// cluster" smell for injected donor suites.
+    pub has_exclusive_cluster: bool,
+}
+
+/// The full suite-quality report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteEvaluation {
+    /// Total workloads.
+    pub n_workloads: usize,
+    /// Cluster count of the evaluated clustering.
+    pub n_clusters: usize,
+    /// Exponential-entropy effective suite size under the implied weights.
+    pub effective_size: f64,
+    /// Redundancy index in `[0, 1]`.
+    pub redundancy: f64,
+    /// Per-source reports, in first-appearance order.
+    pub sources: Vec<SourceReport>,
+}
+
+impl SuiteEvaluation {
+    /// Evaluates a suite: `source_of[i]` labels workload `i`'s suite of
+    /// origin, `assignment` is the detected clustering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidClusters`] if `source_of` and
+    /// `assignment` lengths differ, and propagates partition errors.
+    pub fn evaluate(
+        source_of: &[&str],
+        assignment: &ClusterAssignment,
+    ) -> Result<Self, CoreError> {
+        let n = assignment.len();
+        if source_of.len() != n {
+            return Err(CoreError::InvalidClusters {
+                reason: "one source label per workload is required",
+            });
+        }
+        let clusters = assignment.clusters();
+        let effective = effective_suite_size(n, &clusters)?;
+        let redundancy = redundancy_index(n, &clusters)?;
+
+        let mut order: Vec<&str> = Vec::new();
+        for &s in source_of {
+            if !order.contains(&s) {
+                order.push(s);
+            }
+        }
+        let labels = assignment.labels();
+        let sources = order
+            .iter()
+            .map(|&source| {
+                let members: Vec<usize> = (0..n).filter(|&i| source_of[i] == source).collect();
+                let mut occupied: Vec<usize> = members.iter().map(|&i| labels[i]).collect();
+                occupied.sort_unstable();
+                occupied.dedup();
+                let has_exclusive_cluster = clusters.iter().any(|c| {
+                    c.len() >= 2 && c.iter().all(|&i| source_of[i] == source)
+                });
+                SourceReport {
+                    source: source.to_owned(),
+                    workloads: members.len(),
+                    clusters_occupied: occupied.len(),
+                    internal_redundancy: 1.0 - occupied.len() as f64 / members.len() as f64,
+                    has_exclusive_cluster,
+                }
+            })
+            .collect();
+        Ok(SuiteEvaluation {
+            n_workloads: n,
+            n_clusters: assignment.n_clusters(),
+            effective_size: effective,
+            redundancy,
+            sources,
+        })
+    }
+
+    /// Renders the report as aligned text.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "suite: {} workloads in {} clusters; effective size {:.2}; redundancy index {:.2}\n",
+            self.n_workloads, self.n_clusters, self.effective_size, self.redundancy
+        );
+        for s in &self.sources {
+            out.push_str(&format!(
+                "  {:<12} {:>2} workloads -> {:>2} clusters (internal redundancy {:.2}){}\n",
+                s.source,
+                s.workloads,
+                s.clusters_occupied,
+                s.internal_redundancy,
+                if s.has_exclusive_cluster { "  [exclusive cluster]" } else { "" }
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_like() -> (Vec<&'static str>, ClusterAssignment) {
+        // 13 workloads: 5 jvm98, 5 scimark, 3 dacapo. Machine A's k=6
+        // clustering: {javac} {jess,mtrt} {chart} {xalan} {scimark x5}
+        // {compress,mpegaudio,hsqldb}.
+        let sources = vec![
+            "jvm98", "jvm98", "jvm98", "jvm98", "jvm98", "scimark", "scimark", "scimark",
+            "scimark", "scimark", "dacapo", "dacapo", "dacapo",
+        ];
+        let labels = [5usize, 1, 0, 5, 1, 4, 4, 4, 4, 4, 5, 2, 3];
+        (sources, ClusterAssignment::from_labels(&labels).unwrap())
+    }
+
+    #[test]
+    fn scimark_flagged_as_exclusive() {
+        let (sources, assignment) = paper_like();
+        let eval = SuiteEvaluation::evaluate(&sources, &assignment).unwrap();
+        let scimark = eval.sources.iter().find(|s| s.source == "scimark").unwrap();
+        assert!(scimark.has_exclusive_cluster);
+        assert_eq!(scimark.clusters_occupied, 1);
+        assert!((scimark.internal_redundancy - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diverse_sources_not_flagged() {
+        let (sources, assignment) = paper_like();
+        let eval = SuiteEvaluation::evaluate(&sources, &assignment).unwrap();
+        let dacapo = eval.sources.iter().find(|s| s.source == "dacapo").unwrap();
+        assert!(!dacapo.has_exclusive_cluster);
+        assert_eq!(dacapo.clusters_occupied, 3);
+        assert_eq!(dacapo.internal_redundancy, 0.0);
+    }
+
+    #[test]
+    fn totals_consistent() {
+        let (sources, assignment) = paper_like();
+        let eval = SuiteEvaluation::evaluate(&sources, &assignment).unwrap();
+        assert_eq!(eval.n_workloads, 13);
+        assert_eq!(eval.n_clusters, 6);
+        assert!(eval.effective_size < 13.0);
+        assert!(eval.redundancy > 0.0 && eval.redundancy < 1.0);
+        let total: usize = eval.sources.iter().map(|s| s.workloads).sum();
+        assert_eq!(total, 13);
+    }
+
+    #[test]
+    fn render_mentions_everything() {
+        let (sources, assignment) = paper_like();
+        let s = SuiteEvaluation::evaluate(&sources, &assignment).unwrap().render();
+        assert!(s.contains("scimark"));
+        assert!(s.contains("[exclusive cluster]"));
+        assert!(s.contains("redundancy index"));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let assignment = ClusterAssignment::from_labels(&[0, 1]).unwrap();
+        assert!(SuiteEvaluation::evaluate(&["a"], &assignment).is_err());
+    }
+
+    #[test]
+    fn singleton_suite_no_redundancy() {
+        let assignment = ClusterAssignment::from_labels(&[0, 1, 2]).unwrap();
+        let eval = SuiteEvaluation::evaluate(&["x", "y", "z"], &assignment).unwrap();
+        assert!(eval.redundancy.abs() < 1e-12);
+        assert!(eval.sources.iter().all(|s| !s.has_exclusive_cluster));
+    }
+}

@@ -1,0 +1,299 @@
+//! The hierarchical means (paper Section II).
+//!
+//! For a suite of `n` workloads partitioned into `k` clusters, the
+//! Hierarchical Geometric Mean is
+//!
+//! ```text
+//! HGM = ( GM(cluster 1) · GM(cluster 2) · ... · GM(cluster k) )^(1/k)
+//! ```
+//!
+//! — "a geometric mean of geometric means; each inner geometric mean reduces
+//! each cluster to a single representative value, which effectively cancels
+//! out the workload redundancy, while the outer geometric mean equalizes
+//! each cluster." HAM and HHM replace both stages with the arithmetic and
+//! harmonic mean respectively. When every workload is its own cluster (and
+//! when all workloads share one cluster) each hierarchical mean degenerates
+//! to its plain counterpart.
+
+use hiermeans_cluster::ClusterAssignment;
+
+use crate::means::Mean;
+use crate::CoreError;
+
+/// Computes a hierarchical mean: `outer_mean(inner_mean(cluster) ...)`.
+///
+/// `clusters` must partition `0..values.len()` — every index in exactly one
+/// cluster, no cluster empty.
+///
+/// # Errors
+///
+/// * [`CoreError::EmptyInput`] / [`CoreError::InvalidValue`] for bad values.
+/// * [`CoreError::InvalidClusters`] if `clusters` is not a partition.
+///
+/// # Example
+///
+/// ```
+/// use hiermeans_core::hierarchical::hierarchical_mean;
+/// use hiermeans_core::means::Mean;
+///
+/// # fn main() -> Result<(), hiermeans_core::CoreError> {
+/// let values = [2.0, 4.0, 1.0, 1.0];
+/// let clusters = vec![vec![0, 1], vec![2, 3]];
+/// // Inner GMs: sqrt(8) and 1; outer GM: 8^(1/4).
+/// let score = hierarchical_mean(&values, &clusters, Mean::Geometric)?;
+/// assert!((score - 8f64.powf(0.25)).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn hierarchical_mean(
+    values: &[f64],
+    clusters: &[Vec<usize>],
+    mean: Mean,
+) -> Result<f64, CoreError> {
+    validate_partition(values.len(), clusters)?;
+    let representatives = cluster_representatives(values, clusters, mean)?;
+    mean.compute(&representatives)
+}
+
+/// The Hierarchical Geometric Mean (HGM).
+///
+/// # Errors
+///
+/// See [`hierarchical_mean`].
+pub fn hgm(values: &[f64], clusters: &[Vec<usize>]) -> Result<f64, CoreError> {
+    hierarchical_mean(values, clusters, Mean::Geometric)
+}
+
+/// The Hierarchical Arithmetic Mean (HAM).
+///
+/// # Errors
+///
+/// See [`hierarchical_mean`].
+pub fn ham(values: &[f64], clusters: &[Vec<usize>]) -> Result<f64, CoreError> {
+    hierarchical_mean(values, clusters, Mean::Arithmetic)
+}
+
+/// The Hierarchical Harmonic Mean (HHM).
+///
+/// # Errors
+///
+/// See [`hierarchical_mean`].
+pub fn hhm(values: &[f64], clusters: &[Vec<usize>]) -> Result<f64, CoreError> {
+    hierarchical_mean(values, clusters, Mean::Harmonic)
+}
+
+/// Convenience overload taking a [`ClusterAssignment`] from the clustering
+/// pipeline instead of explicit index lists.
+///
+/// # Errors
+///
+/// See [`hierarchical_mean`]; additionally rejects assignments whose length
+/// differs from `values`.
+pub fn hierarchical_mean_of(
+    values: &[f64],
+    assignment: &ClusterAssignment,
+    mean: Mean,
+) -> Result<f64, CoreError> {
+    if assignment.len() != values.len() {
+        return Err(CoreError::InvalidClusters {
+            reason: "assignment length differs from value count",
+        });
+    }
+    hierarchical_mean(values, &assignment.clusters(), mean)
+}
+
+/// The per-cluster inner means ("representative values"), in cluster order.
+///
+/// Exposed so callers can report how each cluster contributes to the score
+/// (C-INTERMEDIATE).
+///
+/// # Errors
+///
+/// See [`hierarchical_mean`].
+pub fn cluster_representatives(
+    values: &[f64],
+    clusters: &[Vec<usize>],
+    mean: Mean,
+) -> Result<Vec<f64>, CoreError> {
+    validate_partition(values.len(), clusters)?;
+    clusters
+        .iter()
+        .map(|c| {
+            let members: Vec<f64> = c.iter().map(|&i| values[i]).collect();
+            mean.compute(&members)
+        })
+        .collect()
+}
+
+fn validate_partition(n: usize, clusters: &[Vec<usize>]) -> Result<(), CoreError> {
+    if n == 0 {
+        return Err(CoreError::EmptyInput);
+    }
+    if clusters.is_empty() {
+        return Err(CoreError::InvalidClusters {
+            reason: "at least one cluster is required",
+        });
+    }
+    let mut seen = vec![false; n];
+    for c in clusters {
+        if c.is_empty() {
+            return Err(CoreError::InvalidClusters {
+                reason: "clusters must be non-empty",
+            });
+        }
+        for &i in c {
+            if i >= n {
+                return Err(CoreError::InvalidClusters {
+                    reason: "cluster references an out-of-range workload index",
+                });
+            }
+            if seen[i] {
+                return Err(CoreError::InvalidClusters {
+                    reason: "a workload appears in more than one cluster",
+                });
+            }
+            seen[i] = true;
+        }
+    }
+    if !seen.iter().all(|&s| s) {
+        return Err(CoreError::InvalidClusters {
+            reason: "every workload must belong to a cluster",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::means::{arithmetic_mean, geometric_mean, harmonic_mean};
+
+    const VALUES: [f64; 5] = [2.0, 4.0, 1.1, 1.3, 8.0];
+
+    fn singletons(n: usize) -> Vec<Vec<usize>> {
+        (0..n).map(|i| vec![i]).collect()
+    }
+
+    #[test]
+    fn degenerates_to_plain_mean_with_singleton_clusters() {
+        let clusters = singletons(5);
+        assert!((hgm(&VALUES, &clusters).unwrap() - geometric_mean(&VALUES).unwrap()).abs() < 1e-12);
+        assert!((ham(&VALUES, &clusters).unwrap() - arithmetic_mean(&VALUES).unwrap()).abs() < 1e-12);
+        assert!((hhm(&VALUES, &clusters).unwrap() - harmonic_mean(&VALUES).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerates_to_plain_mean_with_one_big_cluster() {
+        let clusters = vec![(0..5).collect::<Vec<_>>()];
+        assert!((hgm(&VALUES, &clusters).unwrap() - geometric_mean(&VALUES).unwrap()).abs() < 1e-12);
+        assert!((ham(&VALUES, &clusters).unwrap() - arithmetic_mean(&VALUES).unwrap()).abs() < 1e-12);
+        assert!((hhm(&VALUES, &clusters).unwrap() - harmonic_mean(&VALUES).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // Paper Table IV, k=4 row: {javac}, {jess, mtrt}, {chart, xalan},
+        // {the other 8} gives HGM_A = 2.89.
+        let a = [
+            4.75, 5.32, 3.97, 6.50, 2.57, 1.09, 1.19, 0.75, 1.22, 0.71, 1.16, 5.12, 1.88,
+        ];
+        let clusters = vec![
+            vec![2],
+            vec![1, 4],
+            vec![11, 12],
+            vec![0, 3, 5, 6, 7, 8, 9, 10],
+        ];
+        let h = hgm(&a, &clusters).unwrap();
+        assert!((h - 2.89).abs() < 0.005, "HGM_A = {h}");
+    }
+
+    #[test]
+    fn exact_duplicate_within_cluster_is_free() {
+        // Adding an exact duplicate of a workload to its own cluster leaves
+        // the HGM unchanged — redundancy cannot be gamed.
+        let base = [4.0, 1.0];
+        let base_clusters = vec![vec![0], vec![1]];
+        let h0 = hgm(&base, &base_clusters).unwrap();
+        let padded = [4.0, 1.0, 1.0, 1.0];
+        let padded_clusters = vec![vec![0], vec![1, 2, 3]];
+        let h1 = hgm(&padded, &padded_clusters).unwrap();
+        assert!((h0 - h1).abs() < 1e-12);
+        // Whereas the plain GM is dragged toward the duplicated value.
+        let plain0 = geometric_mean(&base).unwrap();
+        let plain1 = geometric_mean(&padded).unwrap();
+        assert!(plain1 < plain0);
+    }
+
+    #[test]
+    fn hhm_le_hgm_le_ham() {
+        let clusters = vec![vec![0, 1], vec![2, 3], vec![4]];
+        let g = hgm(&VALUES, &clusters).unwrap();
+        let a = ham(&VALUES, &clusters).unwrap();
+        let h = hhm(&VALUES, &clusters).unwrap();
+        assert!(h <= g + 1e-12 && g <= a + 1e-12, "h={h} g={g} a={a}");
+    }
+
+    #[test]
+    fn representatives_exposed() {
+        let clusters = vec![vec![0, 1], vec![2, 3, 4]];
+        let reps = cluster_representatives(&VALUES, &clusters, Mean::Geometric).unwrap();
+        assert_eq!(reps.len(), 2);
+        assert!((reps[0] - 8f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_validation() {
+        let v = [1.0, 2.0, 3.0];
+        // Missing index.
+        assert!(matches!(
+            hgm(&v, &[vec![0], vec![1]]).unwrap_err(),
+            CoreError::InvalidClusters { .. }
+        ));
+        // Duplicate index.
+        assert!(hgm(&v, &[vec![0, 1], vec![1, 2]]).is_err());
+        // Out of range.
+        assert!(hgm(&v, &[vec![0, 1], vec![2, 3]]).is_err());
+        // Empty cluster.
+        assert!(hgm(&v, &[vec![0, 1, 2], vec![]]).is_err());
+        // No clusters.
+        assert!(hgm(&v, &[]).is_err());
+        // Empty values.
+        assert!(hgm(&[], &[vec![0]]).is_err());
+    }
+
+    #[test]
+    fn invalid_values_rejected() {
+        let clusters = vec![vec![0], vec![1]];
+        assert!(hgm(&[1.0, 0.0], &clusters).is_err());
+        assert!(ham(&[1.0, -1.0], &clusters).is_err());
+        assert!(hhm(&[1.0, f64::NAN], &clusters).is_err());
+    }
+
+    #[test]
+    fn assignment_overload_matches_explicit() {
+        let assignment = ClusterAssignment::from_labels(&[0, 0, 1, 1, 2]).unwrap();
+        let via_assignment =
+            hierarchical_mean_of(&VALUES, &assignment, Mean::Geometric).unwrap();
+        let explicit = hgm(&VALUES, &[vec![0, 1], vec![2, 3], vec![4]]).unwrap();
+        assert!((via_assignment - explicit).abs() < 1e-12);
+        // Length mismatch rejected.
+        let short = ClusterAssignment::from_labels(&[0, 1]).unwrap();
+        assert!(hierarchical_mean_of(&VALUES, &short, Mean::Geometric).is_err());
+    }
+
+    #[test]
+    fn scale_invariance_of_hgm() {
+        let clusters = vec![vec![0, 1], vec![2, 3], vec![4]];
+        let h = hgm(&VALUES, &clusters).unwrap();
+        let scaled: Vec<f64> = VALUES.iter().map(|v| v * 3.0).collect();
+        let hs = hgm(&scaled, &clusters).unwrap();
+        assert!((hs / h - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cluster_order_irrelevant() {
+        let a = hgm(&VALUES, &[vec![0, 1], vec![2, 3], vec![4]]).unwrap();
+        let b = hgm(&VALUES, &[vec![4], vec![3, 2], vec![1, 0]]).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+}

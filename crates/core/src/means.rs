@@ -1,0 +1,262 @@
+//! Plain and weighted means.
+//!
+//! The geometric mean is computed in log space, so products of hundreds of
+//! speedups can neither overflow nor underflow. All means require strictly
+//! positive, finite inputs — the natural domain of speedup scores (and the
+//! domain on which the AM-GM-HM inequality holds).
+
+use serde::{Deserialize, Serialize};
+
+use crate::CoreError;
+
+/// Selects which classical mean to use (as the inner and outer stages of a
+/// hierarchical mean, or on its own).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Mean {
+    /// The arithmetic mean — appropriate for time-weighted aggregates.
+    Arithmetic,
+    /// The geometric mean — the SPEC convention for normalized ratios, and
+    /// the paper's running example.
+    Geometric,
+    /// The harmonic mean — appropriate for rates.
+    Harmonic,
+}
+
+impl Mean {
+    /// All three means, for sweeps.
+    pub fn all() -> [Mean; 3] {
+        [Mean::Arithmetic, Mean::Geometric, Mean::Harmonic]
+    }
+
+    /// Computes this mean over `values`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::EmptyInput`] for an empty slice.
+    /// * [`CoreError::InvalidValue`] for non-positive or non-finite values.
+    pub fn compute(&self, values: &[f64]) -> Result<f64, CoreError> {
+        validate(values)?;
+        Ok(match self {
+            Mean::Arithmetic => values.iter().sum::<f64>() / values.len() as f64,
+            Mean::Geometric => {
+                (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+            }
+            Mean::Harmonic => values.len() as f64 / values.iter().map(|v| 1.0 / v).sum::<f64>(),
+        })
+    }
+
+    /// Computes this mean with per-value weights (weights are normalized
+    /// internally, so only their ratios matter).
+    ///
+    /// # Errors
+    ///
+    /// * Value errors as in [`Mean::compute`].
+    /// * [`CoreError::InvalidWeights`] for mismatched length, negative,
+    ///   non-finite, or all-zero weights.
+    pub fn compute_weighted(&self, values: &[f64], weights: &[f64]) -> Result<f64, CoreError> {
+        validate(values)?;
+        if weights.len() != values.len() {
+            return Err(CoreError::InvalidWeights {
+                reason: "weights length must match values length",
+            });
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(CoreError::InvalidWeights {
+                reason: "weights must be finite and non-negative",
+            });
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(CoreError::InvalidWeights {
+                reason: "weights must not all be zero",
+            });
+        }
+        Ok(match self {
+            Mean::Arithmetic => {
+                values.iter().zip(weights).map(|(v, w)| v * w).sum::<f64>() / total
+            }
+            Mean::Geometric => {
+                (values.iter().zip(weights).map(|(v, w)| w * v.ln()).sum::<f64>() / total).exp()
+            }
+            Mean::Harmonic => {
+                total / values.iter().zip(weights).map(|(v, w)| w / v).sum::<f64>()
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for Mean {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Mean::Arithmetic => "arithmetic",
+            Mean::Geometric => "geometric",
+            Mean::Harmonic => "harmonic",
+        })
+    }
+}
+
+/// The plain arithmetic mean.
+///
+/// # Errors
+///
+/// See [`Mean::compute`].
+pub fn arithmetic_mean(values: &[f64]) -> Result<f64, CoreError> {
+    Mean::Arithmetic.compute(values)
+}
+
+/// The plain geometric mean, computed in log space.
+///
+/// # Errors
+///
+/// See [`Mean::compute`].
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), hiermeans_core::CoreError> {
+/// let gm = hiermeans_core::means::geometric_mean(&[2.0, 8.0])?;
+/// assert_eq!(gm, 4.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn geometric_mean(values: &[f64]) -> Result<f64, CoreError> {
+    Mean::Geometric.compute(values)
+}
+
+/// The plain harmonic mean.
+///
+/// # Errors
+///
+/// See [`Mean::compute`].
+pub fn harmonic_mean(values: &[f64]) -> Result<f64, CoreError> {
+    Mean::Harmonic.compute(values)
+}
+
+/// A naive product-then-root geometric mean, kept for the numerics ablation
+/// bench: it overflows/underflows for long inputs where the log-space
+/// version does not. Prefer [`geometric_mean`].
+///
+/// # Errors
+///
+/// See [`Mean::compute`].
+pub fn geometric_mean_naive(values: &[f64]) -> Result<f64, CoreError> {
+    validate(values)?;
+    let product: f64 = values.iter().product();
+    Ok(product.powf(1.0 / values.len() as f64))
+}
+
+fn validate(values: &[f64]) -> Result<(), CoreError> {
+    if values.is_empty() {
+        return Err(CoreError::EmptyInput);
+    }
+    for (i, &v) in values.iter().enumerate() {
+        if !(v > 0.0 && v.is_finite()) {
+            return Err(CoreError::InvalidValue { index: i, value: v });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(arithmetic_mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+        assert_eq!(geometric_mean(&[2.0, 8.0]).unwrap(), 4.0);
+        assert_eq!(harmonic_mean(&[1.0, 1.0]).unwrap(), 1.0);
+        // HM of 2 and 6 is 2*2*6/(2+6) = 3.
+        assert_eq!(harmonic_mean(&[2.0, 6.0]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn am_gm_hm_inequality() {
+        let xs = [1.5, 4.0, 0.7, 2.2, 9.1];
+        let am = arithmetic_mean(&xs).unwrap();
+        let gm = geometric_mean(&xs).unwrap();
+        let hm = harmonic_mean(&xs).unwrap();
+        assert!(hm < gm && gm < am);
+    }
+
+    #[test]
+    fn equal_values_all_means_agree() {
+        for mean in Mean::all() {
+            assert!((mean.compute(&[3.5; 7]).unwrap() - 3.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_and_invalid_inputs() {
+        for mean in Mean::all() {
+            assert!(matches!(mean.compute(&[]).unwrap_err(), CoreError::EmptyInput));
+            assert!(matches!(
+                mean.compute(&[1.0, 0.0]).unwrap_err(),
+                CoreError::InvalidValue { index: 1, .. }
+            ));
+            assert!(mean.compute(&[1.0, -2.0]).is_err());
+            assert!(mean.compute(&[1.0, f64::NAN]).is_err());
+            assert!(mean.compute(&[1.0, f64::INFINITY]).is_err());
+        }
+    }
+
+    #[test]
+    fn log_space_survives_extreme_products() {
+        // 400 values of 1e-300: naive product underflows to 0, log space
+        // returns exactly 1e-300.
+        let tiny = vec![1e-300; 400];
+        let gm = geometric_mean(&tiny).unwrap();
+        assert!((gm / 1e-300 - 1.0).abs() < 1e-9);
+        let naive = geometric_mean_naive(&tiny).unwrap();
+        assert_eq!(naive, 0.0); // demonstrates why log space matters
+        // And overflow on the other side.
+        let huge = vec![1e300; 400];
+        assert!((geometric_mean(&huge).unwrap() / 1e300 - 1.0).abs() < 1e-9);
+        assert!(geometric_mean_naive(&huge).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn weighted_uniform_matches_plain() {
+        let xs = [1.0, 2.0, 4.0];
+        for mean in Mean::all() {
+            let plain = mean.compute(&xs).unwrap();
+            let weighted = mean.compute_weighted(&xs, &[5.0, 5.0, 5.0]).unwrap();
+            assert!((plain - weighted).abs() < 1e-12, "{mean}");
+        }
+    }
+
+    #[test]
+    fn weighted_extremes() {
+        let xs = [1.0, 100.0];
+        for mean in Mean::all() {
+            let w = mean.compute_weighted(&xs, &[1.0, 0.0]).unwrap();
+            assert!((w - 1.0).abs() < 1e-12, "{mean}");
+        }
+    }
+
+    #[test]
+    fn weighted_validation() {
+        let xs = [1.0, 2.0];
+        let m = Mean::Geometric;
+        assert!(m.compute_weighted(&xs, &[1.0]).is_err());
+        assert!(m.compute_weighted(&xs, &[1.0, -1.0]).is_err());
+        assert!(m.compute_weighted(&xs, &[0.0, 0.0]).is_err());
+        assert!(m.compute_weighted(&xs, &[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn scale_invariance_of_gm() {
+        let xs = [1.2, 3.4, 5.6];
+        let scaled: Vec<f64> = xs.iter().map(|x| x * 10.0).collect();
+        let a = geometric_mean(&xs).unwrap();
+        let b = geometric_mean(&scaled).unwrap();
+        assert!((b / a - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Mean::Geometric.to_string(), "geometric");
+        assert_eq!(Mean::all().len(), 3);
+    }
+}

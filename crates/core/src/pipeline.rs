@@ -1,0 +1,241 @@
+//! The cluster-detection pipeline (paper Section III).
+//!
+//! Characteristic vectors → SOM (dimension reduction to a 2-D map) →
+//! complete-linkage hierarchical clustering on the map positions →
+//! dendrogram. The paper's exact configuration is the default: Gaussian
+//! neighborhood, Euclidean distances, complete linkage.
+
+use hiermeans_cluster::agglomerative;
+use hiermeans_cluster::{ClusterAssignment, Dendrogram, Linkage};
+use hiermeans_linalg::distance::Metric;
+use hiermeans_linalg::Matrix;
+use hiermeans_som::{Som, SomBuilder};
+
+use crate::CoreError;
+
+/// Configuration of the SOM + clustering pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// SOM grid width (default 10).
+    pub som_width: usize,
+    /// SOM grid height (default 10).
+    pub som_height: usize,
+    /// SOM training epochs (default 500).
+    pub epochs: usize,
+    /// RNG seed for SOM training.
+    pub seed: u64,
+    /// Final neighborhood radius σ. Larger values keep adjacent units
+    /// correlated, so near-identical workloads share a map cell (the
+    /// paper's "darker cells"); small values let every workload capture its
+    /// own unit. Default 1.2.
+    pub sigma_end: f64,
+    /// Online (the paper's sequential algorithm) or batch SOM training.
+    pub training: hiermeans_som::TrainingMode,
+    /// Linkage rule (the paper uses complete linkage).
+    pub linkage: Linkage,
+    /// Point-to-point metric (the paper uses Euclidean).
+    pub metric: Metric,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            som_width: 10,
+            som_height: 10,
+            epochs: 100,
+            seed: 0xC10C_2007,
+            sigma_end: 1.5,
+            training: hiermeans_som::TrainingMode::Online,
+            linkage: Linkage::Complete,
+            metric: Metric::Euclidean,
+        }
+    }
+}
+
+/// The outputs of one pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    som: Som,
+    positions: Matrix,
+    dendrogram: Dendrogram,
+}
+
+impl PipelineResult {
+    /// The trained self-organizing map.
+    pub fn som(&self) -> &Som {
+        &self.som
+    }
+
+    /// The 2-D map position of each workload (`n x 2`) — the reduced
+    /// dimension handed to the clustering stage.
+    pub fn positions(&self) -> &Matrix {
+        &self.positions
+    }
+
+    /// The full merge history over the map positions.
+    pub fn dendrogram(&self) -> &Dendrogram {
+        &self.dendrogram
+    }
+
+    /// Cuts the dendrogram into exactly `k` clusters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Cluster`] for an out-of-range `k`.
+    pub fn clusters(&self, k: usize) -> Result<ClusterAssignment, CoreError> {
+        Ok(self.dendrogram.cut_into(k)?)
+    }
+
+    /// Cuts the dendrogram at a merging distance.
+    pub fn clusters_at_distance(&self, distance: f64) -> ClusterAssignment {
+        self.dendrogram.cut_at(distance)
+    }
+}
+
+/// Runs the pipeline on pre-assembled characteristic vectors (rows are
+/// workloads).
+///
+/// # Errors
+///
+/// * [`CoreError::Som`] if SOM training fails (empty/non-finite data, bad
+///   grid).
+/// * [`CoreError::Cluster`] if clustering fails.
+///
+/// # Example
+///
+/// ```
+/// use hiermeans_core::pipeline::{run_pipeline, PipelineConfig};
+/// use hiermeans_linalg::Matrix;
+///
+/// # fn main() -> Result<(), hiermeans_core::CoreError> {
+/// let vectors = Matrix::from_rows(&[
+///     vec![0.0, 0.0, 0.0], vec![0.1, 0.0, 0.1],
+///     vec![5.0, 5.0, 5.0], vec![5.1, 5.0, 5.1],
+/// ])?;
+/// let result = run_pipeline(&vectors, &PipelineConfig::default())?;
+/// let two = result.clusters(2)?;
+/// assert!(two.same_cluster(0, 1));
+/// assert!(!two.same_cluster(0, 2));
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_pipeline(
+    vectors: &Matrix,
+    config: &PipelineConfig,
+) -> Result<PipelineResult, CoreError> {
+    let diameter = hiermeans_som::Grid::new(
+        config.som_width.max(1),
+        config.som_height.max(1),
+        hiermeans_som::GridTopology::Rectangular,
+    )
+    .diameter();
+    let som = SomBuilder::new(config.som_width, config.som_height)
+        .seed(config.seed)
+        .epochs(config.epochs)
+        .metric(config.metric)
+        .sigma(hiermeans_som::DecaySchedule::Linear {
+            start: diameter / 2.0,
+            end: config.sigma_end,
+        })
+        .mode(config.training)
+        .train(vectors)?;
+    let positions = som.project(vectors)?;
+    let dendrogram = agglomerative::cluster(&positions, config.metric, config.linkage)?;
+    Ok(PipelineResult {
+        som,
+        positions,
+        dendrogram,
+    })
+}
+
+/// Skips the SOM and clusters directly on the raw characteristic vectors —
+/// the ablation baseline for "is the SOM stage useful?".
+///
+/// # Errors
+///
+/// Returns [`CoreError::Cluster`] if clustering fails.
+pub fn run_without_som(
+    vectors: &Matrix,
+    config: &PipelineConfig,
+) -> Result<Dendrogram, CoreError> {
+    Ok(agglomerative::cluster(vectors, config.metric, config.linkage)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_vectors() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.0, 0.0, 0.1, 0.0],
+            vec![0.1, 0.1, 0.0, 0.0],
+            vec![0.0, 0.1, 0.1, 0.1],
+            vec![6.0, 6.0, 6.1, 6.0],
+            vec![6.1, 6.0, 6.0, 6.1],
+            vec![12.0, 0.0, 12.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn pipeline_recovers_planted_structure() {
+        // Shorter training for this tiny synthetic input: very long training
+        // lets each near-duplicate capture its own distant unit (SOM
+        // magnification), which is not what this test probes.
+        let cfg = PipelineConfig { epochs: 150, ..Default::default() };
+        let res = run_pipeline(&blob_vectors(), &cfg).unwrap();
+        let three = res.clusters(3).unwrap();
+        assert!(three.same_cluster(0, 1) && three.same_cluster(1, 2));
+        assert!(three.same_cluster(3, 4));
+        assert!(!three.same_cluster(0, 3));
+        assert!(!three.same_cluster(0, 5) && !three.same_cluster(3, 5));
+    }
+
+    #[test]
+    fn positions_shape() {
+        let res = run_pipeline(&blob_vectors(), &PipelineConfig::default()).unwrap();
+        assert_eq!(res.positions().shape(), (6, 2));
+    }
+
+    #[test]
+    fn deterministic_given_config() {
+        let a = run_pipeline(&blob_vectors(), &PipelineConfig::default()).unwrap();
+        let b = run_pipeline(&blob_vectors(), &PipelineConfig::default()).unwrap();
+        assert_eq!(a.positions(), b.positions());
+        assert_eq!(a.dendrogram(), b.dendrogram());
+    }
+
+    #[test]
+    fn cut_at_distance_zero_gives_cellmates() {
+        let res = run_pipeline(&blob_vectors(), &PipelineConfig::default()).unwrap();
+        let a = res.clusters_at_distance(0.0);
+        // Rows 0-2 land on the same or nearby cells; at distance 0 only
+        // exact cellmates merge, so cluster count is between 1 and 6.
+        assert!(a.n_clusters() >= 1 && a.n_clusters() <= 6);
+    }
+
+    #[test]
+    fn without_som_baseline_works() {
+        let d = run_without_som(&blob_vectors(), &PipelineConfig::default()).unwrap();
+        let three = d.cut_into(3).unwrap();
+        assert!(three.same_cluster(0, 1));
+        assert!(!three.same_cluster(0, 3));
+    }
+
+    #[test]
+    fn bad_inputs_surface_as_core_errors() {
+        let cfg = PipelineConfig::default();
+        let empty = Matrix::zeros(0, 3);
+        assert!(matches!(run_pipeline(&empty, &cfg).unwrap_err(), CoreError::Som(_)));
+        let mut nan = blob_vectors();
+        nan[(0, 0)] = f64::NAN;
+        assert!(run_pipeline(&nan, &cfg).is_err());
+    }
+
+    #[test]
+    fn out_of_range_k_rejected() {
+        let res = run_pipeline(&blob_vectors(), &PipelineConfig::default()).unwrap();
+        assert!(res.clusters(0).is_err());
+        assert!(res.clusters(7).is_err());
+    }
+}

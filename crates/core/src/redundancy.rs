@@ -1,0 +1,207 @@
+//! Redundancy diagnostics.
+//!
+//! The hierarchical means are exactly weighted plain means with weights
+//! determined by the cluster structure: workload `j` in cluster `i` of size
+//! `n_i` receives weight `1 / (k * n_i)`. Exposing those implied weights
+//! makes the difference to the subjective weighted-mean workaround
+//! concrete: the weights are *derived* from measured similarity, not chosen
+//! by a committee. This module also quantifies how much redundancy a
+//! clustering detects and how robust a score is to duplicated workloads.
+
+use crate::hierarchical::hierarchical_mean;
+use crate::means::Mean;
+use crate::CoreError;
+
+/// The per-workload weights implicitly assigned by a hierarchical mean:
+/// `w_j = 1 / (k * n_i)` for workload `j` in cluster `i`. They sum to 1.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidClusters`] if `clusters` is not a partition
+/// of `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use hiermeans_core::redundancy::implied_weights;
+///
+/// # fn main() -> Result<(), hiermeans_core::CoreError> {
+/// let w = implied_weights(3, &[vec![0], vec![1, 2]])?;
+/// assert_eq!(w, vec![0.5, 0.25, 0.25]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn implied_weights(n: usize, clusters: &[Vec<usize>]) -> Result<Vec<f64>, CoreError> {
+    // Reuse the partition validation inside hierarchical_mean by computing a
+    // dummy mean over 1.0 values.
+    hierarchical_mean(&vec![1.0; n.max(1)], clusters, Mean::Geometric)?;
+    let k = clusters.len() as f64;
+    let mut weights = vec![0.0; n];
+    for cluster in clusters {
+        let share = 1.0 / (k * cluster.len() as f64);
+        for &j in cluster {
+            weights[j] = share;
+        }
+    }
+    Ok(weights)
+}
+
+/// The *effective suite size* of a clustering: the exponential of the
+/// Shannon entropy of the implied weights. It equals `n` for singleton
+/// clusters (no redundancy) and shrinks toward `k` as clusters grow.
+///
+/// # Errors
+///
+/// See [`implied_weights`].
+pub fn effective_suite_size(n: usize, clusters: &[Vec<usize>]) -> Result<f64, CoreError> {
+    let weights = implied_weights(n, clusters)?;
+    let entropy: f64 = weights
+        .iter()
+        .filter(|&&w| w > 0.0)
+        .map(|&w| -w * w.ln())
+        .sum();
+    Ok(entropy.exp())
+}
+
+/// A redundancy index in `[0, 1]`: 0 when every workload is its own cluster,
+/// approaching 1 as the suite collapses into few clusters.
+///
+/// Defined as `(n - effective_size) / (n - 1)` for `n > 1`; 0 for `n == 1`.
+///
+/// # Errors
+///
+/// See [`implied_weights`].
+pub fn redundancy_index(n: usize, clusters: &[Vec<usize>]) -> Result<f64, CoreError> {
+    if n <= 1 {
+        // Validate anyway.
+        implied_weights(n, clusters)?;
+        return Ok(0.0);
+    }
+    let eff = effective_suite_size(n, clusters)?;
+    Ok(((n as f64 - eff) / (n as f64 - 1.0)).clamp(0.0, 1.0))
+}
+
+/// Measures how much an attacker gains by duplicating workload `target`
+/// `copies` times: returns `(plain_after / plain_before,
+/// hierarchical_after / hierarchical_before)` for the geometric mean, where
+/// the hierarchical score puts the duplicates in `target`'s cluster.
+///
+/// A robust metric keeps the second component at exactly 1.0.
+///
+/// # Errors
+///
+/// Propagates value and cluster validation errors; rejects an out-of-range
+/// `target`.
+pub fn duplication_gain(
+    values: &[f64],
+    clusters: &[Vec<usize>],
+    target: usize,
+    copies: usize,
+) -> Result<(f64, f64), CoreError> {
+    if target >= values.len() {
+        return Err(CoreError::InvalidClusters {
+            reason: "duplication target out of range",
+        });
+    }
+    let plain_before = Mean::Geometric.compute(values)?;
+    let hier_before = hierarchical_mean(values, clusters, Mean::Geometric)?;
+
+    let mut padded = values.to_vec();
+    padded.extend(std::iter::repeat_n(values[target], copies));
+    let mut padded_clusters: Vec<Vec<usize>> = clusters.to_vec();
+    let holder = padded_clusters
+        .iter_mut()
+        .find(|c| c.contains(&target))
+        .expect("partition validated above");
+    holder.extend(values.len()..values.len() + copies);
+
+    let plain_after = Mean::Geometric.compute(&padded)?;
+    let hier_after = hierarchical_mean(&padded, &padded_clusters, Mean::Geometric)?;
+    Ok((plain_after / plain_before, hier_after / hier_before))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implied_weights_sum_to_one() {
+        let clusters = vec![vec![0, 1, 2], vec![3], vec![4, 5]];
+        let w = implied_weights(6, &clusters).unwrap();
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((w[0] - 1.0 / 9.0).abs() < 1e-12);
+        assert!((w[3] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hierarchical_equals_weighted_plain_mean() {
+        // The load-bearing identity: HGM == weighted GM with implied weights.
+        let values = [2.0, 4.0, 1.1, 1.3, 8.0, 0.5];
+        let clusters = vec![vec![0, 1, 2], vec![3], vec![4, 5]];
+        let w = implied_weights(6, &clusters).unwrap();
+        let hier = hierarchical_mean(&values, &clusters, Mean::Geometric).unwrap();
+        let weighted = Mean::Geometric.compute_weighted(&values, &w).unwrap();
+        assert!((hier - weighted).abs() < 1e-12);
+        // Also holds for HAM.
+        let hier_a = hierarchical_mean(&values, &clusters, Mean::Arithmetic).unwrap();
+        let weighted_a = Mean::Arithmetic.compute_weighted(&values, &w).unwrap();
+        assert!((hier_a - weighted_a).abs() < 1e-12);
+        // And HHM.
+        let hier_h = hierarchical_mean(&values, &clusters, Mean::Harmonic).unwrap();
+        let weighted_h = Mean::Harmonic.compute_weighted(&values, &w).unwrap();
+        assert!((hier_h - weighted_h).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_size_extremes() {
+        let singletons: Vec<Vec<usize>> = (0..5).map(|i| vec![i]).collect();
+        assert!((effective_suite_size(5, &singletons).unwrap() - 5.0).abs() < 1e-9);
+        let one = vec![(0..5).collect::<Vec<_>>()];
+        // One cluster of 5 equal-weight workloads still has entropy ln 5;
+        // effective size is n (weights are uniform). Redundancy shows up
+        // only with *unequal* cluster sizes.
+        assert!((effective_suite_size(5, &one).unwrap() - 5.0).abs() < 1e-9);
+        // Unbalanced: {0}, {1..5} -> weights (1/2, 1/8 x4).
+        let unbalanced = vec![vec![0], vec![1, 2, 3, 4]];
+        let eff = effective_suite_size(5, &unbalanced).unwrap();
+        assert!(eff < 5.0 && eff > 2.0, "eff={eff}");
+    }
+
+    #[test]
+    fn redundancy_index_bounds() {
+        let singletons: Vec<Vec<usize>> = (0..5).map(|i| vec![i]).collect();
+        assert!(redundancy_index(5, &singletons).unwrap().abs() < 1e-9);
+        let unbalanced = vec![vec![0], vec![1, 2, 3, 4]];
+        let r = redundancy_index(5, &unbalanced).unwrap();
+        assert!(r > 0.0 && r < 1.0);
+    }
+
+    #[test]
+    fn duplication_gain_shows_robustness() {
+        let values = [4.0, 1.0, 2.0];
+        let clusters = vec![vec![0], vec![1], vec![2]];
+        // Duplicate the slowest workload 5 times: plain GM drops, HGM with
+        // the duplicates clustered together does not move.
+        let (plain, hier) = duplication_gain(&values, &clusters, 1, 5).unwrap();
+        assert!(plain < 1.0);
+        assert!((hier - 1.0).abs() < 1e-12);
+        // Duplicating the fastest workload inflates the plain score instead.
+        let (plain_up, hier_up) = duplication_gain(&values, &clusters, 0, 5).unwrap();
+        assert!(plain_up > 1.0);
+        assert!((hier_up - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplication_target_validated() {
+        let values = [1.0, 2.0];
+        let clusters = vec![vec![0], vec![1]];
+        assert!(duplication_gain(&values, &clusters, 2, 1).is_err());
+    }
+
+    #[test]
+    fn invalid_partition_rejected_everywhere() {
+        assert!(implied_weights(3, &[vec![0], vec![1]]).is_err());
+        assert!(effective_suite_size(3, &[vec![0, 0], vec![1, 2]]).is_err());
+        assert!(redundancy_index(3, &[vec![0, 5], vec![1, 2]]).is_err());
+    }
+}

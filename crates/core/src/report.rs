@@ -1,0 +1,145 @@
+//! Machine-readable study reports.
+//!
+//! [`StudyReport`] captures everything one characterization's analysis
+//! produced — positions, merges, scores, recommendation — as a
+//! serde-serializable value, so experiment outputs can be archived, diffed
+//! across versions, and post-processed without re-running the pipeline.
+
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::SuiteAnalysis;
+use crate::score::ScoreRow;
+use crate::CoreError;
+
+/// A serializable snapshot of one suite analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyReport {
+    /// Human-readable characterization label.
+    pub characterization: String,
+    /// Workload names, in suite order.
+    pub workloads: Vec<String>,
+    /// Per-workload speedups on machine A.
+    pub speedups_a: Vec<f64>,
+    /// Per-workload speedups on machine B.
+    pub speedups_b: Vec<f64>,
+    /// Per-workload SOM cell `(column, row)`.
+    pub map_cells: Vec<(usize, usize)>,
+    /// Dendrogram merges as `(left, right, distance, size)`.
+    pub merges: Vec<(usize, usize, f64, usize)>,
+    /// HGM score rows over the scored cluster counts.
+    pub scores: Vec<ScoreRow>,
+    /// The plain geometric means `(A, B)`.
+    pub plain: (f64, f64),
+    /// The recommended cluster count.
+    pub recommended_k: usize,
+    /// Cluster memberships at the recommended count.
+    pub recommended_clusters: Vec<Vec<usize>>,
+}
+
+impl StudyReport {
+    /// Extracts a report from a finished analysis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cut errors (cannot occur for a stored dendrogram).
+    pub fn from_analysis(analysis: &SuiteAnalysis) -> Result<Self, CoreError> {
+        let positions = analysis.pipeline().positions();
+        let map_cells = (0..positions.nrows())
+            .map(|i| (positions[(i, 0)] as usize, positions[(i, 1)] as usize))
+            .collect();
+        let merges = analysis
+            .pipeline()
+            .dendrogram()
+            .merges()
+            .iter()
+            .map(|m| (m.left, m.right, m.distance, m.size))
+            .collect();
+        let recommended = analysis.pipeline().clusters(analysis.recommended_k())?;
+        Ok(StudyReport {
+            characterization: analysis.characterization().to_string(),
+            workloads: analysis
+                .suite()
+                .iter()
+                .map(|w| w.name().to_owned())
+                .collect(),
+            speedups_a: analysis
+                .speedups()
+                .speedups(hiermeans_workload::Machine::A)
+                .to_vec(),
+            speedups_b: analysis
+                .speedups()
+                .speedups(hiermeans_workload::Machine::B)
+                .to_vec(),
+            map_cells,
+            merges,
+            scores: analysis.scores().rows().to_vec(),
+            plain: (analysis.scores().plain_a(), analysis.scores().plain_b()),
+            recommended_k: analysis.recommended_k(),
+            recommended_clusters: recommended.clusters(),
+        })
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidClusters`] if serialization fails (cannot
+    /// occur for a well-formed report).
+    pub fn to_json(&self) -> Result<String, CoreError> {
+        serde_json::to_string_pretty(self).map_err(|_| CoreError::InvalidClusters {
+            reason: "report serialization failed",
+        })
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidClusters`] for malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self, CoreError> {
+        serde_json::from_str(json).map_err(|_| CoreError::InvalidClusters {
+            reason: "report deserialization failed",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiermeans_workload::measurement::Characterization;
+    use hiermeans_workload::Machine;
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let analysis =
+            SuiteAnalysis::paper(Characterization::SarCounters(Machine::A)).unwrap();
+        let report = StudyReport::from_analysis(&analysis).unwrap();
+        let json = report.to_json().unwrap();
+        let back = StudyReport::from_json(&json).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn report_contents_consistent() {
+        let analysis =
+            SuiteAnalysis::paper(Characterization::MethodUtilization).unwrap();
+        let report = StudyReport::from_analysis(&analysis).unwrap();
+        assert_eq!(report.workloads.len(), 13);
+        assert_eq!(report.map_cells.len(), 13);
+        assert_eq!(report.merges.len(), 12);
+        assert_eq!(report.scores.len(), 7);
+        assert_eq!(
+            report.recommended_clusters.len(),
+            report.recommended_k
+        );
+        // All workloads covered by the recommended clustering.
+        let covered: usize = report.recommended_clusters.iter().map(|c| c.len()).sum();
+        assert_eq!(covered, 13);
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(StudyReport::from_json("{not json").is_err());
+        assert!(StudyReport::from_json("{}").is_err());
+    }
+}

@@ -1,0 +1,252 @@
+//! Score-robustness diagnostics.
+//!
+//! The paper argues hierarchical means "improve the accuracy and robustness
+//! of the score". This module quantifies robustness two ways:
+//!
+//! * **Jackknife sensitivity** — drop each workload in turn and measure the
+//!   score swing. Under a plain mean every workload carries weight `1/n`;
+//!   under a hierarchical mean a member of a large cluster carries
+//!   `1/(k·n_i)`, so dropping one of several redundant workloads barely
+//!   moves the score.
+//! * **Perturbation sensitivity** — multiply one workload's score by a
+//!   factor and measure the drift, the continuous version of the same
+//!   question.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hierarchical::hierarchical_mean;
+use crate::means::Mean;
+use crate::CoreError;
+
+/// The score swings from removing one workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JackknifeRow {
+    /// The removed workload's index.
+    pub removed: usize,
+    /// Relative change of the plain mean, `score_without / score_with - 1`.
+    pub plain_delta: f64,
+    /// Relative change of the hierarchical mean (clusters shrink with the
+    /// removal; a cluster emptied by the removal disappears).
+    pub hierarchical_delta: f64,
+}
+
+/// Computes the leave-one-out sensitivity of the plain vs hierarchical mean
+/// for every workload.
+///
+/// # Errors
+///
+/// Propagates value/cluster validation errors; requires at least two
+/// workloads.
+///
+/// # Example
+///
+/// ```
+/// use hiermeans_core::means::Mean;
+/// use hiermeans_core::robustness::jackknife;
+///
+/// # fn main() -> Result<(), hiermeans_core::CoreError> {
+/// // Workload 0 is unique; workloads 1-3 are a redundant cluster.
+/// let values = [4.0, 1.0, 1.1, 0.95];
+/// let clusters = vec![vec![0], vec![1, 2, 3]];
+/// let rows = jackknife(&values, &clusters, Mean::Geometric)?;
+/// // Dropping a redundant workload moves the HGM far less than dropping
+/// // the unique one.
+/// assert!(rows[1].hierarchical_delta.abs() < rows[0].hierarchical_delta.abs());
+/// # Ok(())
+/// # }
+/// ```
+pub fn jackknife(
+    values: &[f64],
+    clusters: &[Vec<usize>],
+    mean: Mean,
+) -> Result<Vec<JackknifeRow>, CoreError> {
+    if values.len() < 2 {
+        return Err(CoreError::InvalidClusters {
+            reason: "jackknife requires at least two workloads",
+        });
+    }
+    let plain_full = mean.compute(values)?;
+    let hier_full = hierarchical_mean(values, clusters, mean)?;
+    let mut rows = Vec::with_capacity(values.len());
+    for removed in 0..values.len() {
+        let reduced: Vec<f64> = values
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != removed)
+            .map(|(_, &v)| v)
+            .collect();
+        let reduced_clusters = remove_from_partition(clusters, removed);
+        let plain = mean.compute(&reduced)?;
+        let hier = hierarchical_mean(&reduced, &reduced_clusters, mean)?;
+        rows.push(JackknifeRow {
+            removed,
+            plain_delta: plain / plain_full - 1.0,
+            hierarchical_delta: hier / hier_full - 1.0,
+        });
+    }
+    Ok(rows)
+}
+
+/// The largest absolute jackknife swing for each scoring method:
+/// `(max |plain_delta|, max |hierarchical_delta|)`.
+///
+/// # Errors
+///
+/// See [`jackknife`].
+pub fn worst_case_swing(
+    values: &[f64],
+    clusters: &[Vec<usize>],
+    mean: Mean,
+) -> Result<(f64, f64), CoreError> {
+    let rows = jackknife(values, clusters, mean)?;
+    let plain = rows.iter().map(|r| r.plain_delta.abs()).fold(0.0, f64::max);
+    let hier = rows
+        .iter()
+        .map(|r| r.hierarchical_delta.abs())
+        .fold(0.0, f64::max);
+    Ok((plain, hier))
+}
+
+/// Relative drift of plain vs hierarchical mean when workload `target`'s
+/// score is multiplied by `factor`: returns `(plain_drift, hier_drift)`
+/// where each drift is `score_after / score_before - 1`.
+///
+/// # Errors
+///
+/// Propagates validation errors; `factor` must be positive and finite.
+pub fn perturbation_drift(
+    values: &[f64],
+    clusters: &[Vec<usize>],
+    target: usize,
+    factor: f64,
+    mean: Mean,
+) -> Result<(f64, f64), CoreError> {
+    if !(factor > 0.0 && factor.is_finite()) {
+        return Err(CoreError::InvalidValue { index: target, value: factor });
+    }
+    if target >= values.len() {
+        return Err(CoreError::InvalidClusters {
+            reason: "perturbation target out of range",
+        });
+    }
+    let plain_before = mean.compute(values)?;
+    let hier_before = hierarchical_mean(values, clusters, mean)?;
+    let mut perturbed = values.to_vec();
+    perturbed[target] *= factor;
+    let plain_after = mean.compute(&perturbed)?;
+    let hier_after = hierarchical_mean(&perturbed, clusters, mean)?;
+    Ok((
+        plain_after / plain_before - 1.0,
+        hier_after / hier_before - 1.0,
+    ))
+}
+
+/// Removes index `removed` from a partition, renumbering the remaining
+/// indices to `0..n-1` and dropping any emptied cluster.
+fn remove_from_partition(clusters: &[Vec<usize>], removed: usize) -> Vec<Vec<usize>> {
+    clusters
+        .iter()
+        .filter_map(|c| {
+            let shifted: Vec<usize> = c
+                .iter()
+                .filter(|&&i| i != removed)
+                .map(|&i| if i > removed { i - 1 } else { i })
+                .collect();
+            if shifted.is_empty() {
+                None
+            } else {
+                Some(shifted)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VALUES: [f64; 5] = [4.0, 1.0, 1.05, 0.95, 2.0];
+
+    fn clusters() -> Vec<Vec<usize>> {
+        vec![vec![0], vec![1, 2, 3], vec![4]]
+    }
+
+    #[test]
+    fn redundant_members_swing_less_under_hgm() {
+        let rows = jackknife(&VALUES, &clusters(), Mean::Geometric).unwrap();
+        // Dropping workload 1 (one of three near-clones): HGM nearly
+        // unaffected, plain mean visibly moved.
+        let redundant = &rows[1];
+        assert!(redundant.hierarchical_delta.abs() < 0.02);
+        assert!(redundant.plain_delta.abs() > 0.05);
+        // Dropping the unique workload 0 moves the HGM more than dropping a
+        // redundant one.
+        assert!(rows[0].hierarchical_delta.abs() > redundant.hierarchical_delta.abs());
+    }
+
+    #[test]
+    fn worst_case_swing_favors_hierarchical_on_redundant_suites() {
+        let (_plain, hier) = worst_case_swing(&VALUES, &clusters(), Mean::Geometric).unwrap();
+        // All jackknife rows for HGM are bounded by the singleton-removal
+        // case; verify it stays below the plain mean's worst case for the
+        // redundant members specifically.
+        let rows = jackknife(&VALUES, &clusters(), Mean::Geometric).unwrap();
+        for r in &rows[1..4] {
+            assert!(r.hierarchical_delta.abs() <= hier + 1e-12);
+            assert!(r.hierarchical_delta.abs() < r.plain_delta.abs());
+        }
+    }
+
+    #[test]
+    fn emptied_cluster_disappears() {
+        let values = [4.0, 1.0];
+        let clusters = vec![vec![0], vec![1]];
+        let rows = jackknife(&values, &clusters, Mean::Geometric).unwrap();
+        assert_eq!(rows.len(), 2);
+        // Removing workload 1 leaves {4.0} with one cluster: score 4.0.
+        let gm = (4.0f64 * 1.0).sqrt();
+        assert!((rows[1].hierarchical_delta - (4.0 / (gm) - 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perturbation_drift_dampened_in_clusters() {
+        // Tripling one of three clustered workloads: plain GM moves by
+        // 3^(1/5); HGM by 3^(1/(3*3)) — much less.
+        let (plain, hier) =
+            perturbation_drift(&VALUES, &clusters(), 1, 3.0, Mean::Geometric).unwrap();
+        let expect_plain = 3f64.powf(1.0 / 5.0) - 1.0;
+        let expect_hier = 3f64.powf(1.0 / 9.0) - 1.0;
+        assert!((plain - expect_plain).abs() < 1e-9);
+        assert!((hier - expect_hier).abs() < 1e-9);
+        assert!(hier < plain);
+    }
+
+    #[test]
+    fn perturbing_a_singleton_moves_hgm_more_than_plain() {
+        // The flip side: a unique workload carries MORE weight under the
+        // hierarchical mean (1/k > 1/n), so the metric is more responsive
+        // exactly where the suite has no redundancy.
+        let (plain, hier) =
+            perturbation_drift(&VALUES, &clusters(), 0, 2.0, Mean::Geometric).unwrap();
+        assert!(hier > plain);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(jackknife(&[1.0], &[vec![0]], Mean::Geometric).is_err());
+        assert!(perturbation_drift(&VALUES, &clusters(), 9, 2.0, Mean::Geometric).is_err());
+        assert!(perturbation_drift(&VALUES, &clusters(), 0, 0.0, Mean::Geometric).is_err());
+        assert!(perturbation_drift(&VALUES, &clusters(), 0, f64::NAN, Mean::Geometric).is_err());
+    }
+
+    #[test]
+    fn jackknife_consistent_across_means() {
+        for mean in Mean::all() {
+            let rows = jackknife(&VALUES, &clusters(), mean).unwrap();
+            assert_eq!(rows.len(), 5);
+            for r in &rows {
+                assert!(r.plain_delta.is_finite() && r.hierarchical_delta.is_finite());
+            }
+        }
+    }
+}

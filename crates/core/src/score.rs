@@ -1,0 +1,270 @@
+//! Score tables over cluster counts — the machinery behind the paper's
+//! Tables IV, V and VI.
+
+use hiermeans_cluster::Dendrogram;
+use hiermeans_workload::execution::SpeedupTable;
+use hiermeans_workload::Machine;
+use serde::{Deserialize, Serialize};
+
+use crate::hierarchical::hierarchical_mean;
+use crate::means::Mean;
+use crate::CoreError;
+
+/// One row of a hierarchical-mean score table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScoreRow {
+    /// The cluster count this row was computed at.
+    pub k: usize,
+    /// Hierarchical mean of machine A's speedups.
+    pub score_a: f64,
+    /// Hierarchical mean of machine B's speedups.
+    pub score_b: f64,
+}
+
+impl ScoreRow {
+    /// The A/B score ratio the paper reports per row.
+    pub fn ratio(&self) -> f64 {
+        self.score_a / self.score_b
+    }
+}
+
+/// A hierarchical-mean score table over a range of cluster counts, with the
+/// plain-mean baseline row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreTable {
+    mean: Mean,
+    rows: Vec<ScoreRow>,
+    plain_a: f64,
+    plain_b: f64,
+}
+
+impl ScoreTable {
+    /// Scores `speedups` at each cluster count in `ks`, reading cluster
+    /// memberships from `clusters_for(k)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mean-computation and cluster-validation errors.
+    pub fn compute(
+        speedups: &SpeedupTable,
+        ks: impl IntoIterator<Item = usize>,
+        mean: Mean,
+        mut clusters_for: impl FnMut(usize) -> Result<Vec<Vec<usize>>, CoreError>,
+    ) -> Result<Self, CoreError> {
+        let a = speedups.speedups(Machine::A);
+        let b = speedups.speedups(Machine::B);
+        let mut rows = Vec::new();
+        for k in ks {
+            let clusters = clusters_for(k)?;
+            rows.push(ScoreRow {
+                k,
+                score_a: hierarchical_mean(a, &clusters, mean)?,
+                score_b: hierarchical_mean(b, &clusters, mean)?,
+            });
+        }
+        Ok(ScoreTable {
+            mean,
+            rows,
+            plain_a: mean.compute(a)?,
+            plain_b: mean.compute(b)?,
+        })
+    }
+
+    /// Scores a dendrogram's cuts at `k = 2..=max_k` — the paper's table
+    /// protocol.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cut and mean errors.
+    pub fn from_dendrogram(
+        speedups: &SpeedupTable,
+        dendrogram: &Dendrogram,
+        max_k: usize,
+        mean: Mean,
+    ) -> Result<Self, CoreError> {
+        Self::compute(speedups, 2..=max_k, mean, |k| {
+            Ok(dendrogram.cut_into(k)?.clusters())
+        })
+    }
+
+    /// The mean family used.
+    pub fn mean(&self) -> Mean {
+        self.mean
+    }
+
+    /// The per-`k` rows in the order they were computed.
+    pub fn rows(&self) -> &[ScoreRow] {
+        &self.rows
+    }
+
+    /// The plain (unclustered) mean of machine A — the baseline bottom row.
+    pub fn plain_a(&self) -> f64 {
+        self.plain_a
+    }
+
+    /// The plain (unclustered) mean of machine B.
+    pub fn plain_b(&self) -> f64 {
+        self.plain_b
+    }
+
+    /// The plain-mean A/B ratio.
+    pub fn plain_ratio(&self) -> f64 {
+        self.plain_a / self.plain_b
+    }
+
+    /// The row at cluster count `k`, if present.
+    pub fn row(&self, k: usize) -> Option<&ScoreRow> {
+        self.rows.iter().find(|r| r.k == k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiermeans_workload::measurement::{
+        paper_hgm_table, reference_clustering, Characterization,
+    };
+
+    fn paper_table(ch: Characterization) -> ScoreTable {
+        ScoreTable::compute(
+            &SpeedupTable::paper_exact(),
+            2..=8,
+            Mean::Geometric,
+            |k| {
+                reference_clustering(ch, k).ok_or(CoreError::InvalidClusters {
+                    reason: "missing reference clustering",
+                })
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reproduces_table_four() {
+        let ch = Characterization::SarCounters(Machine::A);
+        let table = paper_table(ch);
+        for &(k, a, b, ratio) in &paper_hgm_table(ch).unwrap() {
+            let row = table.row(k).unwrap();
+            assert!((row.score_a - a).abs() < 0.02, "k={k} A: {} vs {a}", row.score_a);
+            assert!((row.score_b - b).abs() < 0.02, "k={k} B: {} vs {b}", row.score_b);
+            assert!((row.ratio() - ratio).abs() < 0.02, "k={k} ratio");
+        }
+        assert!((table.plain_a() - 2.10).abs() < 0.01);
+        assert!((table.plain_b() - 1.94).abs() < 0.01);
+        assert!((table.plain_ratio() - 1.08).abs() < 0.01);
+    }
+
+    #[test]
+    fn reproduces_table_five() {
+        let ch = Characterization::SarCounters(Machine::B);
+        let table = paper_table(ch);
+        for &(k, a, b, _) in &paper_hgm_table(ch).unwrap() {
+            let row = table.row(k).unwrap();
+            assert!((row.score_a - a).abs() < 0.02, "k={k} A");
+            assert!((row.score_b - b).abs() < 0.04, "k={k} B");
+        }
+    }
+
+    #[test]
+    fn reproduces_table_six() {
+        let ch = Characterization::MethodUtilization;
+        let table = paper_table(ch);
+        for &(k, a, b, _) in &paper_hgm_table(ch).unwrap() {
+            let row = table.row(k).unwrap();
+            assert!((row.score_a - a).abs() < 0.02, "k={k} A");
+            assert!((row.score_b - b).abs() < 0.02, "k={k} B");
+        }
+    }
+
+    #[test]
+    fn ratio_converges_to_plain_as_k_grows() {
+        // "as the number of clusters increases, the ratio of two scores over
+        // machine A and B converges to the ratio of the plain geometric
+        // mean". At k = n every hierarchical mean equals the plain mean.
+        let speedups = SpeedupTable::paper_exact();
+        let ch = Characterization::SarCounters(Machine::A);
+        let table = ScoreTable::compute(&speedups, [8, 13], Mean::Geometric, |k| {
+            if k == 13 {
+                Ok((0..13).map(|i| vec![i]).collect())
+            } else {
+                reference_clustering(ch, k).ok_or(CoreError::InvalidClusters {
+                    reason: "missing",
+                })
+            }
+        })
+        .unwrap();
+        let at_8 = (table.row(8).unwrap().ratio() - table.plain_ratio()).abs();
+        let at_13 = (table.row(13).unwrap().ratio() - table.plain_ratio()).abs();
+        assert!(at_13 < 1e-12);
+        assert!(at_8 < 0.03); // already nearly converged by k = 8
+    }
+
+    #[test]
+    fn from_dendrogram_smoke() {
+        use hiermeans_cluster::{agglomerative, Linkage};
+        use hiermeans_linalg::{distance::Metric, Matrix};
+        let speedups = SpeedupTable::paper_exact();
+        // Any geometry over 13 points works here; use the latent machine-A
+        // positions.
+        let pos = hiermeans_workload::measurement::latent_positions(
+            Characterization::SarCounters(Machine::A),
+        )
+        .unwrap();
+        let pts = Matrix::from_rows(
+            &pos.iter().map(|p| vec![p[0], p[1]]).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let dend = agglomerative::cluster(&pts, Metric::Euclidean, Linkage::Complete).unwrap();
+        let table =
+            ScoreTable::from_dendrogram(&speedups, &dend, 8, Mean::Geometric).unwrap();
+        assert_eq!(table.rows().len(), 7);
+        // The latent geometry reproduces the recovered chain, so this table
+        // must match Table IV.
+        let row = table.row(4).unwrap();
+        assert!((row.score_a - 2.89).abs() < 0.01);
+    }
+
+    #[test]
+    fn all_mean_families_work() {
+        let speedups = SpeedupTable::paper_exact();
+        let ch = Characterization::SarCounters(Machine::A);
+        for mean in Mean::all() {
+            let t = ScoreTable::compute(&speedups, 2..=8, mean, |k| {
+                reference_clustering(ch, k)
+                    .ok_or(CoreError::InvalidClusters { reason: "missing" })
+            })
+            .unwrap();
+            assert_eq!(t.rows().len(), 7);
+            for r in t.rows() {
+                assert!(r.score_a > 0.0 && r.score_b > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn ham_dominates_hgm_dominates_hhm() {
+        let speedups = SpeedupTable::paper_exact();
+        let ch = Characterization::SarCounters(Machine::A);
+        let get = |mean| {
+            ScoreTable::compute(&speedups, [6], mean, |k| {
+                reference_clustering(ch, k)
+                    .ok_or(CoreError::InvalidClusters { reason: "missing" })
+            })
+            .unwrap()
+            .row(6)
+            .unwrap()
+            .score_a
+        };
+        let ham = get(Mean::Arithmetic);
+        let hgm = get(Mean::Geometric);
+        let hhm = get(Mean::Harmonic);
+        assert!(hhm < hgm && hgm < ham);
+    }
+
+    #[test]
+    fn missing_row_is_none() {
+        let table = paper_table(Characterization::MethodUtilization);
+        assert!(table.row(9).is_none());
+        assert!(table.row(2).is_some());
+    }
+}

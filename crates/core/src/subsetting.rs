@@ -1,0 +1,152 @@
+//! Benchmark subsetting: picking one representative workload per cluster.
+//!
+//! The paper's related work (Section VI) applies cluster information to
+//! *subset* a benchmark suite "while preserving the inherent benchmark
+//! characteristics". This module implements that application on top of the
+//! same pipeline: the medoid of each cluster (the member closest to all
+//! other members on the reduced map) represents its cluster, and scoring
+//! the subset with a plain mean approximates the full suite's hierarchical
+//! mean.
+
+use hiermeans_cluster::ClusterAssignment;
+use hiermeans_linalg::distance::Metric;
+use hiermeans_linalg::Matrix;
+
+use crate::means::Mean;
+use crate::CoreError;
+
+/// Picks the medoid of each cluster: the member minimizing the summed
+/// distance to its cluster mates over `positions`. Returns one workload
+/// index per cluster, in cluster order.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidClusters`] if the assignment length differs from
+///   the position row count.
+/// * [`CoreError::Linalg`] for distance failures.
+///
+/// # Example
+///
+/// ```
+/// use hiermeans_cluster::ClusterAssignment;
+/// use hiermeans_core::subsetting::representatives;
+/// use hiermeans_linalg::Matrix;
+///
+/// # fn main() -> Result<(), hiermeans_core::CoreError> {
+/// let positions = Matrix::from_rows(&[
+///     vec![0.0, 0.0], vec![1.0, 0.0], vec![0.5, 0.0], // cluster 0: medoid is #2
+///     vec![9.0, 9.0],                                  // cluster 1
+/// ])?;
+/// let clusters = ClusterAssignment::from_labels(&[0, 0, 0, 1])?;
+/// assert_eq!(representatives(&positions, &clusters)?, vec![2, 3]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn representatives(
+    positions: &Matrix,
+    assignment: &ClusterAssignment,
+) -> Result<Vec<usize>, CoreError> {
+    if positions.nrows() != assignment.len() {
+        return Err(CoreError::InvalidClusters {
+            reason: "assignment length differs from position count",
+        });
+    }
+    let mut out = Vec::with_capacity(assignment.n_clusters());
+    for members in assignment.clusters() {
+        let mut best = (members[0], f64::INFINITY);
+        for &candidate in &members {
+            let mut total = 0.0;
+            for &other in &members {
+                total += Metric::Euclidean
+                    .distance(positions.row(candidate), positions.row(other))
+                    .map_err(CoreError::Linalg)?;
+            }
+            if total < best.1 {
+                best = (candidate, total);
+            }
+        }
+        out.push(best.0);
+    }
+    Ok(out)
+}
+
+/// Scores a subset of workloads with a plain mean — the subsetting
+/// counterpart of the hierarchical mean over the full suite.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidClusters`] for an out-of-range subset index.
+/// * Value errors from the mean computation.
+pub fn subset_score(values: &[f64], subset: &[usize], mean: Mean) -> Result<f64, CoreError> {
+    let mut picked = Vec::with_capacity(subset.len());
+    for &i in subset {
+        if i >= values.len() {
+            return Err(CoreError::InvalidClusters {
+                reason: "subset references an out-of-range workload",
+            });
+        }
+        picked.push(values[i]);
+    }
+    mean.compute(&picked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchical::hierarchical_mean_of;
+
+    fn positions() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.4, 0.0],
+            vec![0.2, 0.0],
+            vec![5.0, 5.0],
+            vec![5.4, 5.0],
+            vec![9.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    fn assignment() -> ClusterAssignment {
+        ClusterAssignment::from_labels(&[0, 0, 0, 1, 1, 2]).unwrap()
+    }
+
+    #[test]
+    fn medoids_found() {
+        let reps = representatives(&positions(), &assignment()).unwrap();
+        assert_eq!(reps, vec![2, 3, 5]); // middle point; tie toward first; singleton
+    }
+
+    #[test]
+    fn singleton_clusters_represent_themselves() {
+        let one = ClusterAssignment::from_labels(&[0, 1, 2, 3, 4, 5]).unwrap();
+        let reps = representatives(&positions(), &one).unwrap();
+        assert_eq!(reps, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn subset_score_approximates_hierarchical_mean() {
+        // When cluster members have similar scores, the subset's plain mean
+        // tracks the full suite's hierarchical mean.
+        let values = [2.0, 2.1, 1.9, 0.5, 0.55, 4.0];
+        let a = assignment();
+        let reps = representatives(&positions(), &a).unwrap();
+        let subset = subset_score(&values, &reps, Mean::Geometric).unwrap();
+        let hier = hierarchical_mean_of(&values, &a, Mean::Geometric).unwrap();
+        assert!((subset / hier - 1.0).abs() < 0.05, "{subset} vs {hier}");
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let short = ClusterAssignment::from_labels(&[0, 1]).unwrap();
+        assert!(representatives(&positions(), &short).is_err());
+    }
+
+    #[test]
+    fn subset_score_validation() {
+        assert!(subset_score(&[1.0, 2.0], &[0, 5], Mean::Geometric).is_err());
+        assert!(subset_score(&[1.0, 2.0], &[], Mean::Geometric).is_err());
+        let s = subset_score(&[1.0, 4.0], &[0, 1], Mean::Geometric).unwrap();
+        assert_eq!(s, 2.0);
+    }
+}

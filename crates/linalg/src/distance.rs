@@ -1,0 +1,224 @@
+//! Point-to-point distance metrics.
+//!
+//! The paper uses the Euclidean distance both for the SOM's best-matching-unit
+//! search and as the point-to-point distance underneath the clustering linkage
+//! (Section III-B). The other metrics are provided for ablation studies.
+
+use serde::{Deserialize, Serialize};
+
+use crate::LinalgError;
+
+/// A point-to-point distance metric over `f64` vectors.
+///
+/// # Example
+///
+/// ```
+/// use hiermeans_linalg::distance::Metric;
+///
+/// # fn main() -> Result<(), hiermeans_linalg::LinalgError> {
+/// let d = Metric::Euclidean.distance(&[0.0, 0.0], &[3.0, 4.0])?;
+/// assert_eq!(d, 5.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Metric {
+    /// The L2 distance — the paper's choice.
+    Euclidean,
+    /// The squared L2 distance (avoids the square root; not a metric but
+    /// order-equivalent to [`Metric::Euclidean`]).
+    SquaredEuclidean,
+    /// The L1 (city-block) distance.
+    Manhattan,
+    /// The L∞ distance.
+    Chebyshev,
+    /// The general Lp distance for `p >= 1`.
+    Minkowski(f64),
+    /// Cosine distance `1 - cos(a, b)`; 0 for identical directions.
+    Cosine,
+}
+
+impl Metric {
+    /// Computes the distance between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the vectors have different
+    /// lengths, and [`LinalgError::InvalidParameter`] for
+    /// [`Metric::Minkowski`] with `p < 1`.
+    pub fn distance(&self, a: &[f64], b: &[f64]) -> Result<f64, LinalgError> {
+        if a.len() != b.len() {
+            return Err(LinalgError::ShapeMismatch {
+                left: (a.len(), 1),
+                right: (b.len(), 1),
+                op: "distance",
+            });
+        }
+        match self {
+            Metric::Euclidean => Ok(sq_euclid(a, b).sqrt()),
+            Metric::SquaredEuclidean => Ok(sq_euclid(a, b)),
+            Metric::Manhattan => Ok(a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()),
+            Metric::Chebyshev => Ok(a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max)),
+            Metric::Minkowski(p) => {
+                if *p < 1.0 || !p.is_finite() {
+                    return Err(LinalgError::InvalidParameter {
+                        name: "p",
+                        reason: "Minkowski order must be finite and >= 1",
+                    });
+                }
+                Ok(a.iter()
+                    .zip(b)
+                    .map(|(x, y)| (x - y).abs().powf(*p))
+                    .sum::<f64>()
+                    .powf(1.0 / p))
+            }
+            Metric::Cosine => {
+                let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+                let na = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+                let nb = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+                if na == 0.0 || nb == 0.0 {
+                    // By convention the distance from the zero vector is 1
+                    // (maximally dissimilar direction-wise).
+                    return Ok(1.0);
+                }
+                Ok((1.0 - dot / (na * nb)).max(0.0))
+            }
+        }
+    }
+}
+
+impl Default for Metric {
+    /// Euclidean distance, the paper's configuration.
+    fn default() -> Self {
+        Metric::Euclidean
+    }
+}
+
+fn sq_euclid(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Computes the full pairwise distance matrix between the rows of `points`.
+///
+/// The result is a symmetric `n x n` [`crate::Matrix`] with zero diagonal.
+///
+/// # Errors
+///
+/// Propagates errors from [`Metric::distance`].
+pub fn pairwise(points: &crate::Matrix, metric: Metric) -> Result<crate::Matrix, LinalgError> {
+    let n = points.nrows();
+    let mut d = crate::Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = metric.distance(points.row(i), points.row(j))?;
+            d[(i, j)] = v;
+            d[(j, i)] = v;
+        }
+    }
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    const A: [f64; 3] = [1.0, 2.0, 3.0];
+    const B: [f64; 3] = [4.0, 6.0, 3.0];
+
+    #[test]
+    fn euclidean_known() {
+        // (3, 4, 0) -> 5
+        assert!((Metric::Euclidean.distance(&A, &B).unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn squared_euclidean_is_square() {
+        let d = Metric::Euclidean.distance(&A, &B).unwrap();
+        let d2 = Metric::SquaredEuclidean.distance(&A, &B).unwrap();
+        assert!((d * d - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_known() {
+        assert_eq!(Metric::Manhattan.distance(&A, &B).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn chebyshev_known() {
+        assert_eq!(Metric::Chebyshev.distance(&A, &B).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn minkowski_extremes_match() {
+        // p = 1 is Manhattan, p = 2 is Euclidean.
+        let m1 = Metric::Minkowski(1.0).distance(&A, &B).unwrap();
+        let m2 = Metric::Minkowski(2.0).distance(&A, &B).unwrap();
+        assert!((m1 - 7.0).abs() < 1e-12);
+        assert!((m2 - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minkowski_rejects_bad_p() {
+        assert!(Metric::Minkowski(0.5).distance(&A, &B).is_err());
+        assert!(Metric::Minkowski(f64::NAN).distance(&A, &B).is_err());
+    }
+
+    #[test]
+    fn cosine_parallel_and_orthogonal() {
+        let d0 = Metric::Cosine.distance(&[1.0, 0.0], &[2.0, 0.0]).unwrap();
+        let d1 = Metric::Cosine.distance(&[1.0, 0.0], &[0.0, 1.0]).unwrap();
+        assert!(d0.abs() < 1e-12);
+        assert!((d1 - 1.0).abs() < 1e-12);
+        // Zero vector convention.
+        assert_eq!(Metric::Cosine.distance(&[0.0], &[1.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        assert!(Metric::Euclidean.distance(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn identity_of_indiscernibles() {
+        for m in [
+            Metric::Euclidean,
+            Metric::Manhattan,
+            Metric::Chebyshev,
+            Metric::SquaredEuclidean,
+        ] {
+            assert_eq!(m.distance(&A, &A).unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn pairwise_symmetric_zero_diagonal() {
+        let pts = Matrix::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0], vec![6.0, 8.0]]).unwrap();
+        let d = pairwise(&pts, Metric::Euclidean).unwrap();
+        assert_eq!(d.shape(), (3, 3));
+        for i in 0..3 {
+            assert_eq!(d[(i, i)], 0.0);
+            for j in 0..3 {
+                assert_eq!(d[(i, j)], d[(j, i)]);
+            }
+        }
+        assert!((d[(0, 1)] - 5.0).abs() < 1e-12);
+        assert!((d[(0, 2)] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_euclidean() {
+        assert_eq!(Metric::default(), Metric::Euclidean);
+    }
+}

@@ -1,0 +1,264 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+//!
+//! Jacobi is a good fit here: the covariance matrices produced by the
+//! characterization pipeline are small (tens to a few hundred columns),
+//! symmetric, and we want *all* eigenpairs with high relative accuracy for
+//! PCA initialization of the SOM.
+
+use crate::{LinalgError, Matrix};
+
+/// The result of a symmetric eigendecomposition.
+///
+/// Eigenpairs are sorted by descending eigenvalue. `vectors` holds the
+/// eigenvectors as *columns*, so `matrix * vectors[:, k] ≈ values[k] *
+/// vectors[:, k]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Eigen {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors, one per column, in the same order.
+    pub vectors: Matrix,
+}
+
+/// Default iteration budget for [`jacobi_eigen`]: the number of full sweeps.
+pub const DEFAULT_MAX_SWEEPS: usize = 100;
+
+/// Computes all eigenpairs of a symmetric matrix with cyclic Jacobi rotations.
+///
+/// # Errors
+///
+/// * [`LinalgError::InvalidParameter`] if `a` is not square or not symmetric
+///   (tolerance `1e-9` relative to the largest entry).
+/// * [`LinalgError::NonFinite`] if `a` contains NaN or infinity.
+/// * [`LinalgError::NoConvergence`] if the off-diagonal mass does not vanish
+///   within [`DEFAULT_MAX_SWEEPS`] sweeps.
+///
+/// # Example
+///
+/// ```
+/// use hiermeans_linalg::{Matrix, eigen::jacobi_eigen};
+///
+/// # fn main() -> Result<(), hiermeans_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]])?;
+/// let e = jacobi_eigen(&a)?;
+/// assert!((e.values[0] - 3.0).abs() < 1e-9);
+/// assert!((e.values[1] - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn jacobi_eigen(a: &Matrix) -> Result<Eigen, LinalgError> {
+    let (n, m) = a.shape();
+    if n != m {
+        return Err(LinalgError::InvalidParameter {
+            name: "a",
+            reason: "eigendecomposition requires a square matrix",
+        });
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NonFinite { what: "eigen input" });
+    }
+    let scale = a
+        .as_slice()
+        .iter()
+        .fold(0.0f64, |acc, v| acc.max(v.abs()))
+        .max(1.0);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if (a[(i, j)] - a[(j, i)]).abs() > 1e-9 * scale {
+                return Err(LinalgError::InvalidParameter {
+                    name: "a",
+                    reason: "eigendecomposition requires a symmetric matrix",
+                });
+            }
+        }
+    }
+
+    let mut d = a.clone();
+    let mut v = Matrix::identity(n);
+    let tol = 1e-12 * scale;
+
+    for _sweep in 0..DEFAULT_MAX_SWEEPS {
+        let off: f64 = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .map(|(i, j)| d[(i, j)] * d[(i, j)])
+            .sum();
+        if off.sqrt() <= tol {
+            return Ok(sorted_eigen(d, v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = d[(p, q)];
+                if apq.abs() <= tol / (n as f64) {
+                    continue;
+                }
+                let app = d[(p, p)];
+                let aqq = d[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation G(p, q, theta) on both sides: D <- G^T D G.
+                for k in 0..n {
+                    let dkp = d[(k, p)];
+                    let dkq = d[(k, q)];
+                    d[(k, p)] = c * dkp - s * dkq;
+                    d[(k, q)] = s * dkp + c * dkq;
+                }
+                for k in 0..n {
+                    let dpk = d[(p, k)];
+                    let dqk = d[(q, k)];
+                    d[(p, k)] = c * dpk - s * dqk;
+                    d[(q, k)] = s * dpk + c * dqk;
+                }
+                // Accumulate eigenvectors: V <- V G.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // One final tolerance check before giving up.
+    let off: f64 = (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+        .map(|(i, j)| d[(i, j)] * d[(i, j)])
+        .sum();
+    if off.sqrt() <= tol * 1e3 {
+        return Ok(sorted_eigen(d, v));
+    }
+    Err(LinalgError::NoConvergence {
+        routine: "jacobi_eigen",
+        iterations: DEFAULT_MAX_SWEEPS,
+    })
+}
+
+fn sorted_eigen(d: Matrix, v: Matrix) -> Eigen {
+    let n = d.nrows();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        d[(j, j)]
+            .partial_cmp(&d[(i, i)])
+            .expect("finite diagonal after convergence")
+    });
+    let values: Vec<f64> = order.iter().map(|&i| d[(i, i)]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    Eigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_sorted() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 5.0, 0.0],
+            vec![0.0, 0.0, 3.0],
+        ])
+        .unwrap();
+        let e = jacobi_eigen(&a).unwrap();
+        assert_close(e.values[0], 5.0, 1e-12);
+        assert_close(e.values[1], 3.0, 1e-12);
+        assert_close(e.values[2], 1.0, 1e-12);
+    }
+
+    #[test]
+    fn two_by_two_known() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let e = jacobi_eigen(&a).unwrap();
+        assert_close(e.values[0], 3.0, 1e-10);
+        assert_close(e.values[1], 1.0, 1e-10);
+    }
+
+    #[test]
+    fn eigen_residual_small() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 1.0],
+        ])
+        .unwrap();
+        let e = jacobi_eigen(&a).unwrap();
+        for k in 0..3 {
+            let vk = e.vectors.col(k);
+            let av = a.matvec(&vk).unwrap();
+            for i in 0..3 {
+                assert_close(av[i], e.values[k] * vk[i], 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 1.0],
+        ])
+        .unwrap();
+        let e = jacobi_eigen(&a).unwrap();
+        let vt_v = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_close(vt_v[(i, j)], if i == j { 1.0 } else { 0.0 }, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, -1.0, 0.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![0.0, -1.0, 2.0],
+        ])
+        .unwrap();
+        let e = jacobi_eigen(&a).unwrap();
+        let trace = 6.0;
+        assert_close(e.values.iter().sum::<f64>(), trace, 1e-9);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(jacobi_eigen(&a).is_err());
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 1.0]]).unwrap();
+        assert!(jacobi_eigen(&a).is_err());
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let mut a = Matrix::identity(2);
+        a[(0, 0)] = f64::NAN;
+        assert!(jacobi_eigen(&a).is_err());
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Matrix::from_rows(&[vec![7.0]]).unwrap();
+        let e = jacobi_eigen(&a).unwrap();
+        assert_eq!(e.values, vec![7.0]);
+    }
+}

@@ -1,0 +1,116 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the linear-algebra substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Shape of the left operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        right: (usize, usize),
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// The input collection was empty where at least one element is required.
+    Empty {
+        /// What was empty.
+        what: &'static str,
+    },
+    /// An index was out of bounds.
+    OutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive upper bound.
+        len: usize,
+        /// Which axis or collection was indexed.
+        what: &'static str,
+    },
+    /// A numerical routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// The routine that failed.
+        routine: &'static str,
+        /// The iteration budget that was exhausted.
+        iterations: usize,
+    },
+    /// The input contained a non-finite value (NaN or infinity).
+    NonFinite {
+        /// Where the non-finite value was found.
+        what: &'static str,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// The parameter name.
+        name: &'static str,
+        /// Why the value was rejected.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { left, right, op } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::Empty { what } => write!(f, "empty input: {what}"),
+            LinalgError::OutOfBounds { index, len, what } => {
+                write!(f, "index {index} out of bounds for {what} of length {len}")
+            }
+            LinalgError::NoConvergence { routine, iterations } => {
+                write!(f, "{routine} did not converge within {iterations} iterations")
+            }
+            LinalgError::NonFinite { what } => {
+                write!(f, "non-finite value encountered in {what}")
+            }
+            LinalgError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let err = LinalgError::ShapeMismatch {
+            left: (2, 3),
+            right: (4, 5),
+            op: "matmul",
+        };
+        assert_eq!(
+            err.to_string(),
+            "shape mismatch in matmul: left is 2x3, right is 4x5"
+        );
+    }
+
+    #[test]
+    fn display_empty() {
+        let err = LinalgError::Empty { what: "rows" };
+        assert_eq!(err.to_string(), "empty input: rows");
+    }
+
+    #[test]
+    fn display_no_convergence() {
+        let err = LinalgError::NoConvergence {
+            routine: "jacobi",
+            iterations: 100,
+        };
+        assert_eq!(err.to_string(), "jacobi did not converge within 100 iterations");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

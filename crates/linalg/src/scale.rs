@@ -1,0 +1,313 @@
+//! Feature scalers with a fit/transform interface.
+//!
+//! The paper standardizes each counter "prior to the cluster analysis, i.e.,
+//! subtract the mean and divide by standard deviation" (Section IV-C). That is
+//! [`Standardizer`]. [`MinMaxScaler`] and [`UnitNormScaler`] are provided for
+//! ablation experiments.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{stats, LinalgError, Matrix};
+
+/// Z-score standardization: per-column, subtract the mean, divide by the
+/// standard deviation.
+///
+/// Columns with zero variance are centered but left unscaled (divided by 1),
+/// matching the usual convention; the characterization pipeline filters
+/// invariant columns out *before* standardizing, as the paper does.
+///
+/// # Example
+///
+/// ```
+/// use hiermeans_linalg::{Matrix, scale::Standardizer};
+///
+/// # fn main() -> Result<(), hiermeans_linalg::LinalgError> {
+/// let data = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 30.0]])?;
+/// let scaler = Standardizer::fit(&data)?;
+/// let z = scaler.transform(&data)?;
+/// assert!(z[(0, 0)] < 0.0 && z[(1, 0)] > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Learns per-column means and standard deviations from `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidParameter`] if `data` has fewer than two
+    /// rows and [`LinalgError::NonFinite`] if `data` contains NaN/infinity.
+    pub fn fit(data: &Matrix) -> Result<Self, LinalgError> {
+        if data.nrows() < 2 {
+            return Err(LinalgError::InvalidParameter {
+                name: "data",
+                reason: "standardization requires at least two rows",
+            });
+        }
+        if !data.is_finite() {
+            return Err(LinalgError::NonFinite { what: "standardizer input" });
+        }
+        let mut means = Vec::with_capacity(data.ncols());
+        let mut stds = Vec::with_capacity(data.ncols());
+        for c in 0..data.ncols() {
+            let col = data.col(c);
+            means.push(stats::mean(&col)?);
+            let sd = stats::std_dev(&col)?;
+            stds.push(if sd > 0.0 { sd } else { 1.0 });
+        }
+        Ok(Standardizer { means, stds })
+    }
+
+    /// Applies the learned transform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the column count differs from
+    /// the fitted data.
+    pub fn transform(&self, data: &Matrix) -> Result<Matrix, LinalgError> {
+        if data.ncols() != self.means.len() {
+            return Err(LinalgError::ShapeMismatch {
+                left: (1, self.means.len()),
+                right: data.shape(),
+                op: "standardize",
+            });
+        }
+        let mut out = data.clone();
+        for r in 0..out.nrows() {
+            let row = out.row_mut(r);
+            for (v, (m, s)) in row.iter_mut().zip(self.means.iter().zip(&self.stds)) {
+                *v = (*v - m) / s;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Convenience: fit on `data` and transform it in one step.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Standardizer::fit`].
+    pub fn fit_transform(data: &Matrix) -> Result<Matrix, LinalgError> {
+        Self::fit(data)?.transform(data)
+    }
+
+    /// Inverts the transform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the column count differs.
+    pub fn inverse_transform(&self, data: &Matrix) -> Result<Matrix, LinalgError> {
+        if data.ncols() != self.means.len() {
+            return Err(LinalgError::ShapeMismatch {
+                left: (1, self.means.len()),
+                right: data.shape(),
+                op: "inverse_standardize",
+            });
+        }
+        let mut out = data.clone();
+        for r in 0..out.nrows() {
+            let row = out.row_mut(r);
+            for (v, (m, s)) in row.iter_mut().zip(self.means.iter().zip(&self.stds)) {
+                *v = *v * s + m;
+            }
+        }
+        Ok(out)
+    }
+
+    /// The learned per-column means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// The learned per-column standard deviations (1.0 for constant columns).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+/// Min-max scaling of each column to `[0, 1]`.
+///
+/// Constant columns map to 0.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    ranges: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Learns per-column minima and ranges from `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for an empty matrix and
+    /// [`LinalgError::NonFinite`] for NaN/infinite input.
+    pub fn fit(data: &Matrix) -> Result<Self, LinalgError> {
+        if data.is_empty() {
+            return Err(LinalgError::Empty { what: "min-max scaler input" });
+        }
+        if !data.is_finite() {
+            return Err(LinalgError::NonFinite { what: "min-max scaler input" });
+        }
+        let mut mins = Vec::with_capacity(data.ncols());
+        let mut ranges = Vec::with_capacity(data.ncols());
+        for c in 0..data.ncols() {
+            let (lo, hi) = stats::min_max(&data.col(c))?;
+            mins.push(lo);
+            ranges.push(if hi > lo { hi - lo } else { 1.0 });
+        }
+        Ok(MinMaxScaler { mins, ranges })
+    }
+
+    /// Applies the learned transform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the column count differs.
+    pub fn transform(&self, data: &Matrix) -> Result<Matrix, LinalgError> {
+        if data.ncols() != self.mins.len() {
+            return Err(LinalgError::ShapeMismatch {
+                left: (1, self.mins.len()),
+                right: data.shape(),
+                op: "min-max scale",
+            });
+        }
+        let mut out = data.clone();
+        for r in 0..out.nrows() {
+            let row = out.row_mut(r);
+            for (v, (lo, range)) in row.iter_mut().zip(self.mins.iter().zip(&self.ranges)) {
+                *v = (*v - lo) / range;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Convenience: fit and transform in one step.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MinMaxScaler::fit`].
+    pub fn fit_transform(data: &Matrix) -> Result<Matrix, LinalgError> {
+        Self::fit(data)?.transform(data)
+    }
+}
+
+/// Scales each *row* to unit L2 norm (directional features only).
+///
+/// Zero rows are left unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct UnitNormScaler;
+
+impl UnitNormScaler {
+    /// Normalizes every row of `data` to unit L2 norm.
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        let mut out = data.clone();
+        for r in 0..out.nrows() {
+            let norm = crate::vector::norm(out.row(r));
+            if norm > 0.0 {
+                for v in out.row_mut(r) {
+                    *v /= norm;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[
+            vec![1.0, 100.0, 5.0],
+            vec![2.0, 200.0, 5.0],
+            vec![3.0, 300.0, 5.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn standardize_zero_mean_unit_std() {
+        let z = Standardizer::fit_transform(&sample()).unwrap();
+        for c in 0..2 {
+            let col = z.col(c);
+            assert!(stats::mean(&col).unwrap().abs() < 1e-12);
+            assert!((stats::std_dev(&col).unwrap() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn standardize_constant_column_centered() {
+        let z = Standardizer::fit_transform(&sample()).unwrap();
+        // Column 2 is constant 5.0 -> centered to 0, divided by 1.
+        assert!(z.col(2).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn standardize_roundtrip() {
+        let data = sample();
+        let s = Standardizer::fit(&data).unwrap();
+        let back = s.inverse_transform(&s.transform(&data).unwrap()).unwrap();
+        for (a, b) in back.as_slice().iter().zip(data.as_slice()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn standardize_rejects_single_row() {
+        let one = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(Standardizer::fit(&one).is_err());
+    }
+
+    #[test]
+    fn standardize_rejects_nan() {
+        let mut m = sample();
+        m[(0, 0)] = f64::NAN;
+        assert!(Standardizer::fit(&m).is_err());
+    }
+
+    #[test]
+    fn standardize_shape_mismatch_on_transform() {
+        let s = Standardizer::fit(&sample()).unwrap();
+        let other = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(s.transform(&other).is_err());
+        assert!(s.inverse_transform(&other).is_err());
+    }
+
+    #[test]
+    fn minmax_unit_interval() {
+        let m = MinMaxScaler::fit_transform(&sample()).unwrap();
+        for c in 0..2 {
+            let (lo, hi) = stats::min_max(&m.col(c)).unwrap();
+            assert_eq!(lo, 0.0);
+            assert_eq!(hi, 1.0);
+        }
+        // Constant column -> all zeros.
+        assert!(m.col(2).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn unit_norm_rows() {
+        let n = UnitNormScaler.transform(&sample());
+        for r in 0..n.nrows() {
+            assert!((crate::vector::norm(n.row(r)) - 1.0).abs() < 1e-12);
+        }
+        // Zero row untouched.
+        let z = Matrix::zeros(1, 3);
+        assert_eq!(UnitNormScaler.transform(&z), z);
+    }
+
+    #[test]
+    fn standardizer_accessors() {
+        let s = Standardizer::fit(&sample()).unwrap();
+        assert_eq!(s.means().len(), 3);
+        assert_eq!(s.stds().len(), 3);
+        assert_eq!(s.means()[0], 2.0);
+        assert_eq!(s.stds()[2], 1.0);
+    }
+}

@@ -1,0 +1,316 @@
+//! Descriptive statistics over `f64` slices.
+
+use crate::LinalgError;
+
+/// Arithmetic mean.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), hiermeans_linalg::LinalgError> {
+/// assert_eq!(hiermeans_linalg::stats::mean(&[1.0, 2.0, 3.0])?, 2.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mean(xs: &[f64]) -> Result<f64, LinalgError> {
+    if xs.is_empty() {
+        return Err(LinalgError::Empty { what: "mean input" });
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample variance with the unbiased `n - 1` denominator.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::InvalidParameter`] for fewer than two values.
+pub fn variance(xs: &[f64]) -> Result<f64, LinalgError> {
+    if xs.len() < 2 {
+        return Err(LinalgError::InvalidParameter {
+            name: "xs",
+            reason: "variance requires at least two values",
+        });
+    }
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Population variance with the `n` denominator.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for an empty slice.
+pub fn population_variance(xs: &[f64]) -> Result<f64, LinalgError> {
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample standard deviation.
+///
+/// # Errors
+///
+/// Same as [`variance`].
+pub fn std_dev(xs: &[f64]) -> Result<f64, LinalgError> {
+    Ok(variance(xs)?.sqrt())
+}
+
+/// Median (average of the two middle values for even lengths).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for an empty slice and
+/// [`LinalgError::NonFinite`] if any value is NaN.
+pub fn median(xs: &[f64]) -> Result<f64, LinalgError> {
+    percentile(xs, 50.0)
+}
+
+/// Linear-interpolation percentile, `p` in `[0, 100]`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for an empty slice,
+/// [`LinalgError::NonFinite`] if any value is NaN, and
+/// [`LinalgError::InvalidParameter`] for `p` outside `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> Result<f64, LinalgError> {
+    if xs.is_empty() {
+        return Err(LinalgError::Empty { what: "percentile input" });
+    }
+    if !(0.0..=100.0).contains(&p) {
+        return Err(LinalgError::InvalidParameter {
+            name: "p",
+            reason: "percentile must be in [0, 100]",
+        });
+    }
+    if xs.iter().any(|x| x.is_nan()) {
+        return Err(LinalgError::NonFinite { what: "percentile input" });
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Ok(sorted[lo] + frac * (sorted[hi] - sorted[lo]))
+}
+
+/// Pearson correlation coefficient between two equal-length samples.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] for different lengths,
+/// [`LinalgError::InvalidParameter`] for fewer than two values, and
+/// [`LinalgError::InvalidParameter`] if either sample is constant.
+pub fn correlation(xs: &[f64], ys: &[f64]) -> Result<f64, LinalgError> {
+    if xs.len() != ys.len() {
+        return Err(LinalgError::ShapeMismatch {
+            left: (xs.len(), 1),
+            right: (ys.len(), 1),
+            op: "correlation",
+        });
+    }
+    if xs.len() < 2 {
+        return Err(LinalgError::InvalidParameter {
+            name: "xs",
+            reason: "correlation requires at least two values",
+        });
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(LinalgError::InvalidParameter {
+            name: "xs",
+            reason: "correlation is undefined for a constant sample",
+        });
+    }
+    Ok(sxy / (sxx * syy).sqrt())
+}
+
+/// Covariance between two equal-length samples (unbiased denominator).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] for different lengths and
+/// [`LinalgError::InvalidParameter`] for fewer than two values.
+pub fn covariance(xs: &[f64], ys: &[f64]) -> Result<f64, LinalgError> {
+    if xs.len() != ys.len() {
+        return Err(LinalgError::ShapeMismatch {
+            left: (xs.len(), 1),
+            right: (ys.len(), 1),
+            op: "covariance",
+        });
+    }
+    if xs.len() < 2 {
+        return Err(LinalgError::InvalidParameter {
+            name: "xs",
+            reason: "covariance requires at least two values",
+        });
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let s: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    Ok(s / (xs.len() - 1) as f64)
+}
+
+/// The Pearson correlation matrix of a data matrix's columns (rows are
+/// observations). Constant columns get zero correlation with everything
+/// (and 1.0 with themselves).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::InvalidParameter`] for fewer than two rows.
+pub fn correlation_matrix(data: &crate::Matrix) -> Result<crate::Matrix, LinalgError> {
+    if data.nrows() < 2 {
+        return Err(LinalgError::InvalidParameter {
+            name: "data",
+            reason: "correlation requires at least two observations",
+        });
+    }
+    let p = data.ncols();
+    let cols: Vec<Vec<f64>> = (0..p).map(|c| data.col(c)).collect();
+    let mut out = crate::Matrix::identity(p);
+    for i in 0..p {
+        for j in (i + 1)..p {
+            let r = correlation(&cols[i], &cols[j]).unwrap_or(0.0);
+            out[(i, j)] = r;
+            out[(j, i)] = r;
+        }
+    }
+    Ok(out)
+}
+
+/// Minimum and maximum of a slice.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for an empty slice.
+pub fn min_max(xs: &[f64]) -> Result<(f64, f64), LinalgError> {
+    if xs.is_empty() {
+        return Err(LinalgError::Empty { what: "min_max input" });
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in xs {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    Ok((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_known() {
+        assert_eq!(mean(&[2.0, 4.0, 9.0]).unwrap(), 5.0);
+        assert!(mean(&[]).is_err());
+    }
+
+    #[test]
+    fn variance_known() {
+        // Sample variance of [1, 2, 3, 4] is 5/3.
+        assert!((variance(&[1.0, 2.0, 3.0, 4.0]).unwrap() - 5.0 / 3.0).abs() < 1e-12);
+        assert!(variance(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn population_vs_sample_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let pv = population_variance(&xs).unwrap();
+        let sv = variance(&xs).unwrap();
+        assert!((pv * 4.0 - sv * 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_dev_is_sqrt_variance() {
+        let xs = [1.0, 5.0, 9.0];
+        assert!((std_dev(&xs).unwrap().powi(2) - variance(&xs).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let xs = [10.0, 20.0, 30.0];
+        assert_eq!(percentile(&xs, 0.0).unwrap(), 10.0);
+        assert_eq!(percentile(&xs, 100.0).unwrap(), 30.0);
+        assert_eq!(percentile(&xs, 50.0).unwrap(), 20.0);
+        assert!(percentile(&xs, 101.0).is_err());
+        assert!(percentile(&[f64::NAN], 50.0).is_err());
+    }
+
+    #[test]
+    fn correlation_perfect() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        assert!((correlation(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg = [6.0, 4.0, 2.0];
+        assert!((correlation(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_constant_rejected() {
+        assert!(correlation(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+        assert!(correlation(&[1.0, 2.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn covariance_matches_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((covariance(&xs, &xs).unwrap() - variance(&xs).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_matrix_known() {
+        use crate::Matrix;
+        // Column 1 = 2 * column 0 (r = 1); column 2 anti-correlates.
+        let m = Matrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 4.0, 2.0],
+            vec![3.0, 6.0, 1.0],
+        ])
+        .unwrap();
+        let r = correlation_matrix(&m).unwrap();
+        assert_eq!(r.shape(), (3, 3));
+        for i in 0..3 {
+            assert_eq!(r[(i, i)], 1.0);
+        }
+        assert!((r[(0, 1)] - 1.0).abs() < 1e-12);
+        assert!((r[(0, 2)] + 1.0).abs() < 1e-12);
+        assert_eq!(r[(1, 0)], r[(0, 1)]);
+    }
+
+    #[test]
+    fn correlation_matrix_constant_column_zeroed() {
+        use crate::Matrix;
+        let m = Matrix::from_rows(&[vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0]]).unwrap();
+        let r = correlation_matrix(&m).unwrap();
+        assert_eq!(r[(0, 1)], 0.0);
+        assert_eq!(r[(1, 1)], 1.0);
+        // Single row rejected.
+        let one = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(correlation_matrix(&one).is_err());
+    }
+
+    #[test]
+    fn min_max_known() {
+        assert_eq!(min_max(&[3.0, -1.0, 2.0]).unwrap(), (-1.0, 3.0));
+        assert!(min_max(&[]).is_err());
+    }
+}

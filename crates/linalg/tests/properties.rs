@@ -1,0 +1,143 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use hiermeans_linalg::distance::Metric;
+use hiermeans_linalg::scale::{MinMaxScaler, Standardizer};
+use hiermeans_linalg::{eigen, pca::Pca, stats, vector, Matrix};
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3..1e3f64, len)
+}
+
+fn finite_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1e3..1e3f64, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("len matches"))
+}
+
+proptest! {
+    #[test]
+    fn euclidean_metric_axioms(a in finite_vec(5), b in finite_vec(5), c in finite_vec(5)) {
+        let m = Metric::Euclidean;
+        let dab = m.distance(&a, &b).unwrap();
+        let dba = m.distance(&b, &a).unwrap();
+        let dac = m.distance(&a, &c).unwrap();
+        let dcb = m.distance(&c, &b).unwrap();
+        // Symmetry, non-negativity, identity, triangle inequality.
+        prop_assert!((dab - dba).abs() < 1e-9);
+        prop_assert!(dab >= 0.0);
+        prop_assert!(m.distance(&a, &a).unwrap() == 0.0);
+        prop_assert!(dab <= dac + dcb + 1e-9);
+    }
+
+    #[test]
+    fn manhattan_dominates_chebyshev(a in finite_vec(6), b in finite_vec(6)) {
+        let l1 = Metric::Manhattan.distance(&a, &b).unwrap();
+        let linf = Metric::Chebyshev.distance(&a, &b).unwrap();
+        let l2 = Metric::Euclidean.distance(&a, &b).unwrap();
+        // Standard norm ordering: Linf <= L2 <= L1.
+        prop_assert!(linf <= l2 + 1e-9);
+        prop_assert!(l2 <= l1 + 1e-9);
+    }
+
+    #[test]
+    fn transpose_is_involution(m in finite_matrix(4, 7)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_associates_with_identity(m in finite_matrix(3, 5)) {
+        let left = Matrix::identity(3).matmul(&m).unwrap();
+        let right = m.matmul(&Matrix::identity(5)).unwrap();
+        prop_assert_eq!(&left, &m);
+        prop_assert_eq!(&right, &m);
+    }
+
+    #[test]
+    fn dot_is_bilinear(a in finite_vec(4), b in finite_vec(4), s in -10.0..10.0f64) {
+        let lhs = vector::dot(&vector::scale(&a, s), &b).unwrap();
+        let rhs = s * vector::dot(&a, &b).unwrap();
+        prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn standardizer_roundtrips(m in finite_matrix(6, 4)) {
+        let s = Standardizer::fit(&m).unwrap();
+        let back = s.inverse_transform(&s.transform(&m).unwrap()).unwrap();
+        for (x, y) in back.as_slice().iter().zip(m.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-6 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn standardized_columns_are_zscored(m in finite_matrix(8, 3)) {
+        let z = Standardizer::fit_transform(&m).unwrap();
+        for c in 0..3 {
+            let col = z.col(c);
+            let mean = stats::mean(&col).unwrap();
+            prop_assert!(mean.abs() < 1e-7);
+            let sd = stats::std_dev(&col).unwrap();
+            // Either the column was constant (sd == 0) or it is unit sd.
+            prop_assert!(sd.abs() < 1e-7 || (sd - 1.0).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn minmax_in_unit_interval(m in finite_matrix(5, 3)) {
+        let t = MinMaxScaler::fit_transform(&m).unwrap();
+        for v in t.as_slice() {
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(v));
+        }
+    }
+
+    #[test]
+    fn jacobi_eigen_reconstructs(m in finite_matrix(4, 4)) {
+        // Symmetrize: A = (M + M^T) / 2.
+        let a = m.add(&m.transpose()).unwrap().scaled(0.5);
+        let e = eigen::jacobi_eigen(&a).unwrap();
+        // Sum of eigenvalues equals the trace.
+        let trace: f64 = (0..4).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-6 * (1.0 + trace.abs()));
+        // Residual ||A v - lambda v|| is small for each eigenpair.
+        for k in 0..4 {
+            let v = e.vectors.col(k);
+            let av = a.matvec(&v).unwrap();
+            for i in 0..4 {
+                let r = av[i] - e.values[k] * v[i];
+                prop_assert!(r.abs() < 1e-6 * (1.0 + e.values[k].abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn pca_projection_preserves_pairwise_distance_full_rank(m in finite_matrix(6, 3)) {
+        // Full-rank PCA is a rigid rotation + centering: pairwise Euclidean
+        // distances between rows are preserved exactly.
+        let pca = match Pca::fit(&m, 3) {
+            Ok(p) => p,
+            Err(_) => return Ok(()), // degenerate covariance; skip
+        };
+        let t = pca.transform(&m).unwrap();
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                let d0 = Metric::Euclidean.distance(m.row(i), m.row(j)).unwrap();
+                let d1 = Metric::Euclidean.distance(t.row(i), t.row(j)).unwrap();
+                prop_assert!((d0 - d1).abs() < 1e-6 * (1.0 + d0));
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_monotone(xs in prop::collection::vec(-1e3..1e3f64, 1..30), p in 0.0..50.0f64) {
+        let lo = stats::percentile(&xs, p).unwrap();
+        let hi = stats::percentile(&xs, 100.0 - p).unwrap();
+        prop_assert!(lo <= hi + 1e-9);
+    }
+
+    #[test]
+    fn correlation_bounded(xs in finite_vec(10), ys in finite_vec(10)) {
+        if let Ok(r) = stats::correlation(&xs, &ys) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+use hiermeans_linalg::LinalgError;
+
+/// Errors produced while building or training a self-organizing map.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SomError {
+    /// An underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+    /// The training data was empty.
+    EmptyData,
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// The parameter name.
+        name: &'static str,
+        /// Why the value was rejected.
+        reason: &'static str,
+    },
+    /// Input dimensionality did not match the trained map.
+    DimensionMismatch {
+        /// Dimensionality the map was trained with.
+        expected: usize,
+        /// Dimensionality of the offending input.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SomError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            SomError::EmptyData => write!(f, "training data is empty"),
+            SomError::InvalidConfig { name, reason } => {
+                write!(f, "invalid SOM configuration {name}: {reason}")
+            }
+            SomError::DimensionMismatch { expected, actual } => {
+                write!(f, "input has dimension {actual}, map expects {expected}")
+            }
+        }
+    }
+}
+
+impl Error for SomError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SomError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for SomError {
+    fn from(e: LinalgError) -> Self {
+        SomError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(SomError::EmptyData.to_string(), "training data is empty");
+        let e = SomError::DimensionMismatch {
+            expected: 3,
+            actual: 5,
+        };
+        assert_eq!(e.to_string(), "input has dimension 5, map expects 3");
+    }
+
+    #[test]
+    fn from_linalg_preserves_source() {
+        let e: SomError = LinalgError::Empty { what: "rows" }.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

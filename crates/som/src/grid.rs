@@ -1,0 +1,337 @@
+//! The 2-D lattice of SOM units.
+//!
+//! Each unit has a *location vector* `r_i` on the map plane (the paper's
+//! Figure 1). The distance `||r_c - r_i||` between locations drives the
+//! neighborhood kernel during training.
+
+use serde::{Deserialize, Serialize};
+
+/// The lattice arrangement of units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+#[derive(Default)]
+pub enum GridTopology {
+    /// Square lattice; location vectors are integer `(x, y)` coordinates.
+    #[default]
+    Rectangular,
+    /// Hexagonal lattice; odd rows are shifted by half a unit and rows are
+    /// `sqrt(3)/2` apart, so each unit has six equidistant neighbors.
+    Hexagonal,
+    /// Square lattice with wrap-around edges: unit distances are computed
+    /// on the torus, eliminating the border effect (edge units otherwise
+    /// have fewer neighbors and attract outliers). Note that the *location
+    /// vectors* exposed to downstream clustering are still planar
+    /// coordinates, so the clustering stage keeps its Euclidean metric.
+    Toroidal,
+}
+
+
+/// A fixed `width x height` lattice of SOM units.
+///
+/// Units are indexed row-major: unit `i` sits at column `i % width`, row
+/// `i / width`.
+///
+/// # Example
+///
+/// ```
+/// use hiermeans_som::{Grid, GridTopology};
+///
+/// let g = Grid::new(8, 8, GridTopology::Rectangular);
+/// assert_eq!(g.len(), 64);
+/// assert_eq!(g.coords(9), (1, 1));
+/// assert!((g.unit_distance(0, 9) - 2f64.sqrt()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Grid {
+    width: usize,
+    height: usize,
+    topology: GridTopology,
+}
+
+impl Grid {
+    /// Creates a `width x height` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is zero; construct grids through
+    /// [`crate::SomBuilder`] for a fallible interface.
+    pub fn new(width: usize, height: usize, topology: GridTopology) -> Self {
+        assert!(width > 0 && height > 0, "grid dimensions must be positive");
+        Grid {
+            width,
+            height,
+            topology,
+        }
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The lattice arrangement.
+    pub fn topology(&self) -> GridTopology {
+        self.topology
+    }
+
+    /// Total number of units.
+    pub fn len(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Returns `true` if the grid has no units (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Integer `(column, row)` coordinates of unit `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn coords(&self, index: usize) -> (usize, usize) {
+        assert!(index < self.len(), "unit index out of bounds");
+        (index % self.width, index / self.width)
+    }
+
+    /// Unit index at integer `(column, row)` coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are outside the grid.
+    pub fn index(&self, col: usize, row: usize) -> usize {
+        assert!(col < self.width && row < self.height, "coords out of bounds");
+        row * self.width + col
+    }
+
+    /// The location vector `r_i` of unit `index` on the map plane.
+    pub fn location(&self, index: usize) -> [f64; 2] {
+        let (col, row) = self.coords(index);
+        match self.topology {
+            GridTopology::Rectangular | GridTopology::Toroidal => [col as f64, row as f64],
+            GridTopology::Hexagonal => {
+                let x = col as f64 + if row % 2 == 1 { 0.5 } else { 0.0 };
+                let y = row as f64 * (3.0f64.sqrt() / 2.0);
+                [x, y]
+            }
+        }
+    }
+
+    /// Distance between the location vectors of two units: Euclidean, except
+    /// on the torus, where each axis wraps around the grid edge.
+    pub fn unit_distance(&self, a: usize, b: usize) -> f64 {
+        let ra = self.location(a);
+        let rb = self.location(b);
+        let mut dx = (ra[0] - rb[0]).abs();
+        let mut dy = (ra[1] - rb[1]).abs();
+        if self.topology == GridTopology::Toroidal {
+            dx = dx.min(self.width as f64 - dx);
+            dy = dy.min(self.height as f64 - dy);
+        }
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Indices of the immediate lattice neighbors of `index`.
+    ///
+    /// For rectangular grids these are the 4-connected neighbors; for
+    /// hexagonal grids the (up to) 6 adjacent cells.
+    pub fn neighbors(&self, index: usize) -> Vec<usize> {
+        let (col, row) = self.coords(index);
+        let (c, r) = (col as isize, row as isize);
+        let (w, h) = (self.width as isize, self.height as isize);
+        if self.topology == GridTopology::Toroidal {
+            // Wrap-around 4-connectivity; dedupe for degenerate 1- or 2-wide
+            // grids where wrapping collides.
+            let mut out: Vec<usize> = [(c - 1, r), (c + 1, r), (c, r - 1), (c, r + 1)]
+                .into_iter()
+                .map(|(cc, rr)| {
+                    self.index(cc.rem_euclid(w) as usize, rr.rem_euclid(h) as usize)
+                })
+                .filter(|&n| n != index)
+                .collect();
+            out.sort_unstable();
+            out.dedup();
+            return out;
+        }
+        let candidates: Vec<(isize, isize)> = match self.topology {
+            GridTopology::Rectangular | GridTopology::Toroidal => {
+                vec![(c - 1, r), (c + 1, r), (c, r - 1), (c, r + 1)]
+            }
+            GridTopology::Hexagonal => {
+                // Offset coordinates: odd rows are shifted right.
+                if row % 2 == 0 {
+                    vec![
+                        (c - 1, r),
+                        (c + 1, r),
+                        (c - 1, r - 1),
+                        (c, r - 1),
+                        (c - 1, r + 1),
+                        (c, r + 1),
+                    ]
+                } else {
+                    vec![
+                        (c - 1, r),
+                        (c + 1, r),
+                        (c, r - 1),
+                        (c + 1, r - 1),
+                        (c, r + 1),
+                        (c + 1, r + 1),
+                    ]
+                }
+            }
+        };
+        candidates
+            .into_iter()
+            .filter(|&(cc, rr)| {
+                cc >= 0 && rr >= 0 && (cc as usize) < self.width && (rr as usize) < self.height
+            })
+            .map(|(cc, rr)| self.index(cc as usize, rr as usize))
+            .collect()
+    }
+
+    /// Returns `true` if units `a` and `b` are immediate lattice neighbors.
+    pub fn are_neighbors(&self, a: usize, b: usize) -> bool {
+        self.neighbors(a).contains(&b)
+    }
+
+    /// The longest distance between any two unit locations (the map
+    /// "diameter"), used to pick initial neighborhood radii. On the torus
+    /// this is half the wrap-around extent per axis.
+    pub fn diameter(&self) -> f64 {
+        if self.topology == GridTopology::Toroidal {
+            let dx = self.width as f64 / 2.0;
+            let dy = self.height as f64 / 2.0;
+            return (dx * dx + dy * dy).sqrt();
+        }
+        self.unit_distance(0, self.len() - 1)
+            .max(self.unit_distance(self.index(self.width - 1, 0), self.index(0, self.height - 1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_roundtrip() {
+        let g = Grid::new(5, 3, GridTopology::Rectangular);
+        for i in 0..g.len() {
+            let (c, r) = g.coords(i);
+            assert_eq!(g.index(c, r), i);
+        }
+    }
+
+    #[test]
+    fn rectangular_distances() {
+        let g = Grid::new(4, 4, GridTopology::Rectangular);
+        assert_eq!(g.unit_distance(0, 1), 1.0);
+        assert_eq!(g.unit_distance(0, 4), 1.0);
+        assert!((g.unit_distance(0, 5) - 2f64.sqrt()).abs() < 1e-12);
+        assert_eq!(g.unit_distance(2, 2), 0.0);
+    }
+
+    #[test]
+    fn hexagonal_neighbors_equidistant() {
+        let g = Grid::new(5, 5, GridTopology::Hexagonal);
+        let center = g.index(2, 2);
+        let ns = g.neighbors(center);
+        assert_eq!(ns.len(), 6);
+        for n in ns {
+            assert!((g.unit_distance(center, n) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rectangular_neighbors_edge_cases() {
+        let g = Grid::new(3, 3, GridTopology::Rectangular);
+        assert_eq!(g.neighbors(0).len(), 2); // corner
+        assert_eq!(g.neighbors(1).len(), 3); // edge
+        assert_eq!(g.neighbors(4).len(), 4); // center
+    }
+
+    #[test]
+    fn are_neighbors_symmetric() {
+        for topo in [GridTopology::Rectangular, GridTopology::Hexagonal] {
+            let g = Grid::new(4, 4, topo);
+            for a in 0..g.len() {
+                for b in 0..g.len() {
+                    assert_eq!(g.are_neighbors(a, b), g.are_neighbors(b, a), "{topo:?} {a} {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_positive() {
+        let g = Grid::new(8, 8, GridTopology::Rectangular);
+        assert!(g.diameter() >= 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid dimensions must be positive")]
+    fn zero_width_panics() {
+        let _ = Grid::new(0, 3, GridTopology::Rectangular);
+    }
+
+    #[test]
+    #[should_panic(expected = "unit index out of bounds")]
+    fn coords_out_of_bounds_panics() {
+        let g = Grid::new(2, 2, GridTopology::Rectangular);
+        let _ = g.coords(4);
+    }
+
+    #[test]
+    fn default_topology_is_rectangular() {
+        assert_eq!(GridTopology::default(), GridTopology::Rectangular);
+    }
+
+    #[test]
+    fn toroidal_distances_wrap() {
+        let g = Grid::new(6, 6, GridTopology::Toroidal);
+        // Opposite edges are one step apart on the torus.
+        assert_eq!(g.unit_distance(g.index(0, 0), g.index(5, 0)), 1.0);
+        assert_eq!(g.unit_distance(g.index(0, 0), g.index(0, 5)), 1.0);
+        // The farthest point is the center of the torus.
+        assert!((g.unit_distance(g.index(0, 0), g.index(3, 3)) - 18f64.sqrt()).abs() < 1e-12);
+        assert!((g.diameter() - 18f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn toroidal_every_unit_has_four_neighbors() {
+        let g = Grid::new(5, 4, GridTopology::Toroidal);
+        for u in 0..g.len() {
+            assert_eq!(g.neighbors(u).len(), 4, "unit {u}");
+        }
+        // Corners wrap to the opposite edges.
+        let corner = g.index(0, 0);
+        let ns = g.neighbors(corner);
+        assert!(ns.contains(&g.index(4, 0)));
+        assert!(ns.contains(&g.index(0, 3)));
+    }
+
+    #[test]
+    fn toroidal_neighbors_symmetric_and_dedup() {
+        let g = Grid::new(2, 2, GridTopology::Toroidal);
+        for a in 0..g.len() {
+            let ns = g.neighbors(a);
+            // 2x2 torus: left/right wrap collide, so only 2 distinct.
+            assert_eq!(ns.len(), 2, "unit {a}: {ns:?}");
+            for b in ns {
+                assert!(g.neighbors(b).contains(&a));
+            }
+        }
+    }
+
+    #[test]
+    fn hex_row_spacing() {
+        let g = Grid::new(3, 3, GridTopology::Hexagonal);
+        let a = g.location(g.index(0, 0));
+        let b = g.location(g.index(0, 2));
+        assert!((b[1] - a[1] - 3.0f64.sqrt()).abs() < 1e-12);
+    }
+}

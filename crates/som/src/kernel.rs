@@ -1,0 +1,175 @@
+//! Neighborhood kernels.
+//!
+//! The paper's weight update is `w_i(n+1) = w_i(n) + h_ci(n) [x(n) - w_i(n)]`
+//! with `h_ci(n) = α(n) · exp(-||r_c - r_i||² / 2σ²(n))` — the
+//! [`NeighborhoodKernel::Gaussian`] kernel. Bubble and cut-Gaussian variants
+//! are standard alternatives (Kohonen 2006) included for ablation.
+
+use serde::{Deserialize, Serialize};
+
+/// The neighborhood function `h(d, σ)` giving the *spatial* part of the
+/// update magnitude for a unit at lattice distance `d` from the BMU. The
+/// learning-rate factor `α(n)` is applied separately by the trainer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum NeighborhoodKernel {
+    /// `exp(-d² / 2σ²)` — the paper's h_ci (without the α factor).
+    Gaussian,
+    /// 1 inside the radius σ, 0 outside.
+    Bubble,
+    /// Gaussian inside the radius σ, hard 0 outside (bounded support, so
+    /// distant units are never touched).
+    CutGaussian,
+}
+
+impl NeighborhoodKernel {
+    /// Evaluates the kernel at lattice distance `d` with radius `sigma`.
+    ///
+    /// Returns 0 for non-positive `sigma` except at `d == 0`, where the BMU
+    /// itself always receives a full-strength update.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hiermeans_som::NeighborhoodKernel;
+    ///
+    /// let k = NeighborhoodKernel::Gaussian;
+    /// assert_eq!(k.value(0.0, 1.0), 1.0);
+    /// assert!(k.value(1.0, 1.0) < 1.0);
+    /// ```
+    pub fn value(&self, d: f64, sigma: f64) -> f64 {
+        debug_assert!(d >= 0.0, "lattice distance must be non-negative");
+        if d == 0.0 {
+            return 1.0;
+        }
+        if sigma <= 0.0 {
+            return 0.0;
+        }
+        match self {
+            NeighborhoodKernel::Gaussian => (-d * d / (2.0 * sigma * sigma)).exp(),
+            NeighborhoodKernel::Bubble => {
+                if d <= sigma {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            NeighborhoodKernel::CutGaussian => {
+                if d <= sigma {
+                    (-d * d / (2.0 * sigma * sigma)).exp()
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// The lattice radius beyond which the kernel is negligible (`< cutoff`),
+    /// used to skip far-away units during training.
+    pub fn support_radius(&self, sigma: f64, cutoff: f64) -> f64 {
+        match self {
+            NeighborhoodKernel::Bubble | NeighborhoodKernel::CutGaussian => sigma,
+            NeighborhoodKernel::Gaussian => {
+                if cutoff <= 0.0 || cutoff >= 1.0 {
+                    return f64::INFINITY;
+                }
+                // exp(-d²/2σ²) = cutoff  =>  d = σ sqrt(-2 ln cutoff)
+                sigma * (-2.0 * cutoff.ln()).sqrt()
+            }
+        }
+    }
+}
+
+impl Default for NeighborhoodKernel {
+    /// The paper's Gaussian kernel.
+    fn default() -> Self {
+        NeighborhoodKernel::Gaussian
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bmu_always_full_strength() {
+        for k in [
+            NeighborhoodKernel::Gaussian,
+            NeighborhoodKernel::Bubble,
+            NeighborhoodKernel::CutGaussian,
+        ] {
+            assert_eq!(k.value(0.0, 1.0), 1.0);
+            assert_eq!(k.value(0.0, 0.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn gaussian_matches_formula() {
+        let k = NeighborhoodKernel::Gaussian;
+        let v = k.value(2.0, 1.5);
+        let expect = (-4.0f64 / (2.0 * 2.25)).exp();
+        assert!((v - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_monotone_decreasing_in_distance() {
+        let k = NeighborhoodKernel::Gaussian;
+        let mut prev = k.value(0.0, 2.0);
+        for i in 1..10 {
+            let v = k.value(i as f64, 2.0);
+            assert!(v < prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn bubble_is_indicator() {
+        let k = NeighborhoodKernel::Bubble;
+        assert_eq!(k.value(0.9, 1.0), 1.0);
+        assert_eq!(k.value(1.0, 1.0), 1.0);
+        assert_eq!(k.value(1.1, 1.0), 0.0);
+    }
+
+    #[test]
+    fn cut_gaussian_truncates() {
+        let k = NeighborhoodKernel::CutGaussian;
+        assert!(k.value(0.5, 1.0) > 0.0);
+        assert_eq!(k.value(1.5, 1.0), 0.0);
+        // Inside the support it matches the Gaussian.
+        assert_eq!(
+            k.value(0.5, 1.0),
+            NeighborhoodKernel::Gaussian.value(0.5, 1.0)
+        );
+    }
+
+    #[test]
+    fn zero_sigma_kills_neighbors() {
+        for k in [
+            NeighborhoodKernel::Gaussian,
+            NeighborhoodKernel::Bubble,
+            NeighborhoodKernel::CutGaussian,
+        ] {
+            assert_eq!(k.value(1.0, 0.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn support_radius_gaussian() {
+        let k = NeighborhoodKernel::Gaussian;
+        let r = k.support_radius(2.0, 0.01);
+        // Value at the support radius equals the cutoff.
+        assert!((k.value(r, 2.0) - 0.01).abs() < 1e-9);
+        assert_eq!(k.support_radius(2.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn support_radius_bounded_kernels() {
+        assert_eq!(NeighborhoodKernel::Bubble.support_radius(3.0, 0.01), 3.0);
+        assert_eq!(NeighborhoodKernel::CutGaussian.support_radius(3.0, 0.01), 3.0);
+    }
+
+    #[test]
+    fn default_is_gaussian() {
+        assert_eq!(NeighborhoodKernel::default(), NeighborhoodKernel::Gaussian);
+    }
+}

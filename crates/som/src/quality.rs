@@ -1,0 +1,136 @@
+//! Map quality metrics.
+//!
+//! * **Quantization error** — mean distance between each sample and its BMU's
+//!   weight vector; measures how faithfully the codebook represents the data.
+//! * **Topographic error** — fraction of samples whose best and second-best
+//!   units are *not* lattice neighbors; measures how well the map preserves
+//!   topology (the property the paper relies on: "two vectors that were close
+//!   in the original n-dimension appear closer").
+
+use hiermeans_linalg::Matrix;
+
+use crate::train::Som;
+use crate::SomError;
+
+/// Mean distance from each row of `data` to its BMU weight vector.
+///
+/// # Errors
+///
+/// Returns [`SomError::EmptyData`] for empty data and propagates dimension
+/// mismatches.
+///
+/// # Example
+///
+/// ```
+/// use hiermeans_linalg::Matrix;
+/// use hiermeans_som::{quality, SomBuilder};
+///
+/// # fn main() -> Result<(), hiermeans_som::SomError> {
+/// let data = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]])?;
+/// let som = SomBuilder::new(3, 3).seed(1).epochs(50).train(&data)?;
+/// let qe = quality::quantization_error(&som, &data)?;
+/// assert!(qe < 0.5); // two samples, nine units: near-perfect fit
+/// # Ok(())
+/// # }
+/// ```
+pub fn quantization_error(som: &Som, data: &Matrix) -> Result<f64, SomError> {
+    if data.is_empty() {
+        return Err(SomError::EmptyData);
+    }
+    let mut total = 0.0;
+    for row in data.rows_iter() {
+        let bmu = som.bmu(row)?;
+        total += som
+            .metric()
+            .distance(row, som.weights().row(bmu))
+            .map_err(SomError::Linalg)?;
+    }
+    Ok(total / data.nrows() as f64)
+}
+
+/// Fraction of rows whose best and second-best matching units are not
+/// immediate lattice neighbors, in `[0, 1]` (lower is better).
+///
+/// # Errors
+///
+/// Returns [`SomError::EmptyData`] for empty data, and
+/// [`SomError::InvalidConfig`] if the map has fewer than two units.
+pub fn topographic_error(som: &Som, data: &Matrix) -> Result<f64, SomError> {
+    if data.is_empty() {
+        return Err(SomError::EmptyData);
+    }
+    let mut errors = 0usize;
+    for row in data.rows_iter() {
+        let (b1, b2) = som.bmu2(row)?;
+        if !som.grid().are_neighbors(b1, b2) {
+            errors += 1;
+        }
+    }
+    Ok(errors as f64 / data.nrows() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SomBuilder;
+
+    fn data() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.2, 0.1],
+            vec![1.0, 1.0],
+            vec![0.8, 0.9],
+            vec![0.5, 0.5],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn quantization_error_decreases_with_training() {
+        let short = SomBuilder::new(4, 4).seed(5).epochs(1).train(&data()).unwrap();
+        let long = SomBuilder::new(4, 4).seed(5).epochs(200).train(&data()).unwrap();
+        let qe_short = quantization_error(&short, &data()).unwrap();
+        let qe_long = quantization_error(&long, &data()).unwrap();
+        assert!(
+            qe_long <= qe_short + 1e-9,
+            "training should not increase QE: {qe_short} -> {qe_long}"
+        );
+    }
+
+    #[test]
+    fn quantization_error_nonnegative() {
+        let som = SomBuilder::new(3, 3).seed(1).epochs(10).train(&data()).unwrap();
+        assert!(quantization_error(&som, &data()).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn topographic_error_in_unit_interval() {
+        let som = SomBuilder::new(3, 3).seed(1).epochs(30).train(&data()).unwrap();
+        let te = topographic_error(&som, &data()).unwrap();
+        assert!((0.0..=1.0).contains(&te));
+    }
+
+    #[test]
+    fn errors_on_empty_data() {
+        let som = SomBuilder::new(3, 3).seed(1).epochs(5).train(&data()).unwrap();
+        let empty = Matrix::zeros(0, 2);
+        assert!(matches!(
+            quantization_error(&som, &empty).unwrap_err(),
+            SomError::EmptyData
+        ));
+        assert!(matches!(
+            topographic_error(&som, &empty).unwrap_err(),
+            SomError::EmptyData
+        ));
+    }
+
+    #[test]
+    fn perfect_codebook_zero_qe() {
+        // Train long enough on two points with a big map: the BMU weights
+        // converge onto the points themselves.
+        let two = Matrix::from_rows(&[vec![0.0, 0.0], vec![10.0, 10.0]]).unwrap();
+        let som = SomBuilder::new(5, 5).seed(2).epochs(400).train(&two).unwrap();
+        let qe = quantization_error(&som, &two).unwrap();
+        assert!(qe < 0.2, "qe={qe}");
+    }
+}

@@ -1,0 +1,140 @@
+//! Decay schedules for the learning rate α(n) and neighborhood radius σ(n).
+//!
+//! The paper requires both to "monotonically decrease as we progress for each
+//! learning step n" (Section III-A, Figure 2).
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically non-increasing schedule evaluated at training progress
+/// `t = step / total ∈ [0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DecaySchedule {
+    /// Linear interpolation from `start` to `end`.
+    Linear {
+        /// Value at step 0.
+        start: f64,
+        /// Value at the final step.
+        end: f64,
+    },
+    /// Exponential decay `start · (end/start)^t`; requires positive `start`
+    /// and `end`.
+    Exponential {
+        /// Value at step 0.
+        start: f64,
+        /// Value at the final step.
+        end: f64,
+    },
+    /// Inverse-time decay `start · c / (c + step)` — Kohonen's classic
+    /// schedule; slower-than-exponential tail.
+    InverseTime {
+        /// Value at step 0.
+        start: f64,
+        /// The "half-life" constant in steps.
+        c: f64,
+    },
+}
+
+impl DecaySchedule {
+    /// Evaluates the schedule at `step` of `total` steps.
+    ///
+    /// Out-of-range steps are clamped: steps past `total` return the final
+    /// value. `total == 0` returns the start value.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hiermeans_som::DecaySchedule;
+    ///
+    /// let s = DecaySchedule::Linear { start: 1.0, end: 0.0 };
+    /// assert_eq!(s.at(0, 10), 1.0);
+    /// assert_eq!(s.at(5, 10), 0.5);
+    /// assert_eq!(s.at(10, 10), 0.0);
+    /// ```
+    pub fn at(&self, step: usize, total: usize) -> f64 {
+        let t = if total == 0 {
+            0.0
+        } else {
+            (step.min(total)) as f64 / total as f64
+        };
+        match *self {
+            DecaySchedule::Linear { start, end } => start + t * (end - start),
+            DecaySchedule::Exponential { start, end } => {
+                debug_assert!(start > 0.0 && end > 0.0, "exponential decay needs positive endpoints");
+                start * (end / start).powf(t)
+            }
+            DecaySchedule::InverseTime { start, c } => start * c / (c + step as f64),
+        }
+    }
+
+    /// Returns `true` if the schedule is non-increasing (sanity check used by
+    /// the trainer's debug assertions).
+    pub fn is_monotone_decreasing(&self, total: usize) -> bool {
+        let mut prev = f64::INFINITY;
+        for step in 0..=total {
+            let v = self.at(step, total);
+            if v > prev + 1e-12 {
+                return false;
+            }
+            prev = v;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_endpoints() {
+        let s = DecaySchedule::Linear { start: 0.8, end: 0.1 };
+        assert_eq!(s.at(0, 100), 0.8);
+        assert!((s.at(100, 100) - 0.1).abs() < 1e-12);
+        assert!((s.at(50, 100) - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_endpoints() {
+        let s = DecaySchedule::Exponential { start: 1.0, end: 0.01 };
+        assert_eq!(s.at(0, 10), 1.0);
+        assert!((s.at(10, 10) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_time_halves_at_c() {
+        let s = DecaySchedule::InverseTime { start: 1.0, c: 50.0 };
+        assert_eq!(s.at(0, 100), 1.0);
+        assert!((s.at(50, 100) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_schedules_monotone() {
+        let schedules = [
+            DecaySchedule::Linear { start: 1.0, end: 0.0 },
+            DecaySchedule::Exponential { start: 0.5, end: 0.001 },
+            DecaySchedule::InverseTime { start: 0.9, c: 10.0 },
+        ];
+        for s in schedules {
+            assert!(s.is_monotone_decreasing(200), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn increasing_linear_detected() {
+        let s = DecaySchedule::Linear { start: 0.0, end: 1.0 };
+        assert!(!s.is_monotone_decreasing(10));
+    }
+
+    #[test]
+    fn clamps_past_total() {
+        let s = DecaySchedule::Linear { start: 1.0, end: 0.0 };
+        assert_eq!(s.at(20, 10), 0.0);
+    }
+
+    #[test]
+    fn zero_total_returns_start() {
+        let s = DecaySchedule::Linear { start: 0.7, end: 0.0 };
+        assert_eq!(s.at(0, 0), 0.7);
+    }
+}

@@ -1,0 +1,79 @@
+//! Horizontal ASCII bar charts, used to plot score-vs-cluster-count series.
+
+/// Renders labeled values as horizontal bars scaled to `width` characters.
+///
+/// Bars are scaled between the minimum and maximum value (a degenerate
+/// constant series renders full-width bars). Values are printed next to
+/// each bar.
+///
+/// # Panics
+///
+/// Panics if `labels` and `values` lengths differ or `width == 0`.
+///
+/// # Example
+///
+/// ```
+/// use hiermeans_viz::barchart::render;
+///
+/// let s = render(&["k=2", "k=3"], &[1.25, 1.20], 20);
+/// assert!(s.contains("k=2"));
+/// assert!(s.contains("1.250"));
+/// ```
+pub fn render(labels: &[&str], values: &[f64], width: usize) -> String {
+    assert_eq!(labels.len(), values.len(), "one label per value is required");
+    assert!(width > 0, "chart width must be positive");
+    let label_width = labels.iter().map(|l| l.chars().count()).max().unwrap_or(0);
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut out = String::new();
+    for (label, &v) in labels.iter().zip(values) {
+        let t = if hi > lo { (v - lo) / (hi - lo) } else { 1.0 };
+        // Keep at least one glyph so every bar is visible.
+        let bars = 1 + (t * (width - 1) as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:<label_width$} | {} {v:.3}\n",
+            "#".repeat(bars)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_with_values() {
+        let s = render(&["a", "b", "c"], &[1.0, 2.0, 3.0], 10);
+        let counts: Vec<usize> = s.lines().map(|l| l.matches('#').count()).collect();
+        assert!(counts[0] < counts[1] && counts[1] < counts[2]);
+        assert_eq!(counts[2], 10);
+        assert_eq!(counts[0], 1);
+    }
+
+    #[test]
+    fn constant_series_full_bars() {
+        let s = render(&["x", "y"], &[5.0, 5.0], 8);
+        for l in s.lines() {
+            assert_eq!(l.matches('#').count(), 8);
+        }
+    }
+
+    #[test]
+    fn labels_aligned() {
+        let s = render(&["short", "a-much-longer-label"], &[1.0, 2.0], 5);
+        let bars: Vec<usize> = s.lines().map(|l| l.find('|').unwrap()).collect();
+        assert_eq!(bars[0], bars[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per value")]
+    fn mismatched_lengths_panic() {
+        render(&["a"], &[1.0, 2.0], 10);
+    }
+
+    #[test]
+    fn empty_series_renders_empty() {
+        assert_eq!(render(&[], &[], 10), "");
+    }
+}

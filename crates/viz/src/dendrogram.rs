@@ -1,0 +1,327 @@
+//! Dendrogram rendering (paper Figures 4, 6, 8).
+//!
+//! Two views are provided: a merge *tree* (indented outline annotated with
+//! merging distances, leaves at the deepest level) and a flat *cut listing*
+//! showing which clusters form at a chosen merging distance or cluster
+//! count.
+
+use hiermeans_cluster::{ClusterAssignment, Dendrogram};
+
+/// Renders the full merge tree as an indented outline. Each internal node
+/// shows its merging distance; subtrees are drawn with box-drawing guides.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != dendrogram.n_leaves()`.
+///
+/// # Example
+///
+/// ```
+/// use hiermeans_cluster::{Dendrogram, Merge};
+/// use hiermeans_viz::dendrogram::render_tree;
+///
+/// let d = Dendrogram::new(3, vec![
+///     Merge { left: 0, right: 1, distance: 1.0, size: 2 },
+///     Merge { left: 3, right: 2, distance: 4.0, size: 3 },
+/// ]).unwrap();
+/// let s = render_tree(&d, &["fft", "lu", "chart"]);
+/// assert!(s.contains("4.00") && s.contains("fft"));
+/// ```
+pub fn render_tree(dendrogram: &Dendrogram, labels: &[&str]) -> String {
+    assert_eq!(
+        labels.len(),
+        dendrogram.n_leaves(),
+        "one label per leaf is required"
+    );
+    let n = dendrogram.n_leaves();
+    if dendrogram.merges().is_empty() {
+        return format!("{}\n", labels[0]);
+    }
+    let root = n + dendrogram.merges().len() - 1;
+    let mut out = String::new();
+    render_node(dendrogram, labels, root, "", "", &mut out);
+    out
+}
+
+fn render_node(
+    dendrogram: &Dendrogram,
+    labels: &[&str],
+    id: usize,
+    prefix: &str,
+    child_prefix: &str,
+    out: &mut String,
+) {
+    let n = dendrogram.n_leaves();
+    if id < n {
+        out.push_str(&format!("{prefix}{}\n", labels[id]));
+        return;
+    }
+    let merge = &dendrogram.merges()[id - n];
+    out.push_str(&format!("{prefix}+ d={:.2}\n", merge.distance));
+    render_node(
+        dendrogram,
+        labels,
+        merge.left,
+        &format!("{child_prefix}|-- "),
+        &format!("{child_prefix}|   "),
+        out,
+    );
+    render_node(
+        dendrogram,
+        labels,
+        merge.right,
+        &format!("{child_prefix}`-- "),
+        &format!("{child_prefix}    "),
+        out,
+    );
+}
+
+/// Renders the flat clusters of an assignment, one cluster per line, with
+/// an optional caption (e.g. the merging distance of the cut).
+///
+/// # Panics
+///
+/// Panics if `labels.len() != assignment.len()`.
+pub fn render_cut(assignment: &ClusterAssignment, labels: &[&str], caption: &str) -> String {
+    assert_eq!(
+        labels.len(),
+        assignment.len(),
+        "one label per point is required"
+    );
+    let mut out = String::new();
+    if !caption.is_empty() {
+        out.push_str(caption);
+        out.push('\n');
+    }
+    for (c, members) in assignment.clusters().iter().enumerate() {
+        let names: Vec<&str> = members.iter().map(|&i| labels[i]).collect();
+        out.push_str(&format!("  cluster {:>2}: {{{}}}\n", c + 1, names.join(", ")));
+    }
+    out
+}
+
+/// Renders a horizontal dendrogram with distance-proportional geometry —
+/// the closest ASCII analogue of the paper's Figures 4, 6 and 8 (leaves on
+/// the left, merge brackets at a column proportional to merging distance).
+///
+/// ```text
+/// fft    --+
+/// lu     --+---------+
+/// chart  ----+       |
+/// xalan  ----+-------+
+/// ```
+///
+/// # Panics
+///
+/// Panics if `labels.len() != dendrogram.n_leaves()` or `width == 0`.
+pub fn render_proportional(dendrogram: &Dendrogram, labels: &[&str], width: usize) -> String {
+    assert_eq!(
+        labels.len(),
+        dendrogram.n_leaves(),
+        "one label per leaf is required"
+    );
+    assert!(width > 0, "chart width must be positive");
+    let n = dendrogram.n_leaves();
+    if dendrogram.merges().is_empty() {
+        return format!("{}\n", labels[0]);
+    }
+    let max_distance = dendrogram
+        .merges()
+        .iter()
+        .map(|m| m.distance)
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let column = |d: f64| 1 + ((d / max_distance) * (width - 1) as f64).round() as usize;
+
+    // Draw leaves in dendrogram order; each cluster id has a current row
+    // (midpoint of its span) and the column its bracket reaches.
+    let order = dendrogram.leaf_order();
+    let label_width = labels.iter().map(|l| l.chars().count()).max().unwrap_or(0);
+    let rows = 2 * n - 1; // leaves on even rows, connectors between
+    let total_width = label_width + 2 + width + 2;
+    let mut canvas = vec![vec![' '; total_width]; rows];
+
+    // Leaf rows and labels.
+    let mut row_of: Vec<usize> = vec![0; n + dendrogram.merges().len()];
+    let mut col_of: Vec<usize> = vec![label_width + 1; n + dendrogram.merges().len()];
+    for (slot, &leaf) in order.iter().enumerate() {
+        let row = 2 * slot;
+        row_of[leaf] = row;
+        for (i, ch) in labels[leaf].chars().enumerate() {
+            canvas[row][i] = ch;
+        }
+    }
+    for (m, merge) in dendrogram.merges().iter().enumerate() {
+        let col = label_width + 1 + column(merge.distance);
+        let (ra, ca) = (row_of[merge.left], col_of[merge.left]);
+        let (rb, cb) = (row_of[merge.right], col_of[merge.right]);
+        // Horizontal stems from each child to the merge column.
+        for (r, c0) in [(ra, ca), (rb, cb)] {
+            for cell in canvas[r].iter_mut().take(col).skip(c0) {
+                if *cell == ' ' {
+                    *cell = '-';
+                }
+            }
+        }
+        // Vertical bracket.
+        let (top, bottom) = (ra.min(rb), ra.max(rb));
+        for row in canvas.iter_mut().take(bottom + 1).skip(top) {
+            if row[col] == ' ' || row[col] == '-' {
+                row[col] = '|';
+            }
+        }
+        canvas[ra][col] = '+';
+        canvas[rb][col] = '+';
+        let new_id = n + m;
+        row_of[new_id] = (top + bottom) / 2;
+        col_of[new_id] = col;
+        canvas[row_of[new_id]][col] = '+';
+    }
+
+    let mut out = String::new();
+    for row in canvas {
+        let line: String = row.into_iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{}0{}{max_distance:.2}\n",
+        " ".repeat(label_width + 1),
+        " ".repeat(width.saturating_sub(1)),
+    ));
+    out
+}
+
+/// Renders the paper's dendrogram protocol: the merge tree plus the flat
+/// cuts at each cluster count in `ks`.
+///
+/// # Panics
+///
+/// Panics on label-length mismatch; out-of-range `ks` entries are skipped.
+pub fn render_with_cuts(dendrogram: &Dendrogram, labels: &[&str], ks: &[usize]) -> String {
+    let mut out = render_tree(dendrogram, labels);
+    for &k in ks {
+        if let Ok(cut) = dendrogram.cut_into(k) {
+            let threshold = dendrogram.threshold_for(k).unwrap_or(0.0);
+            out.push('\n');
+            out.push_str(&render_cut(
+                &cut,
+                labels,
+                &format!("{k} clusters (merging distance {threshold:.2}):"),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiermeans_cluster::Merge;
+
+    fn sample() -> Dendrogram {
+        Dendrogram::new(
+            4,
+            vec![
+                Merge { left: 0, right: 1, distance: 1.0, size: 2 },
+                Merge { left: 2, right: 3, distance: 2.0, size: 2 },
+                Merge { left: 4, right: 5, distance: 5.0, size: 4 },
+            ],
+        )
+        .unwrap()
+    }
+
+    const LABELS: [&str; 4] = ["fft", "lu", "chart", "xalan"];
+
+    #[test]
+    fn tree_contains_all_leaves_and_distances() {
+        let s = render_tree(&sample(), &LABELS);
+        for l in LABELS {
+            assert!(s.contains(l), "{s}");
+        }
+        for d in ["1.00", "2.00", "5.00"] {
+            assert!(s.contains(d), "{s}");
+        }
+    }
+
+    #[test]
+    fn tree_structure_nested() {
+        let s = render_tree(&sample(), &LABELS);
+        // Root first, leaves indented deeper than their parents.
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("+ d=5.00"));
+        assert!(lines.iter().any(|l| l.contains("|-- + d=1.00")));
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let d = Dendrogram::new(1, vec![]).unwrap();
+        assert_eq!(render_tree(&d, &["only"]), "only\n");
+    }
+
+    #[test]
+    fn cut_lists_clusters() {
+        let cut = sample().cut_into(2).unwrap();
+        let s = render_cut(&cut, &LABELS, "two clusters:");
+        assert!(s.starts_with("two clusters:"));
+        assert!(s.contains("{fft, lu}"));
+        assert!(s.contains("{chart, xalan}"));
+    }
+
+    #[test]
+    fn proportional_renders_all_leaves_and_scale() {
+        let s = render_proportional(&sample(), &LABELS, 40);
+        for l in LABELS {
+            assert!(s.contains(l), "{s}");
+        }
+        // Scale footer shows 0 and the maximum distance.
+        assert!(s.contains("5.00"));
+        // Brackets present.
+        assert!(s.contains('+') && s.contains('|'));
+    }
+
+    #[test]
+    fn proportional_bracket_positions_ordered_by_distance() {
+        let s = render_proportional(&sample(), &LABELS, 40);
+        // The d=1 bracket sits left of the d=2 bracket, which sits left of
+        // the d=5 root: find '+' columns on the fft row vs chart row vs the
+        // connector row.
+        let lines: Vec<&str> = s.lines().collect();
+        let plus_col = |needle: &str| {
+            lines
+                .iter()
+                .find(|l| l.starts_with(needle))
+                .and_then(|l| l.find('+'))
+                .unwrap()
+        };
+        let fft_merge = plus_col("fft");
+        let chart_merge = plus_col("chart");
+        assert!(fft_merge < chart_merge, "{s}");
+    }
+
+    #[test]
+    fn proportional_single_leaf() {
+        let d = Dendrogram::new(1, vec![]).unwrap();
+        assert_eq!(render_proportional(&d, &["only"], 20), "only\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per leaf")]
+    fn proportional_label_mismatch_panics() {
+        render_proportional(&sample(), &["a"], 20);
+    }
+
+    #[test]
+    fn with_cuts_renders_each_k() {
+        let s = render_with_cuts(&sample(), &LABELS, &[2, 3, 99]);
+        assert!(s.contains("2 clusters"));
+        assert!(s.contains("3 clusters"));
+        assert!(!s.contains("99 clusters")); // out of range skipped
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per leaf")]
+    fn wrong_label_count_panics() {
+        render_tree(&sample(), &["a", "b"]);
+    }
+}

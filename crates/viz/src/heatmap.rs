@@ -1,0 +1,76 @@
+//! U-matrix heatmaps.
+
+use hiermeans_linalg::Matrix;
+
+const SHADES: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Renders a matrix of non-negative values as an ASCII heatmap, darkest
+/// character for the largest value. Rows are drawn top-down with row 0 at
+/// the bottom, matching [`crate::som_map::render`].
+///
+/// # Example
+///
+/// ```
+/// use hiermeans_linalg::Matrix;
+/// use hiermeans_viz::heatmap::render;
+///
+/// # fn main() -> Result<(), hiermeans_linalg::LinalgError> {
+/// let m = Matrix::from_rows(&[vec![0.0, 1.0], vec![0.5, 0.25]])?;
+/// let s = render(&m);
+/// assert!(s.contains('@')); // the maximum cell
+/// # Ok(())
+/// # }
+/// ```
+pub fn render(values: &Matrix) -> String {
+    let (lo, hi) = values
+        .as_slice()
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let range = if hi > lo { hi - lo } else { 1.0 };
+    let mut out = String::new();
+    for row in (0..values.nrows()).rev() {
+        out.push_str(&format!("{row:>2} |"));
+        for col in 0..values.ncols() {
+            let t = (values[(row, col)] - lo) / range;
+            let idx = ((t * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
+            out.push(' ');
+            out.push(SHADES[idx]);
+        }
+        out.push('\n');
+    }
+    out.push_str("   +");
+    out.push_str(&"--".repeat(values.ncols()));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremes_use_extreme_shades() {
+        let m = Matrix::from_rows(&[vec![0.0, 10.0]]).unwrap();
+        let s = render(&m);
+        assert!(s.contains('@'));
+        assert!(s.contains("| "));
+    }
+
+    #[test]
+    fn constant_matrix_renders_uniformly() {
+        let m = Matrix::filled(3, 3, 5.0);
+        let s = render(&m);
+        // All nine cells use the lowest shade (range collapses to zero).
+        assert!(!s.contains('@'));
+    }
+
+    #[test]
+    fn dimensions_preserved() {
+        let m = Matrix::zeros(4, 7);
+        let s = render(&m);
+        assert_eq!(s.lines().count(), 5); // 4 rows + axis
+        assert!(s.lines().next().unwrap().starts_with(" 3 |"));
+    }
+}

@@ -1,0 +1,18 @@
+//! Terminal rendering of the paper's figures and tables.
+//!
+//! * [`table`] — aligned text tables (Tables I-VI).
+//! * [`som_map`] — workload-distribution maps (Figures 3, 5, 7): each
+//!   workload is drawn on its SOM cell, shared cells are highlighted.
+//! * [`barchart`] — horizontal bar charts for score-vs-k series.
+//! * [`dendrogram`] — merge trees with distances (Figures 4, 6, 8), plus
+//!   flat cluster listings at a chosen cut.
+//! * [`heatmap`] — U-matrix shading for trained maps.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod barchart;
+pub mod dendrogram;
+pub mod heatmap;
+pub mod som_map;
+pub mod table;

@@ -1,0 +1,135 @@
+//! Workload-distribution maps (paper Figures 3, 5, 7).
+//!
+//! Renders each workload on its SOM cell. Cells holding several workloads —
+//! the paper's "darker cells" marking particularly similar workloads — are
+//! drawn with a `#` marker, and the legend lists the cellmates.
+
+use hiermeans_som::Grid;
+
+/// Renders workload positions on a SOM grid.
+///
+/// `positions[i]` is the `(column, row)` cell of workload `i`; `labels[i]`
+/// its display name. Rows are drawn top-down with row 0 at the bottom, like
+/// the paper's figures (dimension 2 grows upward).
+///
+/// # Panics
+///
+/// Panics if `positions` and `labels` lengths differ, or a position is
+/// outside the grid.
+///
+/// # Example
+///
+/// ```
+/// use hiermeans_som::{Grid, GridTopology};
+/// use hiermeans_viz::som_map::render;
+///
+/// let grid = Grid::new(4, 3, GridTopology::Rectangular);
+/// let s = render(&grid, &[(0, 0), (0, 0), (3, 2)], &["fft", "lu", "chart"]);
+/// assert!(s.contains("#")); // fft and lu share a cell
+/// assert!(s.contains("fft"));
+/// ```
+pub fn render(grid: &Grid, positions: &[(usize, usize)], labels: &[&str]) -> String {
+    assert_eq!(
+        positions.len(),
+        labels.len(),
+        "one label per position is required"
+    );
+    for &(c, r) in positions {
+        assert!(c < grid.width() && r < grid.height(), "position outside grid");
+    }
+    // Assign a letter to each workload; cells with several workloads get '#'.
+    let mut cell_members: Vec<Vec<usize>> = vec![Vec::new(); grid.width() * grid.height()];
+    for (i, &(c, r)) in positions.iter().enumerate() {
+        cell_members[r * grid.width() + c].push(i);
+    }
+    let marker = |i: usize| (b'a' + (i % 26) as u8) as char;
+
+    let mut out = String::new();
+    for row in (0..grid.height()).rev() {
+        out.push_str(&format!("{row:>2} |"));
+        for col in 0..grid.width() {
+            let members = &cell_members[row * grid.width() + col];
+            let cell = match members.len() {
+                0 => " .".to_string(),
+                1 => format!(" {}", marker(members[0])),
+                _ => " #".to_string(),
+            };
+            out.push_str(&cell);
+        }
+        out.push('\n');
+    }
+    out.push_str("   +");
+    out.push_str(&"--".repeat(grid.width()));
+    out.push('\n');
+    out.push_str("    ");
+    for col in 0..grid.width() {
+        out.push_str(&format!("{:>2}", col % 10));
+    }
+    out.push('\n');
+
+    // Legend.
+    out.push('\n');
+    for (i, label) in labels.iter().enumerate() {
+        let (c, r) = positions[i];
+        let shared = cell_members[r * grid.width() + c].len() > 1;
+        out.push_str(&format!(
+            "  {} = {label} at ({c}, {r}){}\n",
+            marker(i),
+            if shared { "  [shared cell]" } else { "" }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiermeans_som::GridTopology;
+
+    fn grid() -> Grid {
+        Grid::new(5, 4, GridTopology::Rectangular)
+    }
+
+    #[test]
+    fn single_workload_gets_letter() {
+        let s = render(&grid(), &[(2, 1)], &["solo"]);
+        assert!(s.contains(" a"));
+        assert!(s.contains("a = solo at (2, 1)"));
+        assert!(!s.contains('#'));
+    }
+
+    #[test]
+    fn shared_cells_marked() {
+        let s = render(&grid(), &[(1, 1), (1, 1), (4, 3)], &["x", "y", "z"]);
+        assert_eq!(s.matches('#').count(), 1);
+        assert!(s.contains("[shared cell]"));
+        assert!(s.contains("c = z at (4, 3)"));
+    }
+
+    #[test]
+    fn rows_drawn_bottom_up() {
+        let s = render(&grid(), &[(0, 3)], &["top"]);
+        let lines: Vec<&str> = s.lines().collect();
+        // Row 3 is the first drawn line.
+        assert!(lines[0].starts_with(" 3 |"));
+        assert!(lines[0].contains('a'));
+    }
+
+    #[test]
+    fn empty_cells_are_dots() {
+        let s = render(&grid(), &[], &[]);
+        assert!(s.contains(" ."));
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per position")]
+    fn mismatched_lengths_panic() {
+        render(&grid(), &[(0, 0)], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside grid")]
+    fn out_of_grid_panics() {
+        render(&grid(), &[(9, 9)], &["far"]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Aligned text tables.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple text-table builder.
+///
+/// # Example
+///
+/// ```
+/// use hiermeans_viz::table::TextTable;
+///
+/// let mut t = TextTable::new(vec!["workload".into(), "score".into()]);
+/// t.add_row(vec!["compress".into(), "4.75".into()]);
+/// let s = t.render();
+/// assert!(s.contains("workload"));
+/// assert!(s.contains("4.75"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        TextTable {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells; long rows are
+    /// truncated to the header width.
+    pub fn add_row(&mut self, row: Vec<String>) -> &mut Self {
+        let mut row = row;
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Appends a horizontal separator row.
+    pub fn add_separator(&mut self) -> &mut Self {
+        self.rows.push(vec!["\u{0}".into(); self.headers.len()]);
+        self
+    }
+
+    /// The number of data rows (separators included).
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders with the first column left-aligned and the rest
+    /// right-aligned — the common layout for label + numbers tables.
+    pub fn render(&self) -> String {
+        let aligns: Vec<Align> = (0..self.headers.len())
+            .map(|c| if c == 0 { Align::Left } else { Align::Right })
+            .collect();
+        self.render_aligned(&aligns)
+    }
+
+    /// Renders with explicit per-column alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aligns.len()` differs from the header count.
+    pub fn render_aligned(&self, aligns: &[Align]) -> String {
+        assert_eq!(aligns.len(), self.headers.len(), "one alignment per column");
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                if cell != "\u{0}" {
+                    widths[c] = widths[c].max(cell.chars().count());
+                }
+            }
+        }
+        let mut out = String::new();
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        let fmt_row = |cells: &[String], out: &mut String| {
+            let formatted: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(c, cell)| {
+                    let pad = widths[c].saturating_sub(cell.chars().count());
+                    match aligns[c] {
+                        Align::Left => format!(" {}{} ", cell, " ".repeat(pad)),
+                        Align::Right => format!(" {}{} ", " ".repeat(pad), cell),
+                    }
+                })
+                .collect();
+            out.push_str(&formatted.join("|"));
+            out.push('\n');
+        };
+        fmt_row(&self.headers, &mut out);
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            if row.iter().all(|c| c == "\u{0}") {
+                out.push_str(&sep);
+                out.push('\n');
+            } else {
+                fmt_row(row, &mut out);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TextTable {
+        let mut t = TextTable::new(vec!["name".into(), "A".into(), "B".into()]);
+        t.add_row(vec!["compress".into(), "4.75".into(), "3.99".into()]);
+        t.add_separator();
+        t.add_row(vec!["geomean".into(), "2.10".into(), "1.94".into()]);
+        t
+    }
+
+    #[test]
+    fn renders_all_cells() {
+        let s = sample().render();
+        for needle in ["name", "compress", "4.75", "3.99", "geomean", "2.10"] {
+            assert!(s.contains(needle), "missing {needle}: \n{s}");
+        }
+    }
+
+    #[test]
+    fn columns_aligned() {
+        let s = sample().render();
+        let lines: Vec<&str> = s.lines().collect();
+        // All lines have the same display width.
+        let w = lines[0].chars().count();
+        for l in &lines {
+            assert_eq!(l.chars().count(), w, "line {l:?}");
+        }
+    }
+
+    #[test]
+    fn separator_rendered_as_dashes() {
+        let s = sample().render();
+        assert!(s.lines().filter(|l| l.starts_with('-')).count() >= 2);
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = TextTable::new(vec!["a".into(), "b".into()]);
+        t.add_row(vec!["only".into()]);
+        let s = t.render();
+        assert!(s.contains("only"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one alignment per column")]
+    fn misaligned_alignment_panics() {
+        sample().render_aligned(&[Align::Left]);
+    }
+
+    #[test]
+    fn n_rows_counts() {
+        assert_eq!(sample().n_rows(), 3);
+    }
+}

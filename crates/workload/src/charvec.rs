@@ -1,0 +1,249 @@
+//! Characteristic-vector assembly (paper Section IV-C).
+//!
+//! * SAR path: average the 15 samples per counter, discard counters "that
+//!   did not vary over workloads", standardize each surviving counter.
+//! * hprof path: discard methods "that 1) only one workload used, or 2) all
+//!   the workloads used", standardize the surviving bit fields.
+
+use hiermeans_linalg::scale::Standardizer;
+use hiermeans_linalg::{stats, Matrix};
+
+use crate::hprof::MethodDataset;
+use crate::sar::SarDataset;
+use crate::WorkloadError;
+
+/// Variance threshold below which a counter counts as "did not vary".
+const INVARIANT_EPS: f64 = 1e-12;
+
+/// The assembled per-workload characteristic vectors, ready for the SOM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharacteristicVectors {
+    feature_names: Vec<String>,
+    matrix: Matrix,
+    dropped: usize,
+}
+
+impl CharacteristicVectors {
+    /// The surviving feature names, in column order.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// The standardized `n_workloads x n_features` matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+
+    /// How many raw features the filters discarded.
+    pub fn dropped_features(&self) -> usize {
+        self.dropped
+    }
+
+    /// Builds characteristic vectors from SAR samples: average, drop
+    /// invariant counters, standardize.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] if every counter is
+    /// invariant, and propagates standardization failures.
+    pub fn from_sar(dataset: &SarDataset) -> Result<Self, WorkloadError> {
+        let averaged = dataset.averaged();
+        let mut keep = Vec::new();
+        let mut names = Vec::new();
+        for c in 0..averaged.ncols() {
+            let col = averaged.col(c);
+            let var = stats::population_variance(&col)?;
+            if var > INVARIANT_EPS {
+                keep.push(c);
+                names.push(dataset.catalog().counters()[c].name().to_owned());
+            }
+        }
+        if keep.is_empty() {
+            return Err(WorkloadError::InvalidParameter {
+                name: "sar dataset",
+                reason: "every counter is invariant across workloads",
+            });
+        }
+        let filtered = averaged.select_columns(&keep)?;
+        let standardized = Standardizer::fit_transform(&filtered)?;
+        Ok(CharacteristicVectors {
+            feature_names: names,
+            matrix: standardized,
+            dropped: averaged.ncols() - keep.len(),
+        })
+    }
+
+    /// Builds characteristic vectors from an arbitrary feature matrix (rows
+    /// are workloads): drop invariant features, standardize the rest. Used
+    /// for microarchitecture-independent characterizations
+    /// ([`crate::mica`]) and custom feature sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] if the name count differs
+    /// from the column count or every feature is invariant.
+    pub fn from_features(names: &[String], features: &Matrix) -> Result<Self, WorkloadError> {
+        if names.len() != features.ncols() {
+            return Err(WorkloadError::InvalidParameter {
+                name: "names",
+                reason: "one name per feature column is required",
+            });
+        }
+        let mut keep = Vec::new();
+        let mut kept_names = Vec::new();
+        for (c, name) in names.iter().enumerate() {
+            let col = features.col(c);
+            let var = stats::population_variance(&col)?;
+            if var > INVARIANT_EPS {
+                keep.push(c);
+                kept_names.push(name.clone());
+            }
+        }
+        if keep.is_empty() {
+            return Err(WorkloadError::InvalidParameter {
+                name: "features",
+                reason: "every feature is invariant across workloads",
+            });
+        }
+        let filtered = features.select_columns(&keep)?;
+        let standardized = Standardizer::fit_transform(&filtered)?;
+        Ok(CharacteristicVectors {
+            feature_names: kept_names,
+            matrix: standardized,
+            dropped: features.ncols() - keep.len(),
+        })
+    }
+
+    /// Builds characteristic vectors from method-coverage bits: drop methods
+    /// used by exactly one workload or by all workloads, standardize.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] if no method survives,
+    /// and propagates standardization failures.
+    pub fn from_methods(dataset: &MethodDataset) -> Result<Self, WorkloadError> {
+        let bits = dataset.bits();
+        let n = bits.nrows();
+        let mut keep = Vec::new();
+        let mut names = Vec::new();
+        for m in 0..bits.ncols() {
+            let used = dataset.usage_count(m);
+            if used > 1 && used < n {
+                keep.push(m);
+                names.push(dataset.names()[m].clone());
+            }
+        }
+        if keep.is_empty() {
+            return Err(WorkloadError::InvalidParameter {
+                name: "method dataset",
+                reason: "no method is shared by more than one but fewer than all workloads",
+            });
+        }
+        let filtered = bits.select_columns(&keep)?;
+        let standardized = Standardizer::fit_transform(&filtered)?;
+        Ok(CharacteristicVectors {
+            feature_names: names,
+            matrix: standardized,
+            dropped: bits.ncols() - keep.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hprof::{HprofCollector, MethodKind};
+    use crate::machine::Machine;
+    use crate::sar::SarCollector;
+
+    #[test]
+    fn sar_filter_drops_exactly_invariant_counters() {
+        let ds = SarCollector::paper().collect(Machine::A).unwrap();
+        let cv = CharacteristicVectors::from_sar(&ds).unwrap();
+        let invariant = ds
+            .catalog()
+            .counters()
+            .iter()
+            .filter(|d| d.is_invariant())
+            .count();
+        assert_eq!(cv.dropped_features(), invariant);
+        assert_eq!(
+            cv.matrix().ncols(),
+            ds.catalog().len() - invariant
+        );
+        assert_eq!(cv.matrix().nrows(), 13);
+    }
+
+    #[test]
+    fn sar_vectors_standardized() {
+        let ds = SarCollector::paper().collect(Machine::B).unwrap();
+        let cv = CharacteristicVectors::from_sar(&ds).unwrap();
+        for c in 0..cv.matrix().ncols() {
+            let col = cv.matrix().col(c);
+            assert!(stats::mean(&col).unwrap().abs() < 1e-9);
+            assert!((stats::std_dev(&col).unwrap() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sar_feature_names_exclude_invariants() {
+        let ds = SarCollector::paper().collect(Machine::A).unwrap();
+        let cv = CharacteristicVectors::from_sar(&ds).unwrap();
+        assert!(!cv.feature_names().iter().any(|n| n.contains("kbhugfree")));
+        assert!(cv.feature_names().iter().any(|n| n.contains("pgpgin")));
+    }
+
+    #[test]
+    fn methods_filter_drops_core_and_private() {
+        let ds = HprofCollector::paper().collect();
+        let cv = CharacteristicVectors::from_methods(&ds).unwrap();
+        let core_private = ds
+            .kinds()
+            .iter()
+            .filter(|k| matches!(k, MethodKind::Core | MethodKind::Private))
+            .count();
+        // Core and private methods are always dropped; shared methods whose
+        // random half-plane degenerated to all/one workload are dropped too.
+        assert!(cv.dropped_features() >= core_private);
+        assert!(cv.matrix().ncols() > 100, "{} survived", cv.matrix().ncols());
+        // Surviving names are shared-library methods only.
+        assert!(cv
+            .feature_names()
+            .iter()
+            .all(|n| !n.starts_with("spec.") && !n.starts_with("jnt.") && !n.starts_with("org.")));
+    }
+
+    #[test]
+    fn scimark_rows_identical_after_standardization() {
+        let ds = HprofCollector::paper().collect();
+        let cv = CharacteristicVectors::from_methods(&ds).unwrap();
+        let m = cv.matrix();
+        for w in 6..=9 {
+            assert_eq!(m.row(w), m.row(5), "SciMark2 rows must be identical");
+        }
+    }
+
+    #[test]
+    fn features_path_filters_and_standardizes() {
+        let (names, features) = crate::mica::characterize_paper_suite(1).unwrap();
+        let cv = CharacteristicVectors::from_features(&names, &features).unwrap();
+        assert_eq!(cv.matrix().nrows(), 13);
+        assert!(cv.matrix().ncols() > 10);
+        for c in 0..cv.matrix().ncols() {
+            let col = cv.matrix().col(c);
+            assert!(stats::mean(&col).unwrap().abs() < 1e-9);
+        }
+        // Name-count mismatch rejected.
+        assert!(CharacteristicVectors::from_features(&names[..3], &features).is_err());
+    }
+
+    #[test]
+    fn method_vectors_standardized() {
+        let ds = HprofCollector::paper().collect();
+        let cv = CharacteristicVectors::from_methods(&ds).unwrap();
+        for c in 0..cv.matrix().ncols() {
+            let col = cv.matrix().col(c);
+            assert!(stats::mean(&col).unwrap().abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+use std::error::Error;
+use std::fmt;
+
+use hiermeans_linalg::LinalgError;
+
+/// Errors produced by the workload substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// An underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+    /// A workload name or index was unknown.
+    UnknownWorkload {
+        /// The offending name or stringified index.
+        name: String,
+    },
+    /// A simulation parameter was invalid.
+    InvalidParameter {
+        /// The parameter name.
+        name: &'static str,
+        /// Why the value was rejected.
+        reason: &'static str,
+    },
+    /// The suite was empty where at least one workload is required.
+    EmptySuite,
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            WorkloadError::UnknownWorkload { name } => write!(f, "unknown workload: {name}"),
+            WorkloadError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            WorkloadError::EmptySuite => write!(f, "benchmark suite is empty"),
+        }
+    }
+}
+
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorkloadError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for WorkloadError {
+    fn from(e: LinalgError) -> Self {
+        WorkloadError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(WorkloadError::EmptySuite.to_string(), "benchmark suite is empty");
+        let e = WorkloadError::UnknownWorkload { name: "foo".into() };
+        assert_eq!(e.to_string(), "unknown workload: foo");
+    }
+
+    #[test]
+    fn source_chains() {
+        let e: WorkloadError = LinalgError::Empty { what: "x" }.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,339 @@
+//! Synthetic hprof method-coverage profiles.
+//!
+//! The paper's second characterization (Section IV-C) records, per workload,
+//! which Java methods were ever called, as a bit vector over the union of
+//! all observed method names. Methods used by *every* workload (core
+//! library) or by *exactly one* workload (the application's private
+//! packages) are discarded because they bias the SOM; the surviving shared
+//! methods drive the clustering.
+//!
+//! We synthesize a method universe with exactly that structure:
+//!
+//! * core JDK methods invoked by all workloads,
+//! * private application packages per workload,
+//! * shared library methods whose usage bit is a random half-plane test on
+//!   the latent behaviour coordinates — by the Crofton formula, the Hamming
+//!   distance between two workloads' bit vectors is then proportional to
+//!   the Euclidean distance between their latent positions, so the bit
+//!   vectors carry the same cluster structure the paper observed. All five
+//!   SciMark2 workloads share one latent point (their self-contained math
+//!   library makes their coverage near-identical), so their bit vectors are
+//!   identical and they map to a single SOM cell, as in the paper.
+
+use hiermeans_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::measurement::{latent_positions, Characterization, N_WORKLOADS};
+use crate::rng::SimRng;
+use crate::WorkloadError;
+
+/// Default number of shared (discriminative) library methods.
+pub const DEFAULT_SHARED_METHODS: usize = 420;
+
+/// Number of core JDK methods used by every workload.
+pub const CORE_METHODS: usize = 130;
+
+/// Number of private methods per workload.
+pub const PRIVATE_METHODS_PER_WORKLOAD: usize = 18;
+
+/// The role a method plays in the synthetic universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum MethodKind {
+    /// Core JDK method used by every workload (filtered before clustering).
+    Core,
+    /// Application-private method used by exactly one workload (filtered).
+    Private,
+    /// Shared library method used by some but not all workloads.
+    Shared,
+}
+
+/// The synthesized method-coverage dataset: one bit row per workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodDataset {
+    names: Vec<String>,
+    kinds: Vec<MethodKind>,
+    /// `n_workloads x n_methods`, entries 0.0/1.0.
+    bits: Matrix,
+}
+
+impl MethodDataset {
+    /// The fully-qualified method names, in column order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The synthetic role of each method.
+    pub fn kinds(&self) -> &[MethodKind] {
+        &self.kinds
+    }
+
+    /// The usage bit matrix (`n_workloads x n_methods`, entries 0.0/1.0).
+    pub fn bits(&self) -> &Matrix {
+        &self.bits
+    }
+
+    /// How many workloads use method `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of bounds.
+    pub fn usage_count(&self, m: usize) -> usize {
+        self.bits.col(m).iter().filter(|&&b| b > 0.5).count()
+    }
+}
+
+/// Synthesizes method-coverage profiles from the latent geometry.
+#[derive(Debug, Clone)]
+pub struct HprofCollector {
+    seed: u64,
+    shared_methods: usize,
+}
+
+impl HprofCollector {
+    /// The paper protocol with the default universe sizes.
+    pub fn paper() -> Self {
+        HprofCollector {
+            seed: 0x4A50_2007,
+            shared_methods: DEFAULT_SHARED_METHODS,
+        }
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the number of shared methods.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] below 16 methods (too few
+    /// hyperplanes to carry the geometry).
+    pub fn with_shared_methods(mut self, n: usize) -> Result<Self, WorkloadError> {
+        if n < 16 {
+            return Err(WorkloadError::InvalidParameter {
+                name: "shared_methods",
+                reason: "at least 16 shared methods are required",
+            });
+        }
+        self.shared_methods = n;
+        Ok(self)
+    }
+
+    /// Collects the coverage profiles for the paper suite.
+    pub fn collect(&self) -> MethodDataset {
+        let positions = latent_positions(Characterization::MethodUtilization)
+            .expect("method utilization geometry always exists");
+        let mut names = Vec::new();
+        let mut kinds = Vec::new();
+        let mut columns: Vec<[f64; N_WORKLOADS]> = Vec::new();
+
+        // Core JDK methods: used by everyone.
+        for i in 0..CORE_METHODS {
+            names.push(core_method_name(i));
+            kinds.push(MethodKind::Core);
+            columns.push([1.0; N_WORKLOADS]);
+        }
+        // Private application packages: used by exactly one workload.
+        for w in 0..N_WORKLOADS {
+            for i in 0..PRIVATE_METHODS_PER_WORKLOAD {
+                names.push(private_method_name(w, i));
+                kinds.push(MethodKind::Private);
+                let mut col = [0.0; N_WORKLOADS];
+                col[w] = 1.0;
+                columns.push(col);
+            }
+        }
+        // Shared library methods: random half-plane tests on the latent map.
+        let mut rng = SimRng::new(self.seed).derive("hprof-planes");
+        for i in 0..self.shared_methods {
+            let theta = rng.uniform_in(0.0, std::f64::consts::TAU);
+            let (dx, dy) = (theta.cos(), theta.sin());
+            // Offsets span the extent of the projections so every line
+            // actually crosses the populated region sometimes.
+            let c = rng.uniform_in(-7.0, 7.0);
+            let mut col = [0.0; N_WORKLOADS];
+            for (w, p) in positions.iter().enumerate() {
+                if dx * (p[0] - 4.5) + dy * (p[1] - 4.5) > c {
+                    col[w] = 1.0;
+                }
+            }
+            names.push(shared_method_name(i));
+            kinds.push(MethodKind::Shared);
+            columns.push(col);
+        }
+
+        let n_methods = names.len();
+        let mut bits = Matrix::zeros(N_WORKLOADS, n_methods);
+        for (m, col) in columns.iter().enumerate() {
+            for w in 0..N_WORKLOADS {
+                bits[(w, m)] = col[w];
+            }
+        }
+        MethodDataset { names, kinds, bits }
+    }
+}
+
+fn core_method_name(i: usize) -> String {
+    const CLASSES: [&str; 13] = [
+        "java.lang.String", "java.lang.Object", "java.lang.StringBuffer", "java.lang.Math",
+        "java.lang.System", "java.lang.Integer", "java.lang.Thread", "java.util.Hashtable",
+        "java.util.Vector", "java.util.Arrays", "java.util.HashMap", "java.io.PrintStream",
+        "java.lang.Class",
+    ];
+    const METHODS: [&str; 10] = [
+        "equals", "hashCode", "toString", "length", "charAt", "append", "get", "put",
+        "valueOf", "clone",
+    ];
+    format!(
+        "{}.{}{}",
+        CLASSES[i % CLASSES.len()],
+        METHODS[(i / CLASSES.len()) % METHODS.len()],
+        if i >= CLASSES.len() * METHODS.len() { format!("${i}") } else { String::new() }
+    )
+}
+
+fn private_method_name(workload: usize, i: usize) -> String {
+    const PACKAGES: [&str; N_WORKLOADS] = [
+        "spec.benchmarks._201_compress",
+        "spec.benchmarks._202_jess.jess",
+        "spec.benchmarks._213_javac",
+        "spec.benchmarks._222_mpegaudio",
+        "spec.benchmarks._227_mtrt",
+        "jnt.scimark2.FFT",
+        "jnt.scimark2.LU",
+        "jnt.scimark2.MonteCarlo",
+        "jnt.scimark2.SOR",
+        "jnt.scimark2.SparseCompRow",
+        "org.hsqldb",
+        "org.jfree.chart",
+        "org.apache.xalan",
+    ];
+    format!("{}.Impl.op{}", PACKAGES[workload], i)
+}
+
+fn shared_method_name(i: usize) -> String {
+    const PACKAGES: [&str; 14] = [
+        "java.io", "java.nio", "java.text", "java.net", "java.util.zip", "java.util.regex",
+        "java.awt.geom", "javax.xml", "java.security", "java.lang.reflect", "java.lang.ref",
+        "sun.misc", "java.util.logging", "java.math",
+    ];
+    const CLASSES: [&str; 6] = ["Buffer", "Codec", "Format", "Stream", "Helper", "Context"];
+    const METHODS: [&str; 6] = ["read", "write", "parse", "flush", "next", "close"];
+    format!(
+        "{}.{}{}.{}",
+        PACKAGES[i % PACKAGES.len()],
+        CLASSES[(i / PACKAGES.len()) % CLASSES.len()],
+        i / (PACKAGES.len() * CLASSES.len()),
+        METHODS[i % METHODS.len()]
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::SCIMARK2;
+
+    #[test]
+    fn dataset_shape_and_determinism() {
+        let ds = HprofCollector::paper().collect();
+        let expected =
+            CORE_METHODS + N_WORKLOADS * PRIVATE_METHODS_PER_WORKLOAD + DEFAULT_SHARED_METHODS;
+        assert_eq!(ds.bits().shape(), (13, expected));
+        assert_eq!(ds.names().len(), expected);
+        assert_eq!(ds.bits(), HprofCollector::paper().collect().bits());
+    }
+
+    #[test]
+    fn names_unique() {
+        let ds = HprofCollector::paper().collect();
+        let mut names = ds.names().to_vec();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn bits_are_binary() {
+        let ds = HprofCollector::paper().collect();
+        assert!(ds.bits().as_slice().iter().all(|&b| b == 0.0 || b == 1.0));
+    }
+
+    #[test]
+    fn core_methods_used_by_all() {
+        let ds = HprofCollector::paper().collect();
+        for (m, kind) in ds.kinds().iter().enumerate() {
+            if *kind == MethodKind::Core {
+                assert_eq!(ds.usage_count(m), 13, "{}", ds.names()[m]);
+            }
+        }
+    }
+
+    #[test]
+    fn private_methods_used_by_exactly_one() {
+        let ds = HprofCollector::paper().collect();
+        for (m, kind) in ds.kinds().iter().enumerate() {
+            if *kind == MethodKind::Private {
+                assert_eq!(ds.usage_count(m), 1, "{}", ds.names()[m]);
+            }
+        }
+    }
+
+    #[test]
+    fn scimark_bit_vectors_identical() {
+        // "Since SciMark2 workloads map to the same single cell" — their
+        // shared-method coverage must be identical.
+        let ds = HprofCollector::paper().collect();
+        let bits = ds.bits();
+        for (m, kind) in ds.kinds().iter().enumerate() {
+            if *kind != MethodKind::Shared {
+                continue;
+            }
+            let first = bits[(SCIMARK2[0], m)];
+            for &w in &SCIMARK2[1..] {
+                assert_eq!(bits[(w, m)], first);
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_distance_tracks_latent_distance() {
+        let ds = HprofCollector::paper().collect();
+        let bits = ds.bits();
+        let shared: Vec<usize> = ds
+            .kinds()
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| **k == MethodKind::Shared)
+            .map(|(m, _)| m)
+            .collect();
+        let hamming = |a: usize, b: usize| {
+            shared
+                .iter()
+                .filter(|&&m| bits[(a, m)] != bits[(b, m)])
+                .count()
+        };
+        // FFT vs LU: zero latent distance -> zero Hamming distance.
+        assert_eq!(hamming(5, 6), 0);
+        // compress is latently near SciMark2, far from jess.
+        assert!(hamming(0, 5) < hamming(0, 1));
+        // jess and mtrt are "on the two extremes" in the paper's Figure 7.
+        assert!(hamming(1, 4) > hamming(3, 4)); // farther than mpegaudio-mtrt
+    }
+
+    #[test]
+    fn too_few_shared_methods_rejected() {
+        assert!(HprofCollector::paper().with_shared_methods(8).is_err());
+        assert!(HprofCollector::paper().with_shared_methods(64).is_ok());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = HprofCollector::paper().with_seed(1).collect();
+        let b = HprofCollector::paper().with_seed(2).collect();
+        assert_ne!(a.bits(), b.bits());
+    }
+}

@@ -1,0 +1,130 @@
+//! The machine models (paper Table II).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one of the paper's three machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Machine {
+    /// Machine A: dual Xeon 3.0 GHz, 2 MB L2, 2 GB RAM.
+    A,
+    /// Machine B: Pentium 4 3.0 GHz, 512 KB L2, 512 MB RAM.
+    B,
+    /// The reference machine: UltraSPARC III Cu 1.2 GHz, used to normalize
+    /// execution times.
+    Reference,
+}
+
+impl Machine {
+    /// Both comparison machines (excludes the reference).
+    pub const COMPARISON: [Machine; 2] = [Machine::A, Machine::B];
+
+    /// The Table II specification of this machine.
+    pub fn spec(&self) -> MachineSpec {
+        match self {
+            Machine::A => MachineSpec {
+                name: "A",
+                cpu: "Dual Intel Xeon CPU 3.00 GHz (HyperThreading disabled)",
+                clock_ghz: 3.0,
+                cores: 2,
+                l2_cache_kb: 2048,
+                bus_mhz: 800,
+                memory_mb: 2048,
+                os: "Red Hat Enterprise Linux WS release 4 (2.6.9-34.0.1.ELsmp)",
+                jvm: "BEA JRockit R26.4.0-jdk1.5.0_06 32 bit Edition",
+            },
+            Machine::B => MachineSpec {
+                name: "B",
+                cpu: "Intel Pentium 4 CPU 3.00 GHz (HyperThreading disabled)",
+                clock_ghz: 3.0,
+                cores: 1,
+                l2_cache_kb: 512,
+                bus_mhz: 800,
+                memory_mb: 512,
+                os: "Red Hat Enterprise Linux WS release 4 (2.6.9-42.0.3.ELsmp)",
+                jvm: "BEA JRockit R26.4.0-jdk1.5.0_06 32 bit Edition",
+            },
+            Machine::Reference => MachineSpec {
+                name: "Reference",
+                cpu: "Sun UltraSPARC III Cu 1.2 GHz",
+                clock_ghz: 1.2,
+                cores: 1,
+                l2_cache_kb: 8192,
+                bus_mhz: 800,
+                memory_mb: 1024,
+                os: "Solaris 8",
+                jvm: "Sun Java HotSpot build 1.5.0_09-b01",
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Machine::A => "A",
+            Machine::B => "B",
+            Machine::Reference => "Reference",
+        })
+    }
+}
+
+/// A hardware/software configuration (one column of Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Short machine name.
+    pub name: &'static str,
+    /// CPU model string.
+    pub cpu: &'static str,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Physical core count.
+    pub cores: u32,
+    /// L2 cache size in KB.
+    pub l2_cache_kb: u32,
+    /// Front-side bus speed in MHz.
+    pub bus_mhz: u32,
+    /// Main memory in MB.
+    pub memory_mb: u32,
+    /// Operating system string.
+    pub os: &'static str,
+    /// JVM string.
+    pub jvm: &'static str,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_two_values() {
+        let a = Machine::A.spec();
+        assert_eq!(a.l2_cache_kb, 2048);
+        assert_eq!(a.memory_mb, 2048);
+        assert_eq!(a.cores, 2);
+        let b = Machine::B.spec();
+        assert_eq!(b.l2_cache_kb, 512);
+        assert_eq!(b.memory_mb, 512);
+        let r = Machine::Reference.spec();
+        assert!((r.clock_ghz - 1.2).abs() < 1e-12);
+        assert_eq!(r.l2_cache_kb, 8192);
+    }
+
+    #[test]
+    fn comparison_machines() {
+        assert_eq!(Machine::COMPARISON, [Machine::A, Machine::B]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Machine::A.to_string(), "A");
+        assert_eq!(Machine::Reference.to_string(), "Reference");
+    }
+
+    #[test]
+    fn same_bus_speed_everywhere() {
+        // Table II lists 800 MHz for all three machines.
+        for m in [Machine::A, Machine::B, Machine::Reference] {
+            assert_eq!(m.spec().bus_mhz, 800);
+        }
+    }
+}

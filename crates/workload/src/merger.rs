@@ -1,0 +1,252 @@
+//! Suite-merger simulation: the paper's *artificial redundancy* scenario.
+//!
+//! "Artificial redundancy happens when a new benchmark suite is created by
+//! merging a set of benchmark suites. ... these injected workloads will form
+//! an exclusive cluster of their own, hence rendering each other in the
+//! adoption set redundant." (Section I.)
+//!
+//! [`MergeScenario`] models exactly that: a self-contained base suite (the
+//! paper suite minus SciMark2) into which a donor suite of `clones` jittered
+//! copies of one behavioural archetype is injected — the SciMark2-into-
+//! SPECjvm2007 story with a tunable number of injected workloads. The
+//! output carries per-workload speedups *and* latent behaviour coordinates,
+//! so the full clustering pipeline can be exercised on the merged suite.
+
+use serde::{Deserialize, Serialize};
+
+use crate::machine::Machine;
+use crate::measurement::{self, Characterization};
+use crate::rng::SimRng;
+use crate::suite::{BenchmarkSuite, Workload};
+use crate::WorkloadError;
+
+/// Indices of the paper suite retained as the base (everything but
+/// SciMark2): compress, jess, javac, mpegaudio, mtrt, hsqldb, chart, xalan.
+pub const BASE_WORKLOADS: [usize; 8] = [0, 1, 2, 3, 4, 10, 11, 12];
+
+/// Configuration of a suite-merger simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MergeScenario {
+    /// How many donor workloads to inject.
+    pub clones: usize,
+    /// Relative behavioural jitter between donor workloads (0 = identical
+    /// clones; ~0.05 = SciMark2-like near-duplicates).
+    pub jitter: f64,
+    /// The donor archetype's speedup on machine A (SciMark2-like: ~1.0,
+    /// i.e. the donor favors neither machine but drags both scores down).
+    pub donor_speedup_a: f64,
+    /// The donor archetype's speedup on machine B.
+    pub donor_speedup_b: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MergeScenario {
+    /// Five SciMark2-like injected kernels with mild jitter.
+    fn default() -> Self {
+        MergeScenario {
+            clones: 5,
+            jitter: 0.05,
+            donor_speedup_a: 1.0,
+            donor_speedup_b: 1.05,
+            seed: 0x4D45_5247,
+        }
+    }
+}
+
+/// The merged suite with its scores and latent behaviour geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedSuite {
+    suite: BenchmarkSuite,
+    speedups_a: Vec<f64>,
+    speedups_b: Vec<f64>,
+    positions: Vec<[f64; 2]>,
+    base_len: usize,
+}
+
+impl MergedSuite {
+    /// The merged suite (base workloads first, then donors).
+    pub fn suite(&self) -> &BenchmarkSuite {
+        &self.suite
+    }
+
+    /// Per-workload speedups on a comparison machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the reference machine.
+    pub fn speedups(&self, machine: Machine) -> &[f64] {
+        match machine {
+            Machine::A => &self.speedups_a,
+            Machine::B => &self.speedups_b,
+            Machine::Reference => panic!("the reference machine has no speedup column"),
+        }
+    }
+
+    /// Latent 2-D behaviour coordinates (inputs to clustering).
+    pub fn positions(&self) -> &[[f64; 2]] {
+        &self.positions
+    }
+
+    /// Number of base (non-injected) workloads.
+    pub fn base_len(&self) -> usize {
+        self.base_len
+    }
+
+    /// Indices of the injected donor workloads.
+    pub fn donor_indices(&self) -> Vec<usize> {
+        (self.base_len..self.suite.len()).collect()
+    }
+}
+
+impl MergeScenario {
+    /// Builds the merged suite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] for non-finite or
+    /// non-positive donor speedups or negative jitter.
+    pub fn build(&self) -> Result<MergedSuite, WorkloadError> {
+        let valid = |v: f64| v > 0.0 && v.is_finite();
+        if !valid(self.donor_speedup_a) || !valid(self.donor_speedup_b) {
+            return Err(WorkloadError::InvalidParameter {
+                name: "donor_speedup",
+                reason: "must be positive and finite",
+            });
+        }
+        if !(self.jitter >= 0.0 && self.jitter.is_finite()) {
+            return Err(WorkloadError::InvalidParameter {
+                name: "jitter",
+                reason: "must be finite and non-negative",
+            });
+        }
+        let paper = BenchmarkSuite::paper();
+        let base_positions = measurement::latent_positions(Characterization::SarCounters(
+            Machine::A,
+        ))
+        .expect("machine A geometry exists");
+
+        let mut workloads: Vec<Workload> = Vec::new();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut positions: Vec<[f64; 2]> = Vec::new();
+        for &i in &BASE_WORKLOADS {
+            workloads.push(paper.workload(i).clone());
+            a.push(measurement::SPEEDUP_A[i]);
+            b.push(measurement::SPEEDUP_B[i]);
+            positions.push(base_positions[i]);
+        }
+        let base_len = workloads.len();
+
+        // Donor archetype sits where SciMark2 sat on machine A's map —
+        // far from every base workload.
+        let archetype = [2.1, 2.3];
+        let mut rng = SimRng::new(self.seed).derive("merger");
+        for c in 0..self.clones {
+            workloads.push(Workload::new(
+                format!("donor.kernel{c}"),
+                "injected numeric kernel (jittered clone of the donor archetype)",
+            ));
+            a.push(rng.log_normal(self.donor_speedup_a, self.jitter));
+            b.push(rng.log_normal(self.donor_speedup_b, self.jitter));
+            positions.push([
+                archetype[0] + rng.normal(0.0, self.jitter * 4.0),
+                archetype[1] + rng.normal(0.0, self.jitter * 4.0),
+            ]);
+        }
+
+        Ok(MergedSuite {
+            suite: BenchmarkSuite::new(workloads)?,
+            speedups_a: a,
+            speedups_b: b,
+            positions,
+            base_len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scenario_shape() {
+        let merged = MergeScenario::default().build().unwrap();
+        assert_eq!(merged.suite().len(), 13);
+        assert_eq!(merged.base_len(), 8);
+        assert_eq!(merged.donor_indices(), vec![8, 9, 10, 11, 12]);
+        assert_eq!(merged.speedups(Machine::A).len(), 13);
+        assert_eq!(merged.positions().len(), 13);
+    }
+
+    #[test]
+    fn zero_clones_is_the_base_suite() {
+        let merged = MergeScenario { clones: 0, ..Default::default() }.build().unwrap();
+        assert_eq!(merged.suite().len(), 8);
+        assert!(merged.donor_indices().is_empty());
+        assert_eq!(merged.speedups(Machine::A)[0], measurement::SPEEDUP_A[0]);
+    }
+
+    #[test]
+    fn donors_cluster_tightly_and_away_from_base() {
+        let merged = MergeScenario::default().build().unwrap();
+        let pos = merged.positions();
+        let donor = merged.donor_indices();
+        let dist = |p: [f64; 2], q: [f64; 2]| ((p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2)).sqrt();
+        let mut max_within = 0.0f64;
+        for &i in &donor {
+            for &j in &donor {
+                max_within = max_within.max(dist(pos[i], pos[j]));
+            }
+        }
+        let mut min_to_base = f64::INFINITY;
+        for &i in &donor {
+            for j in 0..merged.base_len() {
+                min_to_base = min_to_base.min(dist(pos[i], pos[j]));
+            }
+        }
+        assert!(
+            max_within < min_to_base,
+            "donors should be tighter ({max_within}) than their distance to the base ({min_to_base})"
+        );
+    }
+
+    #[test]
+    fn more_clones_bias_the_plain_mean() {
+        // The motivation experiment: injected ~1.0-speedup kernels drag the
+        // plain GM of machine A down monotonically.
+        let gm = |xs: &[f64]| (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp();
+        let mut prev = f64::INFINITY;
+        for clones in [0, 2, 4, 8] {
+            let merged = MergeScenario { clones, ..Default::default() }.build().unwrap();
+            let g = gm(merged.speedups(Machine::A));
+            assert!(g < prev, "clones={clones}: {g} !< {prev}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = MergeScenario::default().build().unwrap();
+        let b = MergeScenario::default().build().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_jitter_gives_identical_clones() {
+        let merged = MergeScenario { jitter: 0.0, ..Default::default() }.build().unwrap();
+        let donors = merged.donor_indices();
+        let a = merged.speedups(Machine::A);
+        for w in &donors[1..] {
+            assert_eq!(a[*w], a[donors[0]]);
+            assert_eq!(merged.positions()[*w], merged.positions()[donors[0]]);
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(MergeScenario { donor_speedup_a: 0.0, ..Default::default() }.build().is_err());
+        assert!(MergeScenario { donor_speedup_b: f64::NAN, ..Default::default() }.build().is_err());
+        assert!(MergeScenario { jitter: -0.1, ..Default::default() }.build().is_err());
+    }
+}

@@ -1,0 +1,188 @@
+//! Deterministic random sampling helpers.
+//!
+//! The simulator must be reproducible run-to-run, so every stochastic
+//! component derives its stream from explicit seeds. Normal variates are
+//! produced with the Box–Muller transform over `rand`'s uniform source (the
+//! `rand_distr` crate is intentionally not a dependency).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded source of uniform, normal, and log-normal variates.
+#[derive(Debug)]
+pub struct SimRng {
+    inner: StdRng,
+    spare: Option<f64>,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// Derives a child generator for a named sub-stream, so adding draws to
+    /// one component never perturbs another.
+    pub fn derive(&self, stream: &str) -> SimRng {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for b in stream.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        // Mix with fresh entropy from this generator's seed position.
+        let mut inner = self.inner.clone();
+        let salt: u64 = inner.gen();
+        SimRng::new(seed ^ salt)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "uniform_in requires lo < hi");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Standard normal via Box–Muller (caches the second variate).
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box-Muller: u1 in (0, 1] to avoid ln(0).
+        let u1: f64 = 1.0 - self.inner.gen::<f64>();
+        let u2: f64 = self.inner.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Log-normal such that the *median* of the distribution is `median` and
+    /// the log-space standard deviation is `sigma`. With small `sigma` this
+    /// models multiplicative run-to-run execution noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `median <= 0` or `sigma < 0`.
+    pub fn log_normal(&mut self, median: f64, sigma: f64) -> f64 {
+        assert!(median > 0.0, "log-normal median must be positive");
+        assert!(sigma >= 0.0, "log-normal sigma must be non-negative");
+        median * (sigma * self.standard_normal()).exp()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        self.inner.gen_range(0..n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+            assert_eq!(a.standard_normal(), b.standard_normal());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let va: Vec<f64> = (0..8).map(|_| a.uniform()).collect();
+        let vb: Vec<f64> = (0..8).map(|_| b.uniform()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn derive_streams_are_stable_and_distinct() {
+        let root = SimRng::new(7);
+        let mut s1 = root.derive("sar");
+        let mut s1b = SimRng::new(7).derive("sar");
+        let mut s2 = root.derive("hprof");
+        assert_eq!(s1.uniform(), s1b.uniform());
+        assert_ne!(s1.uniform(), s2.uniform());
+    }
+
+    #[test]
+    fn normal_moments_roughly_correct() {
+        let mut rng = SimRng::new(123);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal(3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.06, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.25, "var={var}");
+    }
+
+    #[test]
+    fn log_normal_positive_and_centered() {
+        let mut rng = SimRng::new(5);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.log_normal(10.0, 0.05)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[n / 2];
+        assert!((median - 10.0).abs() < 0.15, "median={median}");
+    }
+
+    #[test]
+    fn uniform_in_bounds() {
+        let mut rng = SimRng::new(9);
+        for _ in 0..100 {
+            let v = rng.uniform_in(2.0, 3.0);
+            assert!((2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn uniform_in_bad_range_panics() {
+        SimRng::new(1).uniform_in(3.0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn log_normal_rejects_nonpositive_median() {
+        SimRng::new(1).log_normal(0.0, 0.1);
+    }
+
+    #[test]
+    fn index_in_range() {
+        let mut rng = SimRng::new(4);
+        for _ in 0..50 {
+            assert!(rng.index(7) < 7);
+        }
+    }
+}

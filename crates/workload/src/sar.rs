@@ -1,0 +1,604 @@
+//! Synthetic Linux SAR counter collection.
+//!
+//! The paper characterizes each workload with "a couple hundred" SAR
+//! operating-system counters, sampling each counter 15 times over the run
+//! and averaging (Section IV-C). We reproduce the *shape* of that data:
+//!
+//! * a realistic catalog of ~200 counter names across the SAR report groups
+//!   (CPU, paging, I/O, memory, network, sockets, load, interrupts, ...),
+//! * a subset of counters that never vary across workloads (total memory,
+//!   error counters that stay zero, unused interrupt lines, ...) so the
+//!   invariant-counter filter has real work to do,
+//! * workload-dependent counters generated as noisy *linear readouts* of the
+//!   per-(workload, machine) latent behaviour coordinates from
+//!   [`crate::measurement::latent_positions`]. A random linear readout
+//!   preserves the latent similarity geometry (Johnson–Lindenstrauss), which
+//!   is the only property the clustering pipeline consumes.
+
+use hiermeans_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::machine::Machine;
+use crate::measurement::{latent_positions, Characterization, N_WORKLOADS};
+use crate::rng::SimRng;
+use crate::WorkloadError;
+
+/// Number of samples collected per counter per workload (the paper's 15).
+pub const SAMPLES_PER_RUN: usize = 15;
+
+/// The SAR report group a counter belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum CounterGroup {
+    /// Per-CPU utilization percentages.
+    Cpu,
+    /// Process creation and context switching.
+    Tasks,
+    /// Interrupt rates.
+    Interrupts,
+    /// Swapping activity.
+    Swap,
+    /// Paging activity.
+    Paging,
+    /// Block-device I/O.
+    Io,
+    /// Memory utilization.
+    Memory,
+    /// Huge-page utilization.
+    HugePages,
+    /// Per-interface network traffic.
+    Network,
+    /// Per-interface network errors.
+    NetworkErrors,
+    /// Socket usage.
+    Sockets,
+    /// Run queue and load averages.
+    Load,
+    /// Kernel tables (file handles, inodes, ptys).
+    KernelTables,
+    /// Per-disk extended statistics.
+    Disk,
+    /// SNMP IP/TCP/UDP/ICMP rates.
+    Snmp,
+}
+
+/// One counter definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterDef {
+    name: String,
+    group: CounterGroup,
+    invariant: bool,
+    base: f64,
+    scale: f64,
+}
+
+impl CounterDef {
+    /// The SAR counter name (e.g. `pgpgin/s`, `eth0.rxkB/s`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The report group.
+    pub fn group(&self) -> CounterGroup {
+        self.group
+    }
+
+    /// Whether this counter is constant across workloads (and should be
+    /// discarded by the characterization filter).
+    pub fn is_invariant(&self) -> bool {
+        self.invariant
+    }
+}
+
+/// The full catalog of synthesized SAR counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SarCatalog {
+    counters: Vec<CounterDef>,
+}
+
+impl SarCatalog {
+    /// Builds the standard ~200-counter catalog. Deterministic.
+    pub fn standard() -> Self {
+        let mut rng = SimRng::new(0x5A12_CA7A).derive("sar-catalog");
+        let mut counters = Vec::new();
+        let mut push = |name: String, group: CounterGroup, invariant: bool, rng: &mut SimRng| {
+            // Base magnitude and scale vary wildly between counters (percent
+            // vs KB vs events/s), which is what makes standardization
+            // necessary in the first place.
+            let magnitude = 10f64.powf(rng.uniform_in(0.0, 5.0));
+            counters.push(CounterDef {
+                name,
+                group,
+                invariant,
+                base: magnitude,
+                scale: magnitude * rng.uniform_in(0.05, 0.40),
+            });
+        };
+
+        for cpu in ["all", "0", "1"] {
+            for field in ["%user", "%nice", "%system", "%iowait", "%steal", "%idle"] {
+                push(format!("cpu{cpu}.{field}"), CounterGroup::Cpu, false, &mut rng);
+            }
+        }
+        push("proc/s".into(), CounterGroup::Tasks, false, &mut rng);
+        push("cswch/s".into(), CounterGroup::Tasks, false, &mut rng);
+        for line in 0..48 {
+            // High interrupt lines are unused on these machines: invariant.
+            push(
+                format!("intr{line}/s"),
+                CounterGroup::Interrupts,
+                line >= 24,
+                &mut rng,
+            );
+        }
+        for f in ["pswpin/s", "pswpout/s"] {
+            push(f.into(), CounterGroup::Swap, false, &mut rng);
+        }
+        for f in [
+            "pgpgin/s", "pgpgout/s", "fault/s", "majflt/s", "pgfree/s", "pgscank/s",
+            "pgscand/s", "pgsteal/s", "%vmeff",
+        ] {
+            push(f.into(), CounterGroup::Paging, false, &mut rng);
+        }
+        for f in ["tps", "rtps", "wtps", "bread/s", "bwrtn/s"] {
+            push(f.into(), CounterGroup::Io, false, &mut rng);
+        }
+        for (f, invariant) in [
+            ("kbmemfree", false),
+            ("kbmemused", false),
+            ("%memused", false),
+            ("kbbuffers", false),
+            ("kbcached", false),
+            ("kbcommit", false),
+            ("%commit", false),
+            ("kbactive", false),
+            ("kbinact", false),
+            ("kbdirty", false),
+            ("kbmemtotal", true), // hardware constant
+        ] {
+            push(f.into(), CounterGroup::Memory, invariant, &mut rng);
+        }
+        for f in ["kbhugfree", "kbhugused", "%hugused"] {
+            push(f.into(), CounterGroup::HugePages, true, &mut rng);
+        }
+        for iface in ["eth0", "eth1", "lo"] {
+            for f in ["rxpck/s", "txpck/s", "rxkB/s", "txkB/s", "rxcmp/s", "txcmp/s", "rxmcst/s"] {
+                // eth1 is not cabled on these machines: invariant zeroes.
+                push(
+                    format!("{iface}.{f}"),
+                    CounterGroup::Network,
+                    iface == "eth1",
+                    &mut rng,
+                );
+            }
+            for f in [
+                "rxerr/s", "txerr/s", "coll/s", "rxdrop/s", "txdrop/s", "txcarr/s",
+                "rxfram/s", "rxfifo/s", "txfifo/s",
+            ] {
+                push(format!("{iface}.{f}"), CounterGroup::NetworkErrors, true, &mut rng);
+            }
+        }
+        for f in ["totsck", "tcpsck", "udpsck", "rawsck", "ip-frag", "tcp-tw"] {
+            push(f.into(), CounterGroup::Sockets, f == "rawsck", &mut rng);
+        }
+        for f in ["runq-sz", "plist-sz", "ldavg-1", "ldavg-5", "ldavg-15", "blocked"] {
+            push(f.into(), CounterGroup::Load, false, &mut rng);
+        }
+        for f in ["dentunusd", "file-nr", "inode-nr", "pty-nr"] {
+            push(f.into(), CounterGroup::KernelTables, f == "pty-nr", &mut rng);
+        }
+        for disk in ["dev8-0", "dev8-16"] {
+            for f in ["tps", "rd_sec/s", "wr_sec/s", "avgrq-sz", "avgqu-sz", "await", "svctm", "%util"] {
+                push(format!("{disk}.{f}"), CounterGroup::Disk, false, &mut rng);
+            }
+        }
+        for f in [
+            "irec/s", "fwddgm/s", "idel/s", "orq/s", "asmrq/s", "asmok/s", "fragok/s",
+            "fragcrt/s", "imsg/s", "omsg/s", "iech/s", "oech/s", "active/s", "passive/s",
+            "iseg/s", "oseg/s", "atmptf/s", "estres/s", "retrans/s", "isegerr/s", "orsts/s",
+            "idgm/s", "odgm/s", "noport/s", "idgmerr/s",
+        ] {
+            push(f.into(), CounterGroup::Snmp, false, &mut rng);
+        }
+
+        SarCatalog { counters }
+    }
+
+    /// All counter definitions, in fixed order.
+    pub fn counters(&self) -> &[CounterDef] {
+        &self.counters
+    }
+
+    /// The number of counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Returns `true` if the catalog is empty (never true for
+    /// [`SarCatalog::standard`]).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// The counter names, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.counters.iter().map(|c| c.name()).collect()
+    }
+}
+
+/// SAR samples for the whole suite on one machine.
+///
+/// `samples[w]` is a `SAMPLES_PER_RUN x n_counters` matrix for workload `w`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SarDataset {
+    catalog: SarCatalog,
+    machine: Machine,
+    samples: Vec<Matrix>,
+}
+
+impl SarDataset {
+    /// The catalog the columns refer to.
+    pub fn catalog(&self) -> &SarCatalog {
+        &self.catalog
+    }
+
+    /// The machine the samples were "collected" on.
+    pub fn machine(&self) -> Machine {
+        self.machine
+    }
+
+    /// The per-workload sample matrices.
+    pub fn samples(&self) -> &[Matrix] {
+        &self.samples
+    }
+
+    /// Averages each workload's samples into one row per workload
+    /// (`n_workloads x n_counters`) — the paper's "representative counter
+    /// value".
+    pub fn averaged(&self) -> Matrix {
+        let n_counters = self.catalog.len();
+        let mut out = Matrix::zeros(self.samples.len(), n_counters);
+        for (w, m) in self.samples.iter().enumerate() {
+            for c in 0..n_counters {
+                let col = m.col(c);
+                out[(w, c)] = col.iter().sum::<f64>() / col.len() as f64;
+            }
+        }
+        out
+    }
+}
+
+/// Synthesizes SAR counter samples from the latent behaviour geometry.
+#[derive(Debug, Clone)]
+pub struct SarCollector {
+    catalog: SarCatalog,
+    seed: u64,
+    sample_noise: f64,
+    phase_amplitude: f64,
+    phases: usize,
+}
+
+impl SarCollector {
+    /// The paper protocol: standard catalog, 15 samples, moderate
+    /// within-run sampling noise, and mild execution phases (the reason the
+    /// paper samples each counter 15 times over the run and averages —
+    /// program behaviour drifts between startup, steady state, and
+    /// shutdown).
+    pub fn paper() -> Self {
+        SarCollector {
+            catalog: SarCatalog::standard(),
+            seed: 0x5A12_2007,
+            sample_noise: 0.08,
+            phase_amplitude: 0.06,
+            phases: 3,
+        }
+    }
+
+    /// Overrides the phase model: `phases` behavioural phases per run, each
+    /// displacing the latent position by up to `amplitude` map units.
+    /// `amplitude = 0` disables phases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] for a negative or
+    /// non-finite amplitude or zero phases.
+    pub fn with_phases(mut self, phases: usize, amplitude: f64) -> Result<Self, WorkloadError> {
+        if phases == 0 {
+            return Err(WorkloadError::InvalidParameter {
+                name: "phases",
+                reason: "at least one phase is required",
+            });
+        }
+        if !(amplitude >= 0.0 && amplitude.is_finite()) {
+            return Err(WorkloadError::InvalidParameter {
+                name: "phase_amplitude",
+                reason: "must be finite and non-negative",
+            });
+        }
+        self.phases = phases;
+        self.phase_amplitude = amplitude;
+        Ok(self)
+    }
+
+    /// Overrides the seed (for sensitivity experiments).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the relative sample noise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] for negative or
+    /// non-finite noise.
+    pub fn with_sample_noise(mut self, noise: f64) -> Result<Self, WorkloadError> {
+        if !(noise >= 0.0 && noise.is_finite()) {
+            return Err(WorkloadError::InvalidParameter {
+                name: "sample_noise",
+                reason: "must be finite and non-negative",
+            });
+        }
+        self.sample_noise = noise;
+        Ok(self)
+    }
+
+    /// Collects the full suite's samples on `machine`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] when asked to collect on
+    /// the reference machine (the paper never characterizes it).
+    pub fn collect(&self, machine: Machine) -> Result<SarDataset, WorkloadError> {
+        let positions = latent_positions(Characterization::SarCounters(machine)).ok_or(
+            WorkloadError::InvalidParameter {
+                name: "machine",
+                reason: "no SAR characterization exists for the reference machine",
+            },
+        )?;
+        let n_counters = self.catalog.len();
+        // Per-counter readout directions, fixed per machine.
+        let mut dir_rng = SimRng::new(self.seed).derive(&format!("sar-dirs/{machine}"));
+        let dirs: Vec<[f64; 2]> = (0..n_counters)
+            .map(|_| {
+                let theta = dir_rng.uniform_in(0.0, std::f64::consts::TAU);
+                [theta.cos(), theta.sin()]
+            })
+            .collect();
+
+        let mut samples = Vec::with_capacity(N_WORKLOADS);
+        for (w, pos) in positions.iter().enumerate() {
+            let mut rng = SimRng::new(self.seed).derive(&format!("sar/{machine}/{w}"));
+            // Execution phases: behaviour drifts around the workload's mean
+            // position over the run. Phase offsets sum to zero, so the
+            // 15-sample average recovers the latent position.
+            let mut offsets: Vec<[f64; 2]> = (0..self.phases)
+                .map(|_| {
+                    [
+                        rng.normal(0.0, self.phase_amplitude),
+                        rng.normal(0.0, self.phase_amplitude),
+                    ]
+                })
+                .collect();
+            let mean = offsets.iter().fold([0.0f64; 2], |acc, o| {
+                [acc[0] + o[0] / self.phases as f64, acc[1] + o[1] / self.phases as f64]
+            });
+            for o in &mut offsets {
+                o[0] -= mean[0];
+                o[1] -= mean[1];
+            }
+            let mut m = Matrix::zeros(SAMPLES_PER_RUN, n_counters);
+            for s in 0..SAMPLES_PER_RUN {
+                let phase = &offsets[s * self.phases / SAMPLES_PER_RUN];
+                let px = pos[0] + phase[0];
+                let py = pos[1] + phase[1];
+                for (c, def) in self.catalog.counters().iter().enumerate() {
+                    m[(s, c)] = if def.invariant {
+                        def.base
+                    } else {
+                        // Project the phase-shifted latent position onto the
+                        // counter's readout direction; latent coordinates
+                        // span ~0..9, so normalize to ~[-1, 1] around the
+                        // map center.
+                        let proj =
+                            (dirs[c][0] * (px - 4.5) + dirs[c][1] * (py - 4.5)) / 4.5;
+                        let noise = rng.normal(0.0, self.sample_noise);
+                        def.base + def.scale * (proj + noise)
+                    };
+                }
+            }
+            samples.push(m);
+        }
+        Ok(SarDataset {
+            catalog: self.catalog.clone(),
+            machine,
+            samples,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_a_couple_hundred_counters() {
+        let c = SarCatalog::standard();
+        assert!(
+            (190..=260).contains(&c.len()),
+            "catalog has {} counters",
+            c.len()
+        );
+    }
+
+    #[test]
+    fn catalog_names_unique() {
+        let c = SarCatalog::standard();
+        let names = c.names();
+        let mut sorted: Vec<&str> = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+    }
+
+    #[test]
+    fn catalog_has_meaningful_invariant_fraction() {
+        let c = SarCatalog::standard();
+        let invariant = c.counters().iter().filter(|d| d.is_invariant()).count();
+        assert!(invariant >= 30, "only {invariant} invariant counters");
+        assert!(invariant * 2 < c.len(), "too many invariant counters");
+    }
+
+    #[test]
+    fn catalog_deterministic() {
+        assert_eq!(SarCatalog::standard(), SarCatalog::standard());
+    }
+
+    #[test]
+    fn collect_shape() {
+        let ds = SarCollector::paper().collect(Machine::A).unwrap();
+        assert_eq!(ds.samples().len(), 13);
+        for m in ds.samples() {
+            assert_eq!(m.nrows(), SAMPLES_PER_RUN);
+            assert_eq!(m.ncols(), ds.catalog().len());
+            assert!(m.is_finite());
+        }
+    }
+
+    #[test]
+    fn collect_deterministic() {
+        let a = SarCollector::paper().collect(Machine::A).unwrap();
+        let b = SarCollector::paper().collect(Machine::A).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn machines_differ() {
+        let a = SarCollector::paper().collect(Machine::A).unwrap();
+        let b = SarCollector::paper().collect(Machine::B).unwrap();
+        assert_ne!(a.averaged(), b.averaged());
+    }
+
+    #[test]
+    fn reference_machine_rejected() {
+        assert!(SarCollector::paper().collect(Machine::Reference).is_err());
+    }
+
+    #[test]
+    fn invariant_counters_constant_across_workloads_and_samples() {
+        let ds = SarCollector::paper().collect(Machine::B).unwrap();
+        let avg = ds.averaged();
+        for (c, def) in ds.catalog().counters().iter().enumerate() {
+            if def.is_invariant() {
+                let col = avg.col(c);
+                for v in &col {
+                    assert_eq!(*v, col[0], "{} should be constant", def.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn variant_counters_vary() {
+        let ds = SarCollector::paper().collect(Machine::A).unwrap();
+        let avg = ds.averaged();
+        let mut varying = 0;
+        for (c, def) in ds.catalog().counters().iter().enumerate() {
+            if !def.is_invariant() {
+                let col = avg.col(c);
+                let spread = col.iter().cloned().fold(f64::MIN, f64::max)
+                    - col.iter().cloned().fold(f64::MAX, f64::min);
+                if spread > 0.0 {
+                    varying += 1;
+                }
+            }
+        }
+        let total_variant = ds
+            .catalog()
+            .counters()
+            .iter()
+            .filter(|d| !d.is_invariant())
+            .count();
+        assert_eq!(varying, total_variant);
+    }
+
+    #[test]
+    fn similar_workloads_have_similar_counters() {
+        // MonteCarlo and SOR share a latent cell on machine A; compress and
+        // javac are far apart. Distances in averaged counter space must
+        // reflect that.
+        let ds = SarCollector::paper().collect(Machine::A).unwrap();
+        let avg = ds.averaged();
+        let dist = |i: usize, j: usize| {
+            avg.row(i)
+                .iter()
+                .zip(avg.row(j))
+                .map(|(a, b)| {
+                    let base = a.abs().max(b.abs()).max(1e-12);
+                    let d = (a - b) / base; // scale-free comparison
+                    d * d
+                })
+                .sum::<f64>()
+                .sqrt()
+        };
+        assert!(dist(7, 8) < dist(0, 2), "MC-SOR should be closer than compress-javac");
+    }
+
+    #[test]
+    fn sample_noise_zero_gives_identical_samples() {
+        // With both sampling noise and phases disabled, every sample is the
+        // pure latent readout.
+        let ds = SarCollector::paper()
+            .with_sample_noise(0.0)
+            .unwrap()
+            .with_phases(1, 0.0)
+            .unwrap()
+            .collect(Machine::A)
+            .unwrap();
+        let m = &ds.samples()[0];
+        for s in 1..m.nrows() {
+            assert_eq!(m.row(s), m.row(0));
+        }
+    }
+
+    #[test]
+    fn phases_create_within_run_drift_but_average_out() {
+        let phased = SarCollector::paper()
+            .with_sample_noise(0.0)
+            .unwrap()
+            .with_phases(3, 0.3)
+            .unwrap()
+            .collect(Machine::A)
+            .unwrap();
+        // Samples differ across the run (phases visible)...
+        let m = &phased.samples()[0];
+        assert!((1..m.nrows()).any(|s| m.row(s) != m.row(0)));
+        // ...but the averaged characteristic vector matches the phase-free
+        // collection (offsets are centered).
+        let flat = SarCollector::paper()
+            .with_sample_noise(0.0)
+            .unwrap()
+            .with_phases(1, 0.0)
+            .unwrap()
+            .collect(Machine::A)
+            .unwrap();
+        let pa = phased.averaged();
+        let fa = flat.averaged();
+        for (x, y) in pa.as_slice().iter().zip(fa.as_slice()) {
+            assert!((x - y).abs() < 1e-6 * (1.0 + y.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn phase_validation() {
+        assert!(SarCollector::paper().with_phases(0, 0.1).is_err());
+        assert!(SarCollector::paper().with_phases(3, -0.1).is_err());
+        assert!(SarCollector::paper().with_phases(3, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn invalid_noise_rejected() {
+        assert!(SarCollector::paper().with_sample_noise(-1.0).is_err());
+        assert!(SarCollector::paper().with_sample_noise(f64::INFINITY).is_err());
+    }
+}

@@ -1,0 +1,308 @@
+//! The benchmark suite model and the paper's 13-workload composition
+//! (Table I).
+
+use serde::{Deserialize, Serialize};
+
+use crate::WorkloadError;
+
+/// The source suite a workload was adopted from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum SourceSuite {
+    /// SPECjvm98 v1.04, the client-side Java standard.
+    SpecJvm98,
+    /// SciMark2 v2.0, scientific/numerical kernels.
+    SciMark2,
+    /// DaCapo 2006-08, GC-heavy object-oriented workloads.
+    DaCapo,
+    /// A workload defined by the user rather than the paper.
+    Custom,
+}
+
+impl std::fmt::Display for SourceSuite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SourceSuite::SpecJvm98 => "SPECjvm98",
+            SourceSuite::SciMark2 => "SciMark2",
+            SourceSuite::DaCapo => "DaCapo",
+            SourceSuite::Custom => "custom",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One workload with its Table I metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Workload {
+    name: String,
+    suite: SourceSuite,
+    version: String,
+    input_set: String,
+    description: String,
+}
+
+impl Workload {
+    /// Creates a custom workload.
+    pub fn new(name: impl Into<String>, description: impl Into<String>) -> Self {
+        Workload {
+            name: name.into(),
+            suite: SourceSuite::Custom,
+            version: String::new(),
+            input_set: String::new(),
+            description: description.into(),
+        }
+    }
+
+    fn paper(
+        name: &str,
+        suite: SourceSuite,
+        version: &str,
+        input_set: &str,
+        description: &str,
+    ) -> Self {
+        Workload {
+            name: name.to_owned(),
+            suite,
+            version: version.to_owned(),
+            input_set: input_set.to_owned(),
+            description: description.to_owned(),
+        }
+    }
+
+    /// The qualified workload name (e.g. `jvm98.201.compress`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The suite this workload was adopted from.
+    pub fn suite(&self) -> SourceSuite {
+        self.suite
+    }
+
+    /// The suite version string.
+    pub fn version(&self) -> &str {
+        &self.version
+    }
+
+    /// The input set used.
+    pub fn input_set(&self) -> &str {
+        &self.input_set
+    }
+
+    /// The one-line Table I description.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+}
+
+/// An ordered collection of workloads.
+///
+/// # Example
+///
+/// ```
+/// use hiermeans_workload::{BenchmarkSuite, SourceSuite};
+///
+/// let suite = BenchmarkSuite::paper();
+/// assert_eq!(suite.len(), 13);
+/// assert_eq!(suite.by_suite(SourceSuite::SciMark2).len(), 5);
+/// assert!(suite.index_of("SciMark2.FFT").is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkSuite {
+    workloads: Vec<Workload>,
+}
+
+impl BenchmarkSuite {
+    /// Builds a suite from workloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::EmptySuite`] for an empty list and
+    /// [`WorkloadError::InvalidParameter`] for duplicate names.
+    pub fn new(workloads: Vec<Workload>) -> Result<Self, WorkloadError> {
+        if workloads.is_empty() {
+            return Err(WorkloadError::EmptySuite);
+        }
+        for (i, w) in workloads.iter().enumerate() {
+            if workloads[..i].iter().any(|v| v.name() == w.name()) {
+                return Err(WorkloadError::InvalidParameter {
+                    name: "workloads",
+                    reason: "duplicate workload name",
+                });
+            }
+        }
+        Ok(BenchmarkSuite { workloads })
+    }
+
+    /// The paper's hypothetical SPECjvm2007-like suite (Table I): 5 workloads
+    /// retained from SPECjvm98, 5 adopted from SciMark2, 3 from DaCapo.
+    pub fn paper() -> Self {
+        use SourceSuite::*;
+        let w = vec![
+            Workload::paper("jvm98.201.compress", SpecJvm98, "1.04", "s100",
+                "A Java port of 129.compress from SPEC CPU implementing modified Lempel-Ziv (LZW)."),
+            Workload::paper("jvm98.202.jess", SpecJvm98, "1.04", "s100",
+                "A Java Expert Shell System based on NASA's CLIPS; solves puzzles with if-then rules."),
+            Workload::paper("jvm98.213.javac", SpecJvm98, "1.04", "s100",
+                "The Java compiler from the JDK 1.0.2."),
+            Workload::paper("jvm98.222.mpegaudio", SpecJvm98, "1.04", "s100",
+                "Decompresses audio files conforming to ISO MPEG Layer-3."),
+            Workload::paper("jvm98.227.mtrt", SpecJvm98, "1.04", "s100",
+                "A multi-threaded raytracer working on a dinosaur scene."),
+            Workload::paper("SciMark2.FFT", SciMark2, "2.0", "regular",
+                "1-D forward transform of 4K complex numbers; complex arithmetic and shuffling."),
+            Workload::paper("SciMark2.LU", SciMark2, "2.0", "regular",
+                "LU factorization of a dense 100x100 matrix with partial pivoting (BLAS kernels)."),
+            Workload::paper("SciMark2.MonteCarlo", SciMark2, "2.0", "regular",
+                "Approximates Pi by integrating the quarter circle with random points."),
+            Workload::paper("SciMark2.SOR", SciMark2, "2.0", "regular",
+                "Jacobi successive over-relaxation on a 100x100 grid; finite-difference access patterns."),
+            Workload::paper("SciMark2.Sparse", SciMark2, "2.0", "regular",
+                "Sparse matrix-vector multiply in compressed-row format; indirect addressing."),
+            Workload::paper("DaCapo.hsqldb", DaCapo, "2006-08", "default",
+                "JDBCbench-like in-memory banking transactions against HSQLDB."),
+            Workload::paper("DaCapo.chart", DaCapo, "2006-08", "default",
+                "Plots complex line graphs with JFreeChart and renders them as PDF."),
+            Workload::paper("DaCapo.xalan", DaCapo, "2006-08", "default",
+                "Transforms XML documents into HTML."),
+        ];
+        BenchmarkSuite { workloads: w }
+    }
+
+    /// Number of workloads.
+    pub fn len(&self) -> usize {
+        self.workloads.len()
+    }
+
+    /// Returns `true` if the suite has no workloads (never true
+    /// post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.workloads.is_empty()
+    }
+
+    /// The workloads in order.
+    pub fn workloads(&self) -> &[Workload] {
+        &self.workloads
+    }
+
+    /// Iterates over the workloads.
+    pub fn iter(&self) -> std::slice::Iter<'_, Workload> {
+        self.workloads.iter()
+    }
+
+    /// The workload at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn workload(&self, index: usize) -> &Workload {
+        &self.workloads[index]
+    }
+
+    /// Finds a workload's index by exact name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.workloads.iter().position(|w| w.name() == name)
+    }
+
+    /// Indices of all workloads from `suite`.
+    pub fn by_suite(&self, suite: SourceSuite) -> Vec<usize> {
+        self.workloads
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.suite() == suite)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The workload names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.workloads.iter().map(|w| w.name()).collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a BenchmarkSuite {
+    type Item = &'a Workload;
+    type IntoIter = std::slice::Iter<'a, Workload>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.workloads.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_suite_composition() {
+        let s = BenchmarkSuite::paper();
+        assert_eq!(s.len(), 13);
+        assert_eq!(s.by_suite(SourceSuite::SpecJvm98).len(), 5);
+        assert_eq!(s.by_suite(SourceSuite::SciMark2).len(), 5);
+        assert_eq!(s.by_suite(SourceSuite::DaCapo).len(), 3);
+        assert_eq!(s.by_suite(SourceSuite::Custom).len(), 0);
+    }
+
+    #[test]
+    fn paper_suite_order_matches_table_three() {
+        // Table III row order is the canonical workload order.
+        let s = BenchmarkSuite::paper();
+        assert_eq!(s.workload(0).name(), "jvm98.201.compress");
+        assert_eq!(s.workload(4).name(), "jvm98.227.mtrt");
+        assert_eq!(s.workload(5).name(), "SciMark2.FFT");
+        assert_eq!(s.workload(9).name(), "SciMark2.Sparse");
+        assert_eq!(s.workload(10).name(), "DaCapo.hsqldb");
+        assert_eq!(s.workload(12).name(), "DaCapo.xalan");
+    }
+
+    #[test]
+    fn index_of_roundtrip() {
+        let s = BenchmarkSuite::paper();
+        for (i, w) in s.iter().enumerate() {
+            assert_eq!(s.index_of(w.name()), Some(i));
+        }
+        assert_eq!(s.index_of("nope"), None);
+    }
+
+    #[test]
+    fn custom_suite_rejects_duplicates() {
+        let w1 = Workload::new("a", "first");
+        let w2 = Workload::new("a", "second");
+        assert!(matches!(
+            BenchmarkSuite::new(vec![w1, w2]).unwrap_err(),
+            WorkloadError::InvalidParameter { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_suite_rejected() {
+        assert!(matches!(
+            BenchmarkSuite::new(vec![]).unwrap_err(),
+            WorkloadError::EmptySuite
+        ));
+    }
+
+    #[test]
+    fn metadata_present() {
+        let s = BenchmarkSuite::paper();
+        for w in &s {
+            assert!(!w.description().is_empty());
+            assert!(!w.version().is_empty());
+            assert!(!w.input_set().is_empty());
+        }
+        assert_eq!(s.workload(5).version(), "2.0");
+        assert_eq!(s.workload(0).input_set(), "s100");
+    }
+
+    #[test]
+    fn display_source_suite() {
+        assert_eq!(SourceSuite::SpecJvm98.to_string(), "SPECjvm98");
+        assert_eq!(SourceSuite::DaCapo.to_string(), "DaCapo");
+    }
+
+    #[test]
+    fn into_iterator_yields_all() {
+        let s = BenchmarkSuite::paper();
+        assert_eq!((&s).into_iter().count(), 13);
+    }
+}

@@ -1,0 +1,271 @@
+//! A mechanistic timing model for non-paper suites.
+//!
+//! The paper-protocol simulator ([`crate::execution`]) embeds the published
+//! Table III speedups directly. For *what-if* studies (custom workloads,
+//! hypothetical machines, redundancy-injection experiments) this module
+//! provides a first-order analytical model instead: a workload is a demand
+//! vector, a machine a capability vector, and execution time the sum of the
+//! component times with a cache-capacity penalty.
+
+use serde::{Deserialize, Serialize};
+
+use crate::machine::MachineSpec;
+use crate::WorkloadError;
+
+/// Resource demands of one workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandProfile {
+    /// Total useful work in giga-operations.
+    pub compute_gops: f64,
+    /// Memory traffic in GB over the run.
+    pub memory_gb: f64,
+    /// Hot working-set size in KB; exceeding L2 multiplies memory traffic.
+    pub working_set_kb: f64,
+    /// Fraction of compute that can use a second core, in `[0, 1]`.
+    pub parallel_fraction: f64,
+}
+
+impl DemandProfile {
+    /// Validates the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] for non-finite or
+    /// out-of-range fields.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        let fields = [
+            self.compute_gops,
+            self.memory_gb,
+            self.working_set_kb,
+            self.parallel_fraction,
+        ];
+        if fields.iter().any(|v| !v.is_finite() || *v < 0.0) {
+            return Err(WorkloadError::InvalidParameter {
+                name: "demand",
+                reason: "fields must be finite and non-negative",
+            });
+        }
+        if self.parallel_fraction > 1.0 {
+            return Err(WorkloadError::InvalidParameter {
+                name: "parallel_fraction",
+                reason: "must be at most 1",
+            });
+        }
+        if self.compute_gops == 0.0 && self.memory_gb == 0.0 {
+            return Err(WorkloadError::InvalidParameter {
+                name: "demand",
+                reason: "a workload must demand some compute or memory",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The first-order analytical timing model.
+///
+/// Compute time follows Amdahl's law over the core count; memory time is
+/// traffic over effective bandwidth, with traffic inflated by the ratio of
+/// working set to L2 capacity when the working set does not fit.
+///
+/// # Example
+///
+/// ```
+/// use hiermeans_workload::machine::Machine;
+/// use hiermeans_workload::timing::{DemandProfile, TimingModel};
+///
+/// # fn main() -> Result<(), hiermeans_workload::WorkloadError> {
+/// let cache_hungry = DemandProfile {
+///     compute_gops: 50.0,
+///     memory_gb: 8.0,
+///     working_set_kb: 1536.0, // fits machine A's 2 MB L2, not B's 512 KB
+///     parallel_fraction: 0.0,
+/// };
+/// let model = TimingModel::default();
+/// let on_a = model.execution_time(&cache_hungry, &Machine::A.spec())?;
+/// let on_b = model.execution_time(&cache_hungry, &Machine::B.spec())?;
+/// assert!(on_a < on_b); // the bigger cache wins
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingModel {
+    /// Instructions-per-cycle factor translating GHz into GOPS per core.
+    pub ipc: f64,
+    /// Memory bandwidth in GB/s per 100 MHz of bus speed.
+    pub bandwidth_per_100mhz: f64,
+    /// Maximum cache-miss traffic inflation when the working set exceeds L2.
+    pub max_cache_penalty: f64,
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel {
+            ipc: 1.0,
+            bandwidth_per_100mhz: 0.4,
+            max_cache_penalty: 4.0,
+        }
+    }
+}
+
+impl TimingModel {
+    /// Predicts the execution time in seconds of `demand` on `machine`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] for invalid demand
+    /// profiles or a machine with zero clock.
+    pub fn execution_time(
+        &self,
+        demand: &DemandProfile,
+        machine: &MachineSpec,
+    ) -> Result<f64, WorkloadError> {
+        demand.validate()?;
+        if machine.clock_ghz <= 0.0 {
+            return Err(WorkloadError::InvalidParameter {
+                name: "machine",
+                reason: "clock must be positive",
+            });
+        }
+        // Amdahl: serial part on one core, parallel part over all cores.
+        let gops_rate = self.ipc * machine.clock_ghz;
+        let serial = (1.0 - demand.parallel_fraction) * demand.compute_gops / gops_rate;
+        let parallel =
+            demand.parallel_fraction * demand.compute_gops / (gops_rate * machine.cores as f64);
+        // Cache penalty: traffic inflates smoothly up to max_cache_penalty as
+        // the working set exceeds L2.
+        let overflow = (demand.working_set_kb / machine.l2_cache_kb as f64).max(1.0);
+        let penalty = overflow.min(self.max_cache_penalty);
+        let bandwidth = self.bandwidth_per_100mhz * machine.bus_mhz as f64 / 100.0;
+        let memory = demand.memory_gb * penalty / bandwidth;
+        Ok(serial + parallel + memory)
+    }
+
+    /// Speedup of `machine` over `reference` for a given demand.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TimingModel::execution_time`] errors.
+    pub fn speedup(
+        &self,
+        demand: &DemandProfile,
+        machine: &MachineSpec,
+        reference: &MachineSpec,
+    ) -> Result<f64, WorkloadError> {
+        Ok(self.execution_time(demand, reference)? / self.execution_time(demand, machine)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+
+    fn cpu_bound() -> DemandProfile {
+        DemandProfile {
+            compute_gops: 100.0,
+            memory_gb: 0.5,
+            working_set_kb: 128.0,
+            parallel_fraction: 0.0,
+        }
+    }
+
+    #[test]
+    fn faster_clock_wins_on_cpu_bound() {
+        let m = TimingModel::default();
+        let s = m
+            .speedup(&cpu_bound(), &Machine::A.spec(), &Machine::Reference.spec())
+            .unwrap();
+        // 3.0 GHz vs 1.2 GHz with small memory component: speedup near 2.5x.
+        assert!(s > 2.0 && s < 2.6, "s={s}");
+    }
+
+    #[test]
+    fn bigger_cache_wins_on_cache_hungry() {
+        let m = TimingModel::default();
+        let d = DemandProfile {
+            compute_gops: 10.0,
+            memory_gb: 8.0,
+            working_set_kb: 1536.0,
+            parallel_fraction: 0.0,
+        };
+        let a = m.execution_time(&d, &Machine::A.spec()).unwrap();
+        let b = m.execution_time(&d, &Machine::B.spec()).unwrap();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn parallel_fraction_uses_second_core() {
+        let m = TimingModel::default();
+        let serial = cpu_bound();
+        let parallel = DemandProfile {
+            parallel_fraction: 1.0,
+            ..serial
+        };
+        let a = Machine::A.spec(); // 2 cores
+        let t_serial = m.execution_time(&serial, &a).unwrap();
+        let t_parallel = m.execution_time(&parallel, &a).unwrap();
+        assert!(t_parallel < t_serial);
+        // On the single-core B machine parallelism gains nothing.
+        let b = Machine::B.spec();
+        let tb_serial = m.execution_time(&serial, &b).unwrap();
+        let tb_parallel = m.execution_time(&parallel, &b).unwrap();
+        assert!((tb_serial - tb_parallel).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_penalty_saturates() {
+        let m = TimingModel::default();
+        let huge = DemandProfile {
+            compute_gops: 0.0,
+            memory_gb: 1.0,
+            working_set_kb: 1e9,
+            parallel_fraction: 0.0,
+        };
+        let modest = DemandProfile {
+            working_set_kb: 4.0 * 512.0, // exactly 4x machine B's L2
+            ..huge
+        };
+        let b = Machine::B.spec();
+        assert!(
+            (m.execution_time(&huge, &b).unwrap() - m.execution_time(&modest, &b).unwrap()).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn invalid_profiles_rejected() {
+        let m = TimingModel::default();
+        let a = Machine::A.spec();
+        let zero = DemandProfile {
+            compute_gops: 0.0,
+            memory_gb: 0.0,
+            working_set_kb: 0.0,
+            parallel_fraction: 0.0,
+        };
+        assert!(m.execution_time(&zero, &a).is_err());
+        let over = DemandProfile {
+            parallel_fraction: 1.5,
+            ..cpu_bound()
+        };
+        assert!(m.execution_time(&over, &a).is_err());
+        let nan = DemandProfile {
+            compute_gops: f64::NAN,
+            ..cpu_bound()
+        };
+        assert!(m.execution_time(&nan, &a).is_err());
+    }
+
+    #[test]
+    fn time_is_positive_and_monotone_in_work() {
+        let m = TimingModel::default();
+        let a = Machine::A.spec();
+        let small = cpu_bound();
+        let big = DemandProfile {
+            compute_gops: 200.0,
+            ..small
+        };
+        let ts = m.execution_time(&small, &a).unwrap();
+        let tb = m.execution_time(&big, &a).unwrap();
+        assert!(ts > 0.0 && tb > ts);
+    }
+}

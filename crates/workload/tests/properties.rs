@@ -1,0 +1,106 @@
+//! Property-based tests for the workload substrate.
+
+use hiermeans_workload::execution::ExecutionSimulator;
+use hiermeans_workload::mica;
+use hiermeans_workload::merger::MergeScenario;
+use hiermeans_workload::trace::{generate, Instruction, TraceProfile};
+use hiermeans_workload::Machine;
+use proptest::prelude::*;
+
+fn valid_profile() -> impl Strategy<Value = TraceProfile> {
+    (
+        0.0..0.5f64,        // fp
+        0.0..0.3f64,        // load
+        0.0..0.15f64,       // store
+        0.0..0.25f64,       // branch
+        0.0..1.0f64,        // sequentiality
+        1u64..64,           // stride
+        1024u64..(1 << 24), // working set
+        0.0..1.0f64,        // taken rate
+        0.0..1.0f64,        // repeat rate
+        1.0..16.0f64,       // dep distance
+    )
+        .prop_map(
+            |(fp, ld, st, br, seq, stride, ws, taken, rep, dep)| {
+                // Rescale so the class fractions always fit in a unit budget.
+                let total: f64 = fp + ld + st + br;
+                let scale = if total > 0.95 { 0.95 / total } else { 1.0 };
+                (fp * scale, ld * scale, st * scale, br * scale, seq, stride, ws, taken, rep, dep)
+            },
+        )
+        .prop_map(
+            |(fp, ld, st, br, seq, stride, ws, taken, rep, dep)| TraceProfile {
+                fp_fraction: fp,
+                load_fraction: ld,
+                store_fraction: st,
+                branch_fraction: br,
+                sequentiality: seq,
+                stride_bytes: stride,
+                working_set_bytes: ws,
+                branch_taken_rate: taken,
+                branch_repeat_rate: rep,
+                mean_dep_distance: dep,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn traces_respect_profile_mix(profile in valid_profile(), seed in 0u64..1000) {
+        let trace = generate(&profile, 8000, seed).unwrap();
+        prop_assert_eq!(trace.len(), 8000);
+        let n = trace.len() as f64;
+        let fp = trace.iter().filter(|i| matches!(i, Instruction::FpOp { .. })).count() as f64 / n;
+        prop_assert!((fp - profile.fp_fraction).abs() < 0.05);
+        let branches = trace.iter().filter(|i| matches!(i, Instruction::Branch { .. })).count() as f64 / n;
+        prop_assert!((branches - profile.branch_fraction).abs() < 0.05);
+    }
+
+    #[test]
+    fn features_always_well_formed(profile in valid_profile(), seed in 0u64..1000) {
+        let trace = generate(&profile, 4000, seed).unwrap();
+        let features = mica::extract(&trace).unwrap();
+        prop_assert_eq!(features.len(), mica::feature_names().len());
+        for f in &features {
+            prop_assert!(f.is_finite());
+        }
+        // Instruction-mix fractions sum to 1.
+        let mix: f64 = features[..5].iter().sum();
+        prop_assert!((mix - 1.0).abs() < 1e-9);
+        // Branch rates are probabilities.
+        prop_assert!((0.0..=1.0).contains(&features[5]));
+        prop_assert!((0.0..=1.0).contains(&features[6]));
+    }
+
+    #[test]
+    fn simulator_speedups_scale_with_noise(sigma in 0.0..0.1f64, seed in 0u64..500) {
+        let sim = ExecutionSimulator::paper()
+            .with_noise(sigma)
+            .unwrap()
+            .with_seed(seed);
+        let table = sim.speedup_table().unwrap();
+        for machine in Machine::COMPARISON {
+            for (i, &s) in table.speedups(machine).iter().enumerate() {
+                let latent = hiermeans_workload::measurement::paper_speedup(machine, i);
+                // Log-normal noise with sigma over 10-run means stays within
+                // a generous multiplicative band.
+                prop_assert!((s / latent).ln().abs() < 6.0 * sigma + 1e-9,
+                    "{machine} workload {i}: {s} vs {latent}");
+            }
+        }
+    }
+
+    #[test]
+    fn merger_always_partitions_cleanly(clones in 0usize..12, jitter in 0.0..0.2f64) {
+        let merged = MergeScenario { clones, jitter, ..Default::default() }.build().unwrap();
+        prop_assert_eq!(merged.suite().len(), 8 + clones);
+        prop_assert_eq!(merged.donor_indices().len(), clones);
+        for machine in Machine::COMPARISON {
+            for &s in merged.speedups(machine) {
+                prop_assert!(s > 0.0 && s.is_finite());
+            }
+        }
+    }
+}

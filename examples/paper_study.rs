@@ -1,0 +1,106 @@
+//! The paper's full case study, end to end: simulate the 13-workload Java
+//! suite on machines A and B, characterize with SAR counters and method
+//! utilization, reduce with a SOM, cluster, and score with hierarchical
+//! geometric means.
+//!
+//! ```text
+//! cargo run --release --example paper_study
+//! ```
+
+use hiermeans::core::analysis::SuiteAnalysis;
+use hiermeans::viz::{dendrogram, som_map, table::TextTable};
+use hiermeans::workload::execution::ExecutionSimulator;
+use hiermeans::workload::measurement::{paper_hgm_table, Characterization};
+use hiermeans::workload::Machine;
+
+const SHORT: [&str; 13] = [
+    "compress", "jess", "javac", "mpegaudio", "mtrt", "FFT", "LU", "MonteCarlo", "SOR",
+    "Sparse", "hsqldb", "chart", "xalan",
+];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Table III: the speedup measurement protocol.
+    let table = ExecutionSimulator::paper().speedup_table()?;
+    let mut t = TextTable::new(vec!["workload".into(), "A".into(), "B".into(), "A/B".into()]);
+    for (i, w) in table.suite().iter().enumerate() {
+        let a = table.speedups(Machine::A)[i];
+        let b = table.speedups(Machine::B)[i];
+        t.add_row(vec![
+            w.name().into(),
+            format!("{a:.2}"),
+            format!("{b:.2}"),
+            format!("{:.2}", a / b),
+        ]);
+    }
+    t.add_separator();
+    let (ga, gb) = (
+        table.geometric_mean(Machine::A)?,
+        table.geometric_mean(Machine::B)?,
+    );
+    t.add_row(vec![
+        "geomean".into(),
+        format!("{ga:.2}"),
+        format!("{gb:.2}"),
+        format!("{:.2}", ga / gb),
+    ]);
+    println!("Workload speedups (10 simulated runs each)\n\n{}", t.render());
+
+    // One full analysis per characterization.
+    for ch in Characterization::paper_set() {
+        println!("================================================================");
+        println!("Characterization: {ch}\n");
+        let analysis = SuiteAnalysis::paper(ch)?;
+
+        let positions = analysis.pipeline().positions();
+        let cells: Vec<(usize, usize)> = (0..positions.nrows())
+            .map(|i| (positions[(i, 0)] as usize, positions[(i, 1)] as usize))
+            .collect();
+        println!("{}", som_map::render(analysis.pipeline().som().grid(), &cells, &SHORT));
+
+        println!(
+            "{}",
+            dendrogram::render_tree(analysis.pipeline().dendrogram(), &SHORT)
+        );
+
+        let mut st = TextTable::new(vec![
+            "k".into(),
+            "HGM A".into(),
+            "HGM B".into(),
+            "ratio".into(),
+            "paper ratio".into(),
+        ]);
+        let paper = paper_hgm_table(ch).expect("paper set");
+        for row in analysis.scores().rows() {
+            let paper_ratio = paper
+                .iter()
+                .find(|(k, ..)| *k == row.k)
+                .map(|(_, _, _, r)| format!("{r:.2}"))
+                .unwrap_or_default();
+            st.add_row(vec![
+                format!("{}", row.k),
+                format!("{:.2}", row.score_a),
+                format!("{:.2}", row.score_b),
+                format!("{:.2}", row.ratio()),
+                paper_ratio,
+            ]);
+        }
+        st.add_separator();
+        st.add_row(vec![
+            "plain".into(),
+            format!("{:.2}", analysis.scores().plain_a()),
+            format!("{:.2}", analysis.scores().plain_b()),
+            format!("{:.2}", analysis.scores().plain_ratio()),
+            "1.08".into(),
+        ]);
+        println!("{}", st.render());
+        println!(
+            "recommended cluster count: {} (ratio {:.2})\n",
+            analysis.recommended_k(),
+            analysis.recommended_row().ratio()
+        );
+        let sm_cluster = analysis.scimark_cluster()?;
+        let members: Vec<&str> = sm_cluster.iter().map(|&i| SHORT[i]).collect();
+        println!("cluster holding SciMark2.FFT: {{{}}}\n", members.join(", "));
+    }
+    Ok(())
+}

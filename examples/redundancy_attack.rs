@@ -1,0 +1,64 @@
+//! Redundancy attack: how a vendor could game a plain-mean score by padding
+//! a suite with copies of a favorable workload — and how the hierarchical
+//! mean neutralizes the attack.
+//!
+//! The paper's motivation (Section I): "workload redundancy ... renders the
+//! benchmark scores biased, making the score of a suite susceptible to
+//! malicious tweaks."
+//!
+//! ```text
+//! cargo run --example redundancy_attack
+//! ```
+
+use hiermeans::core::hierarchical::hgm;
+use hiermeans::core::means::geometric_mean;
+use hiermeans::viz::table::TextTable;
+use hiermeans::workload::execution::SpeedupTable;
+use hiermeans::workload::Machine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let table = SpeedupTable::paper_exact();
+    let a: Vec<f64> = table.speedups(Machine::A).to_vec();
+    let b: Vec<f64> = table.speedups(Machine::B).to_vec();
+
+    // Machine A's vendor pads the suite with copies of mtrt, the workload
+    // with the best A/B ratio (1.82).
+    let mtrt = 4;
+    let mut out = TextTable::new(vec![
+        "copies of mtrt added".into(),
+        "plain GM ratio".into(),
+        "HGM ratio".into(),
+    ]);
+    for copies in [0usize, 1, 2, 4, 8, 16] {
+        let mut padded_a = a.clone();
+        let mut padded_b = b.clone();
+        for _ in 0..copies {
+            padded_a.push(a[mtrt]);
+            padded_b.push(b[mtrt]);
+        }
+        let plain_ratio =
+            geometric_mean(&padded_a)? / geometric_mean(&padded_b)?;
+
+        // A cluster analysis would put every copy in mtrt's cluster. Use
+        // singleton clusters for the original workloads and one cluster for
+        // mtrt plus its clones.
+        let n = padded_a.len();
+        let mut clusters: Vec<Vec<usize>> = (0..13).filter(|&i| i != mtrt).map(|i| vec![i]).collect();
+        let mut mtrt_cluster = vec![mtrt];
+        mtrt_cluster.extend(13..n);
+        clusters.push(mtrt_cluster);
+
+        let hier_ratio = hgm(&padded_a, &clusters)? / hgm(&padded_b, &clusters)?;
+        out.add_row(vec![
+            format!("{copies}"),
+            format!("{plain_ratio:.3}"),
+            format!("{hier_ratio:.3}"),
+        ]);
+    }
+    println!(
+        "Padding the suite with copies of mtrt (A/B = 1.82) inflates the plain\n\
+         score ratio without bound; the cluster-aware HGM does not move:\n"
+    );
+    println!("{}", out.render());
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! End-to-end checks of the extension experiments exposed by the `repro`
+//! harness library.
+
+use hiermeans_bench::{experiments, extensions};
+
+#[test]
+fn every_paper_artifact_renders() {
+    use hiermeans_workload::measurement::Characterization;
+    assert!(experiments::table1().contains("SciMark2.FFT"));
+    assert!(experiments::table2().contains("UltraSPARC"));
+    assert!(experiments::table3().unwrap().contains("Geometric Mean"));
+    for ch in Characterization::paper_set() {
+        assert!(experiments::figure_som(ch).unwrap().contains("compress"));
+        let dend = experiments::figure_dendrogram(ch).unwrap();
+        assert!(dend.contains("FFT") && dend.contains('+'));
+        let table = experiments::table_hgm(ch).unwrap();
+        assert!(table.contains("paper A") && table.contains("pipe r"));
+    }
+}
+
+#[test]
+fn mica_keeps_the_kernels_together() {
+    let s = extensions::mica_characterization().unwrap();
+    // The SOM map legend shows at least FFT and LU co-located or adjacent;
+    // assert the table renders and the dendrogram mentions all kernels.
+    for name in ["FFT", "LU", "MonteCarlo", "SOR", "Sparse"] {
+        assert!(s.contains(name), "missing {name}");
+    }
+    assert!(s.contains("HGM A"));
+}
+
+#[test]
+fn suite_evaluation_flags_scimark_redundancy() {
+    let s = extensions::suite_evaluation().unwrap();
+    // Under at least one characterization SciMark2 occupies a single
+    // cluster (internal redundancy 0.80).
+    assert!(s.contains("SciMark2"));
+    assert!(s.contains("0.80"), "{s}");
+}
+
+#[test]
+fn counter_correlation_reports_high_redundancy() {
+    let s = extensions::counter_correlation().unwrap();
+    // Two latent dimensions drive everything, so 95% of variance needs
+    // very few principal components.
+    let lines: Vec<&str> = s.lines().filter(|l| l.contains('|')).collect();
+    let dims: Vec<usize> = lines
+        .iter()
+        .skip(2) // header + separator
+        .map(|l| l.split('|').next_back().unwrap().trim().parse().unwrap())
+        .collect();
+    assert!(dims.iter().all(|&d| d <= 4), "{dims:?}");
+}
+
+#[test]
+fn jackknife_favors_hgm_for_clustered_members() {
+    let s = extensions::jackknife_table().unwrap();
+    // The SciMark2 rows: plain swing visibly larger than HGM swing on A.
+    let row = s
+        .lines()
+        .find(|l| l.trim_start().starts_with("MonteCarlo"))
+        .unwrap();
+    let cells: Vec<f64> = row
+        .split('|')
+        .skip(1)
+        .take(2)
+        .map(|c| c.trim().parse().unwrap())
+        .collect();
+    assert!(cells[0].abs() > cells[1].abs(), "{row}");
+}
+
+#[test]
+fn json_reports_parse_back() {
+    let json = extensions::json_reports().unwrap();
+    let reports: Vec<hiermeans_core::report::StudyReport> =
+        serde_json::from_str(&json).unwrap();
+    assert_eq!(reports.len(), 3);
+    for r in &reports {
+        assert_eq!(r.workloads.len(), 13);
+        assert_eq!(r.scores.len(), 7);
+    }
+}

@@ -1,0 +1,153 @@
+//! End-to-end reproduction assertions: every paper artifact, regenerated
+//! through the public API, matches the published results (exactly for the
+//! scoring math over recovered clusterings, in shape for the full simulated
+//! pipeline).
+
+use hiermeans::core::analysis::SuiteAnalysis;
+use hiermeans::core::hierarchical::hgm;
+use hiermeans::core::means::Mean;
+use hiermeans::core::score::ScoreTable;
+use hiermeans::core::CoreError;
+use hiermeans::workload::execution::{ExecutionSimulator, SpeedupTable};
+use hiermeans::workload::measurement::{
+    paper_hgm_table, reference_clustering, Characterization, PAPER_PLAIN_GM, SCIMARK2,
+};
+use hiermeans::workload::{BenchmarkSuite, Machine, SourceSuite};
+
+#[test]
+fn table1_suite_composition() {
+    let suite = BenchmarkSuite::paper();
+    assert_eq!(suite.len(), 13);
+    assert_eq!(suite.by_suite(SourceSuite::SpecJvm98).len(), 5);
+    assert_eq!(suite.by_suite(SourceSuite::SciMark2).len(), 5);
+    assert_eq!(suite.by_suite(SourceSuite::DaCapo).len(), 3);
+}
+
+#[test]
+fn table2_machine_contrast() {
+    // The experimental contrast the paper builds on: same clock, 4x the L2,
+    // 4x the memory on machine A.
+    let a = Machine::A.spec();
+    let b = Machine::B.spec();
+    assert_eq!(a.clock_ghz, b.clock_ghz);
+    assert_eq!(a.l2_cache_kb, 4 * b.l2_cache_kb);
+    assert_eq!(a.memory_mb, 4 * b.memory_mb);
+}
+
+#[test]
+fn table3_simulated_protocol_matches_published_speedups() {
+    let table = ExecutionSimulator::paper().speedup_table().unwrap();
+    let exact = SpeedupTable::paper_exact();
+    for machine in Machine::COMPARISON {
+        for i in 0..13 {
+            let sim = table.speedups(machine)[i];
+            let paper = exact.speedups(machine)[i];
+            assert!(
+                (sim / paper - 1.0).abs() < 0.05,
+                "workload {i} on {machine}: {sim} vs {paper}"
+            );
+        }
+    }
+    let gm_a = table.geometric_mean(Machine::A).unwrap();
+    let gm_b = table.geometric_mean(Machine::B).unwrap();
+    assert!((gm_a - PAPER_PLAIN_GM.0).abs() < 0.03);
+    assert!((gm_b - PAPER_PLAIN_GM.1).abs() < 0.03);
+    assert!((gm_a / gm_b - PAPER_PLAIN_GM.2).abs() < 0.02);
+}
+
+#[test]
+fn tables_4_5_6_reference_clusterings_reproduce_every_published_row() {
+    let speedups = SpeedupTable::paper_exact();
+    for ch in Characterization::paper_set() {
+        let table = ScoreTable::compute(&speedups, 2..=8, Mean::Geometric, |k| {
+            reference_clustering(ch, k).ok_or(CoreError::InvalidClusters { reason: "missing" })
+        })
+        .unwrap();
+        for &(k, a, b, ratio) in &paper_hgm_table(ch).unwrap() {
+            let row = table.row(k).unwrap();
+            assert!((row.score_a - a).abs() < 0.02, "{ch} k={k} A");
+            assert!((row.score_b - b).abs() < 0.04, "{ch} k={k} B");
+            assert!((row.ratio() - ratio).abs() < 0.03, "{ch} k={k} ratio");
+        }
+    }
+}
+
+#[test]
+fn figures_scimark_coagulation_through_full_pipeline() {
+    // Figures 3, 5, 7 / dendrograms 4, 6, 8: SciMark2 forms an exclusive
+    // cluster under every characterization, now via the complete simulated
+    // pipeline (execution noise -> counters -> SOM -> clustering).
+    for ch in Characterization::paper_set() {
+        let analysis = SuiteAnalysis::paper(ch).unwrap();
+        let mut sm: Vec<usize> = SCIMARK2.to_vec();
+        sm.sort_unstable();
+        let found = (2..=8).any(|k| {
+            analysis
+                .pipeline()
+                .clusters(k)
+                .unwrap()
+                .clusters()
+                .iter()
+                .any(|c| {
+                    let mut s = c.clone();
+                    s.sort_unstable();
+                    s == sm
+                })
+        });
+        assert!(found, "{ch}: no exclusive SciMark2 cluster in any cut");
+    }
+}
+
+#[test]
+fn figure7_scimark_single_cell_under_method_utilization() {
+    let analysis = SuiteAnalysis::paper(Characterization::MethodUtilization).unwrap();
+    let pos = analysis.pipeline().positions();
+    for w in SCIMARK2 {
+        assert_eq!(pos.row(w), pos.row(SCIMARK2[0]));
+    }
+}
+
+#[test]
+fn hgm_converges_to_plain_gm_at_full_granularity() {
+    // Section II: the hierarchical mean "gracefully degenerates to the plain
+    // geometric mean" with singleton clusters.
+    let speedups = SpeedupTable::paper_exact();
+    let singletons: Vec<Vec<usize>> = (0..13).map(|i| vec![i]).collect();
+    for machine in Machine::COMPARISON {
+        let xs = speedups.speedups(machine);
+        let h = hgm(xs, &singletons).unwrap();
+        let plain = Mean::Geometric.compute(xs).unwrap();
+        assert!((h - plain).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn machine_b_clustering_flattens_the_ratio() {
+    // Table V's pattern: under machine B's clustering, the HGM ratio falls
+    // toward (and below) the plain ratio at larger k, unlike machine A's.
+    let analysis = SuiteAnalysis::paper(Characterization::SarCounters(Machine::B)).unwrap();
+    let late_ratio_mean: f64 = analysis
+        .scores()
+        .rows()
+        .iter()
+        .filter(|r| r.k >= 5)
+        .map(|r| r.ratio())
+        .sum::<f64>()
+        / 4.0;
+    assert!(
+        late_ratio_mean < analysis.scores().plain_ratio() + 0.01,
+        "late ratios {late_ratio_mean} should sit at or below plain"
+    );
+}
+
+#[test]
+fn full_study_deterministic_across_processes() {
+    // Everything derives from fixed seeds: two runs agree bit-for-bit.
+    for ch in Characterization::paper_set() {
+        let a = SuiteAnalysis::paper(ch).unwrap();
+        let b = SuiteAnalysis::paper(ch).unwrap();
+        assert_eq!(a.scores().rows(), b.scores().rows());
+        assert_eq!(a.pipeline().positions(), b.pipeline().positions());
+        assert_eq!(a.recommended_k(), b.recommended_k());
+    }
+}

@@ -1,0 +1,79 @@
+//! Score stability under measurement noise: the paper claims hierarchical
+//! means "improve the accuracy and robustness of the score". Sweep the
+//! execution simulator's seed (fresh run-to-run noise each time) and verify
+//! both that the scoring is stable and that the published values sit inside
+//! the observed spread.
+
+use hiermeans::core::hierarchical::hgm;
+use hiermeans::core::means::Mean;
+use hiermeans::workload::execution::ExecutionSimulator;
+use hiermeans::workload::measurement::{reference_clustering, Characterization};
+use hiermeans::workload::Machine;
+
+const SEEDS: [u64; 10] = [1, 2, 3, 5, 8, 13, 21, 34, 55, 89];
+
+#[test]
+fn plain_gm_stable_across_measurement_noise() {
+    let mut ratios = Vec::new();
+    for seed in SEEDS {
+        let table = ExecutionSimulator::paper()
+            .with_seed(seed)
+            .speedup_table()
+            .unwrap();
+        let a = table.geometric_mean(Machine::A).unwrap();
+        let b = table.geometric_mean(Machine::B).unwrap();
+        ratios.push(a / b);
+    }
+    let mean: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    let spread = ratios.iter().cloned().fold(f64::MIN, f64::max)
+        - ratios.iter().cloned().fold(f64::MAX, f64::min);
+    // The published 1.08 sits inside the noise band, and the band is tight
+    // (10 runs of 2% lognormal noise average out).
+    assert!((mean - 1.083).abs() < 0.01, "mean ratio {mean}");
+    assert!(spread < 0.04, "spread {spread}");
+}
+
+#[test]
+fn hgm_at_reference_clustering_stable_across_noise() {
+    let clusters =
+        reference_clustering(Characterization::SarCounters(Machine::A), 6).unwrap();
+    let mut scores = Vec::new();
+    for seed in SEEDS {
+        let table = ExecutionSimulator::paper()
+            .with_seed(seed)
+            .speedup_table()
+            .unwrap();
+        scores.push(hgm(table.speedups(Machine::A), &clusters).unwrap());
+    }
+    let mean: f64 = scores.iter().sum::<f64>() / scores.len() as f64;
+    // The paper's Table IV k=6 value is 2.77.
+    assert!((mean - 2.77).abs() < 0.03, "mean HGM {mean}");
+    for s in &scores {
+        assert!((s - mean).abs() < 0.05, "outlier {s} vs mean {mean}");
+    }
+}
+
+#[test]
+fn hierarchical_no_less_stable_than_plain() {
+    // Coefficient of variation of the HGM across seeds stays within 2x of
+    // the plain GM's (clustered scoring does not amplify measurement noise).
+    let clusters =
+        reference_clustering(Characterization::SarCounters(Machine::A), 6).unwrap();
+    let mut plain = Vec::new();
+    let mut hier = Vec::new();
+    for seed in SEEDS {
+        let table = ExecutionSimulator::paper()
+            .with_seed(seed)
+            .speedup_table()
+            .unwrap();
+        let a = table.speedups(Machine::A);
+        plain.push(Mean::Geometric.compute(a).unwrap());
+        hier.push(hgm(a, &clusters).unwrap());
+    }
+    let cv = |xs: &[f64]| {
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+        v.sqrt() / m
+    };
+    assert!(cv(&hier) < 2.0 * cv(&plain) + 1e-6, "{} vs {}", cv(&hier), cv(&plain));
+}
