@@ -40,7 +40,11 @@ fn bench_training(c: &mut Criterion) {
 fn bench_bmu(c: &mut Criterion) {
     let mut group = c.benchmark_group("som_bmu");
     let data = synthetic(13, 200);
-    let som = SomBuilder::new(10, 10).epochs(50).seed(7).train(&data).unwrap();
+    let som = SomBuilder::new(10, 10)
+        .epochs(50)
+        .seed(7)
+        .train(&data)
+        .unwrap();
     let query = data.row(0).to_vec();
     group.bench_function("bmu_10x10_d200", |b| {
         b.iter(|| som.bmu(std::hint::black_box(&query)).unwrap())

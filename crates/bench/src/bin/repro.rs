@@ -6,15 +6,25 @@
 //!                    table4 table5 table6 all
 //!   extensions:      merger jackknife means-family duplication correlation
 //!                    mica evaluation report extensions
+//!   performance:     bench-pipeline (writes BENCH_pipeline.json)
 //! ```
 
 use std::process::ExitCode;
 
-use hiermeans_bench::{experiments, extensions};
+use hiermeans_bench::{experiments, extensions, perf};
 use hiermeans_workload::measurement::Characterization;
 use hiermeans_workload::Machine;
 
 fn run(artifact: &str) -> Result<String, String> {
+    if artifact == "bench-pipeline" {
+        return perf::bench_pipeline_json()
+            .and_then(|json| {
+                std::fs::write("BENCH_pipeline.json", &json)
+                    .map_err(|e| format!("writing BENCH_pipeline.json: {e}"))?;
+                Ok(format!("wrote BENCH_pipeline.json\n{json}"))
+            })
+            .map_err(|e| format!("bench-pipeline failed: {e}"));
+    }
     let sar_a = Characterization::SarCounters(Machine::A);
     let sar_b = Characterization::SarCounters(Machine::B);
     let methods = Characterization::MethodUtilization;
@@ -66,7 +76,8 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: repro <artifact>...\n  paper artifacts: table1 table2 table3 fig3 fig4 \
              fig5 fig6 fig7 fig8 table4 table5 table6 all\n  extensions: merger jackknife \
-             means-family duplication correlation mica evaluation report extensions"
+             means-family duplication correlation mica evaluation report extensions\n  \
+             performance: bench-pipeline (writes BENCH_pipeline.json)"
         );
         return ExitCode::FAILURE;
     }

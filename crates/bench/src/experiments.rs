@@ -16,8 +16,19 @@ use hiermeans_workload::{BenchmarkSuite, Machine};
 
 /// Short display names for the 13 workloads, in suite order.
 pub const SHORT_NAMES: [&str; 13] = [
-    "compress", "jess", "javac", "mpegaudio", "mtrt", "FFT", "LU", "MonteCarlo", "SOR",
-    "Sparse", "hsqldb", "chart", "xalan",
+    "compress",
+    "jess",
+    "javac",
+    "mpegaudio",
+    "mtrt",
+    "FFT",
+    "LU",
+    "MonteCarlo",
+    "SOR",
+    "Sparse",
+    "hsqldb",
+    "chart",
+    "xalan",
 ];
 
 /// Table I: the constructed benchmark suite.
@@ -137,8 +148,7 @@ pub fn figure_dendrogram(characterization: Characterization) -> Result<String, C
         Characterization::SarCounters(Machine::B) => ("Figure 6", &[5]),
         _ => ("Figure 8", &[6]),
     };
-    let chart =
-        viz_dend::render_proportional(analysis.pipeline().dendrogram(), &SHORT_NAMES, 48);
+    let chart = viz_dend::render_proportional(analysis.pipeline().dendrogram(), &SHORT_NAMES, 48);
     let text = viz_dend::render_with_cuts(analysis.pipeline().dendrogram(), &SHORT_NAMES, ks);
     Ok(format!(
         "{figure}: Clustering Results ({characterization})\n\n{chart}\n{text}"

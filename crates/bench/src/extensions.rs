@@ -35,7 +35,11 @@ pub fn merger_sweep() -> Result<String, CoreError> {
         "elbow k".into(),
     ]);
     for clones in 0..=8usize {
-        let merged = MergeScenario { clones, ..Default::default() }.build()?;
+        let merged = MergeScenario {
+            clones,
+            ..Default::default()
+        }
+        .build()?;
         let a = merged.speedups(Machine::A);
         let b = merged.speedups(Machine::B);
         let plain_a = Mean::Geometric.compute(a)?;
@@ -44,8 +48,7 @@ pub fn merger_sweep() -> Result<String, CoreError> {
 
         // HGM*: base workloads stay singletons, the injected donors form
         // one detected cluster — isolating the pure anti-redundancy effect.
-        let mut donor_only: Vec<Vec<usize>> =
-            (0..merged.base_len()).map(|i| vec![i]).collect();
+        let mut donor_only: Vec<Vec<usize>> = (0..merged.base_len()).map(|i| vec![i]).collect();
         if clones > 0 {
             donor_only.push(merged.donor_indices());
         }
@@ -55,7 +58,11 @@ pub fn merger_sweep() -> Result<String, CoreError> {
         // HGM: the full clustering pipeline over the merged geometry with
         // the elbow heuristic choosing k — base workloads may cluster too.
         let pts = Matrix::from_rows(
-            &merged.positions().iter().map(|p| vec![p[0], p[1]]).collect::<Vec<_>>(),
+            &merged
+                .positions()
+                .iter()
+                .map(|p| vec![p[0], p[1]])
+                .collect::<Vec<_>>(),
         )?;
         let dendrogram = agglomerative::cluster(&pts, Metric::Euclidean, Linkage::Complete)?;
         let (hgm_a, hgm_b, k) = if n >= 3 && clones > 0 {
@@ -97,8 +104,8 @@ pub fn merger_sweep() -> Result<String, CoreError> {
 /// Propagates scoring errors.
 pub fn jackknife_table() -> Result<String, CoreError> {
     let speedups = SpeedupTable::paper_exact();
-    let clusters = reference_clustering(Characterization::SarCounters(Machine::A), 6)
-        .expect("k=6 exists");
+    let clusters =
+        reference_clustering(Characterization::SarCounters(Machine::A), 6).expect("k=6 exists");
     let mut t = TextTable::new(vec![
         "removed".into(),
         "plain dA%".into(),
@@ -290,13 +297,13 @@ pub fn mica_characterization() -> Result<String, CoreError> {
     let tree = viz_dend::render_tree(result.dendrogram(), &SHORT_NAMES);
 
     let speedups = SpeedupTable::paper_exact();
-    let table = ScoreTable::from_dendrogram(
-        &speedups,
-        result.dendrogram(),
-        8,
-        Mean::Geometric,
-    )?;
-    let mut t = TextTable::new(vec!["k".into(), "HGM A".into(), "HGM B".into(), "ratio".into()]);
+    let table = ScoreTable::from_dendrogram(&speedups, result.dendrogram(), 8, Mean::Geometric)?;
+    let mut t = TextTable::new(vec![
+        "k".into(),
+        "HGM A".into(),
+        "HGM B".into(),
+        "ratio".into(),
+    ]);
     for row in table.rows() {
         t.add_row(vec![
             format!("{}", row.k),
@@ -392,7 +399,9 @@ pub fn json_reports() -> Result<String, CoreError> {
     let mut reports = Vec::new();
     for ch in Characterization::paper_set() {
         let analysis = hiermeans_core::analysis::SuiteAnalysis::paper(ch)?;
-        reports.push(hiermeans_core::report::StudyReport::from_analysis(&analysis)?);
+        reports.push(hiermeans_core::report::StudyReport::from_analysis(
+            &analysis,
+        )?);
     }
     serde_json::to_string_pretty(&reports).map_err(|_| CoreError::InvalidClusters {
         reason: "report serialization failed",
@@ -424,7 +433,10 @@ mod tests {
         // The donor favors B slightly, so the plain ratio keeps falling as
         // clones accumulate; the donor-cluster HGM* stays put (its residue
         // is clone-jitter averaging inside one 1/k-weighted cluster).
-        assert!((plain_8 - plain_1).abs() > 0.03, "plain {plain_1} -> {plain_8}");
+        assert!(
+            (plain_8 - plain_1).abs() > 0.03,
+            "plain {plain_1} -> {plain_8}"
+        );
         assert!(
             (star_8 - star_1).abs() < 0.015,
             "HGM* {star_1} -> {star_8} should be nearly constant"

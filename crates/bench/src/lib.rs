@@ -9,3 +9,4 @@
 
 pub mod experiments;
 pub mod extensions;
+pub mod perf;

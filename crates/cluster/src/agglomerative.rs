@@ -63,10 +63,7 @@ pub fn cluster(
 /// * [`ClusterError::InvalidDistanceMatrix`] if the matrix is not square,
 ///   not symmetric, has a nonzero diagonal, or contains negative or
 ///   non-finite entries.
-pub fn cluster_from_distances(
-    dist: &Matrix,
-    linkage: Linkage,
-) -> Result<Dendrogram, ClusterError> {
+pub fn cluster_from_distances(dist: &Matrix, linkage: Linkage) -> Result<Dendrogram, ClusterError> {
     validate_distance_matrix(dist)?;
     let n = dist.nrows();
     if n == 1 {
@@ -132,7 +129,9 @@ fn validate_distance_matrix(dist: &Matrix) -> Result<(), ClusterError> {
         return Err(ClusterError::EmptyInput);
     }
     if r != c {
-        return Err(ClusterError::InvalidDistanceMatrix { reason: "matrix is not square" });
+        return Err(ClusterError::InvalidDistanceMatrix {
+            reason: "matrix is not square",
+        });
     }
     for i in 0..r {
         if dist[(i, i)] != 0.0 {
@@ -251,17 +250,14 @@ mod tests {
 
     #[test]
     fn from_distances_validates() {
-        let asym =
-            Matrix::from_rows(&[vec![0.0, 1.0], vec![2.0, 0.0]]).unwrap();
+        let asym = Matrix::from_rows(&[vec![0.0, 1.0], vec![2.0, 0.0]]).unwrap();
         assert!(matches!(
             cluster_from_distances(&asym, Linkage::Complete).unwrap_err(),
             ClusterError::InvalidDistanceMatrix { .. }
         ));
-        let nonzero_diag =
-            Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let nonzero_diag = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 0.0]]).unwrap();
         assert!(cluster_from_distances(&nonzero_diag, Linkage::Complete).is_err());
-        let negative =
-            Matrix::from_rows(&[vec![0.0, -1.0], vec![-1.0, 0.0]]).unwrap();
+        let negative = Matrix::from_rows(&[vec![0.0, -1.0], vec![-1.0, 0.0]]).unwrap();
         assert!(cluster_from_distances(&negative, Linkage::Complete).is_err());
         let not_square = Matrix::zeros(2, 3);
         assert!(cluster_from_distances(&not_square, Linkage::Complete).is_err());

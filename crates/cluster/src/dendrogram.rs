@@ -219,9 +219,24 @@ mod tests {
         Dendrogram::new(
             4,
             vec![
-                Merge { left: 0, right: 1, distance: 1.0, size: 2 },
-                Merge { left: 2, right: 3, distance: 2.0, size: 2 },
-                Merge { left: 4, right: 5, distance: 5.0, size: 4 },
+                Merge {
+                    left: 0,
+                    right: 1,
+                    distance: 1.0,
+                    size: 2,
+                },
+                Merge {
+                    left: 2,
+                    right: 3,
+                    distance: 2.0,
+                    size: 2,
+                },
+                Merge {
+                    left: 4,
+                    right: 5,
+                    distance: 5.0,
+                    size: 4,
+                },
             ],
         )
         .unwrap()
@@ -282,8 +297,18 @@ mod tests {
         let inverted = Dendrogram::new(
             3,
             vec![
-                Merge { left: 0, right: 1, distance: 2.0, size: 2 },
-                Merge { left: 3, right: 2, distance: 1.0, size: 3 },
+                Merge {
+                    left: 0,
+                    right: 1,
+                    distance: 2.0,
+                    size: 2,
+                },
+                Merge {
+                    left: 3,
+                    right: 2,
+                    distance: 1.0,
+                    size: 3,
+                },
             ],
         )
         .unwrap();
@@ -304,16 +329,26 @@ mod tests {
     fn constructor_validation() {
         assert!(Dendrogram::new(0, vec![]).is_err());
         assert!(Dendrogram::new(3, vec![]).is_err()); // needs 2 merges
-        // Merge referencing a not-yet-created id.
+                                                      // Merge referencing a not-yet-created id.
         let bad = Dendrogram::new(
             2,
-            vec![Merge { left: 0, right: 5, distance: 1.0, size: 2 }],
+            vec![Merge {
+                left: 0,
+                right: 5,
+                distance: 1.0,
+                size: 2,
+            }],
         );
         assert!(bad.is_err());
         // Self-merge.
         let self_merge = Dendrogram::new(
             2,
-            vec![Merge { left: 0, right: 0, distance: 1.0, size: 2 }],
+            vec![Merge {
+                left: 0,
+                right: 0,
+                distance: 1.0,
+                size: 2,
+            }],
         );
         assert!(self_merge.is_err());
     }

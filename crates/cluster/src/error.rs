@@ -49,8 +49,14 @@ impl fmt::Display for ClusterError {
                 write!(f, "invalid distance matrix: {reason}")
             }
             ClusterError::InvalidLabels { reason } => write!(f, "invalid labels: {reason}"),
-            ClusterError::NoConvergence { routine, iterations } => {
-                write!(f, "{routine} did not converge within {iterations} iterations")
+            ClusterError::NoConvergence {
+                routine,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{routine} did not converge within {iterations} iterations"
+                )
             }
         }
     }
@@ -77,8 +83,14 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert_eq!(ClusterError::EmptyInput.to_string(), "clustering input is empty");
-        let e = ClusterError::InvalidClusterCount { requested: 5, points: 3 };
+        assert_eq!(
+            ClusterError::EmptyInput.to_string(),
+            "clustering input is empty"
+        );
+        let e = ClusterError::InvalidClusterCount {
+            requested: 5,
+            points: 3,
+        };
         assert_eq!(e.to_string(), "cannot form 5 clusters from 3 points");
     }
 

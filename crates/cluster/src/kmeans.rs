@@ -84,7 +84,9 @@ impl KMeans {
         }
         if !points.is_finite() {
             return Err(ClusterError::Linalg(
-                hiermeans_linalg::LinalgError::NonFinite { what: "k-means input" },
+                hiermeans_linalg::LinalgError::NonFinite {
+                    what: "k-means input",
+                },
             ));
         }
         let mut rng = StdRng::seed_from_u64(config.seed);
@@ -274,9 +276,12 @@ mod tests {
             let rep = members[0];
             let raw = m.predict(pts.row(rep)).unwrap();
             for c in 0..2 {
-                let mean: f64 = members.iter().map(|&r| pts[(r, c)]).sum::<f64>()
-                    / members.len() as f64;
-                assert!((m.centroids()[(raw, c)] - mean).abs() < 1e-9, "label {label}");
+                let mean: f64 =
+                    members.iter().map(|&r| pts[(r, c)]).sum::<f64>() / members.len() as f64;
+                assert!(
+                    (m.centroids()[(raw, c)] - mean).abs() < 1e-9,
+                    "label {label}"
+                );
             }
         }
     }

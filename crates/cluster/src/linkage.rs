@@ -34,15 +34,7 @@ impl Linkage {
     /// For [`Linkage::Ward`], [`Linkage::Centroid`] and [`Linkage::Median`],
     /// the inputs must be *Euclidean* distances; the update is performed on
     /// squared distances internally, as in standard implementations.
-    pub fn update(
-        &self,
-        d_ki: f64,
-        d_kj: f64,
-        d_ij: f64,
-        ni: usize,
-        nj: usize,
-        nk: usize,
-    ) -> f64 {
+    pub fn update(&self, d_ki: f64, d_kj: f64, d_ij: f64, ni: usize, nj: usize, nk: usize) -> f64 {
         let (ni, nj, nk) = (ni as f64, nj as f64, nk as f64);
         match self {
             Linkage::Single => d_ki.min(d_kj),
@@ -57,16 +49,13 @@ impl Linkage {
             }
             Linkage::Centroid => {
                 let s = ni + nj;
-                ((ni * d_ki * d_ki + nj * d_kj * d_kj) / s
-                    - ni * nj * d_ij * d_ij / (s * s))
+                ((ni * d_ki * d_ki + nj * d_kj * d_kj) / s - ni * nj * d_ij * d_ij / (s * s))
                     .max(0.0)
                     .sqrt()
             }
-            Linkage::Median => {
-                (0.5 * d_ki * d_ki + 0.5 * d_kj * d_kj - 0.25 * d_ij * d_ij)
-                    .max(0.0)
-                    .sqrt()
-            }
+            Linkage::Median => (0.5 * d_ki * d_ki + 0.5 * d_kj * d_kj - 0.25 * d_ij * d_ij)
+                .max(0.0)
+                .sqrt(),
         }
     }
 

@@ -85,7 +85,9 @@ pub fn cluster_nn_chain_from_distances(
         return Err(ClusterError::EmptyInput);
     }
     if r != c {
-        return Err(ClusterError::InvalidDistanceMatrix { reason: "matrix is not square" });
+        return Err(ClusterError::InvalidDistanceMatrix {
+            reason: "matrix is not square",
+        });
     }
     let n = r;
     if n == 1 {
@@ -139,8 +141,7 @@ pub fn cluster_nn_chain_from_distances(
                         continue;
                     }
                     let (_, size_k) = info[k].expect("slot k active");
-                    let updated =
-                        linkage.update(d[(k, a)], d[(k, b)], dnn, size_a, size_b, size_k);
+                    let updated = linkage.update(d[(k, a)], d[(k, b)], dnn, size_a, size_b, size_k);
                     d[(k, a)] = updated;
                     d[(a, k)] = updated;
                 }
@@ -195,8 +196,7 @@ fn sort_merges(n_leaves: usize, raw: Vec<(usize, usize, f64, usize)>) -> Dendrog
             }
         })
         .collect();
-    Dendrogram::new(n_leaves, merges)
-        .expect("NN-chain emits a structurally valid merge sequence")
+    Dendrogram::new(n_leaves, merges).expect("NN-chain emits a structurally valid merge sequence")
 }
 
 #[cfg(test)]
@@ -225,7 +225,12 @@ mod tests {
     #[test]
     fn equivalent_cuts_to_naive_for_reducible_linkages() {
         let pts = grid_points(24);
-        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+        for linkage in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Ward,
+        ] {
             let fast = cluster_nn_chain(&pts, Metric::Euclidean, linkage).unwrap();
             let slow = agglomerative::cluster(&pts, Metric::Euclidean, linkage).unwrap();
             for k in 1..=24 {
@@ -258,7 +263,12 @@ mod tests {
     #[test]
     fn result_is_monotone_for_reducible_linkages() {
         let pts = grid_points(20);
-        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+        for linkage in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Ward,
+        ] {
             let d = cluster_nn_chain(&pts, Metric::Euclidean, linkage).unwrap();
             assert!(d.is_monotone(), "{linkage}");
         }

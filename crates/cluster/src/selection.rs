@@ -18,6 +18,11 @@ use crate::{ClusterError, Dendrogram};
 /// `(n-k+1)`-th merge means cutting between them separates well-formed
 /// clusters.
 ///
+/// Every `k` in the range is evaluated, including `k = n` (all
+/// singletons), whose "gap" is the first merge distance itself: when even
+/// the closest pair merges at a large distance, not merging at all is the
+/// best elbow.
+///
 /// # Errors
 ///
 /// Returns [`ClusterError::InvalidClusterCount`] if the range is empty or
@@ -45,11 +50,14 @@ pub fn elbow_k(
     let n = dendrogram.n_leaves();
     let (lo, hi) = (*k_range.start(), *k_range.end());
     if lo < 2 || hi > n || lo > hi {
-        return Err(ClusterError::InvalidClusterCount { requested: lo, points: n });
+        return Err(ClusterError::InvalidClusterCount {
+            requested: lo,
+            points: n,
+        });
     }
     let distances = dendrogram.merge_distances();
     let mut best = (lo, f64::NEG_INFINITY);
-    for k in lo..=hi.min(n - 1) {
+    for k in lo..=hi {
         // Cutting into k applies merges [0, n-k); the gap is between the
         // last applied and the first skipped merge.
         let applied = n - k;
@@ -68,9 +76,14 @@ pub fn elbow_k(
 /// Picks `k` maximizing the silhouette of the dendrogram's cuts over
 /// `points`, breaking ties toward fewer clusters.
 ///
+/// Every `k` in the range is evaluated, including `k = n`, where every
+/// cluster is a singleton and the silhouette is 0 by convention — so the
+/// all-singleton cut wins only when every coarser cut has a negative
+/// silhouette.
+///
 /// # Errors
 ///
-/// Propagates cut and silhouette errors; the range must fit `2..n`.
+/// Propagates cut and silhouette errors; the range must fit `2..=n`.
 pub fn silhouette_k(
     dendrogram: &Dendrogram,
     points: &Matrix,
@@ -79,10 +92,13 @@ pub fn silhouette_k(
     let n = dendrogram.n_leaves();
     let (lo, hi) = (*k_range.start(), *k_range.end());
     if lo < 2 || hi > n || lo > hi {
-        return Err(ClusterError::InvalidClusterCount { requested: lo, points: n });
+        return Err(ClusterError::InvalidClusterCount {
+            requested: lo,
+            points: n,
+        });
     }
     let mut best = (lo, f64::NEG_INFINITY);
-    for k in lo..=hi.min(n.saturating_sub(1)) {
+    for k in lo..=hi {
         let cut = dendrogram.cut_into(k)?;
         if cut.n_clusters() < 2 {
             continue;
@@ -118,7 +134,10 @@ pub fn gap_statistic_k(
     let n = dendrogram.n_leaves();
     let (lo, hi) = (*k_range.start(), *k_range.end());
     if lo < 2 || hi >= n || lo > hi || n_references == 0 {
-        return Err(ClusterError::InvalidClusterCount { requested: lo, points: n });
+        return Err(ClusterError::InvalidClusterCount {
+            requested: lo,
+            points: n,
+        });
     }
     // Bounding box of the observed points.
     let dim = points.ncols();
@@ -150,11 +169,8 @@ pub fn gap_statistic_k(
                 data[(r, c)] = rng.gen_range(bounds[c].0..bounds[c].1);
             }
         }
-        let reference_dendrogram = crate::agglomerative::cluster(
-            &data,
-            Metric::Euclidean,
-            crate::Linkage::Complete,
-        )?;
+        let reference_dendrogram =
+            crate::agglomerative::cluster(&data, Metric::Euclidean, crate::Linkage::Complete)?;
         for (i, &k) in ks.iter().enumerate() {
             let w = log_wcss(&data, &reference_dendrogram.cut_into(k)?)?;
             reference_mean[i] += w;
@@ -206,7 +222,10 @@ pub fn cophenetic_correlation(
         });
     }
     if n < 3 {
-        return Err(ClusterError::InvalidClusterCount { requested: n, points: n });
+        return Err(ClusterError::InvalidClusterCount {
+            requested: n,
+            points: n,
+        });
     }
     let original = pairwise(points, metric)?;
     let cophenetic = dendrogram.cophenetic();
@@ -301,6 +320,27 @@ mod tests {
         let d = cluster(&pts, Metric::Euclidean, Linkage::Single).unwrap();
         let c = cophenetic_correlation(&d, &pts, Metric::Euclidean).unwrap();
         assert!((-1.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn full_range_to_n_is_evaluated() {
+        // Regression: validation accepted `hi == n` but the sweep silently
+        // clamped to `n - 1`, so `k_range = 2..=n` never considered the
+        // all-singleton cut.
+        let pts = three_blobs();
+        let n = pts.nrows();
+        let d = cluster(&pts, Metric::Euclidean, Linkage::Complete).unwrap();
+        // Structured data: the planted count must still win over k = n.
+        assert_eq!(elbow_k(&d, 2..=n).unwrap(), 3);
+        assert_eq!(silhouette_k(&d, &pts, 2..=n).unwrap(), 3);
+
+        // Evenly spaced points under single linkage merge at a constant
+        // distance: every consecutive gap is 0, so the first merge distance
+        // (the k = n "gap") is the largest and k = n must be chosen. The
+        // clamped sweep returned `lo` here.
+        let uniform = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let du = cluster(&uniform, Metric::Euclidean, Linkage::Single).unwrap();
+        assert_eq!(elbow_k(&du, 2..=4).unwrap(), 4);
     }
 
     #[test]

@@ -272,9 +272,7 @@ mod tests {
     fn calinski_harabasz_high_for_separated_blobs() {
         let (pts, good) = blobs();
         let bad = ClusterAssignment::from_labels(&[0, 1, 0, 1, 0, 1]).unwrap();
-        assert!(
-            calinski_harabasz(&pts, &good).unwrap() > calinski_harabasz(&pts, &bad).unwrap()
-        );
+        assert!(calinski_harabasz(&pts, &good).unwrap() > calinski_harabasz(&pts, &bad).unwrap());
     }
 
     #[test]

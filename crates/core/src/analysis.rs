@@ -85,12 +85,8 @@ impl SuiteAnalysis {
     ) -> Result<Self, CoreError> {
         let pipeline = run_pipeline(vectors.matrix(), config)?;
         let max_k = (*K_RANGE.end()).min(suite.len());
-        let scores = ScoreTable::from_dendrogram(
-            &speedups,
-            pipeline.dendrogram(),
-            max_k,
-            Mean::Geometric,
-        )?;
+        let scores =
+            ScoreTable::from_dendrogram(&speedups, pipeline.dendrogram(), max_k, Mean::Geometric)?;
         let recommended_k = recommend_k(pipeline.positions(), pipeline.dendrogram(), max_k)?;
         Ok(SuiteAnalysis {
             suite,
@@ -170,13 +166,24 @@ pub fn recommend_k(
     dendrogram: &hiermeans_cluster::Dendrogram,
     max_k: usize,
 ) -> Result<usize, CoreError> {
+    // Cut + score every k concurrently; the argmax below runs over the
+    // sweep-ordered results, so the answer is independent of scheduling.
+    let hi = max_k.min(positions.nrows().saturating_sub(1)).max(2);
+    let ks: Vec<usize> = (2..=hi).collect();
+    let scored = hiermeans_linalg::parallel::try_map_items(
+        ks.len(),
+        hiermeans_linalg::parallel::Chunking::new(1, 4),
+        |i| {
+            let assignment = dendrogram.cut_into(ks[i])?;
+            if assignment.n_clusters() < 2 {
+                return Ok::<_, CoreError>(None);
+            }
+            let s = validity::silhouette(positions, &assignment)?;
+            Ok(Some((ks[i], s)))
+        },
+    )?;
     let mut best = (2usize, f64::NEG_INFINITY);
-    for k in 2..=max_k.min(positions.nrows().saturating_sub(1)).max(2) {
-        let assignment = dendrogram.cut_into(k)?;
-        if assignment.n_clusters() < 2 {
-            continue;
-        }
-        let s = validity::silhouette(positions, &assignment)?;
+    for (k, s) in scored.into_iter().flatten() {
         if s > best.1 + 1e-12 {
             best = (k, s);
         }
@@ -241,11 +248,16 @@ mod tests {
         sm.sort_unstable();
         let exclusive_ks: Vec<usize> = (2..=8)
             .filter(|&k| {
-                a.pipeline().clusters(k).unwrap().clusters().iter().any(|c| {
-                    let mut s = c.clone();
-                    s.sort_unstable();
-                    s == sm
-                })
+                a.pipeline()
+                    .clusters(k)
+                    .unwrap()
+                    .clusters()
+                    .iter()
+                    .any(|c| {
+                        let mut s = c.clone();
+                        s.sort_unstable();
+                        s == sm
+                    })
             })
             .collect();
         assert!(

@@ -100,7 +100,10 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(CoreError::EmptyInput.to_string().contains("empty"));
-        let e = CoreError::InvalidValue { index: 3, value: -1.0 };
+        let e = CoreError::InvalidValue {
+            index: 3,
+            value: -1.0,
+        };
         assert!(e.to_string().contains("#3"));
     }
 

@@ -53,10 +53,7 @@ impl SuiteEvaluation {
     ///
     /// Returns [`CoreError::InvalidClusters`] if `source_of` and
     /// `assignment` lengths differ, and propagates partition errors.
-    pub fn evaluate(
-        source_of: &[&str],
-        assignment: &ClusterAssignment,
-    ) -> Result<Self, CoreError> {
+    pub fn evaluate(source_of: &[&str], assignment: &ClusterAssignment) -> Result<Self, CoreError> {
         let n = assignment.len();
         if source_of.len() != n {
             return Err(CoreError::InvalidClusters {
@@ -81,9 +78,9 @@ impl SuiteEvaluation {
                 let mut occupied: Vec<usize> = members.iter().map(|&i| labels[i]).collect();
                 occupied.sort_unstable();
                 occupied.dedup();
-                let has_exclusive_cluster = clusters.iter().any(|c| {
-                    c.len() >= 2 && c.iter().all(|&i| source_of[i] == source)
-                });
+                let has_exclusive_cluster = clusters
+                    .iter()
+                    .any(|c| c.len() >= 2 && c.iter().all(|&i| source_of[i] == source));
                 SourceReport {
                     source: source.to_owned(),
                     workloads: members.len(),
@@ -115,7 +112,11 @@ impl SuiteEvaluation {
                 s.workloads,
                 s.clusters_occupied,
                 s.internal_redundancy,
-                if s.has_exclusive_cluster { "  [exclusive cluster]" } else { "" }
+                if s.has_exclusive_cluster {
+                    "  [exclusive cluster]"
+                } else {
+                    ""
+                }
             ));
         }
         out
@@ -173,7 +174,9 @@ mod tests {
     #[test]
     fn render_mentions_everything() {
         let (sources, assignment) = paper_like();
-        let s = SuiteEvaluation::evaluate(&sources, &assignment).unwrap().render();
+        let s = SuiteEvaluation::evaluate(&sources, &assignment)
+            .unwrap()
+            .render();
         assert!(s.contains("scimark"));
         assert!(s.contains("[exclusive cluster]"));
         assert!(s.contains("redundancy index"));

@@ -177,16 +177,24 @@ mod tests {
     #[test]
     fn degenerates_to_plain_mean_with_singleton_clusters() {
         let clusters = singletons(5);
-        assert!((hgm(&VALUES, &clusters).unwrap() - geometric_mean(&VALUES).unwrap()).abs() < 1e-12);
-        assert!((ham(&VALUES, &clusters).unwrap() - arithmetic_mean(&VALUES).unwrap()).abs() < 1e-12);
+        assert!(
+            (hgm(&VALUES, &clusters).unwrap() - geometric_mean(&VALUES).unwrap()).abs() < 1e-12
+        );
+        assert!(
+            (ham(&VALUES, &clusters).unwrap() - arithmetic_mean(&VALUES).unwrap()).abs() < 1e-12
+        );
         assert!((hhm(&VALUES, &clusters).unwrap() - harmonic_mean(&VALUES).unwrap()).abs() < 1e-12);
     }
 
     #[test]
     fn degenerates_to_plain_mean_with_one_big_cluster() {
         let clusters = vec![(0..5).collect::<Vec<_>>()];
-        assert!((hgm(&VALUES, &clusters).unwrap() - geometric_mean(&VALUES).unwrap()).abs() < 1e-12);
-        assert!((ham(&VALUES, &clusters).unwrap() - arithmetic_mean(&VALUES).unwrap()).abs() < 1e-12);
+        assert!(
+            (hgm(&VALUES, &clusters).unwrap() - geometric_mean(&VALUES).unwrap()).abs() < 1e-12
+        );
+        assert!(
+            (ham(&VALUES, &clusters).unwrap() - arithmetic_mean(&VALUES).unwrap()).abs() < 1e-12
+        );
         assert!((hhm(&VALUES, &clusters).unwrap() - harmonic_mean(&VALUES).unwrap()).abs() < 1e-12);
     }
 
@@ -272,8 +280,7 @@ mod tests {
     #[test]
     fn assignment_overload_matches_explicit() {
         let assignment = ClusterAssignment::from_labels(&[0, 0, 1, 1, 2]).unwrap();
-        let via_assignment =
-            hierarchical_mean_of(&VALUES, &assignment, Mean::Geometric).unwrap();
+        let via_assignment = hierarchical_mean_of(&VALUES, &assignment, Mean::Geometric).unwrap();
         let explicit = hgm(&VALUES, &[vec![0, 1], vec![2, 3], vec![4]]).unwrap();
         assert!((via_assignment - explicit).abs() < 1e-12);
         // Length mismatch rejected.

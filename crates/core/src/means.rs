@@ -73,15 +73,15 @@ impl Mean {
             });
         }
         Ok(match self {
-            Mean::Arithmetic => {
-                values.iter().zip(weights).map(|(v, w)| v * w).sum::<f64>() / total
-            }
-            Mean::Geometric => {
-                (values.iter().zip(weights).map(|(v, w)| w * v.ln()).sum::<f64>() / total).exp()
-            }
-            Mean::Harmonic => {
-                total / values.iter().zip(weights).map(|(v, w)| w / v).sum::<f64>()
-            }
+            Mean::Arithmetic => values.iter().zip(weights).map(|(v, w)| v * w).sum::<f64>() / total,
+            Mean::Geometric => (values
+                .iter()
+                .zip(weights)
+                .map(|(v, w)| w * v.ln())
+                .sum::<f64>()
+                / total)
+                .exp(),
+            Mean::Harmonic => total / values.iter().zip(weights).map(|(v, w)| w / v).sum::<f64>(),
         })
     }
 }
@@ -190,7 +190,10 @@ mod tests {
     #[test]
     fn empty_and_invalid_inputs() {
         for mean in Mean::all() {
-            assert!(matches!(mean.compute(&[]).unwrap_err(), CoreError::EmptyInput));
+            assert!(matches!(
+                mean.compute(&[]).unwrap_err(),
+                CoreError::EmptyInput
+            ));
             assert!(matches!(
                 mean.compute(&[1.0, 0.0]).unwrap_err(),
                 CoreError::InvalidValue { index: 1, .. }
@@ -210,7 +213,7 @@ mod tests {
         assert!((gm / 1e-300 - 1.0).abs() < 1e-9);
         let naive = geometric_mean_naive(&tiny).unwrap();
         assert_eq!(naive, 0.0); // demonstrates why log space matters
-        // And overflow on the other side.
+                                // And overflow on the other side.
         let huge = vec![1e300; 400];
         assert!((geometric_mean(&huge).unwrap() / 1e300 - 1.0).abs() < 1e-9);
         assert!(geometric_mean_naive(&huge).unwrap().is_infinite());

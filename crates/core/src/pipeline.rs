@@ -8,10 +8,15 @@
 use hiermeans_cluster::agglomerative;
 use hiermeans_cluster::{ClusterAssignment, Dendrogram, Linkage};
 use hiermeans_linalg::distance::Metric;
+use hiermeans_linalg::parallel::{self, Chunking};
 use hiermeans_linalg::Matrix;
 use hiermeans_som::{Som, SomBuilder};
 
 use crate::CoreError;
+
+/// Chunking for [`PipelineResult::clusters_sweep`]: one cut per chunk (each
+/// `k` is independent work), serial below 4 cuts.
+const SWEEP_CHUNKING: Chunking = Chunking::new(1, 4);
 
 /// Configuration of the SOM + clustering pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,16 +25,21 @@ pub struct PipelineConfig {
     pub som_width: usize,
     /// SOM grid height (default 10).
     pub som_height: usize,
-    /// SOM training epochs (default 500).
+    /// SOM training epochs (default 200). Shorter runs leave the online
+    /// SOM under-converged on the paper's 13-workload suite: the map then
+    /// fails to preserve raw-space neighbor relations (e.g. SciMark2's
+    /// LU lands nearer a DaCapo workload than its own kernels on machine
+    /// B's SAR counters).
     pub epochs: usize,
     /// RNG seed for SOM training.
     pub seed: u64,
     /// Final neighborhood radius σ. Larger values keep adjacent units
     /// correlated, so near-identical workloads share a map cell (the
     /// paper's "darker cells"); small values let every workload capture its
-    /// own unit. Default 1.2.
+    /// own unit. Default 1.5.
     pub sigma_end: f64,
-    /// Online (the paper's sequential algorithm) or batch SOM training.
+    /// Online (the paper's sequential algorithm, the default) or batch SOM
+    /// training.
     pub training: hiermeans_som::TrainingMode,
     /// Linkage rule (the paper uses complete linkage).
     pub linkage: Linkage,
@@ -42,7 +52,7 @@ impl Default for PipelineConfig {
         PipelineConfig {
             som_width: 10,
             som_height: 10,
-            epochs: 100,
+            epochs: 200,
             seed: 0xC10C_2007,
             sigma_end: 1.5,
             training: hiermeans_som::TrainingMode::Online,
@@ -89,6 +99,26 @@ impl PipelineResult {
     /// Cuts the dendrogram at a merging distance.
     pub fn clusters_at_distance(&self, distance: f64) -> ClusterAssignment {
         self.dendrogram.cut_at(distance)
+    }
+
+    /// Cuts the dendrogram at every `k` in `ks`, sweeping the cuts in
+    /// parallel. Results come back in sweep order and are identical to
+    /// calling [`PipelineResult::clusters`] per `k` — each cut depends only
+    /// on its own `k`, so scheduling cannot change any assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Cluster`] for an out-of-range `k`; with several
+    /// out-of-range `k`s, the earliest in the sweep wins.
+    pub fn clusters_sweep(
+        &self,
+        ks: impl IntoIterator<Item = usize>,
+    ) -> Result<Vec<(usize, ClusterAssignment)>, CoreError> {
+        let ks: Vec<usize> = ks.into_iter().collect();
+        parallel::try_map_items(ks.len(), SWEEP_CHUNKING, |i| {
+            let k = ks[i];
+            Ok((k, self.dendrogram.cut_into(k)?))
+        })
     }
 }
 
@@ -154,11 +184,12 @@ pub fn run_pipeline(
 /// # Errors
 ///
 /// Returns [`CoreError::Cluster`] if clustering fails.
-pub fn run_without_som(
-    vectors: &Matrix,
-    config: &PipelineConfig,
-) -> Result<Dendrogram, CoreError> {
-    Ok(agglomerative::cluster(vectors, config.metric, config.linkage)?)
+pub fn run_without_som(vectors: &Matrix, config: &PipelineConfig) -> Result<Dendrogram, CoreError> {
+    Ok(agglomerative::cluster(
+        vectors,
+        config.metric,
+        config.linkage,
+    )?)
 }
 
 #[cfg(test)]
@@ -182,7 +213,10 @@ mod tests {
         // Shorter training for this tiny synthetic input: very long training
         // lets each near-duplicate capture its own distant unit (SOM
         // magnification), which is not what this test probes.
-        let cfg = PipelineConfig { epochs: 150, ..Default::default() };
+        let cfg = PipelineConfig {
+            epochs: 150,
+            ..Default::default()
+        };
         let res = run_pipeline(&blob_vectors(), &cfg).unwrap();
         let three = res.clusters(3).unwrap();
         assert!(three.same_cluster(0, 1) && three.same_cluster(1, 2));
@@ -226,10 +260,31 @@ mod tests {
     fn bad_inputs_surface_as_core_errors() {
         let cfg = PipelineConfig::default();
         let empty = Matrix::zeros(0, 3);
-        assert!(matches!(run_pipeline(&empty, &cfg).unwrap_err(), CoreError::Som(_)));
+        assert!(matches!(
+            run_pipeline(&empty, &cfg).unwrap_err(),
+            CoreError::Som(_)
+        ));
         let mut nan = blob_vectors();
         nan[(0, 0)] = f64::NAN;
         assert!(run_pipeline(&nan, &cfg).is_err());
+    }
+
+    #[test]
+    fn clusters_sweep_matches_individual_cuts() {
+        let res = run_pipeline(&blob_vectors(), &PipelineConfig::default()).unwrap();
+        let sweep = res.clusters_sweep(2..=5).unwrap();
+        assert_eq!(sweep.len(), 4);
+        for (k, assignment) in &sweep {
+            assert_eq!(assignment, &res.clusters(*k).unwrap());
+        }
+    }
+
+    #[test]
+    fn clusters_sweep_reports_earliest_bad_k() {
+        let res = run_pipeline(&blob_vectors(), &PipelineConfig::default()).unwrap();
+        // k = 0 and k = 7 are both out of range for 6 rows; the sweep must
+        // surface an error rather than panic, for any scheduling.
+        assert!(res.clusters_sweep([2, 0, 7]).is_err());
     }
 
     #[test]

@@ -111,8 +111,7 @@ mod tests {
 
     #[test]
     fn report_roundtrips_through_json() {
-        let analysis =
-            SuiteAnalysis::paper(Characterization::SarCounters(Machine::A)).unwrap();
+        let analysis = SuiteAnalysis::paper(Characterization::SarCounters(Machine::A)).unwrap();
         let report = StudyReport::from_analysis(&analysis).unwrap();
         let json = report.to_json().unwrap();
         let back = StudyReport::from_json(&json).unwrap();
@@ -121,17 +120,13 @@ mod tests {
 
     #[test]
     fn report_contents_consistent() {
-        let analysis =
-            SuiteAnalysis::paper(Characterization::MethodUtilization).unwrap();
+        let analysis = SuiteAnalysis::paper(Characterization::MethodUtilization).unwrap();
         let report = StudyReport::from_analysis(&analysis).unwrap();
         assert_eq!(report.workloads.len(), 13);
         assert_eq!(report.map_cells.len(), 13);
         assert_eq!(report.merges.len(), 12);
         assert_eq!(report.scores.len(), 7);
-        assert_eq!(
-            report.recommended_clusters.len(),
-            report.recommended_k
-        );
+        assert_eq!(report.recommended_clusters.len(), report.recommended_k);
         // All workloads covered by the recommended clustering.
         let covered: usize = report.recommended_clusters.iter().map(|c| c.len()).sum();
         assert_eq!(covered, 13);

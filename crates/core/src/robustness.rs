@@ -122,7 +122,10 @@ pub fn perturbation_drift(
     mean: Mean,
 ) -> Result<(f64, f64), CoreError> {
     if !(factor > 0.0 && factor.is_finite()) {
-        return Err(CoreError::InvalidValue { index: target, value: factor });
+        return Err(CoreError::InvalidValue {
+            index: target,
+            value: factor,
+        });
     }
     if target >= values.len() {
         return Err(CoreError::InvalidClusters {

@@ -2,6 +2,7 @@
 //! Tables IV, V and VI.
 
 use hiermeans_cluster::Dendrogram;
+use hiermeans_linalg::parallel::{self, Chunking};
 use hiermeans_workload::execution::SpeedupTable;
 use hiermeans_workload::Machine;
 use serde::{Deserialize, Serialize};
@@ -9,6 +10,11 @@ use serde::{Deserialize, Serialize};
 use crate::hierarchical::hierarchical_mean;
 use crate::means::Mean;
 use crate::CoreError;
+
+/// Chunking for the per-`k` score sweep: each `k` is an independent cut +
+/// two hierarchical means, so one `k` per chunk balances best; sweeps
+/// shorter than 4 rows are cheaper to run in place.
+const SWEEP_CHUNKING: Chunking = Chunking::new(1, 4);
 
 /// One row of a hierarchical-mean score table.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -70,8 +76,48 @@ impl ScoreTable {
         })
     }
 
+    /// Like [`ScoreTable::compute`] but sweeps the cluster counts in
+    /// parallel: the rows for each `k` are computed concurrently (the
+    /// closure must therefore be `Fn + Sync` rather than `FnMut`).
+    ///
+    /// The result is bit-for-bit identical to [`ScoreTable::compute`] with
+    /// the same inputs — each row depends only on its own `k`, and rows are
+    /// collected back in sweep order regardless of scheduling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mean-computation and cluster-validation errors; with
+    /// several failing `k`s, the error for the earliest `k` in the sweep is
+    /// returned (matching the serial path).
+    pub fn compute_parallel(
+        speedups: &SpeedupTable,
+        ks: impl IntoIterator<Item = usize>,
+        mean: Mean,
+        clusters_for: impl Fn(usize) -> Result<Vec<Vec<usize>>, CoreError> + Sync,
+    ) -> Result<Self, CoreError> {
+        let a = speedups.speedups(Machine::A);
+        let b = speedups.speedups(Machine::B);
+        let ks: Vec<usize> = ks.into_iter().collect();
+        let rows = parallel::try_map_items(ks.len(), SWEEP_CHUNKING, |i| {
+            let k = ks[i];
+            let clusters = clusters_for(k)?;
+            Ok::<_, CoreError>(ScoreRow {
+                k,
+                score_a: hierarchical_mean(a, &clusters, mean)?,
+                score_b: hierarchical_mean(b, &clusters, mean)?,
+            })
+        })?;
+        Ok(ScoreTable {
+            mean,
+            rows,
+            plain_a: mean.compute(a)?,
+            plain_b: mean.compute(b)?,
+        })
+    }
+
     /// Scores a dendrogram's cuts at `k = 2..=max_k` — the paper's table
-    /// protocol.
+    /// protocol. The cuts are swept in parallel (see
+    /// [`ScoreTable::compute_parallel`]).
     ///
     /// # Errors
     ///
@@ -82,7 +128,7 @@ impl ScoreTable {
         max_k: usize,
         mean: Mean,
     ) -> Result<Self, CoreError> {
-        Self::compute(speedups, 2..=max_k, mean, |k| {
+        Self::compute_parallel(speedups, 2..=max_k, mean, |k| {
             Ok(dendrogram.cut_into(k)?.clusters())
         })
     }
@@ -126,16 +172,11 @@ mod tests {
     };
 
     fn paper_table(ch: Characterization) -> ScoreTable {
-        ScoreTable::compute(
-            &SpeedupTable::paper_exact(),
-            2..=8,
-            Mean::Geometric,
-            |k| {
-                reference_clustering(ch, k).ok_or(CoreError::InvalidClusters {
-                    reason: "missing reference clustering",
-                })
-            },
-        )
+        ScoreTable::compute(&SpeedupTable::paper_exact(), 2..=8, Mean::Geometric, |k| {
+            reference_clustering(ch, k).ok_or(CoreError::InvalidClusters {
+                reason: "missing reference clustering",
+            })
+        })
         .unwrap()
     }
 
@@ -145,8 +186,16 @@ mod tests {
         let table = paper_table(ch);
         for &(k, a, b, ratio) in &paper_hgm_table(ch).unwrap() {
             let row = table.row(k).unwrap();
-            assert!((row.score_a - a).abs() < 0.02, "k={k} A: {} vs {a}", row.score_a);
-            assert!((row.score_b - b).abs() < 0.02, "k={k} B: {} vs {b}", row.score_b);
+            assert!(
+                (row.score_a - a).abs() < 0.02,
+                "k={k} A: {} vs {a}",
+                row.score_a
+            );
+            assert!(
+                (row.score_b - b).abs() < 0.02,
+                "k={k} B: {} vs {b}",
+                row.score_b
+            );
             assert!((row.ratio() - ratio).abs() < 0.02, "k={k} ratio");
         }
         assert!((table.plain_a() - 2.10).abs() < 0.01);
@@ -187,9 +236,7 @@ mod tests {
             if k == 13 {
                 Ok((0..13).map(|i| vec![i]).collect())
             } else {
-                reference_clustering(ch, k).ok_or(CoreError::InvalidClusters {
-                    reason: "missing",
-                })
+                reference_clustering(ch, k).ok_or(CoreError::InvalidClusters { reason: "missing" })
             }
         })
         .unwrap();
@@ -206,17 +253,14 @@ mod tests {
         let speedups = SpeedupTable::paper_exact();
         // Any geometry over 13 points works here; use the latent machine-A
         // positions.
-        let pos = hiermeans_workload::measurement::latent_positions(
-            Characterization::SarCounters(Machine::A),
-        )
+        let pos = hiermeans_workload::measurement::latent_positions(Characterization::SarCounters(
+            Machine::A,
+        ))
         .unwrap();
-        let pts = Matrix::from_rows(
-            &pos.iter().map(|p| vec![p[0], p[1]]).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let pts =
+            Matrix::from_rows(&pos.iter().map(|p| vec![p[0], p[1]]).collect::<Vec<_>>()).unwrap();
         let dend = agglomerative::cluster(&pts, Metric::Euclidean, Linkage::Complete).unwrap();
-        let table =
-            ScoreTable::from_dendrogram(&speedups, &dend, 8, Mean::Geometric).unwrap();
+        let table = ScoreTable::from_dendrogram(&speedups, &dend, 8, Mean::Geometric).unwrap();
         assert_eq!(table.rows().len(), 7);
         // The latent geometry reproduces the recovered chain, so this table
         // must match Table IV.
@@ -230,8 +274,7 @@ mod tests {
         let ch = Characterization::SarCounters(Machine::A);
         for mean in Mean::all() {
             let t = ScoreTable::compute(&speedups, 2..=8, mean, |k| {
-                reference_clustering(ch, k)
-                    .ok_or(CoreError::InvalidClusters { reason: "missing" })
+                reference_clustering(ch, k).ok_or(CoreError::InvalidClusters { reason: "missing" })
             })
             .unwrap();
             assert_eq!(t.rows().len(), 7);
@@ -247,8 +290,7 @@ mod tests {
         let ch = Characterization::SarCounters(Machine::A);
         let get = |mean| {
             ScoreTable::compute(&speedups, [6], mean, |k| {
-                reference_clustering(ch, k)
-                    .ok_or(CoreError::InvalidClusters { reason: "missing" })
+                reference_clustering(ch, k).ok_or(CoreError::InvalidClusters { reason: "missing" })
             })
             .unwrap()
             .row(6)
@@ -259,6 +301,33 @@ mod tests {
         let hgm = get(Mean::Geometric);
         let hhm = get(Mean::Harmonic);
         assert!(hhm < hgm && hgm < ham);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_bitwise() {
+        let speedups = SpeedupTable::paper_exact();
+        let ch = Characterization::SarCounters(Machine::A);
+        let clusters_for =
+            |k| reference_clustering(ch, k).ok_or(CoreError::InvalidClusters { reason: "missing" });
+        let serial = ScoreTable::compute(&speedups, 2..=8, Mean::Geometric, clusters_for).unwrap();
+        let parallel =
+            ScoreTable::compute_parallel(&speedups, 2..=8, Mean::Geometric, clusters_for).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn parallel_sweep_returns_earliest_error() {
+        let speedups = SpeedupTable::paper_exact();
+        let err = ScoreTable::compute_parallel(&speedups, 2..=8, Mean::Geometric, |k| {
+            if k >= 4 {
+                Err(CoreError::InvalidClusters { reason: "boom" })
+            } else {
+                reference_clustering(Characterization::SarCounters(Machine::A), k)
+                    .ok_or(CoreError::InvalidClusters { reason: "missing" })
+            }
+        })
+        .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidClusters { reason: "boom" }));
     }
 
     #[test]

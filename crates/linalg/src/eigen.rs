@@ -55,7 +55,9 @@ pub fn jacobi_eigen(a: &Matrix) -> Result<Eigen, LinalgError> {
         });
     }
     if !a.is_finite() {
-        return Err(LinalgError::NonFinite { what: "eigen input" });
+        return Err(LinalgError::NonFinite {
+            what: "eigen input",
+        });
     }
     let scale = a
         .as_slice()

@@ -61,8 +61,14 @@ impl fmt::Display for LinalgError {
             LinalgError::OutOfBounds { index, len, what } => {
                 write!(f, "index {index} out of bounds for {what} of length {len}")
             }
-            LinalgError::NoConvergence { routine, iterations } => {
-                write!(f, "{routine} did not converge within {iterations} iterations")
+            LinalgError::NoConvergence {
+                routine,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{routine} did not converge within {iterations} iterations"
+                )
             }
             LinalgError::NonFinite { what } => {
                 write!(f, "non-finite value encountered in {what}")
@@ -105,7 +111,10 @@ mod tests {
             routine: "jacobi",
             iterations: 100,
         };
-        assert_eq!(err.to_string(), "jacobi did not converge within 100 iterations");
+        assert_eq!(
+            err.to_string(),
+            "jacobi did not converge within 100 iterations"
+        );
     }
 
     #[test]

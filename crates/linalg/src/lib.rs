@@ -45,6 +45,7 @@ mod matrix;
 
 pub mod distance;
 pub mod eigen;
+pub mod parallel;
 pub mod pca;
 pub mod scale;
 pub mod stats;

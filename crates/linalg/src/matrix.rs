@@ -155,7 +155,11 @@ impl Matrix {
     ///
     /// Panics if `c >= ncols()`.
     pub fn col(&self, c: usize) -> Vec<f64> {
-        assert!(c < self.cols, "column index {c} out of bounds ({})", self.cols);
+        assert!(
+            c < self.cols,
+            "column index {c} out of bounds ({})",
+            self.cols
+        );
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
@@ -523,12 +527,7 @@ mod tests {
     #[test]
     fn covariance_of_perfectly_correlated_columns() {
         // Column 1 = 2 * column 0, so cov = [[var, 2var], [2var, 4var]].
-        let m = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-            vec![3.0, 6.0],
-        ])
-        .unwrap();
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
         let cov = m.covariance().unwrap();
         assert!((cov[(0, 0)] - 1.0).abs() < 1e-12);
         assert!((cov[(0, 1)] - 2.0).abs() < 1e-12);

@@ -1,0 +1,293 @@
+//! Deterministic chunked map-reduce over index ranges.
+//!
+//! Every parallel hot path in the workspace — pairwise distance matrices,
+//! the SOM's best-matching-unit search and batch-epoch accumulation, and the
+//! per-`k` dendrogram score sweep — routes through this module instead of
+//! hand-rolling its own thread pool. The design enforces three invariants:
+//!
+//! 1. **Bit-for-bit determinism.** Chunk boundaries are a pure function of
+//!    the input length and the caller's chunk size — never of the worker
+//!    count — and per-chunk results are reduced in ascending chunk order.
+//!    The same input therefore produces the same bits on a 1-core and a
+//!    96-core machine, and the serial fallback executes the identical
+//!    chunked computation.
+//! 2. **Error propagation.** Workers return `Result`s; the first error in
+//!    *chunk order* (the same one serial execution would surface) is
+//!    returned to the caller. Worker panics propagate normally through
+//!    [`std::thread::scope`] — nothing is swallowed.
+//! 3. **No oversubscription cliffs.** The worker count follows
+//!    [`std::thread::available_parallelism`] with no hard cap, and inputs
+//!    shorter than the caller's threshold skip thread spawning entirely.
+//!
+//! Results are gathered through a channel of `(chunk_index, result)` pairs
+//! scattered into a pre-sized slot vector — no locks, and no reliance on
+//! arrival order.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// How to split an index range into chunks and when to go parallel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunking {
+    /// Items per chunk. Fixed at the call site so chunk boundaries depend
+    /// only on the input length, which is what makes results reproducible
+    /// across machines with different core counts.
+    pub chunk_size: usize,
+    /// Inputs shorter than this run on the calling thread (same chunked
+    /// math, no spawning). Tune to where threading overhead breaks even.
+    pub min_parallel_len: usize,
+}
+
+impl Chunking {
+    /// A chunking policy with the given chunk size and parallelism threshold.
+    #[must_use]
+    pub const fn new(chunk_size: usize, min_parallel_len: usize) -> Self {
+        Chunking {
+            chunk_size,
+            min_parallel_len,
+        }
+    }
+}
+
+/// Process-wide worker-count override used by benchmarks to time the serial
+/// path against the parallel one; `0` means "auto" (available parallelism).
+static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces every subsequent [`try_map_chunks`] call to use `n` workers
+/// (`None` restores automatic detection). Intended for benchmarks; results
+/// are identical either way by construction.
+pub fn set_worker_override(n: Option<usize>) {
+    WORKER_OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The worker count [`try_map_chunks`] will use: the override if set,
+/// otherwise [`std::thread::available_parallelism`], detected once and
+/// cached — the detection reads cgroup state on Linux and costs tens of
+/// microseconds, which would dominate small serial-path calls if paid on
+/// every invocation.
+pub fn worker_count() -> usize {
+    static DETECTED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    match WORKER_OVERRIDE.load(Ordering::Relaxed) {
+        0 => *DETECTED.get_or_init(|| std::thread::available_parallelism().map_or(1, usize::from)),
+        n => n,
+    }
+}
+
+fn chunk_ranges(len: usize, chunk_size: usize) -> Vec<Range<usize>> {
+    let chunk_size = chunk_size.max(1);
+    (0..len.div_ceil(chunk_size))
+        .map(|c| c * chunk_size..((c + 1) * chunk_size).min(len))
+        .collect()
+}
+
+/// Applies `map` to each chunk of `0..len` and returns the per-chunk results
+/// in ascending chunk order.
+///
+/// Runs serially (on the calling thread, over the same chunks in the same
+/// order) when `len < chunking.min_parallel_len`, when there is at most one
+/// chunk, or when only one worker is available.
+///
+/// # Errors
+///
+/// Returns the first error in chunk order — the same error serial execution
+/// would produce. All claimed chunks run to completion first, so an error
+/// in one chunk never leaves another chunk half-observed.
+pub fn try_map_chunks<T, E, F>(len: usize, chunking: Chunking, map: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(Range<usize>) -> Result<T, E> + Sync,
+{
+    try_map_chunks_with_workers(len, chunking, worker_count(), map)
+}
+
+/// [`try_map_chunks`] with an explicit worker count, bypassing detection and
+/// the global override. `workers <= 1` is the serial path; tests use this to
+/// compare serial and parallel results without touching process state.
+///
+/// # Errors
+///
+/// Identical to [`try_map_chunks`].
+pub fn try_map_chunks_with_workers<T, E, F>(
+    len: usize,
+    chunking: Chunking,
+    workers: usize,
+    map: F,
+) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(Range<usize>) -> Result<T, E> + Sync,
+{
+    let ranges = chunk_ranges(len, chunking.chunk_size);
+    let workers = workers.min(ranges.len());
+    if len < chunking.min_parallel_len || workers <= 1 {
+        return ranges.into_iter().map(map).collect();
+    }
+
+    let n_chunks = ranges.len();
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Result<T, E>)>();
+    let mut slots: Vec<Option<Result<T, E>>> = Vec::with_capacity(n_chunks);
+    slots.resize_with(n_chunks, || None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let ranges = &ranges;
+            let map = &map;
+            scope.spawn(move || loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let Some(range) = ranges.get(idx) else { break };
+                if tx.send((idx, map(range.clone()))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (idx, result) in rx {
+            slots[idx] = Some(result);
+        }
+    });
+
+    let mut out = Vec::with_capacity(n_chunks);
+    for slot in slots {
+        out.push(slot.expect("every chunk index is claimed exactly once")?);
+    }
+    Ok(out)
+}
+
+/// Applies `map` to every index in `0..len` and returns the results in index
+/// order, parallelizing over chunks. Convenience wrapper for per-item work
+/// (e.g. one dendrogram cut per candidate `k`).
+///
+/// # Errors
+///
+/// Returns the first error in index order, as serial execution would.
+pub fn try_map_items<T, E, F>(len: usize, chunking: Chunking, map: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let chunks = try_map_chunks(len, chunking, |range| {
+        range.map(&map).collect::<Result<Vec<T>, E>>()
+    })?;
+    Ok(chunks.into_iter().flatten().collect())
+}
+
+/// Maps each chunk of `0..len` to a partial result, then folds the partials
+/// **in ascending chunk order** — the ordered reduction that keeps
+/// floating-point accumulation deterministic (e.g. the SOM batch epoch's
+/// per-chunk numerator/denominator partials).
+///
+/// # Errors
+///
+/// Returns the first error in chunk order, as serial execution would.
+pub fn try_map_reduce<T, E, A, F, R>(
+    len: usize,
+    chunking: Chunking,
+    map: F,
+    init: A,
+    reduce: R,
+) -> Result<A, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(Range<usize>) -> Result<T, E> + Sync,
+    R: FnMut(A, T) -> A,
+{
+    let partials = try_map_chunks(len, chunking, map)?;
+    Ok(partials.into_iter().fold(init, reduce))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: Chunking = Chunking::new(4, 0);
+
+    #[test]
+    fn chunk_boundaries_depend_only_on_len() {
+        assert_eq!(chunk_ranges(10, 4), vec![0..4, 4..8, 8..10]);
+        assert_eq!(chunk_ranges(8, 4), vec![0..4, 4..8]);
+        assert_eq!(chunk_ranges(3, 4), vec![0..3]);
+        assert_eq!(chunk_ranges(0, 4), Vec::<Range<usize>>::new());
+    }
+
+    #[test]
+    fn results_arrive_in_chunk_order() {
+        let chunks: Vec<Vec<usize>> =
+            try_map_chunks(103, SMALL, |r| Ok::<_, ()>(r.collect())).unwrap();
+        let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_for_all_worker_counts() {
+        let expected: Vec<usize> = (0..257).map(|i| i * i).collect();
+        for workers in [1, 2, 3, 7, 64] {
+            let chunks = try_map_chunks_with_workers(257, Chunking::new(16, 0), workers, |r| {
+                Ok::<_, ()>(r.map(|i| i * i).collect::<Vec<_>>())
+            })
+            .unwrap();
+            let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn first_error_in_chunk_order_wins() {
+        // Chunks 2 and 5 fail; chunk order says the caller sees chunk 2's.
+        for workers in [1, 4] {
+            let err = try_map_chunks_with_workers(32, SMALL, workers, |r| {
+                let chunk = r.start / 4;
+                if chunk == 2 || chunk == 5 {
+                    Err(format!("chunk {chunk} failed"))
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+            assert_eq!(err, "chunk 2 failed", "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn below_threshold_runs_serially_with_identical_results() {
+        let threshold = Chunking::new(4, 1_000_000);
+        let serial: Vec<usize> = try_map_items(100, threshold, |i| Ok::<_, ()>(i + 1)).unwrap();
+        let parallel: Vec<usize> =
+            try_map_items(100, Chunking::new(4, 0), |i| Ok::<_, ()>(i + 1)).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn map_reduce_folds_in_chunk_order() {
+        let concat = try_map_reduce(
+            12,
+            SMALL,
+            |r| Ok::<_, ()>(format!("[{}..{})", r.start, r.end)),
+            String::new(),
+            |acc, part| acc + &part,
+        )
+        .unwrap();
+        assert_eq!(concat, "[0..4)[4..8)[8..12)");
+    }
+
+    #[test]
+    fn worker_override_round_trips() {
+        set_worker_override(Some(3));
+        assert_eq!(worker_count(), 3);
+        set_worker_override(None);
+        assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<()> = try_map_chunks(0, SMALL, |_| Ok::<_, ()>(())).unwrap();
+        assert!(out.is_empty());
+    }
+}

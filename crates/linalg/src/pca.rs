@@ -309,7 +309,9 @@ mod tests {
     fn full_rank_reconstruction_exact() {
         let data = cloud();
         let pca = Pca::fit(&data, 2).unwrap();
-        let back = pca.inverse_transform(&pca.transform(&data).unwrap()).unwrap();
+        let back = pca
+            .inverse_transform(&pca.transform(&data).unwrap())
+            .unwrap();
         for (a, b) in back.as_slice().iter().zip(data.as_slice()) {
             assert!((a - b).abs() < 1e-9);
         }
@@ -319,7 +321,9 @@ mod tests {
     fn reduced_reconstruction_lossy_but_close() {
         let data = cloud();
         let pca = Pca::fit(&data, 1).unwrap();
-        let back = pca.inverse_transform(&pca.transform(&data).unwrap()).unwrap();
+        let back = pca
+            .inverse_transform(&pca.transform(&data).unwrap())
+            .unwrap();
         let err = data.sub(&back).unwrap().frobenius_norm();
         // The cloud is near-collinear, so rank-1 error is small but nonzero.
         assert!(err > 0.0 && err < 1.5);
@@ -373,13 +377,21 @@ mod tests {
             let d = dual.components().row(k);
             let p = primal.components().row(k);
             let dot: f64 = d.iter().zip(p).map(|(x, y)| x * y).sum();
-            assert!((dot.abs() - 1.0).abs() < 1e-6, "component {k}: |dot|={}", dot.abs());
+            assert!(
+                (dot.abs() - 1.0).abs() < 1e-6,
+                "component {k}: |dot|={}",
+                dot.abs()
+            );
         }
         // Projections agree up to sign.
         let td = dual.transform(&wide).unwrap();
         let tp = primal.transform(&wide).unwrap();
         for k in 0..2 {
-            let sign = if td[(0, k)] * tp[(0, k)] >= 0.0 { 1.0 } else { -1.0 };
+            let sign = if td[(0, k)] * tp[(0, k)] >= 0.0 {
+                1.0
+            } else {
+                -1.0
+            };
             for r in 0..4 {
                 assert!((td[(r, k)] - sign * tp[(r, k)]).abs() < 1e-6);
             }

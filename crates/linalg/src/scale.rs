@@ -50,7 +50,9 @@ impl Standardizer {
             });
         }
         if !data.is_finite() {
-            return Err(LinalgError::NonFinite { what: "standardizer input" });
+            return Err(LinalgError::NonFinite {
+                what: "standardizer input",
+            });
         }
         let mut means = Vec::with_capacity(data.ncols());
         let mut stds = Vec::with_capacity(data.ncols());
@@ -148,10 +150,14 @@ impl MinMaxScaler {
     /// [`LinalgError::NonFinite`] for NaN/infinite input.
     pub fn fit(data: &Matrix) -> Result<Self, LinalgError> {
         if data.is_empty() {
-            return Err(LinalgError::Empty { what: "min-max scaler input" });
+            return Err(LinalgError::Empty {
+                what: "min-max scaler input",
+            });
         }
         if !data.is_finite() {
-            return Err(LinalgError::NonFinite { what: "min-max scaler input" });
+            return Err(LinalgError::NonFinite {
+                what: "min-max scaler input",
+            });
         }
         let mut mins = Vec::with_capacity(data.ncols());
         let mut ranges = Vec::with_capacity(data.ncols());

@@ -77,7 +77,9 @@ pub fn median(xs: &[f64]) -> Result<f64, LinalgError> {
 /// [`LinalgError::InvalidParameter`] for `p` outside `[0, 100]`.
 pub fn percentile(xs: &[f64], p: f64) -> Result<f64, LinalgError> {
     if xs.is_empty() {
-        return Err(LinalgError::Empty { what: "percentile input" });
+        return Err(LinalgError::Empty {
+            what: "percentile input",
+        });
     }
     if !(0.0..=100.0).contains(&p) {
         return Err(LinalgError::InvalidParameter {
@@ -86,7 +88,9 @@ pub fn percentile(xs: &[f64], p: f64) -> Result<f64, LinalgError> {
         });
     }
     if xs.iter().any(|x| x.is_nan()) {
-        return Err(LinalgError::NonFinite { what: "percentile input" });
+        return Err(LinalgError::NonFinite {
+            what: "percentile input",
+        });
     }
     let mut sorted = xs.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
@@ -197,7 +201,9 @@ pub fn correlation_matrix(data: &crate::Matrix) -> Result<crate::Matrix, LinalgE
 /// Returns [`LinalgError::Empty`] for an empty slice.
 pub fn min_max(xs: &[f64]) -> Result<(f64, f64), LinalgError> {
     if xs.is_empty() {
-        return Err(LinalgError::Empty { what: "min_max input" });
+        return Err(LinalgError::Empty {
+            what: "min_max input",
+        });
     }
     let mut lo = f64::INFINITY;
     let mut hi = f64::NEG_INFINITY;

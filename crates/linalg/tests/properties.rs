@@ -1,6 +1,7 @@
 //! Property-based tests for the linear-algebra substrate.
 
-use hiermeans_linalg::distance::Metric;
+use hiermeans_linalg::distance::{pairwise, pairwise_serial, Metric};
+use hiermeans_linalg::parallel;
 use hiermeans_linalg::scale::{MinMaxScaler, Standardizer};
 use hiermeans_linalg::{eigen, pca::Pca, stats, vector, Matrix};
 use proptest::prelude::*;
@@ -139,5 +140,60 @@ proptest! {
         if let Ok(r) = stats::correlation(&xs, &ys) {
             prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
         }
+    }
+
+    #[test]
+    fn parallel_pairwise_is_bitwise_serial(
+        // Row counts straddle the parallelism threshold so both the serial
+        // fallback and the threaded path are exercised.
+        rows in 2usize..100,
+        cols in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let data: Vec<f64> = {
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            (0..rows * cols)
+                .map(|_| {
+                    state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                    ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+                })
+                .collect()
+        };
+        let m = Matrix::from_vec(rows, cols, data).unwrap();
+        // Force multiple workers so the threaded path is exercised even on
+        // single-core machines (pairwise dispatches serially there).
+        parallel::set_worker_override(Some(4));
+        for metric in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev, Metric::Cosine] {
+            let par = pairwise(&m, metric).unwrap();
+            let ser = pairwise_serial(&m, metric).unwrap();
+            // Bit-for-bit: every entry is computed independently, so
+            // scheduling cannot perturb a single ULP.
+            prop_assert_eq!(par, ser);
+        }
+        parallel::set_worker_override(None);
+    }
+
+    #[test]
+    fn pairwise_worker_errors_propagate(rows in 65usize..120, p in 0.0..0.99f64) {
+        // Minkowski with p < 1 is rejected inside the workers; the failure
+        // must surface as an Err from every chunk schedule, never a panic.
+        let m = Matrix::from_vec(rows, 2, vec![1.0; rows * 2]).unwrap();
+        parallel::set_worker_override(Some(4));
+        let result = pairwise(&m, Metric::Minkowski(p));
+        parallel::set_worker_override(None);
+        prop_assert!(result.is_err());
+    }
+
+    #[test]
+    fn map_items_matches_direct_evaluation(len in 0usize..300, offset in 0u64..100) {
+        // try_map_items must be a drop-in for a serial map at any length,
+        // including the empty input and lengths below the serial threshold.
+        let chunking = parallel::Chunking::new(16, 64);
+        let got = parallel::try_map_items(len, chunking, |i| {
+            Ok::<_, std::convert::Infallible>(i as u64 * 3 + offset)
+        })
+        .unwrap();
+        let want: Vec<u64> = (0..len as u64).map(|i| i * 3 + offset).collect();
+        prop_assert_eq!(got, want);
     }
 }

@@ -3,12 +3,21 @@ use std::fmt;
 
 use hiermeans_linalg::LinalgError;
 
+use crate::schedule::ScheduleError;
+
 /// Errors produced while building or training a self-organizing map.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum SomError {
     /// An underlying linear-algebra operation failed.
     Linalg(LinalgError),
+    /// A decay schedule's parameters were invalid.
+    Schedule {
+        /// Which schedule was rejected ("alpha" or "sigma").
+        name: &'static str,
+        /// The underlying validation failure.
+        source: ScheduleError,
+    },
     /// The training data was empty.
     EmptyData,
     /// A configuration parameter was invalid.
@@ -31,6 +40,9 @@ impl fmt::Display for SomError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SomError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            SomError::Schedule { name, source } => {
+                write!(f, "invalid {name} schedule: {source}")
+            }
             SomError::EmptyData => write!(f, "training data is empty"),
             SomError::InvalidConfig { name, reason } => {
                 write!(f, "invalid SOM configuration {name}: {reason}")
@@ -46,6 +58,7 @@ impl Error for SomError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SomError::Linalg(e) => Some(e),
+            SomError::Schedule { source, .. } => Some(source),
             _ => None,
         }
     }

@@ -25,7 +25,6 @@ pub enum GridTopology {
     Toroidal,
 }
 
-
 /// A fixed `width x height` lattice of SOM units.
 ///
 /// Units are indexed row-major: unit `i` sits at column `i % width`, row
@@ -105,7 +104,10 @@ impl Grid {
     ///
     /// Panics if the coordinates are outside the grid.
     pub fn index(&self, col: usize, row: usize) -> usize {
-        assert!(col < self.width && row < self.height, "coords out of bounds");
+        assert!(
+            col < self.width && row < self.height,
+            "coords out of bounds"
+        );
         row * self.width + col
     }
 
@@ -149,9 +151,7 @@ impl Grid {
             // grids where wrapping collides.
             let mut out: Vec<usize> = [(c - 1, r), (c + 1, r), (c, r - 1), (c, r + 1)]
                 .into_iter()
-                .map(|(cc, rr)| {
-                    self.index(cc.rem_euclid(w) as usize, rr.rem_euclid(h) as usize)
-                })
+                .map(|(cc, rr)| self.index(cc.rem_euclid(w) as usize, rr.rem_euclid(h) as usize))
                 .filter(|&n| n != index)
                 .collect();
             out.sort_unstable();
@@ -209,7 +209,10 @@ impl Grid {
             return (dx * dx + dy * dy).sqrt();
         }
         self.unit_distance(0, self.len() - 1)
-            .max(self.unit_distance(self.index(self.width - 1, 0), self.index(0, self.height - 1)))
+            .max(self.unit_distance(
+                self.index(self.width - 1, 0),
+                self.index(0, self.height - 1),
+            ))
     }
 }
 
@@ -260,7 +263,11 @@ mod tests {
             let g = Grid::new(4, 4, topo);
             for a in 0..g.len() {
                 for b in 0..g.len() {
-                    assert_eq!(g.are_neighbors(a, b), g.are_neighbors(b, a), "{topo:?} {a} {b}");
+                    assert_eq!(
+                        g.are_neighbors(a, b),
+                        g.are_neighbors(b, a),
+                        "{topo:?} {a} {b}"
+                    );
                 }
             }
         }

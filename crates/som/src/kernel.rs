@@ -165,7 +165,10 @@ mod tests {
     #[test]
     fn support_radius_bounded_kernels() {
         assert_eq!(NeighborhoodKernel::Bubble.support_radius(3.0, 0.01), 3.0);
-        assert_eq!(NeighborhoodKernel::CutGaussian.support_radius(3.0, 0.01), 3.0);
+        assert_eq!(
+            NeighborhoodKernel::CutGaussian.support_radius(3.0, 0.01),
+            3.0
+        );
     }
 
     #[test]

@@ -55,5 +55,5 @@ pub mod umatrix;
 pub use error::SomError;
 pub use grid::{Grid, GridTopology};
 pub use kernel::NeighborhoodKernel;
-pub use schedule::DecaySchedule;
+pub use schedule::{DecaySchedule, ScheduleError};
 pub use train::{Initializer, Som, SomBuilder, TrainingMode};

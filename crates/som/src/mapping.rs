@@ -87,7 +87,11 @@ mod tests {
 
     #[test]
     fn hit_map_counts_sum_to_rows() {
-        let som = SomBuilder::new(5, 4).seed(2).epochs(40).train(&data()).unwrap();
+        let som = SomBuilder::new(5, 4)
+            .seed(2)
+            .epochs(40)
+            .train(&data())
+            .unwrap();
         let hits = hit_map(&som, &data()).unwrap();
         assert_eq!(hits.shape(), (4, 5));
         assert_eq!(hits.as_slice().iter().sum::<f64>(), 4.0);
@@ -95,30 +99,49 @@ mod tests {
 
     #[test]
     fn hit_map_rejects_empty() {
-        let som = SomBuilder::new(3, 3).seed(2).epochs(10).train(&data()).unwrap();
+        let som = SomBuilder::new(3, 3)
+            .seed(2)
+            .epochs(10)
+            .train(&data())
+            .unwrap();
         assert!(hit_map(&som, &Matrix::zeros(0, 2)).is_err());
     }
 
     #[test]
     fn component_plane_tracks_feature_gradient() {
-        let som = SomBuilder::new(6, 6).seed(2).epochs(100).train(&data()).unwrap();
+        let som = SomBuilder::new(6, 6)
+            .seed(2)
+            .epochs(100)
+            .train(&data())
+            .unwrap();
         // Feature 0 ranges 0..9; the plane's extremes must reflect it.
         let plane = component_plane(&som, 0).unwrap();
         let max = plane.as_slice().iter().cloned().fold(f64::MIN, f64::max);
         let min = plane.as_slice().iter().cloned().fold(f64::MAX, f64::min);
-        assert!(max - min > 4.0, "plane should span the feature range: {min}..{max}");
+        assert!(
+            max - min > 4.0,
+            "plane should span the feature range: {min}..{max}"
+        );
     }
 
     #[test]
     fn component_plane_bounds_checked() {
-        let som = SomBuilder::new(3, 3).seed(2).epochs(10).train(&data()).unwrap();
+        let som = SomBuilder::new(3, 3)
+            .seed(2)
+            .epochs(10)
+            .train(&data())
+            .unwrap();
         assert!(component_plane(&som, 2).is_err());
         assert!(component_plane(&som, 1).is_ok());
     }
 
     #[test]
     fn planes_and_weights_agree() {
-        let som = SomBuilder::new(4, 3).seed(5).epochs(10).train(&data()).unwrap();
+        let som = SomBuilder::new(4, 3)
+            .seed(5)
+            .epochs(10)
+            .train(&data())
+            .unwrap();
         let plane = component_plane(&som, 1).unwrap();
         for unit in 0..som.grid().len() {
             let (c, r) = som.grid().coords(unit);

@@ -87,8 +87,16 @@ mod tests {
 
     #[test]
     fn quantization_error_decreases_with_training() {
-        let short = SomBuilder::new(4, 4).seed(5).epochs(1).train(&data()).unwrap();
-        let long = SomBuilder::new(4, 4).seed(5).epochs(200).train(&data()).unwrap();
+        let short = SomBuilder::new(4, 4)
+            .seed(5)
+            .epochs(1)
+            .train(&data())
+            .unwrap();
+        let long = SomBuilder::new(4, 4)
+            .seed(5)
+            .epochs(200)
+            .train(&data())
+            .unwrap();
         let qe_short = quantization_error(&short, &data()).unwrap();
         let qe_long = quantization_error(&long, &data()).unwrap();
         assert!(
@@ -99,20 +107,32 @@ mod tests {
 
     #[test]
     fn quantization_error_nonnegative() {
-        let som = SomBuilder::new(3, 3).seed(1).epochs(10).train(&data()).unwrap();
+        let som = SomBuilder::new(3, 3)
+            .seed(1)
+            .epochs(10)
+            .train(&data())
+            .unwrap();
         assert!(quantization_error(&som, &data()).unwrap() >= 0.0);
     }
 
     #[test]
     fn topographic_error_in_unit_interval() {
-        let som = SomBuilder::new(3, 3).seed(1).epochs(30).train(&data()).unwrap();
+        let som = SomBuilder::new(3, 3)
+            .seed(1)
+            .epochs(30)
+            .train(&data())
+            .unwrap();
         let te = topographic_error(&som, &data()).unwrap();
         assert!((0.0..=1.0).contains(&te));
     }
 
     #[test]
     fn errors_on_empty_data() {
-        let som = SomBuilder::new(3, 3).seed(1).epochs(5).train(&data()).unwrap();
+        let som = SomBuilder::new(3, 3)
+            .seed(1)
+            .epochs(5)
+            .train(&data())
+            .unwrap();
         let empty = Matrix::zeros(0, 2);
         assert!(matches!(
             quantization_error(&som, &empty).unwrap_err(),
@@ -129,7 +149,11 @@ mod tests {
         // Train long enough on two points with a big map: the BMU weights
         // converge onto the points themselves.
         let two = Matrix::from_rows(&[vec![0.0, 0.0], vec![10.0, 10.0]]).unwrap();
-        let som = SomBuilder::new(5, 5).seed(2).epochs(400).train(&two).unwrap();
+        let som = SomBuilder::new(5, 5)
+            .seed(2)
+            .epochs(400)
+            .train(&two)
+            .unwrap();
         let qe = quantization_error(&som, &two).unwrap();
         assert!(qe < 0.2, "qe={qe}");
     }

@@ -5,6 +5,45 @@
 
 use serde::{Deserialize, Serialize};
 
+/// A schedule's parameters were mathematically invalid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// Exponential decay `start · (end/start)^t` requires positive finite
+    /// endpoints; zero or negative values make the decay undefined.
+    NonPositiveEndpoint {
+        /// The offending start value.
+        start: f64,
+        /// The offending end value.
+        end: f64,
+    },
+    /// Inverse-time decay `start · c / (c + step)` requires a positive
+    /// finite constant `c`.
+    NonPositiveConstant {
+        /// The offending constant.
+        c: f64,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::NonPositiveEndpoint { start, end } => write!(
+                f,
+                "exponential decay needs positive finite endpoints, got start={start}, end={end}"
+            ),
+            ScheduleError::NonPositiveConstant { c } => {
+                write!(
+                    f,
+                    "inverse-time decay needs a positive finite constant, got c={c}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
 /// A monotonically non-increasing schedule evaluated at training progress
 /// `t = step / total ∈ [0, 1]`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -36,6 +75,51 @@ pub enum DecaySchedule {
 }
 
 impl DecaySchedule {
+    /// An exponential schedule `start · (end/start)^t`, validating at
+    /// construction that both endpoints are positive and finite (the decay
+    /// is undefined otherwise). Prefer this over building the
+    /// [`DecaySchedule::Exponential`] variant directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::NonPositiveEndpoint`] when `start` or `end`
+    /// is not a positive finite number.
+    pub fn exponential(start: f64, end: f64) -> Result<Self, ScheduleError> {
+        let schedule = DecaySchedule::Exponential { start, end };
+        schedule.validate()?;
+        Ok(schedule)
+    }
+
+    /// Checks the schedule's parameters for validity; trainers call this
+    /// before use so malformed schedules fail fast with a clear error
+    /// instead of silently producing NaNs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::NonPositiveEndpoint`] for an exponential
+    /// schedule with a non-positive or non-finite endpoint, and
+    /// [`ScheduleError::NonPositiveConstant`] for an inverse-time schedule
+    /// whose constant `c` is not a positive finite number.
+    pub fn validate(&self) -> Result<(), ScheduleError> {
+        match *self {
+            DecaySchedule::Linear { .. } => Ok(()),
+            DecaySchedule::Exponential { start, end } => {
+                if start > 0.0 && end > 0.0 && start.is_finite() && end.is_finite() {
+                    Ok(())
+                } else {
+                    Err(ScheduleError::NonPositiveEndpoint { start, end })
+                }
+            }
+            DecaySchedule::InverseTime { c, .. } => {
+                if c > 0.0 && c.is_finite() {
+                    Ok(())
+                } else {
+                    Err(ScheduleError::NonPositiveConstant { c })
+                }
+            }
+        }
+    }
+
     /// Evaluates the schedule at `step` of `total` steps.
     ///
     /// Out-of-range steps are clamped: steps past `total` return the final
@@ -52,18 +136,21 @@ impl DecaySchedule {
     /// assert_eq!(s.at(10, 10), 0.0);
     /// ```
     pub fn at(&self, step: usize, total: usize) -> f64 {
+        let clamped = step.min(total);
         let t = if total == 0 {
             0.0
         } else {
-            (step.min(total)) as f64 / total as f64
+            clamped as f64 / total as f64
         };
         match *self {
             DecaySchedule::Linear { start, end } => start + t * (end - start),
-            DecaySchedule::Exponential { start, end } => {
-                debug_assert!(start > 0.0 && end > 0.0, "exponential decay needs positive endpoints");
-                start * (end / start).powf(t)
+            DecaySchedule::Exponential { start, end } => start * (end / start).powf(t),
+            DecaySchedule::InverseTime { start, c } => {
+                // The clamped step keeps the documented contract: values
+                // past `total` hold at the final value instead of decaying
+                // further.
+                start * c / (c + clamped as f64)
             }
-            DecaySchedule::InverseTime { start, c } => start * c / (c + step as f64),
         }
     }
 
@@ -88,7 +175,10 @@ mod tests {
 
     #[test]
     fn linear_endpoints() {
-        let s = DecaySchedule::Linear { start: 0.8, end: 0.1 };
+        let s = DecaySchedule::Linear {
+            start: 0.8,
+            end: 0.1,
+        };
         assert_eq!(s.at(0, 100), 0.8);
         assert!((s.at(100, 100) - 0.1).abs() < 1e-12);
         assert!((s.at(50, 100) - 0.45).abs() < 1e-12);
@@ -96,14 +186,20 @@ mod tests {
 
     #[test]
     fn exponential_endpoints() {
-        let s = DecaySchedule::Exponential { start: 1.0, end: 0.01 };
+        let s = DecaySchedule::Exponential {
+            start: 1.0,
+            end: 0.01,
+        };
         assert_eq!(s.at(0, 10), 1.0);
         assert!((s.at(10, 10) - 0.01).abs() < 1e-12);
     }
 
     #[test]
     fn inverse_time_halves_at_c() {
-        let s = DecaySchedule::InverseTime { start: 1.0, c: 50.0 };
+        let s = DecaySchedule::InverseTime {
+            start: 1.0,
+            c: 50.0,
+        };
         assert_eq!(s.at(0, 100), 1.0);
         assert!((s.at(50, 100) - 0.5).abs() < 1e-12);
     }
@@ -111,9 +207,18 @@ mod tests {
     #[test]
     fn all_schedules_monotone() {
         let schedules = [
-            DecaySchedule::Linear { start: 1.0, end: 0.0 },
-            DecaySchedule::Exponential { start: 0.5, end: 0.001 },
-            DecaySchedule::InverseTime { start: 0.9, c: 10.0 },
+            DecaySchedule::Linear {
+                start: 1.0,
+                end: 0.0,
+            },
+            DecaySchedule::Exponential {
+                start: 0.5,
+                end: 0.001,
+            },
+            DecaySchedule::InverseTime {
+                start: 0.9,
+                c: 10.0,
+            },
         ];
         for s in schedules {
             assert!(s.is_monotone_decreasing(200), "{s:?}");
@@ -122,19 +227,80 @@ mod tests {
 
     #[test]
     fn increasing_linear_detected() {
-        let s = DecaySchedule::Linear { start: 0.0, end: 1.0 };
+        let s = DecaySchedule::Linear {
+            start: 0.0,
+            end: 1.0,
+        };
         assert!(!s.is_monotone_decreasing(10));
     }
 
     #[test]
     fn clamps_past_total() {
-        let s = DecaySchedule::Linear { start: 1.0, end: 0.0 };
+        let s = DecaySchedule::Linear {
+            start: 1.0,
+            end: 0.0,
+        };
         assert_eq!(s.at(20, 10), 0.0);
     }
 
     #[test]
+    fn inverse_time_clamps_past_total() {
+        // Regression: the inverse-time arm used the raw step, so values
+        // past `total` kept decaying below the documented final value.
+        let s = DecaySchedule::InverseTime {
+            start: 1.0,
+            c: 50.0,
+        };
+        let final_value = s.at(100, 100);
+        assert_eq!(s.at(250, 100), final_value);
+        assert_eq!(s.at(usize::MAX, 100), final_value);
+    }
+
+    #[test]
+    fn exponential_constructor_validates() {
+        assert!(DecaySchedule::exponential(1.0, 0.01).is_ok());
+        for (start, end) in [(0.0, 0.5), (0.5, 0.0), (-1.0, 0.5), (1.0, f64::NAN)] {
+            assert!(matches!(
+                DecaySchedule::exponential(start, end).unwrap_err(),
+                ScheduleError::NonPositiveEndpoint { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn validate_checks_all_variants() {
+        assert!(DecaySchedule::Linear {
+            start: 1.0,
+            end: 0.0
+        }
+        .validate()
+        .is_ok());
+        assert!(DecaySchedule::Exponential {
+            start: 1.0,
+            end: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(matches!(
+            DecaySchedule::InverseTime { start: 1.0, c: 0.0 }
+                .validate()
+                .unwrap_err(),
+            ScheduleError::NonPositiveConstant { .. }
+        ));
+        assert!(DecaySchedule::InverseTime {
+            start: 1.0,
+            c: 50.0
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
     fn zero_total_returns_start() {
-        let s = DecaySchedule::Linear { start: 0.7, end: 0.0 };
+        let s = DecaySchedule::Linear {
+            start: 0.7,
+            end: 0.0,
+        };
         assert_eq!(s.at(0, 0), 0.7);
     }
 }

@@ -60,7 +60,11 @@ mod tests {
     #[test]
     fn shape_matches_grid() {
         let data = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0], vec![0.5, 0.2]]).unwrap();
-        let som = SomBuilder::new(5, 3).seed(4).epochs(20).train(&data).unwrap();
+        let som = SomBuilder::new(5, 3)
+            .seed(4)
+            .epochs(20)
+            .train(&data)
+            .unwrap();
         let u = u_matrix(&som).unwrap();
         assert_eq!(u.shape(), (3, 5));
     }
@@ -68,7 +72,11 @@ mod tests {
     #[test]
     fn values_nonnegative() {
         let data = Matrix::from_rows(&[vec![0.0, 0.0], vec![4.0, 4.0]]).unwrap();
-        let som = SomBuilder::new(4, 4).seed(4).epochs(40).train(&data).unwrap();
+        let som = SomBuilder::new(4, 4)
+            .seed(4)
+            .epochs(40)
+            .train(&data)
+            .unwrap();
         let u = u_matrix(&som).unwrap();
         assert!(u.as_slice().iter().all(|&v| v >= 0.0));
     }
@@ -84,10 +92,17 @@ mod tests {
             vec![100.1, 100.0],
         ])
         .unwrap();
-        let som = SomBuilder::new(6, 6).seed(8).epochs(80).train(&data).unwrap();
+        let som = SomBuilder::new(6, 6)
+            .seed(8)
+            .epochs(80)
+            .train(&data)
+            .unwrap();
         let u = u_matrix(&som).unwrap();
         let max = u.as_slice().iter().cloned().fold(f64::MIN, f64::max);
         let min = u.as_slice().iter().cloned().fold(f64::MAX, f64::min);
-        assert!(max > min * 2.0 + 1e-9, "expected a ridge: min={min} max={max}");
+        assert!(
+            max > min * 2.0 + 1e-9,
+            "expected a ridge: min={min} max={max}"
+        );
     }
 }

@@ -20,7 +20,11 @@
 /// assert!(s.contains("1.250"));
 /// ```
 pub fn render(labels: &[&str], values: &[f64], width: usize) -> String {
-    assert_eq!(labels.len(), values.len(), "one label per value is required");
+    assert_eq!(
+        labels.len(),
+        values.len(),
+        "one label per value is required"
+    );
     assert!(width > 0, "chart width must be positive");
     let label_width = labels.iter().map(|l| l.chars().count()).max().unwrap_or(0);
     let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);

@@ -95,7 +95,11 @@ pub fn render_cut(assignment: &ClusterAssignment, labels: &[&str], caption: &str
     }
     for (c, members) in assignment.clusters().iter().enumerate() {
         let names: Vec<&str> = members.iter().map(|&i| labels[i]).collect();
-        out.push_str(&format!("  cluster {:>2}: {{{}}}\n", c + 1, names.join(", ")));
+        out.push_str(&format!(
+            "  cluster {:>2}: {{{}}}\n",
+            c + 1,
+            names.join(", ")
+        ));
     }
     out
 }
@@ -223,9 +227,24 @@ mod tests {
         Dendrogram::new(
             4,
             vec![
-                Merge { left: 0, right: 1, distance: 1.0, size: 2 },
-                Merge { left: 2, right: 3, distance: 2.0, size: 2 },
-                Merge { left: 4, right: 5, distance: 5.0, size: 4 },
+                Merge {
+                    left: 0,
+                    right: 1,
+                    distance: 1.0,
+                    size: 2,
+                },
+                Merge {
+                    left: 2,
+                    right: 3,
+                    distance: 2.0,
+                    size: 2,
+                },
+                Merge {
+                    left: 4,
+                    right: 5,
+                    distance: 5.0,
+                    size: 4,
+                },
             ],
         )
         .unwrap()

@@ -35,7 +35,10 @@ pub fn render(grid: &Grid, positions: &[(usize, usize)], labels: &[&str]) -> Str
         "one label per position is required"
     );
     for &(c, r) in positions {
-        assert!(c < grid.width() && r < grid.height(), "position outside grid");
+        assert!(
+            c < grid.width() && r < grid.height(),
+            "position outside grid"
+        );
     }
     // Assign a letter to each workload; cells with several workloads get '#'.
     let mut cell_members: Vec<Vec<usize>> = vec![Vec::new(); grid.width() * grid.height()];

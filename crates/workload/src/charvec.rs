@@ -167,10 +167,7 @@ mod tests {
             .filter(|d| d.is_invariant())
             .count();
         assert_eq!(cv.dropped_features(), invariant);
-        assert_eq!(
-            cv.matrix().ncols(),
-            ds.catalog().len() - invariant
-        );
+        assert_eq!(cv.matrix().ncols(), ds.catalog().len() - invariant);
         assert_eq!(cv.matrix().nrows(), 13);
     }
 
@@ -205,7 +202,11 @@ mod tests {
         // Core and private methods are always dropped; shared methods whose
         // random half-plane degenerated to all/one workload are dropped too.
         assert!(cv.dropped_features() >= core_private);
-        assert!(cv.matrix().ncols() > 100, "{} survived", cv.matrix().ncols());
+        assert!(
+            cv.matrix().ncols() > 100,
+            "{} survived",
+            cv.matrix().ncols()
+        );
         // Surviving names are shared-library methods only.
         assert!(cv
             .feature_names()

@@ -59,7 +59,10 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert_eq!(WorkloadError::EmptySuite.to_string(), "benchmark suite is empty");
+        assert_eq!(
+            WorkloadError::EmptySuite.to_string(),
+            "benchmark suite is empty"
+        );
         let e = WorkloadError::UnknownWorkload { name: "foo".into() };
         assert_eq!(e.to_string(), "unknown workload: foo");
     }

@@ -125,8 +125,7 @@ impl ExecutionSimulator {
     /// Returns [`WorkloadError::UnknownWorkload`] for an out-of-range index.
     pub fn run_times(&self, index: usize, machine: Machine) -> Result<Vec<f64>, WorkloadError> {
         let median = self.latent_mean_time(index, machine)?;
-        let mut rng =
-            SimRng::new(self.seed).derive(&format!("exec/{}/{}", machine, index));
+        let mut rng = SimRng::new(self.seed).derive(&format!("exec/{}/{}", machine, index));
         Ok((0..self.runs)
             .map(|_| rng.log_normal(median, self.noise_sigma))
             .collect())
@@ -330,8 +329,14 @@ mod tests {
 
     #[test]
     fn different_seeds_give_different_tables() {
-        let t1 = ExecutionSimulator::paper().with_seed(1).speedup_table().unwrap();
-        let t2 = ExecutionSimulator::paper().with_seed(2).speedup_table().unwrap();
+        let t1 = ExecutionSimulator::paper()
+            .with_seed(1)
+            .speedup_table()
+            .unwrap();
+        let t2 = ExecutionSimulator::paper()
+            .with_seed(2)
+            .speedup_table()
+            .unwrap();
         assert_ne!(t1.speedups(Machine::A), t2.speedups(Machine::A));
     }
 

@@ -178,20 +178,33 @@ impl HprofCollector {
 
 fn core_method_name(i: usize) -> String {
     const CLASSES: [&str; 13] = [
-        "java.lang.String", "java.lang.Object", "java.lang.StringBuffer", "java.lang.Math",
-        "java.lang.System", "java.lang.Integer", "java.lang.Thread", "java.util.Hashtable",
-        "java.util.Vector", "java.util.Arrays", "java.util.HashMap", "java.io.PrintStream",
+        "java.lang.String",
+        "java.lang.Object",
+        "java.lang.StringBuffer",
+        "java.lang.Math",
+        "java.lang.System",
+        "java.lang.Integer",
+        "java.lang.Thread",
+        "java.util.Hashtable",
+        "java.util.Vector",
+        "java.util.Arrays",
+        "java.util.HashMap",
+        "java.io.PrintStream",
         "java.lang.Class",
     ];
     const METHODS: [&str; 10] = [
-        "equals", "hashCode", "toString", "length", "charAt", "append", "get", "put",
-        "valueOf", "clone",
+        "equals", "hashCode", "toString", "length", "charAt", "append", "get", "put", "valueOf",
+        "clone",
     ];
     format!(
         "{}.{}{}",
         CLASSES[i % CLASSES.len()],
         METHODS[(i / CLASSES.len()) % METHODS.len()],
-        if i >= CLASSES.len() * METHODS.len() { format!("${i}") } else { String::new() }
+        if i >= CLASSES.len() * METHODS.len() {
+            format!("${i}")
+        } else {
+            String::new()
+        }
     )
 }
 
@@ -216,9 +229,20 @@ fn private_method_name(workload: usize, i: usize) -> String {
 
 fn shared_method_name(i: usize) -> String {
     const PACKAGES: [&str; 14] = [
-        "java.io", "java.nio", "java.text", "java.net", "java.util.zip", "java.util.regex",
-        "java.awt.geom", "javax.xml", "java.security", "java.lang.reflect", "java.lang.ref",
-        "sun.misc", "java.util.logging", "java.math",
+        "java.io",
+        "java.nio",
+        "java.text",
+        "java.net",
+        "java.util.zip",
+        "java.util.regex",
+        "java.awt.geom",
+        "javax.xml",
+        "java.security",
+        "java.lang.reflect",
+        "java.lang.ref",
+        "sun.misc",
+        "java.util.logging",
+        "java.math",
     ];
     const CLASSES: [&str; 6] = ["Buffer", "Codec", "Format", "Stream", "Helper", "Context"];
     const METHODS: [&str; 6] = ["read", "write", "parse", "flush", "next", "close"];

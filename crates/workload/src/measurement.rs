@@ -125,9 +125,27 @@ pub fn reference_clustering(
             /* k=4 */ &[&[2], &[1, 4], &[11, 12], &[5, 6, 7, 8, 9, 0, 3, 10]],
             /* k=5 */ &[&[2], &[1, 4], &[11, 12], &[5, 6, 7, 8, 9], &[0, 3, 10]],
             /* k=6 */ &[&[2], &[1, 4], &[11], &[12], &[5, 6, 7, 8, 9], &[0, 3, 10]],
-            /* k=7 */ &[&[2], &[1, 4], &[11], &[12], &[5, 6, 7, 8, 9], &[0, 3], &[10]],
+            /* k=7 */
+            &[
+                &[2],
+                &[1, 4],
+                &[11],
+                &[12],
+                &[5, 6, 7, 8, 9],
+                &[0, 3],
+                &[10],
+            ],
             /* k=8 */
-            &[&[2], &[1, 4], &[11], &[12], &[5, 6], &[7, 8, 9], &[0, 3], &[10]],
+            &[
+                &[2],
+                &[1, 4],
+                &[11],
+                &[12],
+                &[5, 6],
+                &[7, 8, 9],
+                &[0, 3],
+                &[10],
+            ],
         ],
         // Table V (SAR on machine B).
         Characterization::SarCounters(Machine::B) => [
@@ -137,9 +155,26 @@ pub fn reference_clustering(
             /* k=5 */ &[&[0, 2, 3, 4], &[1], &[5, 6, 7, 8, 9], &[10], &[11, 12]],
             /* k=6 */ &[&[0, 2, 4], &[1], &[3], &[5, 6, 7, 8, 9], &[10], &[11, 12]],
             /* k=7 */
-            &[&[0, 2, 4], &[1], &[3], &[5, 6, 7, 8], &[9], &[10], &[11, 12]],
+            &[
+                &[0, 2, 4],
+                &[1],
+                &[3],
+                &[5, 6, 7, 8],
+                &[9],
+                &[10],
+                &[11, 12],
+            ],
             /* k=8 */
-            &[&[0, 2, 4], &[1], &[3], &[5, 6, 7], &[8], &[9], &[10], &[11, 12]],
+            &[
+                &[0, 2, 4],
+                &[1],
+                &[3],
+                &[5, 6, 7],
+                &[8],
+                &[9],
+                &[10],
+                &[11, 12],
+            ],
         ],
         // Table VI (Java method utilization). SciMark2 is always one block.
         Characterization::MethodUtilization => [
@@ -149,18 +184,30 @@ pub fn reference_clustering(
             /* k=5 */ &[&[0, 5, 6, 7, 8, 9, 11], &[1, 10], &[2], &[3, 4], &[12]],
             /* k=6 */ &[&[0, 5, 6, 7, 8, 9, 11], &[1], &[2], &[3, 4], &[10], &[12]],
             /* k=7 */
-            &[&[0, 5, 6, 7, 8, 9, 11], &[1], &[2], &[3], &[4], &[10], &[12]],
+            &[
+                &[0, 5, 6, 7, 8, 9, 11],
+                &[1],
+                &[2],
+                &[3],
+                &[4],
+                &[10],
+                &[12],
+            ],
             /* k=8 */
-            &[&[0, 5, 6, 7, 8, 9], &[1], &[2], &[3], &[4], &[10], &[11], &[12]],
+            &[
+                &[0, 5, 6, 7, 8, 9],
+                &[1],
+                &[2],
+                &[3],
+                &[4],
+                &[10],
+                &[11],
+                &[12],
+            ],
         ],
         Characterization::SarCounters(Machine::Reference) => return None,
     };
-    Some(
-        chain[k - 2]
-            .iter()
-            .map(|c| c.to_vec())
-            .collect(),
-    )
+    Some(chain[k - 2].iter().map(|c| c.to_vec()).collect())
 }
 
 /// 2-D latent behaviour coordinates per workload under `characterization`.
@@ -277,7 +324,9 @@ mod tests {
     #[test]
     fn table_three_ratios_match_printed_column() {
         // Spot-check the printed per-workload ratio column of Table III.
-        let expected = [1.19, 1.46, 1.68, 1.06, 1.82, 1.02, 1.32, 0.76, 0.93, 0.80, 0.50, 1.85, 0.71];
+        let expected = [
+            1.19, 1.46, 1.68, 1.06, 1.82, 1.02, 1.32, 0.76, 0.93, 0.80, 0.50, 1.85, 0.71,
+        ];
         for i in 0..N_WORKLOADS {
             // Tolerance 0.015: the paper computed the ratio column from
             // unrounded speedups, so recomputing from the rounded columns
@@ -370,8 +419,7 @@ mod tests {
         // "Since SciMark2 workloads map to the same single cell, they appear
         // in a single cluster no matter which merging distance is chosen."
         for k in 2..=8 {
-            let clusters =
-                reference_clustering(Characterization::MethodUtilization, k).unwrap();
+            let clusters = reference_clustering(Characterization::MethodUtilization, k).unwrap();
             let holder: Vec<&Vec<usize>> = clusters
                 .iter()
                 .filter(|c| SCIMARK2.iter().any(|i| c.contains(i)))

@@ -121,10 +121,9 @@ impl MergeScenario {
             });
         }
         let paper = BenchmarkSuite::paper();
-        let base_positions = measurement::latent_positions(Characterization::SarCounters(
-            Machine::A,
-        ))
-        .expect("machine A geometry exists");
+        let base_positions =
+            measurement::latent_positions(Characterization::SarCounters(Machine::A))
+                .expect("machine A geometry exists");
 
         let mut workloads: Vec<Workload> = Vec::new();
         let mut a = Vec::new();
@@ -181,7 +180,12 @@ mod tests {
 
     #[test]
     fn zero_clones_is_the_base_suite() {
-        let merged = MergeScenario { clones: 0, ..Default::default() }.build().unwrap();
+        let merged = MergeScenario {
+            clones: 0,
+            ..Default::default()
+        }
+        .build()
+        .unwrap();
         assert_eq!(merged.suite().len(), 8);
         assert!(merged.donor_indices().is_empty());
         assert_eq!(merged.speedups(Machine::A)[0], measurement::SPEEDUP_A[0]);
@@ -192,7 +196,8 @@ mod tests {
         let merged = MergeScenario::default().build().unwrap();
         let pos = merged.positions();
         let donor = merged.donor_indices();
-        let dist = |p: [f64; 2], q: [f64; 2]| ((p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2)).sqrt();
+        let dist =
+            |p: [f64; 2], q: [f64; 2]| ((p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2)).sqrt();
         let mut max_within = 0.0f64;
         for &i in &donor {
             for &j in &donor {
@@ -218,7 +223,12 @@ mod tests {
         let gm = |xs: &[f64]| (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp();
         let mut prev = f64::INFINITY;
         for clones in [0, 2, 4, 8] {
-            let merged = MergeScenario { clones, ..Default::default() }.build().unwrap();
+            let merged = MergeScenario {
+                clones,
+                ..Default::default()
+            }
+            .build()
+            .unwrap();
             let g = gm(merged.speedups(Machine::A));
             assert!(g < prev, "clones={clones}: {g} !< {prev}");
             prev = g;
@@ -234,7 +244,12 @@ mod tests {
 
     #[test]
     fn zero_jitter_gives_identical_clones() {
-        let merged = MergeScenario { jitter: 0.0, ..Default::default() }.build().unwrap();
+        let merged = MergeScenario {
+            jitter: 0.0,
+            ..Default::default()
+        }
+        .build()
+        .unwrap();
         let donors = merged.donor_indices();
         let a = merged.speedups(Machine::A);
         for w in &donors[1..] {
@@ -245,8 +260,23 @@ mod tests {
 
     #[test]
     fn invalid_parameters_rejected() {
-        assert!(MergeScenario { donor_speedup_a: 0.0, ..Default::default() }.build().is_err());
-        assert!(MergeScenario { donor_speedup_b: f64::NAN, ..Default::default() }.build().is_err());
-        assert!(MergeScenario { jitter: -0.1, ..Default::default() }.build().is_err());
+        assert!(MergeScenario {
+            donor_speedup_a: 0.0,
+            ..Default::default()
+        }
+        .build()
+        .is_err());
+        assert!(MergeScenario {
+            donor_speedup_b: f64::NAN,
+            ..Default::default()
+        }
+        .build()
+        .is_err());
+        assert!(MergeScenario {
+            jitter: -0.1,
+            ..Default::default()
+        }
+        .build()
+        .is_err());
     }
 }

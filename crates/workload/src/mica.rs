@@ -153,7 +153,11 @@ pub fn extract(trace: &[Instruction]) -> Result<Vec<f64>, WorkloadError> {
     for count in mix {
         features.push(count as f64 / n);
     }
-    features.push(if branches > 0 { taken as f64 / branches as f64 } else { 0.0 });
+    features.push(if branches > 0 {
+        taken as f64 / branches as f64
+    } else {
+        0.0
+    });
     features.push(if branches > 1 {
         transitions as f64 / (branches - 1) as f64
     } else {
@@ -257,7 +261,11 @@ mod tests {
         }
         // Distance from any SciMark2 kernel to jess (the behavioural
         // opposite) dwarfs the within-SciMark2 spread.
-        assert!(max_within * 2.0 < d(5, 1), "within {max_within} vs to-jess {}", d(5, 1));
+        assert!(
+            max_within * 2.0 < d(5, 1),
+            "within {max_within} vs to-jess {}",
+            d(5, 1)
+        );
     }
 
     #[test]

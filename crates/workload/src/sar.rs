@@ -117,7 +117,12 @@ impl SarCatalog {
 
         for cpu in ["all", "0", "1"] {
             for field in ["%user", "%nice", "%system", "%iowait", "%steal", "%idle"] {
-                push(format!("cpu{cpu}.{field}"), CounterGroup::Cpu, false, &mut rng);
+                push(
+                    format!("cpu{cpu}.{field}"),
+                    CounterGroup::Cpu,
+                    false,
+                    &mut rng,
+                );
             }
         }
         push("proc/s".into(), CounterGroup::Tasks, false, &mut rng);
@@ -135,8 +140,15 @@ impl SarCatalog {
             push(f.into(), CounterGroup::Swap, false, &mut rng);
         }
         for f in [
-            "pgpgin/s", "pgpgout/s", "fault/s", "majflt/s", "pgfree/s", "pgscank/s",
-            "pgscand/s", "pgsteal/s", "%vmeff",
+            "pgpgin/s",
+            "pgpgout/s",
+            "fault/s",
+            "majflt/s",
+            "pgfree/s",
+            "pgscank/s",
+            "pgscand/s",
+            "pgsteal/s",
+            "%vmeff",
         ] {
             push(f.into(), CounterGroup::Paging, false, &mut rng);
         }
@@ -162,7 +174,9 @@ impl SarCatalog {
             push(f.into(), CounterGroup::HugePages, true, &mut rng);
         }
         for iface in ["eth0", "eth1", "lo"] {
-            for f in ["rxpck/s", "txpck/s", "rxkB/s", "txkB/s", "rxcmp/s", "txcmp/s", "rxmcst/s"] {
+            for f in [
+                "rxpck/s", "txpck/s", "rxkB/s", "txkB/s", "rxcmp/s", "txcmp/s", "rxmcst/s",
+            ] {
                 // eth1 is not cabled on these machines: invariant zeroes.
                 push(
                     format!("{iface}.{f}"),
@@ -172,31 +186,66 @@ impl SarCatalog {
                 );
             }
             for f in [
-                "rxerr/s", "txerr/s", "coll/s", "rxdrop/s", "txdrop/s", "txcarr/s",
-                "rxfram/s", "rxfifo/s", "txfifo/s",
+                "rxerr/s", "txerr/s", "coll/s", "rxdrop/s", "txdrop/s", "txcarr/s", "rxfram/s",
+                "rxfifo/s", "txfifo/s",
             ] {
-                push(format!("{iface}.{f}"), CounterGroup::NetworkErrors, true, &mut rng);
+                push(
+                    format!("{iface}.{f}"),
+                    CounterGroup::NetworkErrors,
+                    true,
+                    &mut rng,
+                );
             }
         }
         for f in ["totsck", "tcpsck", "udpsck", "rawsck", "ip-frag", "tcp-tw"] {
             push(f.into(), CounterGroup::Sockets, f == "rawsck", &mut rng);
         }
-        for f in ["runq-sz", "plist-sz", "ldavg-1", "ldavg-5", "ldavg-15", "blocked"] {
+        for f in [
+            "runq-sz", "plist-sz", "ldavg-1", "ldavg-5", "ldavg-15", "blocked",
+        ] {
             push(f.into(), CounterGroup::Load, false, &mut rng);
         }
         for f in ["dentunusd", "file-nr", "inode-nr", "pty-nr"] {
-            push(f.into(), CounterGroup::KernelTables, f == "pty-nr", &mut rng);
+            push(
+                f.into(),
+                CounterGroup::KernelTables,
+                f == "pty-nr",
+                &mut rng,
+            );
         }
         for disk in ["dev8-0", "dev8-16"] {
-            for f in ["tps", "rd_sec/s", "wr_sec/s", "avgrq-sz", "avgqu-sz", "await", "svctm", "%util"] {
+            for f in [
+                "tps", "rd_sec/s", "wr_sec/s", "avgrq-sz", "avgqu-sz", "await", "svctm", "%util",
+            ] {
                 push(format!("{disk}.{f}"), CounterGroup::Disk, false, &mut rng);
             }
         }
         for f in [
-            "irec/s", "fwddgm/s", "idel/s", "orq/s", "asmrq/s", "asmok/s", "fragok/s",
-            "fragcrt/s", "imsg/s", "omsg/s", "iech/s", "oech/s", "active/s", "passive/s",
-            "iseg/s", "oseg/s", "atmptf/s", "estres/s", "retrans/s", "isegerr/s", "orsts/s",
-            "idgm/s", "odgm/s", "noport/s", "idgmerr/s",
+            "irec/s",
+            "fwddgm/s",
+            "idel/s",
+            "orq/s",
+            "asmrq/s",
+            "asmok/s",
+            "fragok/s",
+            "fragcrt/s",
+            "imsg/s",
+            "omsg/s",
+            "iech/s",
+            "oech/s",
+            "active/s",
+            "passive/s",
+            "iseg/s",
+            "oseg/s",
+            "atmptf/s",
+            "estres/s",
+            "retrans/s",
+            "isegerr/s",
+            "orsts/s",
+            "idgm/s",
+            "odgm/s",
+            "noport/s",
+            "idgmerr/s",
         ] {
             push(f.into(), CounterGroup::Snmp, false, &mut rng);
         }
@@ -381,7 +430,10 @@ impl SarCollector {
                 })
                 .collect();
             let mean = offsets.iter().fold([0.0f64; 2], |acc, o| {
-                [acc[0] + o[0] / self.phases as f64, acc[1] + o[1] / self.phases as f64]
+                [
+                    acc[0] + o[0] / self.phases as f64,
+                    acc[1] + o[1] / self.phases as f64,
+                ]
             });
             for o in &mut offsets {
                 o[0] -= mean[0];
@@ -400,8 +452,7 @@ impl SarCollector {
                         // counter's readout direction; latent coordinates
                         // span ~0..9, so normalize to ~[-1, 1] around the
                         // map center.
-                        let proj =
-                            (dirs[c][0] * (px - 4.5) + dirs[c][1] * (py - 4.5)) / 4.5;
+                        let proj = (dirs[c][0] * (px - 4.5) + dirs[c][1] * (py - 4.5)) / 4.5;
                         let noise = rng.normal(0.0, self.sample_noise);
                         def.base + def.scale * (proj + noise)
                     };
@@ -541,7 +592,10 @@ mod tests {
                 .sum::<f64>()
                 .sqrt()
         };
-        assert!(dist(7, 8) < dist(0, 2), "MC-SOR should be closer than compress-javac");
+        assert!(
+            dist(7, 8) < dist(0, 2),
+            "MC-SOR should be closer than compress-javac"
+        );
     }
 
     #[test]
@@ -599,6 +653,8 @@ mod tests {
     #[test]
     fn invalid_noise_rejected() {
         assert!(SarCollector::paper().with_sample_noise(-1.0).is_err());
-        assert!(SarCollector::paper().with_sample_noise(f64::INFINITY).is_err());
+        assert!(SarCollector::paper()
+            .with_sample_noise(f64::INFINITY)
+            .is_err());
     }
 }

@@ -173,7 +173,9 @@ pub fn generate(
         let store_end = load_end + profile.store_fraction;
         let branch_end = store_end + profile.branch_fraction;
         let instruction = if roll < fp_end {
-            Instruction::FpOp { dep_distance: dep(&mut rng) }
+            Instruction::FpOp {
+                dep_distance: dep(&mut rng),
+            }
         } else if roll < load_end || roll < store_end {
             let address = if rng.uniform() < profile.sequentiality {
                 cursor = cursor.wrapping_add(profile.stride_bytes);
@@ -198,7 +200,9 @@ pub fn generate(
             last_branch_taken = taken;
             Instruction::Branch { taken }
         } else {
-            Instruction::IntOp { dep_distance: dep(&mut rng) }
+            Instruction::IntOp {
+                dep_distance: dep(&mut rng),
+            }
         };
         out.push(instruction);
     }
@@ -217,7 +221,16 @@ pub fn generate(
 ///
 /// Panics if `index >= 13`.
 pub fn paper_profile(index: usize) -> TraceProfile {
-    let p = |fp: f64, ld: f64, st: f64, br: f64, seq: f64, stride: u64, ws: u64, taken: f64, rep: f64, dep: f64| {
+    let p = |fp: f64,
+             ld: f64,
+             st: f64,
+             br: f64,
+             seq: f64,
+             stride: u64,
+             ws: u64,
+             taken: f64,
+             rep: f64,
+             dep: f64| {
         TraceProfile {
             fp_fraction: fp,
             load_fraction: ld,
@@ -296,7 +309,10 @@ mod tests {
                 addresses.push(*address);
             }
         }
-        let strides: Vec<i64> = addresses.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
+        let strides: Vec<i64> = addresses
+            .windows(2)
+            .map(|w| w[1] as i64 - w[0] as i64)
+            .collect();
         let regular = strides.iter().filter(|&&s| s == 8).count() as f64 / strides.len() as f64;
         assert!(regular > 0.75, "regular fraction {regular}");
     }
@@ -311,7 +327,10 @@ mod tests {
                 addresses.push(*address);
             }
         }
-        let strides: Vec<i64> = addresses.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
+        let strides: Vec<i64> = addresses
+            .windows(2)
+            .map(|w| w[1] as i64 - w[0] as i64)
+            .collect();
         let regular = strides.iter().filter(|&&s| s.unsigned_abs() <= 64).count() as f64
             / strides.len() as f64;
         assert!(regular < 0.5, "regular fraction {regular}");

@@ -1,8 +1,8 @@
 //! Property-based tests for the workload substrate.
 
 use hiermeans_workload::execution::ExecutionSimulator;
-use hiermeans_workload::mica;
 use hiermeans_workload::merger::MergeScenario;
+use hiermeans_workload::mica;
 use hiermeans_workload::trace::{generate, Instruction, TraceProfile};
 use hiermeans_workload::Machine;
 use proptest::prelude::*;
@@ -20,14 +20,23 @@ fn valid_profile() -> impl Strategy<Value = TraceProfile> {
         0.0..1.0f64,        // repeat rate
         1.0..16.0f64,       // dep distance
     )
-        .prop_map(
-            |(fp, ld, st, br, seq, stride, ws, taken, rep, dep)| {
-                // Rescale so the class fractions always fit in a unit budget.
-                let total: f64 = fp + ld + st + br;
-                let scale = if total > 0.95 { 0.95 / total } else { 1.0 };
-                (fp * scale, ld * scale, st * scale, br * scale, seq, stride, ws, taken, rep, dep)
-            },
-        )
+        .prop_map(|(fp, ld, st, br, seq, stride, ws, taken, rep, dep)| {
+            // Rescale so the class fractions always fit in a unit budget.
+            let total: f64 = fp + ld + st + br;
+            let scale = if total > 0.95 { 0.95 / total } else { 1.0 };
+            (
+                fp * scale,
+                ld * scale,
+                st * scale,
+                br * scale,
+                seq,
+                stride,
+                ws,
+                taken,
+                rep,
+                dep,
+            )
+        })
         .prop_map(
             |(fp, ld, st, br, seq, stride, ws, taken, rep, dep)| TraceProfile {
                 fp_fraction: fp,

@@ -45,7 +45,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let raw = Matrix::from_rows(
         &workloads
             .iter()
-            .map(|(_, d)| vec![d.compute_gops, d.memory_gb, d.working_set_kb, d.parallel_fraction])
+            .map(|(_, d)| {
+                vec![
+                    d.compute_gops,
+                    d.memory_gb,
+                    d.working_set_kb,
+                    d.parallel_fraction,
+                ]
+            })
             .collect::<Vec<_>>(),
     )?;
     let vectors = Standardizer::fit_transform(&raw)?;
@@ -53,13 +60,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("workload speedups over the reference machine:");
     for (i, (name, _)) in workloads.iter().enumerate() {
-        println!("  {name:<10} A: {:>5.2}  B: {:>5.2}", speed_a[i], speed_b[i]);
+        println!(
+            "  {name:<10} A: {:>5.2}  B: {:>5.2}",
+            speed_a[i], speed_b[i]
+        );
     }
     println!();
 
     let plain_a = geometric_mean(&speed_a)?;
     let plain_b = geometric_mean(&speed_b)?;
-    println!("plain GM          A: {plain_a:.3}  B: {plain_b:.3}  ratio {:.3}", plain_a / plain_b);
+    println!(
+        "plain GM          A: {plain_a:.3}  B: {plain_b:.3}  ratio {:.3}",
+        plain_a / plain_b
+    );
 
     for k in 2..=6 {
         let cut = dendrogram.cut_into(k)?;

@@ -14,14 +14,30 @@ use hiermeans::workload::measurement::{paper_hgm_table, Characterization};
 use hiermeans::workload::Machine;
 
 const SHORT: [&str; 13] = [
-    "compress", "jess", "javac", "mpegaudio", "mtrt", "FFT", "LU", "MonteCarlo", "SOR",
-    "Sparse", "hsqldb", "chart", "xalan",
+    "compress",
+    "jess",
+    "javac",
+    "mpegaudio",
+    "mtrt",
+    "FFT",
+    "LU",
+    "MonteCarlo",
+    "SOR",
+    "Sparse",
+    "hsqldb",
+    "chart",
+    "xalan",
 ];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Table III: the speedup measurement protocol.
     let table = ExecutionSimulator::paper().speedup_table()?;
-    let mut t = TextTable::new(vec!["workload".into(), "A".into(), "B".into(), "A/B".into()]);
+    let mut t = TextTable::new(vec![
+        "workload".into(),
+        "A".into(),
+        "B".into(),
+        "A/B".into(),
+    ]);
     for (i, w) in table.suite().iter().enumerate() {
         let a = table.speedups(Machine::A)[i];
         let b = table.speedups(Machine::B)[i];
@@ -43,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         format!("{gb:.2}"),
         format!("{:.2}", ga / gb),
     ]);
-    println!("Workload speedups (10 simulated runs each)\n\n{}", t.render());
+    println!(
+        "Workload speedups (10 simulated runs each)\n\n{}",
+        t.render()
+    );
 
     // One full analysis per characterization.
     for ch in Characterization::paper_set() {
@@ -55,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cells: Vec<(usize, usize)> = (0..positions.nrows())
             .map(|i| (positions[(i, 0)] as usize, positions[(i, 1)] as usize))
             .collect();
-        println!("{}", som_map::render(analysis.pipeline().som().grid(), &cells, &SHORT));
+        println!(
+            "{}",
+            som_map::render(analysis.pipeline().som().grid(), &cells, &SHORT)
+        );
 
         println!(
             "{}",

@@ -36,14 +36,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             padded_a.push(a[mtrt]);
             padded_b.push(b[mtrt]);
         }
-        let plain_ratio =
-            geometric_mean(&padded_a)? / geometric_mean(&padded_b)?;
+        let plain_ratio = geometric_mean(&padded_a)? / geometric_mean(&padded_b)?;
 
         // A cluster analysis would put every copy in mtrt's cluster. Use
         // singleton clusters for the original workloads and one cluster for
         // mtrt plus its clones.
         let n = padded_a.len();
-        let mut clusters: Vec<Vec<usize>> = (0..13).filter(|&i| i != mtrt).map(|i| vec![i]).collect();
+        let mut clusters: Vec<Vec<usize>> =
+            (0..13).filter(|&i| i != mtrt).map(|i| vec![i]).collect();
         let mut mtrt_cluster = vec![mtrt];
         mtrt_cluster.extend(13..n);
         clusters.push(mtrt_cluster);

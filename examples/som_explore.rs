@@ -67,9 +67,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .seed(42)
         .train_with_history(&data)?;
     let sampled: Vec<f64> = history.iter().step_by(10).cloned().collect();
-    let labels: Vec<String> = (0..sampled.len()).map(|i| format!("epoch {:>2}", i * 10)).collect();
+    let labels: Vec<String> = (0..sampled.len())
+        .map(|i| format!("epoch {:>2}", i * 10))
+        .collect();
     let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
     println!("quantization error during training:\n");
-    println!("{}", hiermeans::viz::barchart::render(&label_refs, &sampled, 40));
+    println!(
+        "{}",
+        hiermeans::viz::barchart::render(&label_refs, &sampled, 40)
+    );
     Ok(())
 }

@@ -24,17 +24,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "detected clusters".into(),
     ]);
     for clones in 0..=8 {
-        let merged = MergeScenario { clones, ..Default::default() }.build()?;
+        let merged = MergeScenario {
+            clones,
+            ..Default::default()
+        }
+        .build()?;
         let a = merged.speedups(Machine::A);
         let b = merged.speedups(Machine::B);
         let plain = geometric_mean(a)? / geometric_mean(b)?;
 
         let (hgm, k) = if clones > 0 {
             let pts = Matrix::from_rows(
-                &merged.positions().iter().map(|p| vec![p[0], p[1]]).collect::<Vec<_>>(),
+                &merged
+                    .positions()
+                    .iter()
+                    .map(|p| vec![p[0], p[1]])
+                    .collect::<Vec<_>>(),
             )?;
-            let dendrogram =
-                agglomerative::cluster(&pts, Metric::Euclidean, Linkage::Complete)?;
+            let dendrogram = agglomerative::cluster(&pts, Metric::Euclidean, Linkage::Complete)?;
             let n = merged.suite().len();
             let k = selection::elbow_k(&dendrogram, 2..=(n - 1))?;
             let cut = dendrogram.cut_into(k)?;

@@ -27,20 +27,23 @@ fn vectors(ch: Characterization) -> hiermeans::linalg::Matrix {
     match ch {
         Characterization::SarCounters(m) => {
             let ds = SarCollector::paper().collect(m).unwrap();
-            CharacteristicVectors::from_sar(&ds).unwrap().matrix().clone()
+            CharacteristicVectors::from_sar(&ds)
+                .unwrap()
+                .matrix()
+                .clone()
         }
         _ => {
             let ds = HprofCollector::paper().collect();
-            CharacteristicVectors::from_methods(&ds).unwrap().matrix().clone()
+            CharacteristicVectors::from_methods(&ds)
+                .unwrap()
+                .matrix()
+                .clone()
         }
     }
 }
 
 /// Mean Rand index against the reference chain over k = 4..=7.
-fn chain_agreement(
-    ch: Characterization,
-    cut: impl Fn(usize) -> ClusterAssignment,
-) -> f64 {
+fn chain_agreement(ch: Characterization, cut: impl Fn(usize) -> ClusterAssignment) -> f64 {
     let mut total = 0.0;
     for k in 4..=7 {
         let reference = reference_assignment(ch, k);
@@ -62,10 +65,7 @@ fn raw_vector_clustering_reproduces_the_reference_chain() {
         let v = vectors(ch);
         let dend = run_without_som(&v, &PipelineConfig::default()).unwrap();
         let agreement = chain_agreement(ch, |k| dend.cut_into(k).unwrap());
-        assert!(
-            agreement > 0.9,
-            "{ch}: raw-vector agreement {agreement}"
-        );
+        assert!(agreement > 0.9, "{ch}: raw-vector agreement {agreement}");
     }
 }
 
@@ -117,7 +117,12 @@ fn linkage_ablation_all_monotone_rules_recover_the_structure() {
     // data — see the single-linkage chaining test below).
     let ch = Characterization::SarCounters(Machine::A);
     let v = vectors(ch);
-    for linkage in [Linkage::Complete, Linkage::Single, Linkage::Average, Linkage::Ward] {
+    for linkage in [
+        Linkage::Complete,
+        Linkage::Single,
+        Linkage::Average,
+        Linkage::Ward,
+    ] {
         let d = agglomerative::cluster(&v, Metric::Euclidean, linkage).unwrap();
         let agreement = chain_agreement(ch, |k| d.cut_into(k).unwrap());
         assert!(agreement > 0.85, "{linkage}: agreement {agreement}");

@@ -2,7 +2,7 @@
 //! clustering, and the pipeline.
 
 use hiermeans::cluster::{agglomerative, Linkage};
-use hiermeans::core::hierarchical::{hgm, ham, hhm, hierarchical_mean_of};
+use hiermeans::core::hierarchical::{ham, hgm, hhm, hierarchical_mean_of};
 use hiermeans::core::means::{geometric_mean, Mean};
 use hiermeans::core::redundancy::implied_weights;
 use hiermeans::linalg::distance::Metric;

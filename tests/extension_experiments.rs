@@ -72,8 +72,7 @@ fn jackknife_favors_hgm_for_clustered_members() {
 #[test]
 fn json_reports_parse_back() {
     let json = extensions::json_reports().unwrap();
-    let reports: Vec<hiermeans_core::report::StudyReport> =
-        serde_json::from_str(&json).unwrap();
+    let reports: Vec<hiermeans_core::report::StudyReport> = serde_json::from_str(&json).unwrap();
     assert_eq!(reports.len(), 3);
     for r in &reports {
         assert_eq!(r.workloads.len(), 13);

@@ -15,10 +15,16 @@ use hiermeans::workload::BenchmarkSuite;
 
 #[test]
 fn means_reject_bad_values() {
-    assert!(matches!(geometric_mean(&[]).unwrap_err(), CoreError::EmptyInput));
+    assert!(matches!(
+        geometric_mean(&[]).unwrap_err(),
+        CoreError::EmptyInput
+    ));
     for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
         let err = geometric_mean(&[1.0, bad]).unwrap_err();
-        assert!(matches!(err, CoreError::InvalidValue { index: 1, .. }), "{bad}");
+        assert!(
+            matches!(err, CoreError::InvalidValue { index: 1, .. }),
+            "{bad}"
+        );
     }
 }
 
@@ -26,11 +32,11 @@ fn means_reject_bad_values() {
 fn hierarchical_means_reject_bad_partitions() {
     let v = [1.0, 2.0, 3.0];
     for clusters in [
-        vec![],                        // no clusters
-        vec![vec![0usize, 1]],         // missing index 2
-        vec![vec![0, 1], vec![1, 2]],  // duplicate
-        vec![vec![0, 1, 2], vec![]],   // empty cluster
-        vec![vec![0, 1, 2, 7]],        // out of range
+        vec![],                       // no clusters
+        vec![vec![0usize, 1]],        // missing index 2
+        vec![vec![0, 1], vec![1, 2]], // duplicate
+        vec![vec![0, 1, 2], vec![]],  // empty cluster
+        vec![vec![0, 1, 2, 7]],       // out of range
     ] {
         assert!(matches!(
             hgm(&v, &clusters).unwrap_err(),
@@ -42,7 +48,12 @@ fn hierarchical_means_reject_bad_partitions() {
 #[test]
 fn weighted_means_reject_bad_weights() {
     let v = [1.0, 2.0];
-    for weights in [vec![1.0], vec![-1.0, 1.0], vec![0.0, 0.0], vec![f64::NAN, 1.0]] {
+    for weights in [
+        vec![1.0],
+        vec![-1.0, 1.0],
+        vec![0.0, 0.0],
+        vec![f64::NAN, 1.0],
+    ] {
         assert!(matches!(
             Mean::Geometric.compute_weighted(&v, &weights).unwrap_err(),
             CoreError::InvalidWeights { .. }

@@ -35,8 +35,7 @@ fn plain_gm_stable_across_measurement_noise() {
 
 #[test]
 fn hgm_at_reference_clustering_stable_across_noise() {
-    let clusters =
-        reference_clustering(Characterization::SarCounters(Machine::A), 6).unwrap();
+    let clusters = reference_clustering(Characterization::SarCounters(Machine::A), 6).unwrap();
     let mut scores = Vec::new();
     for seed in SEEDS {
         let table = ExecutionSimulator::paper()
@@ -57,8 +56,7 @@ fn hgm_at_reference_clustering_stable_across_noise() {
 fn hierarchical_no_less_stable_than_plain() {
     // Coefficient of variation of the HGM across seeds stays within 2x of
     // the plain GM's (clustered scoring does not amplify measurement noise).
-    let clusters =
-        reference_clustering(Characterization::SarCounters(Machine::A), 6).unwrap();
+    let clusters = reference_clustering(Characterization::SarCounters(Machine::A), 6).unwrap();
     let mut plain = Vec::new();
     let mut hier = Vec::new();
     for seed in SEEDS {
@@ -75,5 +73,10 @@ fn hierarchical_no_less_stable_than_plain() {
         let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
         v.sqrt() / m
     };
-    assert!(cv(&hier) < 2.0 * cv(&plain) + 1e-6, "{} vs {}", cv(&hier), cv(&plain));
+    assert!(
+        cv(&hier) < 2.0 * cv(&plain) + 1e-6,
+        "{} vs {}",
+        cv(&hier),
+        cv(&plain)
+    );
 }

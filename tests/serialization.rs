@@ -2,7 +2,9 @@
 //! models and analysis artifacts must survive JSON persistence bit-exactly
 //! (serde_json's `float_roundtrip` feature is enabled workspace-wide).
 
-use hiermeans::cluster::{agglomerative, ClusterAssignment, Dendrogram, KMeans, KMeansConfig, Linkage};
+use hiermeans::cluster::{
+    agglomerative, ClusterAssignment, Dendrogram, KMeans, KMeansConfig, Linkage,
+};
 use hiermeans::core::analysis::SuiteAnalysis;
 use hiermeans::core::report::StudyReport;
 use hiermeans::linalg::distance::Metric;
@@ -33,7 +35,11 @@ fn matrix_roundtrip() {
 
 #[test]
 fn trained_som_roundtrip() {
-    let som = SomBuilder::new(4, 4).seed(11).epochs(30).train(&points()).unwrap();
+    let som = SomBuilder::new(4, 4)
+        .seed(11)
+        .epochs(30)
+        .train(&points())
+        .unwrap();
     let json = serde_json::to_string(&som).unwrap();
     let back: Som = serde_json::from_str(&json).unwrap();
     assert_eq!(som.weights(), back.weights());

@@ -1,0 +1,244 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the small, deterministic subset of the `rand` 0.8 API the
+//! workspace actually uses: [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen`] for `f64`/`u64`, and
+//! [`Rng::gen_range`] over integer and float ranges.
+//!
+//! The generator is xoshiro256++ (public domain, Blackman & Vigna), seeded
+//! through SplitMix64 exactly as the reference implementation recommends. It
+//! is *not* the same stream as upstream `StdRng` (ChaCha12), but every
+//! consumer in this workspace treats the stream as an opaque deterministic
+//! source, so only run-to-run reproducibility matters — and that is
+//! guaranteed: the same seed always yields the same sequence, on every
+//! platform.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// A random number generator core: a source of uniform `u64` words.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Extension methods over any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the standard distribution
+    /// (`f64` uniform in `[0, 1)`, integers uniform over their full range).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open, like `rand`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<R: UniformRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Types samplable from the "standard" distribution.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` using the high 53 bits, matching `rand`'s
+    /// open-upper-bound convention.
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Half-open ranges samplable by [`Rng::gen_range`].
+pub trait UniformRange {
+    /// The element type produced.
+    type Output;
+    /// Draws one value uniformly from the range.
+    fn sample<R: RngCore>(self, rng: &mut R) -> Self::Output;
+}
+
+fn uniform_u64_below<R: RngCore>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Lemire-style rejection to avoid modulo bias.
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl UniformRange for Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_u64_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, u16, u8);
+
+impl UniformRange for Range<f64> {
+    type Output = f64;
+    fn sample<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        let u: f64 = f64::sample(rng);
+        let v = self.start + u * (self.end - self.start);
+        // Guard against rounding landing exactly on the excluded upper bound.
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+/// RNGs constructible from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ seeded via SplitMix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.gen::<u64>()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.gen::<u64>()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let i = r.gen_range(3usize..17);
+            assert!((3..17).contains(&i));
+            let f = r.gen_range(-2.0..3.5f64);
+            assert!((-2.0..3.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut a = StdRng::seed_from_u64(5);
+        let _ = a.gen::<u64>();
+        let mut b = a.clone();
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn integer_range_covers_all_values() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

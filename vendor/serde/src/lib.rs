@@ -1,0 +1,352 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the subset of serde's API the workspace uses: the
+//! [`Serialize`]/[`Deserialize`] traits and their derive macros, backed by a
+//! self-describing [`Value`] tree instead of serde's visitor machinery.
+//! `serde_json` (also vendored) renders that tree to JSON text and back.
+//!
+//! The serialized representation follows serde's external-tagging
+//! conventions so documents stay interchangeable with the real crate:
+//! structs become objects, unit enum variants become strings, newtype/tuple
+//! variants become `{"Variant": ...}` single-entry objects, and struct
+//! variants become `{"Variant": {..}}`.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the shim's data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map with string keys (field order is preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// A deserialization failure: the value tree did not match the target type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    /// What went wrong, for diagnostics.
+    pub message: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types convertible into the shim's [`Value`] data model.
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the shim's [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the tree does not match the expected shape.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Reads one named field out of an object value (derive-macro helper).
+///
+/// # Errors
+///
+/// Returns [`DeError`] if `v` is not an object, the field is missing, or the
+/// field value does not deserialize as `T`.
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v.get(name) {
+        Some(inner) => {
+            T::from_value(inner).map_err(|e| DeError::new(format!("field `{name}`: {}", e.message)))
+        }
+        None => match v {
+            Value::Object(_) => Err(DeError::new(format!("missing field `{name}`"))),
+            _ => Err(DeError::new(format!(
+                "expected an object with field `{name}`"
+            ))),
+        },
+    }
+}
+
+// ---- Serialize impls for primitives and containers ----
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as u64;
+                match i64::try_from(v) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(v),
+                }
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+// ---- Deserialize impls ----
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::new("expected a boolean")),
+        }
+    }
+}
+
+macro_rules! de_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide: i64 = match v {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u)
+                        .map_err(|_| DeError::new("integer out of range"))?,
+                    _ => return Err(DeError::new("expected an integer")),
+                };
+                <$t>::try_from(wide).map_err(|_| DeError::new("integer out of range"))
+            }
+        }
+    )*};
+}
+de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide: u64 = match v {
+                    Value::Int(i) => u64::try_from(*i)
+                        .map_err(|_| DeError::new("expected a non-negative integer"))?,
+                    Value::UInt(u) => *u,
+                    _ => return Err(DeError::new("expected an integer")),
+                };
+                <$t>::try_from(wide).map_err(|_| DeError::new("integer out of range"))
+            }
+        }
+    )*};
+}
+de_unsigned!(u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            _ => Err(DeError::new("expected a number")),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::new("expected a string")),
+        }
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Borrowed strings cannot be reconstructed from an owned value tree;
+    /// real serde rejects this at the type level, the shim at runtime.
+    fn from_value(_: &Value) -> Result<Self, DeError> {
+        Err(DeError::new(
+            "cannot deserialize into a borrowed &'static str",
+        ))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::new("expected an array")),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($($name:ident : $idx:tt),+ ; $len:expr))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    _ => Err(DeError::new(concat!(
+                        "expected an array of length ",
+                        stringify!($len)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (A: 0 ; 1)
+    (A: 0, B: 1 ; 2)
+    (A: 0, B: 1, C: 2 ; 3)
+    (A: 0, B: 1, C: 2, D: 3 ; 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4 ; 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5 ; 6)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,419 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are
+//! unavailable; the input item is parsed directly from the raw
+//! `proc_macro::TokenStream`. Supported shapes cover everything this
+//! workspace derives: structs with named fields, unit structs, tuple
+//! structs, and enums whose variants are unit, tuple, or struct-like.
+//! Generics are not supported (no workspace type needs them).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by rendering the type into `serde::Value`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` by rebuilding the type from `serde::Value`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match (item, mode) {
+        (Item::Struct { name, fields }, Mode::Serialize) => struct_ser(&name, &fields),
+        (Item::Struct { name, fields }, Mode::Deserialize) => struct_de(&name, &fields),
+        (Item::Enum { name, variants }, Mode::Serialize) => enum_ser(&name, &variants),
+        (Item::Enum { name, variants }, Mode::Deserialize) => enum_de(&name, &variants),
+    };
+    code.parse().unwrap()
+}
+
+// ---- parsing ----
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".to_string()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected a type name".to_string()),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive: generic type `{name}` is not supported"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                None => Fields::Unit,
+                _ => return Err("unsupported struct shape".to_string()),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => return Err("expected an enum body".to_string()),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // `#`
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // `[...]`
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` and friends carry a parenthesized group.
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts field names from `name: Type, ...`, tracking `<`/`>` depth so
+/// commas inside generic arguments do not split fields.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected a field name, found `{other}`")),
+        };
+        i += 1;
+        if !matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        fields.push(name);
+        // Skip the type: advance to the next comma at angle-bracket depth 0.
+        let mut depth: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts fields of a tuple struct/variant body (`Type, Type, ...`).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth: i32 = 0;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected a variant name, found `{other}`")),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err(format!(
+                "serde shim derive: explicit discriminant on variant `{name}` is not supported"
+            ));
+        }
+        variants.push((name, fields));
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(variants)
+}
+
+// ---- code generation ----
+
+fn struct_ser(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => "serde::Value::Null".to_string(),
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Fields::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|idx| format!("serde::Serialize::to_value(&self.{idx})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn struct_de(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!(
+            "match v {{\n\
+                 serde::Value::Null => Ok({name}),\n\
+                 _ => Err(serde::DeError::new(\"expected null for unit struct {name}\")),\n\
+             }}"
+        ),
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: serde::field(v, {f:?})?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Fields::Tuple(1) => {
+            format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+        }
+        Fields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|idx| format!("serde::Deserialize::from_value(&items[{idx}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     serde::Value::Array(items) if items.len() == {n} => \
+                         Ok({name}({inits})),\n\
+                     _ => Err(serde::DeError::new(\"expected an array of length {n}\")),\n\
+                 }}",
+                inits = inits.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(v: &serde::Value) -> Result<{name}, serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_ser(name: &str, variants: &[(String, Fields)]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|(v, fields)| match fields {
+            Fields::Unit => format!("{name}::{v} => serde::Value::Str({v:?}.to_string()),"),
+            Fields::Tuple(1) => format!(
+                "{name}::{v}(f0) => serde::Value::Object(vec![({v:?}.to_string(), \
+                 serde::Serialize::to_value(f0))]),"
+            ),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|idx| format!("f{idx}")).collect();
+                let items: Vec<String> = (0..*n)
+                    .map(|idx| format!("serde::Serialize::to_value(f{idx})"))
+                    .collect();
+                format!(
+                    "{name}::{v}({binds}) => serde::Value::Object(vec![({v:?}.to_string(), \
+                     serde::Value::Array(vec![{items}]))]),",
+                    binds = binds.join(", "),
+                    items = items.join(", ")
+                )
+            }
+            Fields::Named(fields) => {
+                let binds = fields.join(", ");
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value({f}))"))
+                    .collect();
+                format!(
+                    "{name}::{v} {{ {binds} }} => serde::Value::Object(vec![({v:?}.to_string(), \
+                     serde::Value::Object(vec![{entries}]))]),",
+                    entries = entries.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 match self {{\n{arms}\n}}\n\
+             }}\n\
+         }}",
+        arms = arms.join("\n")
+    )
+}
+
+fn enum_de(name: &str, variants: &[(String, Fields)]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, f)| matches!(f, Fields::Unit))
+        .map(|(v, _)| format!("{v:?} => Ok({name}::{v}),"))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|(v, fields)| match fields {
+            Fields::Unit => None,
+            Fields::Tuple(1) => Some(format!(
+                "{v:?} => Ok({name}::{v}(serde::Deserialize::from_value(inner)?)),"
+            )),
+            Fields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|idx| format!("serde::Deserialize::from_value(&items[{idx}])?"))
+                    .collect();
+                Some(format!(
+                    "{v:?} => match inner {{\n\
+                         serde::Value::Array(items) if items.len() == {n} => \
+                             Ok({name}::{v}({inits})),\n\
+                         _ => Err(serde::DeError::new(\
+                             \"expected an array for variant {v}\")),\n\
+                     }},",
+                    inits = inits.join(", ")
+                ))
+            }
+            Fields::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: serde::field(inner, {f:?})?"))
+                    .collect();
+                Some(format!(
+                    "{v:?} => Ok({name}::{v} {{ {} }}),",
+                    inits.join(", ")
+                ))
+            }
+        })
+        .collect();
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(v: &serde::Value) -> Result<{name}, serde::DeError> {{\n\
+                 match v {{\n\
+                     serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => Err(serde::DeError::new(format!(\
+                             \"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},\n\
+                     serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (tag, inner) = &entries[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             other => Err(serde::DeError::new(format!(\
+                                 \"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => Err(serde::DeError::new(\
+                         \"expected a string or single-entry object for enum {name}\")),\n\
+                 }}\n\
+             }}\n\
+         }}",
+        unit_arms = unit_arms.join("\n"),
+        tagged_arms = tagged_arms.join("\n")
+    )
+}
