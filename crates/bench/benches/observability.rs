@@ -1,0 +1,52 @@
+//! Observability overhead: the paper pipeline with the collector disabled
+//! (the default no-op handle), enabled with spans + counters only, and
+//! enabled with per-epoch quality sampling.
+//!
+//! The contract this guards: a disabled collector costs one branch per
+//! instrumentation point (~0% on pipeline scale), and an enabled collector
+//! without quality sampling stays under ~2% (it only takes the state lock
+//! at epoch/stage granularity). Per-epoch quality sampling is *expected* to
+//! cost more — it adds one shared BMU pass per sampled epoch — which is why
+//! it is a separate configuration, not the default.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hiermeans_core::pipeline::{run_pipeline, PipelineConfig};
+use hiermeans_obs::{Collector, ObsConfig};
+use hiermeans_workload::charvec::CharacteristicVectors;
+use hiermeans_workload::sar::SarCollector;
+use hiermeans_workload::Machine;
+
+fn bench_overhead(c: &mut Criterion) {
+    let sar = SarCollector::paper().collect(Machine::A).unwrap();
+    let vectors = CharacteristicVectors::from_sar(&sar).unwrap();
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    group.bench_function("pipeline_disabled", |b| {
+        let config = PipelineConfig::default();
+        b.iter(|| run_pipeline(vectors.matrix(), &config).unwrap())
+    });
+    group.bench_function("pipeline_enabled_spans_counters", |b| {
+        b.iter(|| {
+            let config = PipelineConfig {
+                collector: Collector::enabled_with(ObsConfig {
+                    epoch_quality_stride: 0,
+                }),
+                ..PipelineConfig::default()
+            };
+            run_pipeline(vectors.matrix(), &config).unwrap()
+        })
+    });
+    group.bench_function("pipeline_enabled_epoch_quality", |b| {
+        b.iter(|| {
+            let config = PipelineConfig {
+                collector: Collector::enabled(),
+                ..PipelineConfig::default()
+            };
+            run_pipeline(vectors.matrix(), &config).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

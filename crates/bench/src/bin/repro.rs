@@ -7,11 +7,13 @@
 //!   extensions:      merger jackknife means-family duplication correlation
 //!                    mica evaluation report extensions
 //!   performance:     bench-pipeline (writes BENCH_pipeline.json)
+//!   observability:   trace (writes OBS_trace.json; exits nonzero if any
+//!                    study's SOM did not converge)
 //! ```
 
 use std::process::ExitCode;
 
-use hiermeans_bench::{experiments, extensions, perf};
+use hiermeans_bench::{experiments, extensions, perf, trace};
 use hiermeans_workload::measurement::Characterization;
 use hiermeans_workload::Machine;
 
@@ -24,6 +26,16 @@ fn run(artifact: &str) -> Result<String, String> {
                 Ok(format!("wrote BENCH_pipeline.json\n{json}"))
             })
             .map_err(|e| format!("bench-pipeline failed: {e}"));
+    }
+    if artifact == "trace" {
+        let (document, json, rendered) =
+            trace::trace_artifact().map_err(|e| format!("trace failed: {e}"))?;
+        std::fs::write("OBS_trace.json", &json)
+            .map_err(|e| format!("writing OBS_trace.json: {e}"))?;
+        if !document.all_converged() {
+            return Err(format!("trace: SOM convergence gate failed\n{rendered}"));
+        }
+        return Ok(format!("wrote OBS_trace.json\n{rendered}"));
     }
     let sar_a = Characterization::SarCounters(Machine::A);
     let sar_b = Characterization::SarCounters(Machine::B);
@@ -77,7 +89,8 @@ fn main() -> ExitCode {
             "usage: repro <artifact>...\n  paper artifacts: table1 table2 table3 fig3 fig4 \
              fig5 fig6 fig7 fig8 table4 table5 table6 all\n  extensions: merger jackknife \
              means-family duplication correlation mica evaluation report extensions\n  \
-             performance: bench-pipeline (writes BENCH_pipeline.json)"
+             performance: bench-pipeline (writes BENCH_pipeline.json)\n  \
+             observability: trace (writes OBS_trace.json)"
         );
         return ExitCode::FAILURE;
     }

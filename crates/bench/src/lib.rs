@@ -6,7 +6,9 @@
 //! ablation choices called out in DESIGN.md.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
 
 pub mod experiments;
 pub mod extensions;
 pub mod perf;
+pub mod trace;

@@ -6,13 +6,18 @@
 //! tracked across commits without parsing human-oriented bench output. The
 //! same serial-vs-parallel comparisons are benchmarked interactively by
 //! `benches/parallelism.rs`.
-
-use std::time::Instant;
+//!
+//! Every timing here is read off an observability span
+//! ([`hiermeans_obs::Collector::span`] +
+//! [`hiermeans_obs::TraceReport::span_durations_us`]) rather than ad-hoc
+//! stopwatch math, so `BENCH_pipeline.json` and `OBS_trace.json` share one
+//! timing source.
 
 use hiermeans_core::pipeline::{run_pipeline, PipelineConfig};
 use hiermeans_linalg::distance::{pairwise, Metric};
 use hiermeans_linalg::parallel;
 use hiermeans_linalg::Matrix;
+use hiermeans_obs::{Collector, ObsConfig};
 use hiermeans_som::{SomBuilder, TrainingMode};
 use serde::Serialize;
 
@@ -64,23 +69,38 @@ pub fn synthetic_vectors(n: usize, d: usize) -> Matrix {
     Matrix::from_vec(n, d, data).expect("length matches")
 }
 
-fn median_ms(mut f: impl FnMut(), reps: usize) -> f64 {
+/// Median duration of `stage` over `reps` runs, each rep measured by an
+/// observability span on a fresh collector — the same clock and bookkeeping
+/// that produces `OBS_trace.json`. Quality sampling is off so the span
+/// covers training work only.
+fn median_ms(stage: &'static str, reps: usize, mut f: impl FnMut(&Collector)) -> f64 {
     let mut samples: Vec<f64> = (0..reps)
         .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_secs_f64() * 1e3
+            let collector = Collector::enabled_with(ObsConfig {
+                epoch_quality_stride: 0,
+            });
+            {
+                let _span = collector.span(stage);
+                f(&collector);
+            }
+            let report = collector.report().expect("enabled collector");
+            report.span_durations_us(stage).iter().sum::<u64>() as f64 / 1e3
         })
         .collect();
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
     samples[samples.len() / 2]
 }
 
-fn timed_pair(stage: &str, n: usize, reps: usize, mut f: impl FnMut()) -> StageTiming {
+fn timed_pair(
+    stage: &'static str,
+    n: usize,
+    reps: usize,
+    mut f: impl FnMut(&Collector),
+) -> StageTiming {
     parallel::set_worker_override(Some(1));
-    let serial_ms = median_ms(&mut f, reps);
+    let serial_ms = median_ms(stage, reps, &mut f);
     parallel::set_worker_override(None);
-    let parallel_ms = median_ms(&mut f, reps);
+    let parallel_ms = median_ms(stage, reps, &mut f);
     StageTiming {
         stage: stage.to_string(),
         n,
@@ -97,17 +117,22 @@ pub fn bench_pipeline() -> PipelineBenchReport {
     for n in SIZES {
         let data = synthetic_vectors(n, DIMS);
         let reps = if n >= 1024 { 5 } else { 9 };
-        results.push(timed_pair("pairwise", n, reps, || {
+        results.push(timed_pair("pairwise", n, reps, |_| {
             std::hint::black_box(pairwise_vs(&data));
         }));
-        results.push(timed_pair("som_batch", n, reps, || {
+        results.push(timed_pair("som_batch", n, reps, |_| {
             std::hint::black_box(som_batch(&data));
         }));
     }
-    // The paper's actual 13-workload pipeline, end to end.
+    // The paper's actual 13-workload pipeline, end to end, with the bench
+    // collector threaded through so its stage spans nest under the timed one.
     let paper = synthetic_vectors(13, DIMS);
-    results.push(timed_pair("paper_pipeline", 13, 9, || {
-        std::hint::black_box(run_pipeline(&paper, &PipelineConfig::default()).unwrap());
+    results.push(timed_pair("paper_pipeline", 13, 9, |collector| {
+        let config = PipelineConfig {
+            collector: collector.clone(),
+            ..PipelineConfig::default()
+        };
+        std::hint::black_box(run_pipeline(&paper, &config).unwrap());
     }));
     PipelineBenchReport {
         workers: parallel::worker_count(),

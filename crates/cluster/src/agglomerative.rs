@@ -17,6 +17,7 @@
 
 use hiermeans_linalg::distance::{pairwise, Metric};
 use hiermeans_linalg::Matrix;
+use hiermeans_obs::{Collector, Counter, CounterBuf};
 
 use crate::dendrogram::{Dendrogram, Merge};
 use crate::{ClusterError, Linkage};
@@ -48,11 +49,41 @@ pub fn cluster(
     metric: Metric,
     linkage: Linkage,
 ) -> Result<Dendrogram, ClusterError> {
+    cluster_traced(points, metric, linkage, &Collector::disabled())
+}
+
+/// [`cluster`] with observability: wraps the run in a `cluster.agglomerate`
+/// span (with a nested `cluster.pairwise` span for the distance matrix),
+/// counts pairwise distance evaluations, and records every merge distance
+/// into the collector's trajectory and histogram.
+///
+/// # Errors
+///
+/// Same as [`cluster`].
+pub fn cluster_traced(
+    points: &Matrix,
+    metric: Metric,
+    linkage: Linkage,
+    collector: &Collector,
+) -> Result<Dendrogram, ClusterError> {
     if points.is_empty() {
         return Err(ClusterError::EmptyInput);
     }
-    let dist = pairwise(points, metric)?;
-    cluster_from_distances(&dist, linkage)
+    let span = collector.span("cluster.agglomerate");
+    let dist = {
+        let _pairwise = collector.span("cluster.pairwise");
+        let dist = pairwise(points, metric)?;
+        if collector.is_enabled() {
+            let n = points.nrows() as u64;
+            let mut buf = CounterBuf::new();
+            buf.add(Counter::DistanceEvaluations, n * n.saturating_sub(1) / 2);
+            collector.flush(&buf);
+        }
+        dist
+    };
+    let result = cluster_from_distances_traced(&dist, linkage, collector);
+    drop(span);
+    result
 }
 
 /// Clusters from a precomputed symmetric distance matrix.
@@ -64,6 +95,23 @@ pub fn cluster(
 ///   not symmetric, has a nonzero diagonal, or contains negative or
 ///   non-finite entries.
 pub fn cluster_from_distances(dist: &Matrix, linkage: Linkage) -> Result<Dendrogram, ClusterError> {
+    cluster_from_distances_traced(dist, linkage, &Collector::disabled())
+}
+
+/// [`cluster_from_distances`] with observability: wraps the merge loop in a
+/// `cluster.merge_loop` span and records each merge distance as it happens,
+/// so the trace carries the full merge-distance trajectory the paper's
+/// "large jump in merging distance" heuristic inspects.
+///
+/// # Errors
+///
+/// Same as [`cluster_from_distances`].
+pub fn cluster_from_distances_traced(
+    dist: &Matrix,
+    linkage: Linkage,
+    collector: &Collector,
+) -> Result<Dendrogram, ClusterError> {
+    let _span = collector.span("cluster.merge_loop");
     validate_distance_matrix(dist)?;
     let n = dist.nrows();
     if n == 1 {
@@ -105,6 +153,7 @@ pub fn cluster_from_distances(dist: &Matrix, linkage: Linkage) -> Result<Dendrog
             distance: dij,
             size: new_size,
         });
+        collector.record_merge(dij);
 
         // Lance–Williams update: slot i becomes the merged cluster.
         for k in 0..n {

@@ -10,6 +10,7 @@
 
 use hiermeans_cluster::validity;
 use hiermeans_linalg::Matrix;
+use hiermeans_obs::Collector;
 use hiermeans_workload::charvec::CharacteristicVectors;
 use hiermeans_workload::execution::{ExecutionSimulator, SpeedupTable};
 use hiermeans_workload::hprof::HprofCollector;
@@ -46,32 +47,62 @@ impl SuiteAnalysis {
     /// Propagates simulation, characterization, SOM, clustering, and
     /// scoring errors.
     pub fn paper(characterization: Characterization) -> Result<Self, CoreError> {
-        let speedups = ExecutionSimulator::paper().speedup_table()?;
-        let vectors = match characterization {
-            Characterization::SarCounters(machine) => {
-                let dataset = SarCollector::paper().collect(machine)?;
-                CharacteristicVectors::from_sar(&dataset)?
-            }
-            Characterization::MethodUtilization => {
-                let dataset = HprofCollector::paper().collect();
-                CharacteristicVectors::from_methods(&dataset)?
-            }
-            _ => {
-                return Err(CoreError::InvalidClusters {
-                    reason: "unsupported characterization",
-                })
+        Self::paper_with(characterization, &Collector::disabled())
+    }
+
+    /// [`SuiteAnalysis::paper`] with observability: the whole study runs
+    /// under an `analysis` span with `analysis.simulate` and
+    /// `analysis.characterize` stages, the pipeline config carries the
+    /// collector, and characterization counters are recorded.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SuiteAnalysis::paper`].
+    pub fn paper_with(
+        characterization: Characterization,
+        collector: &Collector,
+    ) -> Result<Self, CoreError> {
+        let span = collector.span("analysis");
+        let speedups = {
+            let _sim = collector.span("analysis.simulate");
+            ExecutionSimulator::paper().speedup_table()?
+        };
+        let vectors = {
+            let _char = collector.span("analysis.characterize");
+            match characterization {
+                Characterization::SarCounters(machine) => {
+                    let dataset = SarCollector::paper().collect(machine)?;
+                    CharacteristicVectors::from_sar_traced(&dataset, collector)?
+                }
+                Characterization::MethodUtilization => {
+                    let dataset = HprofCollector::paper().collect();
+                    CharacteristicVectors::from_methods_traced(&dataset, collector)?
+                }
+                _ => {
+                    return Err(CoreError::InvalidClusters {
+                        reason: "unsupported characterization",
+                    })
+                }
             }
         };
-        Self::run(
+        let config = PipelineConfig {
+            collector: collector.clone(),
+            ..PipelineConfig::default()
+        };
+        let result = Self::run(
             BenchmarkSuite::paper(),
             characterization,
             speedups,
             vectors,
-            &PipelineConfig::default(),
-        )
+            &config,
+        );
+        drop(span);
+        result
     }
 
-    /// Runs the analysis on explicit inputs.
+    /// Runs the analysis on explicit inputs. Observability flows through
+    /// `config.collector`: the pipeline stages, score sweep, and
+    /// cluster-count recommendation all record into it.
     ///
     /// # Errors
     ///
@@ -83,11 +114,21 @@ impl SuiteAnalysis {
         vectors: CharacteristicVectors,
         config: &PipelineConfig,
     ) -> Result<Self, CoreError> {
+        let collector = &config.collector;
         let pipeline = run_pipeline(vectors.matrix(), config)?;
         let max_k = (*K_RANGE.end()).min(suite.len());
-        let scores =
-            ScoreTable::from_dendrogram(&speedups, pipeline.dendrogram(), max_k, Mean::Geometric)?;
-        let recommended_k = recommend_k(pipeline.positions(), pipeline.dendrogram(), max_k)?;
+        let scores = ScoreTable::from_dendrogram_traced(
+            &speedups,
+            pipeline.dendrogram(),
+            max_k,
+            Mean::Geometric,
+            collector,
+        )?;
+        let recommended_k = {
+            let _rec = collector.span("analysis.recommend_k");
+            recommend_k(pipeline.positions(), pipeline.dendrogram(), max_k)?
+        };
+        collector.event("analysis.recommended_k", format!("k = {recommended_k}"));
         Ok(SuiteAnalysis {
             suite,
             characterization,

@@ -10,6 +10,7 @@ use hiermeans_cluster::{ClusterAssignment, Dendrogram, Linkage};
 use hiermeans_linalg::distance::Metric;
 use hiermeans_linalg::parallel::{self, Chunking};
 use hiermeans_linalg::Matrix;
+use hiermeans_obs::{Collector, Counter, CounterBuf};
 use hiermeans_som::{Som, SomBuilder};
 
 use crate::CoreError;
@@ -45,6 +46,11 @@ pub struct PipelineConfig {
     pub linkage: Linkage,
     /// Point-to-point metric (the paper uses Euclidean).
     pub metric: Metric,
+    /// Observability collector. The default is the disabled no-op handle,
+    /// which costs one branch per instrumentation point; pass
+    /// [`Collector::enabled`] to capture spans, counters, per-epoch SOM
+    /// quality, and the merge-distance trajectory for this run.
+    pub collector: Collector,
 }
 
 impl Default for PipelineConfig {
@@ -58,6 +64,7 @@ impl Default for PipelineConfig {
             training: hiermeans_som::TrainingMode::Online,
             linkage: Linkage::Complete,
             metric: Metric::Euclidean,
+            collector: Collector::disabled(),
         }
     }
 }
@@ -68,6 +75,7 @@ pub struct PipelineResult {
     som: Som,
     positions: Matrix,
     dendrogram: Dendrogram,
+    collector: Collector,
 }
 
 impl PipelineResult {
@@ -114,11 +122,20 @@ impl PipelineResult {
         &self,
         ks: impl IntoIterator<Item = usize>,
     ) -> Result<Vec<(usize, ClusterAssignment)>, CoreError> {
+        let _span = self.collector.span("pipeline.sweep");
         let ks: Vec<usize> = ks.into_iter().collect();
-        parallel::try_map_items(ks.len(), SWEEP_CHUNKING, |i| {
+        let cuts = parallel::try_map_items(ks.len(), SWEEP_CHUNKING, |i| {
             let k = ks[i];
-            Ok((k, self.dendrogram.cut_into(k)?))
-        })
+            Ok::<_, CoreError>((k, self.dendrogram.cut_into(k)?))
+        })?;
+        if self.collector.is_enabled() {
+            // One sweep cell per (workload, k) pair produced by the cuts.
+            let cells: u64 = cuts.iter().map(|(_, a)| a.labels().len() as u64).sum();
+            let mut buf = CounterBuf::new();
+            buf.add(Counter::ScoreSweepCells, cells);
+            self.collector.flush(&buf);
+        }
+        Ok(cuts)
     }
 }
 
@@ -153,28 +170,41 @@ pub fn run_pipeline(
     vectors: &Matrix,
     config: &PipelineConfig,
 ) -> Result<PipelineResult, CoreError> {
+    let collector = &config.collector;
+    let span = collector.span("pipeline");
     let diameter = hiermeans_som::Grid::new(
         config.som_width.max(1),
         config.som_height.max(1),
         hiermeans_som::GridTopology::Rectangular,
     )
     .diameter();
-    let som = SomBuilder::new(config.som_width, config.som_height)
-        .seed(config.seed)
-        .epochs(config.epochs)
-        .metric(config.metric)
-        .sigma(hiermeans_som::DecaySchedule::Linear {
-            start: diameter / 2.0,
-            end: config.sigma_end,
-        })
-        .mode(config.training)
-        .train(vectors)?;
-    let positions = som.project(vectors)?;
-    let dendrogram = agglomerative::cluster(&positions, config.metric, config.linkage)?;
+    let som = {
+        let _som_span = collector.span("pipeline.som");
+        SomBuilder::new(config.som_width, config.som_height)
+            .seed(config.seed)
+            .epochs(config.epochs)
+            .metric(config.metric)
+            .sigma(hiermeans_som::DecaySchedule::Linear {
+                start: diameter / 2.0,
+                end: config.sigma_end,
+            })
+            .mode(config.training)
+            .train_traced(vectors, collector)?
+    };
+    let positions = {
+        let _project_span = collector.span("pipeline.project");
+        som.project(vectors)?
+    };
+    let dendrogram = {
+        let _cluster_span = collector.span("pipeline.cluster");
+        agglomerative::cluster_traced(&positions, config.metric, config.linkage, collector)?
+    };
+    drop(span);
     Ok(PipelineResult {
         som,
         positions,
         dendrogram,
+        collector: collector.clone(),
     })
 }
 

@@ -3,6 +3,7 @@
 
 use hiermeans_cluster::Dendrogram;
 use hiermeans_linalg::parallel::{self, Chunking};
+use hiermeans_obs::{Collector, Counter, CounterBuf};
 use hiermeans_workload::execution::SpeedupTable;
 use hiermeans_workload::Machine;
 use serde::{Deserialize, Serialize};
@@ -95,6 +96,24 @@ impl ScoreTable {
         mean: Mean,
         clusters_for: impl Fn(usize) -> Result<Vec<Vec<usize>>, CoreError> + Sync,
     ) -> Result<Self, CoreError> {
+        Self::compute_parallel_traced(speedups, ks, mean, clusters_for, &Collector::disabled())
+    }
+
+    /// [`ScoreTable::compute_parallel`] with observability: wraps the sweep
+    /// in a `score.sweep` span and counts one `ScoreSweepCells` per table
+    /// cell (each row holds one score per machine).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ScoreTable::compute_parallel`].
+    pub fn compute_parallel_traced(
+        speedups: &SpeedupTable,
+        ks: impl IntoIterator<Item = usize>,
+        mean: Mean,
+        clusters_for: impl Fn(usize) -> Result<Vec<Vec<usize>>, CoreError> + Sync,
+        collector: &Collector,
+    ) -> Result<Self, CoreError> {
+        let _span = collector.span("score.sweep");
         let a = speedups.speedups(Machine::A);
         let b = speedups.speedups(Machine::B);
         let ks: Vec<usize> = ks.into_iter().collect();
@@ -107,6 +126,11 @@ impl ScoreTable {
                 score_b: hierarchical_mean(b, &clusters, mean)?,
             })
         })?;
+        if collector.is_enabled() {
+            let mut buf = CounterBuf::new();
+            buf.add(Counter::ScoreSweepCells, 2 * rows.len() as u64);
+            collector.flush(&buf);
+        }
         Ok(ScoreTable {
             mean,
             rows,
@@ -128,9 +152,29 @@ impl ScoreTable {
         max_k: usize,
         mean: Mean,
     ) -> Result<Self, CoreError> {
-        Self::compute_parallel(speedups, 2..=max_k, mean, |k| {
-            Ok(dendrogram.cut_into(k)?.clusters())
-        })
+        Self::from_dendrogram_traced(speedups, dendrogram, max_k, mean, &Collector::disabled())
+    }
+
+    /// [`ScoreTable::from_dendrogram`] with an observability collector
+    /// threaded into the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ScoreTable::from_dendrogram`].
+    pub fn from_dendrogram_traced(
+        speedups: &SpeedupTable,
+        dendrogram: &Dendrogram,
+        max_k: usize,
+        mean: Mean,
+        collector: &Collector,
+    ) -> Result<Self, CoreError> {
+        Self::compute_parallel_traced(
+            speedups,
+            2..=max_k,
+            mean,
+            |k| Ok(dendrogram.cut_into(k)?.clusters()),
+            collector,
+        )
     }
 
     /// The mean family used.

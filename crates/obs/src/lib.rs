@@ -1,0 +1,393 @@
+//! `hiermeans-obs`: zero-dependency tracing, metrics, and convergence
+//! telemetry for the hiermeans pipeline.
+//!
+//! The paper's methodology is a multi-stage statistical pipeline — workload
+//! characterization → SOM → agglomerative clustering → hierarchical-mean
+//! scoring — where silent mis-convergence produces plausible-but-wrong
+//! single numbers. This crate makes every stage report what it is doing:
+//!
+//! * [`span`] — RAII stage spans with monotonic timing and nesting, forming
+//!   the trace's stage tree.
+//! * [`metrics`] — a closed registry of hot-path counters (BMU searches,
+//!   distance evaluations, linkage merges, score-sweep cells) and
+//!   fixed-bucket histograms (epoch durations, merge distances), with
+//!   per-chunk [`CounterBuf`]s merged in chunk order so traces are
+//!   reproducible across worker counts.
+//! * [`convergence`] — per-epoch quantization/topographic-error records and
+//!   the [`ConvergenceVerdict`] that flags an under-converged SOM.
+//! * [`report`] — the stable `OBS_trace.json` schema ([`TraceReport`],
+//!   [`report::TraceDocument`]) and a human-readable stage tree.
+//!
+//! # Zero cost when disabled
+//!
+//! Everything hangs off a [`Collector`] handle. The default
+//! [`Collector::disabled`] holds no allocation; every method starts with a
+//! branch on that `Option` and returns immediately, so instrumented code
+//! pays one predictable branch per call and hot loops pay nothing (they
+//! buffer into local [`CounterBuf`]s that are only flushed when enabled).
+//!
+//! # Example
+//!
+//! ```
+//! use hiermeans_obs::{Collector, Counter};
+//!
+//! let collector = Collector::enabled();
+//! {
+//!     let _stage = collector.span("demo.stage");
+//!     collector.add(Counter::DistanceEvaluations, 42);
+//! }
+//! let report = collector.report().unwrap();
+//! assert_eq!(report.spans[0].name, "demo.stage");
+//! assert_eq!(report.counter("distance_evaluations"), Some(42));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
+
+pub mod convergence;
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+pub use convergence::{ConvergenceVerdict, EpochRecord};
+pub use metrics::{Counter, CounterBuf, CounterExport, HistogramExport, HistogramId};
+pub use report::{EventExport, StudyTrace, TraceDocument, TraceReport, SCHEMA_VERSION};
+pub use span::{SpanExport, SpanGuard};
+
+use metrics::Histogram;
+use span::SpanRecord;
+
+/// Tuning knobs for an enabled collector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Record SOM epoch quality (QE/TE) every this many epochs; `0` turns
+    /// per-epoch quality telemetry off while keeping spans and counters.
+    /// Quality telemetry costs one extra BMU pass per sampled epoch, so the
+    /// near-zero-overhead configurations use `0` and convergence auditing
+    /// uses `1`.
+    pub epoch_quality_stride: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            epoch_quality_stride: 1,
+        }
+    }
+}
+
+/// One recorded point event (e.g. a diagnostic formerly printed to stdout).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct EventRecord {
+    pub(crate) name: &'static str,
+    pub(crate) detail: String,
+    pub(crate) span: Option<usize>,
+    pub(crate) at_us: u64,
+}
+
+#[derive(Debug)]
+pub(crate) struct State {
+    pub(crate) spans: Vec<SpanRecord>,
+    pub(crate) open: Vec<usize>,
+    pub(crate) counters: [u64; Counter::ALL.len()],
+    pub(crate) histograms: Vec<Histogram>,
+    pub(crate) epochs: Vec<EpochRecord>,
+    pub(crate) merge_distances: Vec<f64>,
+    pub(crate) verdict: Option<ConvergenceVerdict>,
+    pub(crate) events: Vec<EventRecord>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    origin: Instant,
+    config: ObsConfig,
+    state: Mutex<State>,
+}
+
+/// A shared handle to one trace in progress.
+///
+/// Clones share the same trace; the disabled handle (the [`Default`]) is a
+/// no-op on every method. The collector is thread-aware: any thread may add
+/// counters or open spans, but the intended pattern is that stage spans
+/// live on the coordinating thread while scoped workers fill per-chunk
+/// [`CounterBuf`]s that the coordinator merges in chunk order — which keeps
+/// the exported trace identical for any worker count.
+#[derive(Debug, Clone, Default)]
+pub struct Collector(Option<Arc<Inner>>);
+
+impl PartialEq for Collector {
+    /// Handles compare equal when they share a trace (or are both
+    /// disabled) — the semantics configuration equality wants.
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.0, &other.0) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl Collector {
+    /// The no-op collector: no allocation, every method returns immediately.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Collector(None)
+    }
+
+    /// A live collector with the default [`ObsConfig`].
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self::enabled_with(ObsConfig::default())
+    }
+
+    /// A live collector with explicit tuning.
+    #[must_use]
+    pub fn enabled_with(config: ObsConfig) -> Self {
+        Collector(Some(Arc::new(Inner {
+            origin: Instant::now(),
+            config,
+            state: Mutex::new(State {
+                spans: Vec::new(),
+                open: Vec::new(),
+                counters: [0; Counter::ALL.len()],
+                histograms: HistogramId::ALL
+                    .iter()
+                    .map(|&id| Histogram::new(id))
+                    .collect(),
+                epochs: Vec::new(),
+                merge_distances: Vec::new(),
+                verdict: None,
+                events: Vec::new(),
+            }),
+        })))
+    }
+
+    /// Whether this handle records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The SOM epoch-quality sampling stride: `0` when disabled or when
+    /// quality telemetry is turned off, otherwise the configured stride.
+    #[must_use]
+    pub fn epoch_quality_stride(&self) -> usize {
+        self.0
+            .as_ref()
+            .map_or(0, |inner| inner.config.epoch_quality_stride)
+    }
+
+    fn elapsed_us(inner: &Inner) -> u64 {
+        u64::try_from(inner.origin.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Opens a span named `name`, nested under the innermost open span.
+    /// The span closes (and its duration is stamped) when the guard drops.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        let index = self.0.as_ref().map(|inner| {
+            let start_us = Self::elapsed_us(inner);
+            let mut state = inner.state.lock().expect("obs state poisoned");
+            let index = state.spans.len();
+            let parent = state.open.last().copied();
+            state.spans.push(SpanRecord {
+                name,
+                parent,
+                start_us,
+                duration_us: 0,
+                closed: false,
+            });
+            state.open.push(index);
+            index
+        });
+        SpanGuard {
+            collector: self.clone(),
+            index,
+        }
+    }
+
+    pub(crate) fn end_span(&self, index: usize) {
+        if let Some(inner) = self.0.as_ref() {
+            let now_us = Self::elapsed_us(inner);
+            let mut state = inner.state.lock().expect("obs state poisoned");
+            state.open.retain(|&i| i != index);
+            if let Some(record) = state.spans.get_mut(index) {
+                record.duration_us = now_us.saturating_sub(record.start_us);
+                record.closed = true;
+            }
+        }
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(&self, counter: Counter, n: u64) {
+        if let Some(inner) = self.0.as_ref() {
+            let mut state = inner.state.lock().expect("obs state poisoned");
+            state.counters[counter as usize] += n;
+        }
+    }
+
+    /// Merges a per-chunk counter buffer into the trace. Callers merge
+    /// chunk buffers in chunk order and flush once per parallel section.
+    pub fn flush(&self, buf: &CounterBuf) {
+        if let Some(inner) = self.0.as_ref() {
+            let mut state = inner.state.lock().expect("obs state poisoned");
+            for (acc, v) in state.counters.iter_mut().zip(buf.counts().iter()) {
+                *acc += v;
+            }
+        }
+    }
+
+    /// Records one observation into a fixed-bucket histogram.
+    pub fn record(&self, id: HistogramId, value: f64) {
+        if let Some(inner) = self.0.as_ref() {
+            let mut state = inner.state.lock().expect("obs state poisoned");
+            state.histograms[id as usize].record(value);
+        }
+    }
+
+    /// Records one SOM epoch's quality telemetry.
+    pub fn record_epoch(&self, record: EpochRecord) {
+        if let Some(inner) = self.0.as_ref() {
+            let mut state = inner.state.lock().expect("obs state poisoned");
+            state.epochs.push(record);
+        }
+    }
+
+    /// Records one agglomerative merge: appends the merge-distance
+    /// trajectory, feeds the merge-distance histogram, and bumps
+    /// [`Counter::LinkageMerges`].
+    pub fn record_merge(&self, distance: f64) {
+        if let Some(inner) = self.0.as_ref() {
+            let mut state = inner.state.lock().expect("obs state poisoned");
+            state.merge_distances.push(distance);
+            state.histograms[HistogramId::MergeDistance as usize].record(distance);
+            state.counters[Counter::LinkageMerges as usize] += 1;
+        }
+    }
+
+    /// Records a point event under the innermost open span — the structured
+    /// replacement for ad-hoc stdout diagnostics in library crates.
+    pub fn event(&self, name: &'static str, detail: impl Into<String>) {
+        if let Some(inner) = self.0.as_ref() {
+            let at_us = Self::elapsed_us(inner);
+            let mut state = inner.state.lock().expect("obs state poisoned");
+            let span = state.open.last().copied();
+            let detail = detail.into();
+            state.events.push(EventRecord {
+                name,
+                detail,
+                span,
+                at_us,
+            });
+        }
+    }
+
+    /// Stores the training run's convergence verdict (last write wins).
+    pub fn set_verdict(&self, verdict: ConvergenceVerdict) {
+        if let Some(inner) = self.0.as_ref() {
+            let mut state = inner.state.lock().expect("obs state poisoned");
+            state.verdict = Some(verdict);
+        }
+    }
+
+    /// Exports the trace recorded so far; `None` for a disabled collector.
+    #[must_use]
+    pub fn report(&self) -> Option<TraceReport> {
+        self.0.as_ref().map(|inner| {
+            let state = inner.state.lock().expect("obs state poisoned");
+            report::export(&state)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_collector_is_inert() {
+        let c = Collector::disabled();
+        assert!(!c.is_enabled());
+        assert_eq!(c.epoch_quality_stride(), 0);
+        {
+            let _g = c.span("nothing");
+            c.add(Counter::BmuSearches, 1);
+            c.record(HistogramId::MergeDistance, 1.0);
+            c.record_merge(2.0);
+            c.event("e", "detail");
+        }
+        assert!(c.report().is_none());
+    }
+
+    #[test]
+    fn spans_nest_under_the_open_span() {
+        let c = Collector::enabled();
+        {
+            let _outer = c.span("outer");
+            {
+                let _inner = c.span("inner");
+            }
+            let _sibling = c.span("sibling");
+        }
+        let r = c.report().unwrap();
+        assert_eq!(r.spans.len(), 3);
+        assert_eq!(r.spans[0].name, "outer");
+        assert_eq!(r.spans[0].parent, None);
+        assert_eq!(r.spans[1].parent, Some(0));
+        assert_eq!(r.spans[2].parent, Some(0));
+    }
+
+    #[test]
+    fn clones_share_the_trace() {
+        let c = Collector::enabled();
+        let d = c.clone();
+        d.add(Counter::LinkageMerges, 3);
+        assert_eq!(c.report().unwrap().counter("linkage_merges"), Some(3));
+        assert_eq!(c, d);
+        assert_ne!(c, Collector::enabled());
+        assert_eq!(Collector::disabled(), Collector::disabled());
+    }
+
+    #[test]
+    fn flush_merges_chunk_buffers() {
+        let c = Collector::enabled();
+        let mut chunk0 = CounterBuf::new();
+        chunk0.add(Counter::DistanceEvaluations, 10);
+        let mut chunk1 = CounterBuf::new();
+        chunk1.add(Counter::DistanceEvaluations, 32);
+        let mut merged = CounterBuf::new();
+        merged.merge(&chunk0);
+        merged.merge(&chunk1);
+        c.flush(&merged);
+        assert_eq!(
+            c.report().unwrap().counter("distance_evaluations"),
+            Some(42)
+        );
+    }
+
+    #[test]
+    fn merge_trajectory_and_histogram_agree() {
+        let c = Collector::enabled();
+        for d in [0.1, 0.4, 2.0] {
+            c.record_merge(d);
+        }
+        let r = c.report().unwrap();
+        assert_eq!(r.merge_distances, vec![0.1, 0.4, 2.0]);
+        assert_eq!(r.counter("linkage_merges"), Some(3));
+        let h = r.histogram("merge_distance").unwrap();
+        assert_eq!(h.total, 3);
+    }
+
+    #[test]
+    fn stride_zero_disables_quality_sampling() {
+        let c = Collector::enabled_with(ObsConfig {
+            epoch_quality_stride: 0,
+        });
+        assert!(c.is_enabled());
+        assert_eq!(c.epoch_quality_stride(), 0);
+        assert_eq!(Collector::enabled().epoch_quality_stride(), 1);
+    }
+}

@@ -1,0 +1,290 @@
+//! The metrics registry: named counters on the pipeline hot paths and
+//! fixed-bucket histograms.
+//!
+//! Counters form a closed set ([`Counter`]) so instrumented code pays an
+//! array index, never a hash lookup, and every export is schema-stable.
+//! Histogram buckets are fixed at compile time for the same reason: two
+//! traces of the same study always have comparable bucket vectors.
+//!
+//! Hot loops should not touch the shared [`crate::Collector`] per item.
+//! Instead they accumulate into a local [`CounterBuf`] — one per work chunk
+//! of `hiermeans_linalg::parallel` — and the coordinating thread merges the
+//! per-chunk buffers *in chunk order* before flushing once. Counter sums are
+//! commutative, so totals are identical for any worker count; keeping the
+//! merge in chunk order makes the whole trace, not just the totals,
+//! reproducible run-to-run.
+
+use serde::{Deserialize, Serialize};
+
+/// The closed set of hot-path counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Best-matching-unit searches (one per sample per search pass).
+    BmuSearches,
+    /// Point-to-point distance evaluations inside BMU searches and pairwise
+    /// distance matrices.
+    DistanceEvaluations,
+    /// Neighborhood-kernel evaluations that actually contributed a nonzero
+    /// weight during SOM training (data-dependent, counted per chunk).
+    KernelEvaluations,
+    /// SOM training epochs completed.
+    SomEpochs,
+    /// Agglomerative linkage merges performed.
+    LinkageMerges,
+    /// Score-table sweep cells computed (one per `k` per machine).
+    ScoreSweepCells,
+    /// Workloads assembled into characteristic vectors.
+    WorkloadsCharacterized,
+    /// Raw features dropped by the characterization filters.
+    FeaturesDropped,
+}
+
+impl Counter {
+    /// Every counter, in export order.
+    pub const ALL: [Counter; 8] = [
+        Counter::BmuSearches,
+        Counter::DistanceEvaluations,
+        Counter::KernelEvaluations,
+        Counter::SomEpochs,
+        Counter::LinkageMerges,
+        Counter::ScoreSweepCells,
+        Counter::WorkloadsCharacterized,
+        Counter::FeaturesDropped,
+    ];
+
+    /// Stable snake_case name used in `OBS_trace.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::BmuSearches => "bmu_searches",
+            Counter::DistanceEvaluations => "distance_evaluations",
+            Counter::KernelEvaluations => "kernel_evaluations",
+            Counter::SomEpochs => "som_epochs",
+            Counter::LinkageMerges => "linkage_merges",
+            Counter::ScoreSweepCells => "score_sweep_cells",
+            Counter::WorkloadsCharacterized => "workloads_characterized",
+            Counter::FeaturesDropped => "features_dropped",
+        }
+    }
+}
+
+/// A local counter buffer for one unit of work (typically one parallel
+/// chunk). Cheap to create, free of locks; merge buffers in chunk order and
+/// flush the result through [`crate::Collector::flush`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterBuf {
+    counts: [u64; Counter::ALL.len()],
+}
+
+impl CounterBuf {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to `counter`.
+    pub fn add(&mut self, counter: Counter, n: u64) {
+        self.counts[counter as usize] += n;
+    }
+
+    /// The buffered value of `counter`.
+    #[must_use]
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.counts[counter as usize]
+    }
+
+    /// Merges another buffer into this one (callers merge in chunk order).
+    pub fn merge(&mut self, other: &CounterBuf) {
+        for (acc, v) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *acc += v;
+        }
+    }
+
+    pub(crate) fn counts(&self) -> &[u64; Counter::ALL.len()] {
+        &self.counts
+    }
+}
+
+/// The closed set of fixed-bucket histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum HistogramId {
+    /// Wall-clock duration of one SOM training epoch, in microseconds.
+    EpochDurationMicros,
+    /// Dendrogram merge distances, in map-coordinate units.
+    MergeDistance,
+}
+
+impl HistogramId {
+    /// Every histogram, in export order.
+    pub const ALL: [HistogramId; 2] =
+        [HistogramId::EpochDurationMicros, HistogramId::MergeDistance];
+
+    /// Stable snake_case name used in `OBS_trace.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            HistogramId::EpochDurationMicros => "epoch_duration_us",
+            HistogramId::MergeDistance => "merge_distance",
+        }
+    }
+
+    /// Whether the recorded values are wall-clock timings. Timing histograms
+    /// are excluded from [`crate::report::TraceReport::fingerprint`], since
+    /// durations legitimately differ between serial and parallel runs of the
+    /// same computation.
+    pub fn is_timing(self) -> bool {
+        matches!(self, HistogramId::EpochDurationMicros)
+    }
+
+    /// The fixed upper bucket boundaries (the last bucket is unbounded).
+    pub fn boundaries(self) -> &'static [f64] {
+        match self {
+            // 10us .. 10s, one decade per bucket.
+            HistogramId::EpochDurationMicros => &[1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7],
+            // Map positions live on a grid of diameter ~13; geometric
+            // boundaries resolve both the near-duplicate merges and the
+            // final cross-map joins.
+            HistogramId::MergeDistance => &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0],
+        }
+    }
+}
+
+/// One fixed-bucket histogram: per-bucket counts plus summary moments.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Histogram {
+    id: HistogramId,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    pub(crate) fn new(id: HistogramId) -> Self {
+        Histogram {
+            id,
+            counts: vec![0; id.boundaries().len() + 1],
+            total: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub(crate) fn record(&mut self, value: f64) {
+        let bucket = self
+            .id
+            .boundaries()
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.id.boundaries().len());
+        self.counts[bucket] += 1;
+        self.total += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    pub(crate) fn export(&self) -> HistogramExport {
+        HistogramExport {
+            name: self.id.name().to_owned(),
+            timing: self.id.is_timing(),
+            boundaries: self.id.boundaries().to_vec(),
+            counts: self.counts.clone(),
+            total: self.total,
+            sum: self.sum,
+            min: if self.total == 0 { 0.0 } else { self.min },
+            max: if self.total == 0 { 0.0 } else { self.max },
+        }
+    }
+}
+
+/// One exported counter total.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterExport {
+    /// Stable counter name (see [`Counter::name`]).
+    pub name: String,
+    /// The aggregated total.
+    pub value: u64,
+}
+
+/// One exported histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramExport {
+    /// Stable histogram name (see [`HistogramId::name`]).
+    pub name: String,
+    /// Whether the values are wall-clock timings (excluded from
+    /// deterministic fingerprints).
+    pub timing: bool,
+    /// Upper bucket boundaries; the final bucket is unbounded.
+    pub boundaries: Vec<f64>,
+    /// Per-bucket observation counts (`boundaries.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub total: u64,
+    /// Sum of all recorded values.
+    pub sum: f64,
+    /// Smallest recorded value (0 when empty).
+    pub min: f64,
+    /// Largest recorded value (0 when empty).
+    pub max: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_names_are_unique_and_ordered() {
+        let names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i);
+        }
+    }
+
+    #[test]
+    fn counter_buf_merges_commutatively() {
+        let mut a = CounterBuf::new();
+        a.add(Counter::BmuSearches, 3);
+        a.add(Counter::DistanceEvaluations, 10);
+        let mut b = CounterBuf::new();
+        b.add(Counter::BmuSearches, 4);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.get(Counter::BmuSearches), 7);
+        assert_eq!(ab.get(Counter::DistanceEvaluations), 10);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_the_line() {
+        let mut h = Histogram::new(HistogramId::MergeDistance);
+        for v in [0.0, 0.3, 0.9, 3.0, 100.0] {
+            h.record(v);
+        }
+        let e = h.export();
+        assert_eq!(e.total, 5);
+        assert_eq!(e.counts.iter().sum::<u64>(), 5);
+        assert_eq!(e.counts[0], 1); // 0.0 <= 0.25
+        assert_eq!(*e.counts.last().unwrap(), 1); // 100.0 overflows
+        assert_eq!(e.min, 0.0);
+        assert_eq!(e.max, 100.0);
+    }
+
+    #[test]
+    fn empty_histogram_exports_zero_moments() {
+        let e = Histogram::new(HistogramId::EpochDurationMicros).export();
+        assert_eq!(e.total, 0);
+        assert_eq!(e.min, 0.0);
+        assert_eq!(e.max, 0.0);
+        assert!(e.timing);
+    }
+}

@@ -1,0 +1,438 @@
+//! The structured trace exporter: the stable `OBS_trace.json` schema and a
+//! human-readable stage tree.
+//!
+//! [`TraceReport`] is one collector's trace; [`TraceDocument`] bundles one
+//! report per paper study into the `OBS_trace.json` artifact written by
+//! `repro trace`. The schema is versioned ([`SCHEMA_VERSION`]) and every
+//! name in it is a stable string, so downstream tooling can diff traces
+//! across commits.
+//!
+//! Wall-clock fields (`start_us`, `duration_us`, timing histograms) are the
+//! only parts of a trace that legitimately vary run-to-run;
+//! [`TraceReport::fingerprint`] projects them away, leaving a string that
+//! must be byte-identical between serial and parallel executions of the
+//! same computation.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use crate::convergence::{ConvergenceVerdict, EpochRecord};
+use crate::metrics::{Counter, CounterExport, HistogramExport};
+use crate::span::SpanExport;
+use crate::State;
+
+/// Version stamp of the `OBS_trace.json` schema.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One recorded point event, exported.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventExport {
+    /// Event name.
+    pub name: String,
+    /// Free-form detail text.
+    pub detail: String,
+    /// Index of the enclosing span, if any.
+    pub span: Option<usize>,
+    /// Microseconds from the collector's origin.
+    pub at_us: u64,
+}
+
+/// One collector's exported trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceReport {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Spans in open order; `id` equals the vector index.
+    pub spans: Vec<SpanExport>,
+    /// Counter totals, one entry per [`Counter`] in declaration order.
+    pub counters: Vec<CounterExport>,
+    /// Fixed-bucket histograms in declaration order.
+    pub histograms: Vec<HistogramExport>,
+    /// Point events in record order.
+    pub events: Vec<EventExport>,
+    /// Per-epoch SOM quality telemetry (empty if sampling was off).
+    pub som_epochs: Vec<EpochRecord>,
+    /// Agglomerative merge distances in merge order.
+    pub merge_distances: Vec<f64>,
+    /// The SOM convergence verdict, if training recorded telemetry.
+    pub convergence: Option<ConvergenceVerdict>,
+}
+
+pub(crate) fn export(state: &State) -> TraceReport {
+    TraceReport {
+        schema_version: SCHEMA_VERSION,
+        spans: state
+            .spans
+            .iter()
+            .enumerate()
+            .map(|(id, s)| SpanExport {
+                id,
+                parent: s.parent,
+                name: s.name.to_owned(),
+                start_us: s.start_us,
+                duration_us: s.duration_us,
+            })
+            .collect(),
+        counters: Counter::ALL
+            .iter()
+            .map(|&c| CounterExport {
+                name: c.name().to_owned(),
+                value: state.counters[c as usize],
+            })
+            .collect(),
+        histograms: state.histograms.iter().map(|h| h.export()).collect(),
+        events: state
+            .events
+            .iter()
+            .map(|e| EventExport {
+                name: e.name.to_owned(),
+                detail: e.detail.clone(),
+                span: e.span,
+                at_us: e.at_us,
+            })
+            .collect(),
+        som_epochs: state.epochs.clone(),
+        merge_distances: state.merge_distances.clone(),
+        convergence: state.verdict.clone(),
+    }
+}
+
+impl TraceReport {
+    /// The total of the counter with this stable name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The histogram with this stable name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramExport> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Durations (µs) of every span named `name`, in open order — the
+    /// shared timing source for `BENCH_pipeline.json`.
+    #[must_use]
+    pub fn span_durations_us(&self, name: &str) -> Vec<u64> {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.duration_us)
+            .collect()
+    }
+
+    /// A deterministic projection of the trace: the span tree (names and
+    /// structure, no clocks), counter totals, non-timing histograms, epoch
+    /// telemetry, merge trajectory, events, and the verdict. Floats are
+    /// rendered as raw bit patterns, so two fingerprints are equal iff the
+    /// deterministic trace content is bitwise identical.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "schema v{}", self.schema_version);
+        for s in &self.spans {
+            let _ = writeln!(out, "span {} id={} parent={:?}", s.name, s.id, s.parent);
+        }
+        for c in &self.counters {
+            let _ = writeln!(out, "counter {}={}", c.name, c.value);
+        }
+        for h in self.histograms.iter().filter(|h| !h.timing) {
+            let _ = writeln!(
+                out,
+                "histogram {} counts={:?} total={} sum={:016x} min={:016x} max={:016x}",
+                h.name,
+                h.counts,
+                h.total,
+                h.sum.to_bits(),
+                h.min.to_bits(),
+                h.max.to_bits()
+            );
+        }
+        for e in &self.som_epochs {
+            let _ = writeln!(
+                out,
+                "epoch {} qe={:016x} te={:016x} sigma={:016x}",
+                e.epoch,
+                e.quantization_error.to_bits(),
+                e.topographic_error.to_bits(),
+                e.sigma.to_bits()
+            );
+        }
+        for (i, d) in self.merge_distances.iter().enumerate() {
+            let _ = writeln!(out, "merge {} d={:016x}", i, d.to_bits());
+        }
+        for e in &self.events {
+            let _ = writeln!(out, "event {} span={:?} {}", e.name, e.span, e.detail);
+        }
+        if let Some(v) = &self.convergence {
+            let _ = writeln!(
+                out,
+                "verdict converged={} records={} window={} rel={:016x} rate={:016x} reason={}",
+                v.converged,
+                v.records,
+                v.window,
+                v.relative_improvement.to_bits(),
+                v.rate_per_epoch.to_bits(),
+                v.reason
+            );
+        }
+        out
+    }
+
+    /// Renders the human-readable stage tree with durations, hot-path
+    /// counters, and the convergence verdict.
+    #[must_use]
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "trace (schema v{})", self.schema_version);
+        for s in &self.spans {
+            let indent = "  ".repeat(s.depth_in(&self.spans) + 1);
+            let _ = writeln!(out, "{indent}{:<32} {}", s.name, fmt_us(s.duration_us));
+        }
+        let active: Vec<&CounterExport> = self.counters.iter().filter(|c| c.value > 0).collect();
+        if !active.is_empty() {
+            let _ = writeln!(out, "  counters:");
+            for c in active {
+                let _ = writeln!(out, "    {:<32} {}", c.name, c.value);
+            }
+        }
+        for h in self.histograms.iter().filter(|h| h.total > 0) {
+            let _ = writeln!(
+                out,
+                "  histogram {:<22} n={} min={:.3} max={:.3} mean={:.3}",
+                h.name,
+                h.total,
+                h.min,
+                h.max,
+                h.sum / h.total as f64
+            );
+        }
+        if let Some((first, last)) = self.som_epochs.first().zip(self.som_epochs.last()) {
+            let _ = writeln!(
+                out,
+                "  som quality: qe {:.4} -> {:.4}, te {:.4} -> {:.4} over {} sampled epochs",
+                first.quantization_error,
+                last.quantization_error,
+                first.topographic_error,
+                last.topographic_error,
+                self.som_epochs.len()
+            );
+        }
+        if let Some(v) = &self.convergence {
+            let _ = writeln!(
+                out,
+                "  convergence: {} — {}",
+                if v.converged {
+                    "CONVERGED"
+                } else {
+                    "NOT CONVERGED"
+                },
+                v.reason
+            );
+        }
+        out
+    }
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.3} s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.3} ms", us as f64 / 1e3)
+    } else {
+        format!("{us} us")
+    }
+}
+
+/// One study's trace inside a [`TraceDocument`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyTrace {
+    /// Stable study label, e.g. `sar_machine_a`.
+    pub label: String,
+    /// The study's trace.
+    pub trace: TraceReport,
+}
+
+/// The `OBS_trace.json` document: one trace per paper study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceDocument {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Worker count the traced run used.
+    pub workers: usize,
+    /// One entry per study, in run order.
+    pub studies: Vec<StudyTrace>,
+}
+
+impl TraceDocument {
+    /// Bundles study traces into a document.
+    #[must_use]
+    pub fn new(workers: usize, studies: Vec<StudyTrace>) -> Self {
+        TraceDocument {
+            schema_version: SCHEMA_VERSION,
+            workers,
+            studies,
+        }
+    }
+
+    /// Whether every study's SOM reported a converged verdict. A study with
+    /// no verdict at all counts as non-converged — missing telemetry must
+    /// fail loudly, not pass silently.
+    #[must_use]
+    pub fn all_converged(&self) -> bool {
+        !self.studies.is_empty()
+            && self
+                .studies
+                .iter()
+                .all(|s| s.trace.convergence.as_ref().is_some_and(|v| v.converged))
+    }
+
+    /// Renders every study's stage tree.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "OBS trace (schema v{}, {} workers)",
+            self.schema_version, self.workers
+        );
+        for s in &self.studies {
+            let _ = writeln!(out, "\nstudy {}", s.label);
+            out.push_str(&s.trace.render_tree());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Collector, Counter, EpochRecord};
+
+    fn sample_report() -> TraceReport {
+        let c = Collector::enabled();
+        {
+            let _root = c.span("pipeline");
+            let _child = c.span("pipeline.som");
+            c.add(Counter::BmuSearches, 13);
+            c.record_epoch(EpochRecord {
+                epoch: 0,
+                quantization_error: 0.5,
+                topographic_error: 0.1,
+                sigma: 3.0,
+            });
+            c.record_merge(0.75);
+        }
+        c.report().unwrap()
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = sample_report();
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: TraceReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn fingerprint_ignores_clocks() {
+        let a = sample_report();
+        let mut b = a.clone();
+        for s in &mut b.spans {
+            s.start_us += 1000;
+            s.duration_us += 1000;
+        }
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sees_counter_changes() {
+        let a = sample_report();
+        let mut b = a.clone();
+        b.counters[0].value += 1;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn render_tree_mentions_stages_and_counters() {
+        let text = sample_report().render_tree();
+        assert!(text.contains("pipeline"));
+        assert!(text.contains("pipeline.som"));
+        assert!(text.contains("bmu_searches"));
+        assert!(text.contains("merge_distance"));
+    }
+
+    #[test]
+    fn document_convergence_gate() {
+        let r = sample_report();
+        let doc = TraceDocument::new(
+            4,
+            vec![StudyTrace {
+                label: "s1".into(),
+                trace: r.clone(),
+            }],
+        );
+        // No verdict recorded -> not converged.
+        assert!(!doc.all_converged());
+        assert!(!TraceDocument::new(4, vec![]).all_converged());
+        let mut converged = r;
+        converged.convergence = Some(crate::convergence::assess(&[
+            EpochRecord {
+                epoch: 0,
+                quantization_error: 1.0,
+                topographic_error: 0.0,
+                sigma: 1.0,
+            },
+            EpochRecord {
+                epoch: 1,
+                quantization_error: 0.99,
+                topographic_error: 0.0,
+                sigma: 1.0,
+            },
+            EpochRecord {
+                epoch: 2,
+                quantization_error: 0.99,
+                topographic_error: 0.0,
+                sigma: 1.0,
+            },
+            EpochRecord {
+                epoch: 3,
+                quantization_error: 0.99,
+                topographic_error: 0.0,
+                sigma: 1.0,
+            },
+            EpochRecord {
+                epoch: 4,
+                quantization_error: 0.99,
+                topographic_error: 0.0,
+                sigma: 1.0,
+            },
+            EpochRecord {
+                epoch: 5,
+                quantization_error: 0.99,
+                topographic_error: 0.0,
+                sigma: 1.0,
+            },
+        ]));
+        let doc = TraceDocument::new(
+            4,
+            vec![StudyTrace {
+                label: "s1".into(),
+                trace: converged,
+            }],
+        );
+        assert!(
+            doc.all_converged(),
+            "{:?}",
+            doc.studies[0].trace.convergence
+        );
+        let json = serde_json::to_string(&doc).unwrap();
+        let back: TraceDocument = serde_json::from_str(&json).unwrap();
+        assert_eq!(doc, back);
+    }
+}

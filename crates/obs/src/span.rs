@@ -1,0 +1,80 @@
+//! Stage spans: RAII guards with monotonic timing and a nested hierarchy.
+//!
+//! A [`SpanGuard`] is opened through [`crate::Collector::span`] and closes
+//! on drop, stamping the span's duration from a monotonic clock. Spans
+//! nest: a span opened while another is still open becomes its child, which
+//! is how the exported trace shows `pipeline` containing `pipeline.som`
+//! containing per-epoch work. Guards are meant for the coordinating thread
+//! of each stage; hot worker loops use [`crate::CounterBuf`] instead, so
+//! worker scheduling can never reshape the span tree.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Collector;
+
+/// One recorded span (internal arena entry).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SpanRecord {
+    pub(crate) name: &'static str,
+    pub(crate) parent: Option<usize>,
+    pub(crate) start_us: u64,
+    pub(crate) duration_us: u64,
+    pub(crate) closed: bool,
+}
+
+/// RAII guard for one span; the span ends when the guard drops.
+///
+/// Obtained from [`Collector::span`]. When the collector is disabled the
+/// guard is inert: no allocation, no lock, no clock read.
+#[derive(Debug)]
+#[must_use = "a span ends when its guard drops; binding it to `_` ends it immediately"]
+pub struct SpanGuard {
+    pub(crate) collector: Collector,
+    pub(crate) index: Option<usize>,
+}
+
+impl SpanGuard {
+    /// The arena index of this span, if the collector is enabled. Exposed
+    /// for tests and the report layer.
+    #[must_use]
+    pub fn index(&self) -> Option<usize> {
+        self.index
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(index) = self.index.take() {
+            self.collector.end_span(index);
+        }
+    }
+}
+
+/// One exported span of the trace, in open order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanExport {
+    /// Arena index (also the position in the export vector).
+    pub id: usize,
+    /// Index of the enclosing span, if any.
+    pub parent: Option<usize>,
+    /// Stage name, e.g. `pipeline.som`.
+    pub name: String,
+    /// Microseconds from the collector's origin to the span opening.
+    pub start_us: u64,
+    /// Span duration in microseconds (0 if the guard never dropped).
+    pub duration_us: u64,
+}
+
+impl SpanExport {
+    /// Nesting depth computed by walking `parent` links through `spans`.
+    #[must_use]
+    pub fn depth_in(&self, spans: &[SpanExport]) -> usize {
+        let mut depth = 0;
+        let mut cursor = self.parent;
+        while let Some(p) = cursor {
+            depth += 1;
+            cursor = spans.get(p).and_then(|s| s.parent);
+        }
+        depth
+    }
+}

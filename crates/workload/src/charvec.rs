@@ -7,6 +7,7 @@
 
 use hiermeans_linalg::scale::Standardizer;
 use hiermeans_linalg::{stats, Matrix};
+use hiermeans_obs::{Collector, Counter, CounterBuf};
 
 use crate::hprof::MethodDataset;
 use crate::sar::SarDataset;
@@ -37,6 +38,77 @@ impl CharacteristicVectors {
     /// How many raw features the filters discarded.
     pub fn dropped_features(&self) -> usize {
         self.dropped
+    }
+
+    /// Records this characterization into an observability collector: one
+    /// `WorkloadsCharacterized` count per row, the number of raw features
+    /// the filters discarded, and a descriptive event naming the shape.
+    pub fn record_into(&self, collector: &Collector) {
+        if !collector.is_enabled() {
+            return;
+        }
+        let mut buf = CounterBuf::new();
+        buf.add(Counter::WorkloadsCharacterized, self.matrix.nrows() as u64);
+        buf.add(Counter::FeaturesDropped, self.dropped as u64);
+        collector.flush(&buf);
+        collector.event(
+            "workload.characterized",
+            format!(
+                "{} workloads x {} features ({} dropped)",
+                self.matrix.nrows(),
+                self.matrix.ncols(),
+                self.dropped
+            ),
+        );
+    }
+
+    /// [`CharacteristicVectors::from_sar`] wrapped in a
+    /// `workload.characterize` span, with counters recorded on success.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CharacteristicVectors::from_sar`].
+    pub fn from_sar_traced(
+        dataset: &SarDataset,
+        collector: &Collector,
+    ) -> Result<Self, WorkloadError> {
+        let _span = collector.span("workload.characterize");
+        let cv = Self::from_sar(dataset)?;
+        cv.record_into(collector);
+        Ok(cv)
+    }
+
+    /// [`CharacteristicVectors::from_features`] wrapped in a
+    /// `workload.characterize` span, with counters recorded on success.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CharacteristicVectors::from_features`].
+    pub fn from_features_traced(
+        names: &[String],
+        features: &Matrix,
+        collector: &Collector,
+    ) -> Result<Self, WorkloadError> {
+        let _span = collector.span("workload.characterize");
+        let cv = Self::from_features(names, features)?;
+        cv.record_into(collector);
+        Ok(cv)
+    }
+
+    /// [`CharacteristicVectors::from_methods`] wrapped in a
+    /// `workload.characterize` span, with counters recorded on success.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CharacteristicVectors::from_methods`].
+    pub fn from_methods_traced(
+        dataset: &MethodDataset,
+        collector: &Collector,
+    ) -> Result<Self, WorkloadError> {
+        let _span = collector.span("workload.characterize");
+        let cv = Self::from_methods(dataset)?;
+        cv.record_into(collector);
+        Ok(cv)
     }
 
     /// Builds characteristic vectors from SAR samples: average, drop
