@@ -9,11 +9,20 @@
 //!   performance:     bench-pipeline (writes BENCH_pipeline.json)
 //!   observability:   trace (writes OBS_trace.json; exits nonzero if any
 //!                    study's SOM did not converge)
+//!   robustness:      faults (writes OBS_faults.json; exits nonzero if any
+//!                    injected fault is not absorbed)
+//!                    check <file> (validates a CSV/whitespace matrix and
+//!                    prints typed diagnostics with exact coordinates)
 //! ```
+//!
+//! Malformed or degenerate input never produces a raw panic backtrace:
+//! every artifact runs under a panic guard that converts any residual
+//! panic into a one-line structured diagnostic and a nonzero exit.
 
+use std::panic::{self, AssertUnwindSafe};
 use std::process::ExitCode;
 
-use hiermeans_bench::{experiments, extensions, perf, trace};
+use hiermeans_bench::{check, experiments, extensions, faults, perf, trace};
 use hiermeans_workload::measurement::Characterization;
 use hiermeans_workload::Machine;
 
@@ -36,6 +45,13 @@ fn run(artifact: &str) -> Result<String, String> {
             return Err(format!("trace: SOM convergence gate failed\n{rendered}"));
         }
         return Ok(format!("wrote OBS_trace.json\n{rendered}"));
+    }
+    if artifact == "faults" {
+        let (_document, json, rendered) =
+            faults::faults_artifact().map_err(|e| format!("faults failed: {e}"))?;
+        std::fs::write("OBS_faults.json", &json)
+            .map_err(|e| format!("writing OBS_faults.json: {e}"))?;
+        return Ok(format!("wrote OBS_faults.json\n{rendered}"));
     }
     let sar_a = Characterization::SarCounters(Machine::A);
     let sar_b = Characterization::SarCounters(Machine::B);
@@ -82,6 +98,34 @@ fn run(artifact: &str) -> Result<String, String> {
     result.map_err(|e| format!("{artifact} failed: {e}"))
 }
 
+/// Validates a matrix file, printing typed diagnostics instead of
+/// panicking on malformed content.
+fn run_check(path: &str) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("check: cannot read {path}: {e}"))?;
+    check::check_matrix_text(&text).map_err(|diag| format!("check {path}:\n{diag}"))
+}
+
+/// Runs one artifact under a panic guard: a panic anywhere below becomes a
+/// structured one-line diagnostic instead of a raw backtrace.
+fn run_guarded(run: impl FnOnce() -> Result<String, String>, what: &str) -> Result<String, String> {
+    let prev_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(run));
+    panic::set_hook(prev_hook);
+    match outcome {
+        Ok(result) => result,
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            Err(format!("{what}: internal error (panic): {message}"))
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -90,12 +134,23 @@ fn main() -> ExitCode {
              fig5 fig6 fig7 fig8 table4 table5 table6 all\n  extensions: merger jackknife \
              means-family duplication correlation mica evaluation report extensions\n  \
              performance: bench-pipeline (writes BENCH_pipeline.json)\n  \
-             observability: trace (writes OBS_trace.json)"
+             observability: trace (writes OBS_trace.json)\n  \
+             robustness: faults (writes OBS_faults.json), check <file>"
         );
         return ExitCode::FAILURE;
     }
-    for artifact in &args {
-        match run(artifact) {
+    let mut args = args.into_iter();
+    while let Some(artifact) = args.next() {
+        let outcome = if artifact == "check" {
+            let Some(path) = args.next() else {
+                eprintln!("check: missing <file> argument");
+                return ExitCode::FAILURE;
+            };
+            run_guarded(|| run_check(&path), "check")
+        } else {
+            run_guarded(|| run(&artifact), &artifact)
+        };
+        match outcome {
             Ok(text) => println!("{text}"),
             Err(message) => {
                 eprintln!("{message}");

@@ -1,0 +1,130 @@
+//! The `repro check` diagnostic: validate a matrix file from disk.
+//!
+//! Reads a minimal CSV/whitespace matrix format (one row per line, cells
+//! split on commas or whitespace, `#`-prefixed comment lines skipped) and
+//! runs the stage-boundary validator over it, rendering the typed
+//! diagnostics a pipeline run would raise — so malformed input is
+//! explained *before* it is fed to an analysis, with exact row/column
+//! coordinates instead of a panic backtrace.
+
+use hiermeans_linalg::validate;
+use hiermeans_linalg::Matrix;
+
+/// Parses the minimal matrix text format.
+///
+/// # Errors
+///
+/// Returns a structured message for unparseable cells (with 1-based
+/// line/field coordinates) and ragged or empty inputs.
+pub fn parse_matrix(text: &str) -> Result<Matrix, String> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut row = Vec::new();
+        for (field, token) in line
+            .split(|c: char| c == ',' || c.is_whitespace())
+            .filter(|t| !t.is_empty())
+            .enumerate()
+        {
+            let value: f64 = token.parse().map_err(|_| {
+                format!(
+                    "line {}, field {}: `{token}` is not a number",
+                    lineno + 1,
+                    field + 1
+                )
+            })?;
+            row.push(value);
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err("no data rows (empty file or comments only)".to_owned());
+    }
+    Matrix::from_rows(&rows).map_err(|e| format!("matrix shape error: {e}"))
+}
+
+/// Validates matrix text and renders the verdict: the validation report,
+/// and — when fatal issues exist — what lenient repair would salvage.
+///
+/// # Errors
+///
+/// Returns a structured diagnostic (never panics) when the text does not
+/// parse or the matrix has fatal validation issues.
+pub fn check_matrix_text(text: &str) -> Result<String, String> {
+    let matrix = parse_matrix(text)?;
+    let report = validate::validate(&matrix);
+    let mut out = format!(
+        "matrix {}x{}: {}\n",
+        matrix.nrows(),
+        matrix.ncols(),
+        if report.is_clean() {
+            "clean"
+        } else {
+            "issues found"
+        }
+    );
+    if !report.is_clean() {
+        out.push_str(&format!("{report}\n"));
+    }
+    if report.has_fatal() {
+        match validate::repair(&matrix) {
+            Ok(repair) => {
+                out.push_str(&format!(
+                    "lenient repair would keep {} of {} rows (dropping rows {:?}) \
+                     and {} of {} columns (dropping columns {:?})\n",
+                    repair.kept_rows.len(),
+                    matrix.nrows(),
+                    repair.dropped_rows,
+                    matrix.ncols() - repair.dropped_columns.len(),
+                    matrix.ncols(),
+                    repair.dropped_columns,
+                ));
+            }
+            Err(e) => {
+                out.push_str(&format!("lenient repair impossible: {e}\n"));
+            }
+        }
+        return Err(out);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_matrix_passes() {
+        let out = check_matrix_text("1.0, 2.0\n3.0, 4.0\n").unwrap();
+        assert!(out.contains("2x2"));
+        assert!(out.contains("clean"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let out = check_matrix_text("# header\n\n1 2\n3 4\n").unwrap();
+        assert!(out.contains("2x2"));
+    }
+
+    #[test]
+    fn nan_cell_reported_with_coordinates() {
+        let err = check_matrix_text("1.0, NaN\n3.0, 4.0\n").unwrap_err();
+        assert!(err.contains("row 0, column 1"), "{err}");
+        assert!(err.contains("repair"), "{err}");
+    }
+
+    #[test]
+    fn garbage_cell_is_a_parse_diagnostic() {
+        let err = check_matrix_text("1.0, banana\n").unwrap_err();
+        assert!(err.contains("line 1, field 2"), "{err}");
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(check_matrix_text("1 2 3\n4 5\n").is_err());
+        assert!(check_matrix_text("").is_err());
+    }
+}

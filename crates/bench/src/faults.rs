@@ -1,0 +1,313 @@
+//! The `repro faults` artifact: deterministic fault injection against the
+//! three paper studies.
+//!
+//! Each study is attacked three ways, and every attack must be absorbed —
+//! recovered from, or surfaced as the expected typed error — for the suite
+//! to pass:
+//!
+//! * **`nan_cell`** — a NaN is written into one deterministic cell of the
+//!   study's characteristic vectors. The stage guard must reject the matrix
+//!   with a typed diagnostic naming the exact row/column, not a panic and
+//!   not a silently-dropped counter.
+//! * **`worker_panic`** — a worker closure panics on one deterministic
+//!   chunk of a parallel map over the study's rows. The panic must be
+//!   isolated into [`ParallelError::WorkerPanic`] carrying the chunk index,
+//!   with no process abort.
+//! * **`forced_non_convergence`** — the resilient driver runs with a gate
+//!   no attempt can pass ([`RetryPolicy::forced_failure`]). It must retry
+//!   deterministically, then degrade to raw-space clustering that still
+//!   reproduces the paper's SciMark2 coagulation.
+//!
+//! Every scenario runs under its own enabled collector; the injected
+//! faults, retries, and degradations land in the `resilience` field of
+//! each trace, and the bundle is written as `OBS_faults.json` (same
+//! [`TraceDocument`] schema as `OBS_trace.json`).
+
+use hiermeans_core::analysis::paper_vectors;
+use hiermeans_core::pipeline::{run_pipeline, PipelineConfig};
+use hiermeans_core::resilient::{run_pipeline_resilient, RetryPolicy};
+use hiermeans_core::CoreError;
+use hiermeans_linalg::parallel::{self, Chunking, ParallelError};
+use hiermeans_linalg::validate;
+use hiermeans_obs::{Collector, ResilienceEvent, StudyTrace, TraceDocument};
+use hiermeans_som::SomError;
+use hiermeans_workload::measurement::{Characterization, SCIMARK2};
+use hiermeans_workload::Machine;
+
+/// The paper-reference cluster count each study's raw-space fallback is
+/// checked against for SciMark2 coagulation (A and B from Tables IV-V;
+/// the method study coagulates at every k in the paper range).
+const REFERENCE_K: [(&str, usize); 3] = [
+    ("sar_machine_a", 6),
+    ("sar_machine_b", 5),
+    ("method_utilization", 4),
+];
+
+/// The deterministic cell poisoned by the `nan_cell` scenario.
+const POISON_ROW: usize = 0;
+const POISON_COL: usize = 3;
+
+/// The chunk whose worker panics in the `worker_panic` scenario.
+const PANIC_CHUNK: usize = 1;
+
+/// The faulted studies with their stable `OBS_faults.json` labels.
+#[must_use]
+pub fn fault_studies() -> Vec<(&'static str, Characterization)> {
+    vec![
+        ("sar_machine_a", Characterization::SarCounters(Machine::A)),
+        ("sar_machine_b", Characterization::SarCounters(Machine::B)),
+        ("method_utilization", Characterization::MethodUtilization),
+    ]
+}
+
+/// Injects a NaN into one cell of the study vectors and checks the stage
+/// guard reports exactly that cell, as a typed error, through both the
+/// validator and the full pipeline.
+fn inject_nan(label: &str, characterization: Characterization) -> Result<StudyTrace, String> {
+    let collector = Collector::enabled();
+    let vectors = paper_vectors(characterization, &collector)
+        .map_err(|e| format!("{label}/nan_cell: characterization failed: {e}"))?;
+    let mut poisoned = vectors.matrix().clone();
+    let col = POISON_COL.min(poisoned.ncols().saturating_sub(1));
+    poisoned[(POISON_ROW, col)] = f64::NAN;
+    collector.record_resilience(ResilienceEvent::FaultInjected {
+        fault: "nan_cell".to_owned(),
+        detail: format!("set cell ({POISON_ROW}, {col}) to NaN"),
+    });
+    let report = validate::validate(&poisoned);
+    if report.non_finite_cells() != vec![(POISON_ROW, col)] {
+        return Err(format!(
+            "{label}/nan_cell: validator reported {:?}, expected [({POISON_ROW}, {col})]",
+            report.non_finite_cells()
+        ));
+    }
+    let config = PipelineConfig {
+        collector: collector.clone(),
+        ..PipelineConfig::default()
+    };
+    match run_pipeline(&poisoned, &config) {
+        Err(CoreError::Som(SomError::InvalidData { report }))
+            if report.non_finite_cells() == vec![(POISON_ROW, col)] =>
+        {
+            collector.record_resilience(ResilienceEvent::Recovered {
+                fault: "nan_cell".to_owned(),
+                detail: format!(
+                    "pipeline rejected the matrix with a typed diagnostic at ({POISON_ROW}, {col})"
+                ),
+            });
+        }
+        Err(other) => {
+            return Err(format!(
+                "{label}/nan_cell: expected InvalidData naming ({POISON_ROW}, {col}), got {other}"
+            ))
+        }
+        Ok(_) => {
+            return Err(format!(
+                "{label}/nan_cell: pipeline accepted a NaN-poisoned matrix"
+            ))
+        }
+    }
+    finish(label, "nan_cell", collector)
+}
+
+/// Panics a worker on one deterministic chunk of a parallel map over the
+/// study's rows and checks the panic surfaces as a typed
+/// [`ParallelError::WorkerPanic`] with the chunk index, in chunk order.
+fn inject_worker_panic(
+    label: &str,
+    characterization: Characterization,
+) -> Result<StudyTrace, String> {
+    let collector = Collector::enabled();
+    let vectors = paper_vectors(characterization, &collector)
+        .map_err(|e| format!("{label}/worker_panic: characterization failed: {e}"))?;
+    let rows = vectors.matrix().nrows();
+    // One row per chunk: chunk index == row index, so the faulted chunk is
+    // unambiguous for any worker count.
+    let chunking = Chunking::new(1, 2);
+    collector.record_resilience(ResilienceEvent::FaultInjected {
+        fault: "worker_panic".to_owned(),
+        detail: format!("worker panics on chunk {PANIC_CHUNK} of {rows}"),
+    });
+    let matrix = vectors.matrix();
+    let result = parallel::try_map_chunks(rows, chunking, |range| {
+        if range.contains(&PANIC_CHUNK) {
+            panic!("injected fault in chunk {PANIC_CHUNK}");
+        }
+        let sum: f64 = range
+            .clone()
+            .map(|r| matrix.row(r).iter().sum::<f64>())
+            .sum();
+        Ok::<f64, CoreError>(sum)
+    });
+    match result {
+        Err(ParallelError::WorkerPanic { chunk, payload }) if chunk == PANIC_CHUNK => {
+            collector.record_resilience(ResilienceEvent::Recovered {
+                fault: "worker_panic".to_owned(),
+                detail: format!(
+                    "panic isolated as WorkerPanic {{ chunk: {chunk} }} (payload: {payload})"
+                ),
+            });
+        }
+        Err(other) => {
+            return Err(format!(
+                "{label}/worker_panic: expected WorkerPanic on chunk {PANIC_CHUNK}, got {other}"
+            ))
+        }
+        Ok(_) => return Err(format!("{label}/worker_panic: the injected panic vanished")),
+    }
+    finish(label, "worker_panic", collector)
+}
+
+/// Forces the convergence gate to fail every attempt and checks the driver
+/// retries deterministically, degrades to raw-space clustering, and the
+/// fallback still reproduces the paper's SciMark2 coagulation.
+fn inject_non_convergence(
+    label: &str,
+    characterization: Characterization,
+) -> Result<StudyTrace, String> {
+    let collector = Collector::enabled();
+    let vectors = paper_vectors(characterization, &collector)
+        .map_err(|e| format!("{label}/forced_non_convergence: characterization failed: {e}"))?;
+    let policy = RetryPolicy::forced_failure();
+    collector.record_resilience(ResilienceEvent::FaultInjected {
+        fault: "forced_non_convergence".to_owned(),
+        detail: format!(
+            "convergence tolerance forced negative; {} attempts available",
+            policy.max_attempts
+        ),
+    });
+    let config = PipelineConfig {
+        collector: collector.clone(),
+        ..PipelineConfig::default()
+    };
+    let run = run_pipeline_resilient(vectors.matrix(), &config, &policy)
+        .map_err(|e| format!("{label}/forced_non_convergence: driver failed hard: {e}"))?;
+    if !run.degraded() {
+        return Err(format!(
+            "{label}/forced_non_convergence: an attempt passed a gate that admits nothing"
+        ));
+    }
+    if run.attempts < 2 {
+        return Err(format!(
+            "{label}/forced_non_convergence: expected at least one retry, got {} attempt(s)",
+            run.attempts
+        ));
+    }
+    let k = REFERENCE_K
+        .iter()
+        .find(|(l, _)| *l == label)
+        .map_or(4, |(_, k)| *k);
+    let assignment = run
+        .clusters(k)
+        .map_err(|e| format!("{label}/forced_non_convergence: cut at k={k} failed: {e}"))?;
+    let fft = assignment.labels()[SCIMARK2[0]];
+    if !SCIMARK2.iter().all(|&w| assignment.labels()[w] == fft) {
+        return Err(format!(
+            "{label}/forced_non_convergence: raw-space fallback lost SciMark2 coagulation at k={k}"
+        ));
+    }
+    collector.record_resilience(ResilienceEvent::Recovered {
+        fault: "forced_non_convergence".to_owned(),
+        detail: format!(
+            "degraded after {} attempts; SciMark2 coagulation holds at k={k}",
+            run.attempts
+        ),
+    });
+    finish(label, "forced_non_convergence", collector)
+}
+
+/// Bundles a scenario's collector into a labeled study trace, checking the
+/// trace actually recorded the injection.
+fn finish(label: &str, fault: &str, collector: Collector) -> Result<StudyTrace, String> {
+    let trace = collector
+        .report()
+        .ok_or_else(|| format!("{label}/{fault}: enabled collector yielded no report"))?;
+    let injected = trace
+        .resilience
+        .iter()
+        .any(|e| matches!(e, ResilienceEvent::FaultInjected { fault: f, .. } if f == fault));
+    let recovered = trace
+        .resilience
+        .iter()
+        .any(|e| matches!(e, ResilienceEvent::Recovered { fault: f, .. } if f == fault));
+    if !injected || !recovered {
+        return Err(format!(
+            "{label}/{fault}: trace is missing the injection/recovery record"
+        ));
+    }
+    Ok(StudyTrace {
+        label: format!("{label}/{fault}"),
+        trace,
+    })
+}
+
+/// Runs the full fault suite: every scenario against every paper study.
+///
+/// # Errors
+///
+/// Returns the first violated expectation, labeled `study/fault`.
+pub fn fault_suite_document() -> Result<TraceDocument, String> {
+    let mut studies = Vec::new();
+    for (label, characterization) in fault_studies() {
+        studies.push(inject_nan(label, characterization)?);
+        studies.push(inject_worker_panic(label, characterization)?);
+        studies.push(inject_non_convergence(label, characterization)?);
+    }
+    Ok(TraceDocument::new(parallel::worker_count(), studies))
+}
+
+/// Produces the `repro faults` output: the document, its pretty JSON, and
+/// a human-readable summary of every scenario.
+///
+/// # Errors
+///
+/// Propagates scenario and serialization failures.
+pub fn faults_artifact() -> Result<(TraceDocument, String, String), String> {
+    let document = fault_suite_document()?;
+    let json = serde_json::to_string_pretty(&document).map_err(|e| e.to_string())?;
+    let mut rendered = format!(
+        "FAULT INJECTION (schema v{}, {} workers): {} scenarios absorbed\n",
+        document.schema_version,
+        document.workers,
+        document.studies.len()
+    );
+    for study in &document.studies {
+        rendered.push_str(&format!("\nscenario {}\n", study.label));
+        for event in &study.trace.resilience {
+            rendered.push_str(&format!("  {event}\n"));
+        }
+    }
+    Ok((document, json, rendered))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_labels_are_stable() {
+        let labels: Vec<&str> = fault_studies().into_iter().map(|(l, _)| l).collect();
+        assert_eq!(
+            labels,
+            ["sar_machine_a", "sar_machine_b", "method_utilization"]
+        );
+    }
+
+    #[test]
+    fn nan_scenario_names_the_cell() {
+        let study = inject_nan("sar_machine_a", Characterization::SarCounters(Machine::A))
+            .expect("nan fault must be absorbed");
+        assert!(study
+            .trace
+            .resilience
+            .iter()
+            .any(|e| matches!(e, ResilienceEvent::Recovered { .. })));
+    }
+
+    #[test]
+    fn worker_panic_scenario_is_isolated() {
+        let study = inject_worker_panic("method_utilization", Characterization::MethodUtilization)
+            .expect("worker panic must be isolated");
+        assert!(study.label.ends_with("/worker_panic"));
+    }
+}

@@ -8,7 +8,9 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
 
+pub mod check;
 pub mod experiments;
 pub mod extensions;
+pub mod faults;
 pub mod perf;
 pub mod trace;

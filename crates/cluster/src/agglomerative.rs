@@ -69,6 +69,12 @@ pub fn cluster_traced(
     if points.is_empty() {
         return Err(ClusterError::EmptyInput);
     }
+    // Stage-boundary guard: a non-finite coordinate would otherwise surface
+    // far downstream as an invalid distance matrix with no cell coordinates.
+    let report = hiermeans_linalg::validate::validate(points);
+    if report.has_fatal() {
+        return Err(ClusterError::InvalidData { report });
+    }
     let span = collector.span("cluster.agglomerate");
     let dist = {
         let _pairwise = collector.span("cluster.pairwise");
@@ -142,9 +148,16 @@ pub fn cluster_from_distances_traced(
                 }
             }
         }
-        let (i, j, dij) = best.expect("at least two active clusters remain");
-        let (id_i, size_i) = info[i].expect("slot i active");
-        let (id_j, size_j) = info[j].expect("slot j active");
+        let Some((i, j, dij)) = best else {
+            return Err(ClusterError::Internal {
+                what: "merge loop found no active pair",
+            });
+        };
+        let (Some((id_i, size_i)), Some((id_j, size_j))) = (info[i], info[j]) else {
+            return Err(ClusterError::Internal {
+                what: "best pair referenced an inactive slot",
+            });
+        };
         let new_id = n + step;
         let new_size = size_i + size_j;
         merges.push(Merge {
@@ -157,10 +170,12 @@ pub fn cluster_from_distances_traced(
 
         // Lance–Williams update: slot i becomes the merged cluster.
         for k in 0..n {
-            if k == i || k == j || info[k].is_none() {
+            if k == i || k == j {
                 continue;
             }
-            let (_, size_k) = info[k].expect("slot k active");
+            let Some((_, size_k)) = info[k] else {
+                continue;
+            };
             let updated = linkage.update(d[(k, i)], d[(k, j)], dij, size_i, size_j, size_k);
             d[(k, i)] = updated;
             d[(i, k)] = updated;

@@ -37,6 +37,13 @@ impl ClusterAssignment {
         if raw.is_empty() {
             return Err(ClusterError::EmptyInput);
         }
+        Ok(Self::densify(raw))
+    }
+
+    /// Infallible densification for internal callers whose labels are
+    /// structurally valid (e.g. union-find roots over a non-empty
+    /// dendrogram); an empty slice yields an empty assignment.
+    pub(crate) fn densify(raw: &[usize]) -> Self {
         let mut mapping: Vec<usize> = Vec::new();
         let mut labels = Vec::with_capacity(raw.len());
         for &l in raw {
@@ -49,10 +56,10 @@ impl ClusterAssignment {
             };
             labels.push(dense);
         }
-        Ok(ClusterAssignment {
+        ClusterAssignment {
             labels,
             n_clusters: mapping.len(),
-        })
+        }
     }
 
     /// The dense label of each point.

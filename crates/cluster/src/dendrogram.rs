@@ -160,7 +160,9 @@ impl Dendrogram {
         let roots: Vec<usize> = (0..self.n_leaves)
             .map(|leaf| find(&mut parent, leaf))
             .collect();
-        ClusterAssignment::from_labels(&roots).expect("n_leaves > 0 guaranteed by constructor")
+        // n_leaves > 0 is guaranteed by the constructor, so the roots are
+        // never empty; densify is the infallible path.
+        ClusterAssignment::densify(&roots)
     }
 
     /// The cophenetic distance matrix: entry `(i, j)` is the merging distance

@@ -35,6 +35,19 @@ pub enum ClusterError {
         /// The exhausted iteration budget.
         iterations: usize,
     },
+    /// The clustering input failed stage-boundary validation; the report
+    /// names the exact offending cells.
+    InvalidData {
+        /// The typed diagnostics.
+        report: hiermeans_linalg::validate::ValidationReport,
+    },
+    /// A structural invariant of an algorithm was violated. This indicates
+    /// a bug, not bad input; it is a typed error (rather than a panic) so a
+    /// caller can still surface a diagnostic instead of aborting.
+    Internal {
+        /// The violated invariant.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -57,6 +70,12 @@ impl fmt::Display for ClusterError {
                     f,
                     "{routine} did not converge within {iterations} iterations"
                 )
+            }
+            ClusterError::InvalidData { report } => {
+                write!(f, "invalid clustering input: {report}")
+            }
+            ClusterError::Internal { what } => {
+                write!(f, "internal invariant violated: {what}")
             }
         }
     }

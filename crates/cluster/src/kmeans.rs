@@ -90,14 +90,14 @@ impl KMeans {
             ));
         }
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut best: Option<KMeans> = None;
-        for _ in 0..config.n_init.max(1) {
+        let mut best = Self::fit_once(points, config, &mut rng)?;
+        for _ in 1..config.n_init.max(1) {
             let run = Self::fit_once(points, config, &mut rng)?;
-            if best.as_ref().is_none_or(|b| run.inertia < b.inertia) {
-                best = Some(run);
+            if run.inertia < best.inertia {
+                best = run;
             }
         }
-        Ok(best.expect("n_init >= 1"))
+        Ok(best)
     }
 
     fn fit_once(

@@ -104,14 +104,19 @@ pub fn cluster_nn_chain_from_distances(
 
     while remaining > 1 {
         if chain.is_empty() {
-            let start = info
-                .iter()
-                .position(|s| s.is_some())
-                .expect("at least two active clusters");
+            let Some(start) = info.iter().position(|s| s.is_some()) else {
+                return Err(ClusterError::Internal {
+                    what: "NN-chain found no active cluster to start from",
+                });
+            };
             chain.push(start);
         }
         loop {
-            let top = *chain.last().expect("chain non-empty");
+            let Some(&top) = chain.last() else {
+                return Err(ClusterError::Internal {
+                    what: "NN-chain emptied mid-walk",
+                });
+            };
             // Nearest active neighbor of `top` (smallest slot wins ties so
             // reciprocal pairs are found deterministically).
             let mut nearest = None;
@@ -124,23 +129,32 @@ pub fn cluster_nn_chain_from_distances(
                     nearest = Some((j, dj));
                 }
             }
-            let (nn, dnn) = nearest.expect("another active cluster exists");
+            let Some((nn, dnn)) = nearest else {
+                return Err(ClusterError::Internal {
+                    what: "NN-chain found no active neighbor",
+                });
+            };
             // Reciprocal pair when the nearest neighbor is the previous
             // chain element.
             if chain.len() >= 2 && chain[chain.len() - 2] == nn {
                 chain.pop();
                 chain.pop();
                 let (a, b) = (top.min(nn), top.max(nn));
-                let (id_a, size_a) = info[a].expect("slot a active");
-                let (id_b, size_b) = info[b].expect("slot b active");
+                let (Some((id_a, size_a)), Some((id_b, size_b))) = (info[a], info[b]) else {
+                    return Err(ClusterError::Internal {
+                        what: "reciprocal pair referenced an inactive slot",
+                    });
+                };
                 let new_size = size_a + size_b;
                 raw_merges.push((id_a.min(id_b), id_a.max(id_b), dnn, new_size));
                 // Lance-Williams update into slot a.
                 for k in 0..n {
-                    if k == a || k == b || info[k].is_none() {
+                    if k == a || k == b {
                         continue;
                     }
-                    let (_, size_k) = info[k].expect("slot k active");
+                    let Some((_, size_k)) = info[k] else {
+                        continue;
+                    };
                     let updated = linkage.update(d[(k, a)], d[(k, b)], dnn, size_a, size_b, size_k);
                     d[(k, a)] = updated;
                     d[(a, k)] = updated;
@@ -157,20 +171,17 @@ pub fn cluster_nn_chain_from_distances(
 
     // NN-chain emits merges out of distance order; relabel into the sorted
     // order so the Dendrogram invariants (and monotone cuts) hold.
-    Ok(sort_merges(n, raw_merges))
+    sort_merges(n, raw_merges)
 }
 
 /// Sorts raw merges by distance (stable on discovery order) and remaps the
 /// intermediate cluster ids accordingly.
-fn sort_merges(n_leaves: usize, raw: Vec<(usize, usize, f64, usize)>) -> Dendrogram {
+fn sort_merges(
+    n_leaves: usize,
+    raw: Vec<(usize, usize, f64, usize)>,
+) -> Result<Dendrogram, ClusterError> {
     let mut order: Vec<usize> = (0..raw.len()).collect();
-    order.sort_by(|&i, &j| {
-        raw[i]
-            .2
-            .partial_cmp(&raw[j].2)
-            .expect("finite merge distances")
-            .then(i.cmp(&j))
-    });
+    order.sort_by(|&i, &j| raw[i].2.total_cmp(&raw[j].2).then(i.cmp(&j)));
     // Old merge index -> new merge index.
     let mut new_index = vec![0usize; raw.len()];
     for (new, &old) in order.iter().enumerate() {
@@ -196,7 +207,7 @@ fn sort_merges(n_leaves: usize, raw: Vec<(usize, usize, f64, usize)>) -> Dendrog
             }
         })
         .collect();
-    Dendrogram::new(n_leaves, merges).expect("NN-chain emits a structurally valid merge sequence")
+    Dendrogram::new(n_leaves, merges)
 }
 
 #[cfg(test)]

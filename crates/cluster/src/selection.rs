@@ -193,12 +193,16 @@ pub fn gap_statistic_k(
         }
     }
     // Fallback: argmax gap.
-    let best = gaps
+    let Some(best) = gaps
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite gaps"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| ks[i])
-        .expect("non-empty range");
+    else {
+        return Err(ClusterError::Internal {
+            what: "gap statistic over an empty k range",
+        });
+    };
     Ok(best)
 }
 

@@ -67,24 +67,7 @@ impl SuiteAnalysis {
             let _sim = collector.span("analysis.simulate");
             ExecutionSimulator::paper().speedup_table()?
         };
-        let vectors = {
-            let _char = collector.span("analysis.characterize");
-            match characterization {
-                Characterization::SarCounters(machine) => {
-                    let dataset = SarCollector::paper().collect(machine)?;
-                    CharacteristicVectors::from_sar_traced(&dataset, collector)?
-                }
-                Characterization::MethodUtilization => {
-                    let dataset = HprofCollector::paper().collect();
-                    CharacteristicVectors::from_methods_traced(&dataset, collector)?
-                }
-                _ => {
-                    return Err(CoreError::InvalidClusters {
-                        reason: "unsupported characterization",
-                    })
-                }
-            }
-        };
+        let vectors = paper_vectors(characterization, collector)?;
         let config = PipelineConfig {
             collector: collector.clone(),
             ..PipelineConfig::default()
@@ -176,10 +159,17 @@ impl SuiteAnalysis {
     }
 
     /// The recommended clustering's score row.
-    pub fn recommended_row(&self) -> &crate::score::ScoreRow {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidClusters`] if the recommended `k` is
+    /// outside the scored range (a bug in table construction, not input).
+    pub fn recommended_row(&self) -> Result<&crate::score::ScoreRow, CoreError> {
         self.scores
             .row(self.recommended_k)
-            .expect("recommended k is always inside the scored range")
+            .ok_or(CoreError::InvalidClusters {
+                reason: "recommended k outside the scored range",
+            })
     }
 
     /// Indices of the workloads sharing a cluster with SciMark2's FFT at the
@@ -192,6 +182,37 @@ impl SuiteAnalysis {
         let assignment = self.pipeline.clusters(self.recommended_k)?;
         let fft = 5; // SciMark2.FFT's index in the paper suite
         Ok(assignment.clusters()[assignment.labels()[fft]].clone())
+    }
+}
+
+/// Assembles the paper's characteristic vectors for `characterization` —
+/// the same construction [`SuiteAnalysis::paper_with`] performs, exposed so
+/// harnesses (e.g. fault injection) can obtain the raw study inputs
+/// without running the full analysis.
+///
+/// # Errors
+///
+/// Propagates characterization failures; rejects non-paper
+/// characterizations.
+pub fn paper_vectors(
+    characterization: Characterization,
+    collector: &Collector,
+) -> Result<CharacteristicVectors, CoreError> {
+    let _char = collector.span("analysis.characterize");
+    match characterization {
+        Characterization::SarCounters(machine) => {
+            let dataset = SarCollector::paper().collect(machine)?;
+            Ok(CharacteristicVectors::from_sar_traced(&dataset, collector)?)
+        }
+        Characterization::MethodUtilization => {
+            let dataset = HprofCollector::paper().collect();
+            Ok(CharacteristicVectors::from_methods_traced(
+                &dataset, collector,
+            )?)
+        }
+        _ => Err(CoreError::InvalidClusters {
+            reason: "unsupported characterization",
+        }),
     }
 }
 
@@ -222,7 +243,8 @@ pub fn recommend_k(
             let s = validity::silhouette(positions, &assignment)?;
             Ok(Some((ks[i], s)))
         },
-    )?;
+    )
+    .map_err(CoreError::from)?;
     let mut best = (2usize, f64::NEG_INFINITY);
     for (k, s) in scored.into_iter().flatten() {
         if s > best.1 + 1e-12 {

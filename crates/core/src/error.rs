@@ -38,6 +38,20 @@ pub enum CoreError {
     Cluster(ClusterError),
     /// The workload substrate failed.
     Workload(WorkloadError),
+    /// A parallel worker panicked; the panic was isolated and surfaced as a
+    /// typed error instead of aborting the process.
+    WorkerPanic {
+        /// The chunk whose worker panicked.
+        chunk: usize,
+        /// The stringified panic payload.
+        payload: String,
+    },
+    /// Pipeline input failed stage-boundary validation; the report names the
+    /// exact offending cells.
+    InvalidData {
+        /// The typed diagnostics.
+        report: hiermeans_linalg::validate::ValidationReport,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -53,6 +67,12 @@ impl fmt::Display for CoreError {
             CoreError::Som(e) => write!(f, "SOM error: {e}"),
             CoreError::Cluster(e) => write!(f, "clustering error: {e}"),
             CoreError::Workload(e) => write!(f, "workload error: {e}"),
+            CoreError::WorkerPanic { chunk, payload } => {
+                write!(f, "worker panicked in chunk {chunk}: {payload}")
+            }
+            CoreError::InvalidData { report } => {
+                write!(f, "invalid pipeline input: {report}")
+            }
         }
     }
 }
@@ -90,6 +110,17 @@ impl From<ClusterError> for CoreError {
 impl From<WorkloadError> for CoreError {
     fn from(e: WorkloadError) -> Self {
         CoreError::Workload(e)
+    }
+}
+
+impl From<hiermeans_linalg::ParallelError<CoreError>> for CoreError {
+    fn from(e: hiermeans_linalg::ParallelError<CoreError>) -> Self {
+        match e {
+            hiermeans_linalg::ParallelError::Task(inner) => inner,
+            hiermeans_linalg::ParallelError::WorkerPanic { chunk, payload } => {
+                CoreError::WorkerPanic { chunk, payload }
+            }
+        }
     }
 }
 

@@ -20,6 +20,9 @@
 //!   mean implicitly assigns, effective suite size, duplication robustness.
 //! * [`analysis`] — the [`analysis::SuiteAnalysis`] facade running the whole
 //!   study end to end.
+//! * [`resilient`] — the self-healing pipeline driver: convergence-gated
+//!   retry with deterministic escalation and graceful degradation to
+//!   raw-space clustering.
 //!
 //! # Example: redundancy no longer buys score
 //!
@@ -47,6 +50,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod error;
 
@@ -57,6 +61,7 @@ pub mod means;
 pub mod pipeline;
 pub mod redundancy;
 pub mod report;
+pub mod resilient;
 pub mod robustness;
 pub mod score;
 pub mod subsetting;

@@ -127,7 +127,8 @@ impl PipelineResult {
         let cuts = parallel::try_map_items(ks.len(), SWEEP_CHUNKING, |i| {
             let k = ks[i];
             Ok::<_, CoreError>((k, self.dendrogram.cut_into(k)?))
-        })?;
+        })
+        .map_err(CoreError::from)?;
         if self.collector.is_enabled() {
             // One sweep cell per (workload, k) pair produced by the cuts.
             let cells: u64 = cuts.iter().map(|(_, a)| a.labels().len() as u64).sum();

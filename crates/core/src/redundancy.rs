@@ -109,10 +109,11 @@ pub fn duplication_gain(
     let mut padded = values.to_vec();
     padded.extend(std::iter::repeat_n(values[target], copies));
     let mut padded_clusters: Vec<Vec<usize>> = clusters.to_vec();
-    let holder = padded_clusters
-        .iter_mut()
-        .find(|c| c.contains(&target))
-        .expect("partition validated above");
+    let Some(holder) = padded_clusters.iter_mut().find(|c| c.contains(&target)) else {
+        return Err(CoreError::InvalidClusters {
+            reason: "duplication target not covered by any cluster",
+        });
+    };
     holder.extend(values.len()..values.len() + copies);
 
     let plain_after = Mean::Geometric.compute(&padded)?;

@@ -1,0 +1,407 @@
+//! Self-healing pipeline driver: convergence-gated retry with graceful
+//! degradation.
+//!
+//! [`run_pipeline`] trains the SOM once and trusts the result;
+//! [`run_pipeline_resilient`] judges each training run against the
+//! convergence gate ([`hiermeans_obs::convergence`]) and, on a
+//! non-converged map, retries with deterministically escalated parameters:
+//! the epoch budget doubles and the codebook seed is remixed each attempt
+//! (see [`RetryPolicy`]). When the attempt budget is exhausted the driver
+//! does not fail — it degrades to complete-linkage clustering on the raw
+//! characteristic vectors ([`run_without_som`]), the paper's ablation
+//! baseline, and records the fallback as a [`ResilienceEvent::Degraded`]
+//! in the trace so the degradation is loud, not silent.
+//!
+//! Every decision the driver takes — attempt verdicts, retries, the
+//! fallback — is narrated through [`ResilienceEvent`]s on the
+//! configuration's collector, landing in the schema-versioned `resilience`
+//! field of `OBS_trace.json`. Hard errors (invalid data, worker panics)
+//! are *not* retried: retrying cannot fix a NaN cell, so those propagate
+//! immediately as typed [`CoreError`]s.
+//!
+//! Everything is deterministic: the escalation schedule is a pure function
+//! of the base configuration and the attempt number, so two runs over the
+//! same inputs take identical retry paths and produce identical traces.
+
+use hiermeans_cluster::{ClusterAssignment, Dendrogram};
+use hiermeans_linalg::Matrix;
+use hiermeans_obs::convergence::{
+    self, ConvergenceVerdict, DEFAULT_TOLERANCE, DEFAULT_WINDOW_FRACTION,
+};
+use hiermeans_obs::{Collector, ResilienceEvent};
+
+use crate::pipeline::{run_pipeline, run_without_som, PipelineConfig, PipelineResult};
+use crate::CoreError;
+
+/// The mode label recorded when the driver falls back to raw-space
+/// clustering.
+pub const DEGRADED_MODE_RAW_SPACE: &str = "raw_space";
+
+/// Deterministic retry escalation for [`run_pipeline_resilient`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total training attempts before degrading (default 3, minimum 1).
+    pub max_attempts: usize,
+    /// Epoch-budget multiplier applied per retry: attempt `a` trains for
+    /// `epochs * multiplier^(a-1)` epochs (default 2).
+    pub epochs_multiplier: usize,
+    /// Trailing-window fraction handed to the convergence assessment.
+    pub window_fraction: f64,
+    /// Per-epoch QE improvement tolerance handed to the convergence
+    /// assessment. Any negative value makes every attempt fail the gate
+    /// (convergence requires `|rate| <= tolerance`) — the fault-injection
+    /// harness uses this to force the degradation path deterministically.
+    /// Kept finite so the verdict stays JSON-serializable.
+    pub tolerance: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            epochs_multiplier: 2,
+            window_fraction: DEFAULT_WINDOW_FRACTION,
+            tolerance: DEFAULT_TOLERANCE,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy whose gate no attempt can pass: forces the full retry
+    /// ladder and the degradation fallback. Used by the fault-injection
+    /// harness to exercise the self-healing path on healthy data.
+    #[must_use]
+    pub fn forced_failure() -> Self {
+        RetryPolicy {
+            tolerance: -1.0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The epoch budget for 1-based attempt `attempt`.
+    #[must_use]
+    pub fn epochs_for(&self, base_epochs: usize, attempt: usize) -> usize {
+        let mut epochs = base_epochs.max(1);
+        for _ in 1..attempt {
+            epochs = epochs.saturating_mul(self.epochs_multiplier.max(1));
+        }
+        epochs
+    }
+
+    /// The codebook seed for 1-based attempt `attempt`: the base seed on
+    /// the first attempt, a deterministic remix afterwards (golden-ratio
+    /// multiply + rotate + attempt xor, so successive attempts explore
+    /// unrelated codebook initializations).
+    #[must_use]
+    pub fn seed_for(&self, base_seed: u64, attempt: usize) -> u64 {
+        if attempt <= 1 {
+            base_seed
+        } else {
+            base_seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(17)
+                ^ attempt as u64
+        }
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        if self.max_attempts == 0 {
+            return Err(CoreError::InvalidWeights {
+                reason: "retry policy needs at least one attempt",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// How a resilient run obtained its dendrogram.
+#[derive(Debug, Clone)]
+pub enum ResilientOutcome {
+    /// An attempt passed the convergence gate; the full SOM pipeline
+    /// result is available.
+    Converged(PipelineResult),
+    /// Every attempt failed the gate; clustering ran on the raw
+    /// characteristic vectors instead (the SOM stage was skipped).
+    DegradedRawSpace(Dendrogram),
+}
+
+/// The outputs of [`run_pipeline_resilient`].
+#[derive(Debug, Clone)]
+pub struct ResilientRun {
+    /// How the dendrogram was obtained.
+    pub outcome: ResilientOutcome,
+    /// How many training attempts ran (1 = no retries needed).
+    pub attempts: usize,
+    /// The convergence verdict of each attempt, in attempt order, all
+    /// assessed under the policy's window and tolerance.
+    pub verdicts: Vec<ConvergenceVerdict>,
+}
+
+impl ResilientRun {
+    /// Whether the run fell back to raw-space clustering.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        matches!(self.outcome, ResilientOutcome::DegradedRawSpace(_))
+    }
+
+    /// The dendrogram, from whichever space produced it.
+    #[must_use]
+    pub fn dendrogram(&self) -> &Dendrogram {
+        match &self.outcome {
+            ResilientOutcome::Converged(result) => result.dendrogram(),
+            ResilientOutcome::DegradedRawSpace(dendrogram) => dendrogram,
+        }
+    }
+
+    /// Cuts the dendrogram into exactly `k` clusters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Cluster`] for an out-of-range `k`.
+    pub fn clusters(&self, k: usize) -> Result<ClusterAssignment, CoreError> {
+        Ok(self.dendrogram().cut_into(k)?)
+    }
+
+    /// The SOM pipeline result, if an attempt converged.
+    #[must_use]
+    pub fn pipeline(&self) -> Option<&PipelineResult> {
+        match &self.outcome {
+            ResilientOutcome::Converged(result) => Some(result),
+            ResilientOutcome::DegradedRawSpace(_) => None,
+        }
+    }
+}
+
+/// Runs the pipeline with convergence-gated retry and graceful
+/// degradation.
+///
+/// Each attempt trains the SOM with the policy's escalated epoch budget
+/// and remixed seed, then assesses the attempt's own QE curve under the
+/// policy's tolerance. The first attempt that passes returns a
+/// [`ResilientOutcome::Converged`]; if none passes, the driver clusters
+/// the raw vectors ([`run_without_som`]) and returns
+/// [`ResilientOutcome::DegradedRawSpace`]. Retries, per-attempt verdicts,
+/// and the fallback are recorded as [`ResilienceEvent`]s on
+/// `config.collector`.
+///
+/// When `config.collector` is enabled with per-epoch quality sampling, the
+/// attempts share it (spans and counters accumulate across attempts, and
+/// the driver assesses only each attempt's new epoch records). Otherwise
+/// each attempt trains under a private probe collector so the gate still
+/// sees a QE curve.
+///
+/// # Errors
+///
+/// Hard failures are not retried: invalid data, worker panics, and
+/// configuration errors propagate immediately as typed [`CoreError`]s.
+/// An invalid policy (`max_attempts == 0`) is rejected up front.
+pub fn run_pipeline_resilient(
+    vectors: &Matrix,
+    config: &PipelineConfig,
+    policy: &RetryPolicy,
+) -> Result<ResilientRun, CoreError> {
+    policy.validate()?;
+    let caller = &config.collector;
+    let span = caller.span("pipeline.resilient");
+    let share_collector = caller.is_enabled() && caller.epoch_quality_stride() >= 1;
+    let mut verdicts: Vec<ConvergenceVerdict> = Vec::new();
+    for attempt in 1..=policy.max_attempts {
+        let epochs = policy.epochs_for(config.epochs, attempt);
+        let seed = policy.seed_for(config.seed, attempt);
+        if attempt > 1 {
+            caller.record_resilience(ResilienceEvent::Retry {
+                attempt,
+                epochs,
+                seed,
+            });
+        }
+        let attempt_collector = if share_collector {
+            caller.clone()
+        } else {
+            Collector::enabled()
+        };
+        let prior_records = attempt_collector.report().map_or(0, |r| r.som_epochs.len());
+        let attempt_config = PipelineConfig {
+            epochs,
+            seed,
+            collector: attempt_collector.clone(),
+            ..config.clone()
+        };
+        let result = run_pipeline(vectors, &attempt_config)?;
+        let records = attempt_collector
+            .report()
+            .map_or_else(Vec::new, |r| r.som_epochs[prior_records..].to_vec());
+        let verdict = convergence::assess_with(&records, policy.window_fraction, policy.tolerance);
+        caller.record_resilience(ResilienceEvent::Attempt {
+            attempt,
+            epochs,
+            seed,
+            converged: verdict.converged,
+            reason: verdict.reason.clone(),
+        });
+        let converged = verdict.converged;
+        // The trace's verdict field must reflect the driver's gate, not the
+        // training-internal default assessment (last write wins).
+        caller.set_verdict(verdict.clone());
+        verdicts.push(verdict);
+        if converged {
+            drop(span);
+            return Ok(ResilientRun {
+                outcome: ResilientOutcome::Converged(result),
+                attempts: attempt,
+                verdicts,
+            });
+        }
+    }
+    caller.record_resilience(ResilienceEvent::Degraded {
+        after_attempts: policy.max_attempts,
+        mode: DEGRADED_MODE_RAW_SPACE.to_owned(),
+    });
+    let dendrogram = {
+        let _fallback_span = caller.span("pipeline.degraded_raw_space");
+        run_without_som(vectors, config)?
+    };
+    drop(span);
+    Ok(ResilientRun {
+        outcome: ResilientOutcome::DegradedRawSpace(dendrogram),
+        attempts: policy.max_attempts,
+        verdicts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_vectors() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.0, 0.0, 0.1, 0.0],
+            vec![0.1, 0.1, 0.0, 0.0],
+            vec![0.0, 0.1, 0.1, 0.1],
+            vec![6.0, 6.0, 6.1, 6.0],
+            vec![6.1, 6.0, 6.0, 6.1],
+            vec![12.0, 0.0, 12.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn healthy_run_converges_first_attempt() {
+        // The default 200 epochs leaves this tiny synthetic blob right at
+        // the gate (~1.51%/epoch vs the 1.5% tolerance); 400 epochs is
+        // comfortably converged, so a healthy run must not retry.
+        let config = PipelineConfig {
+            epochs: 400,
+            ..Default::default()
+        };
+        let run =
+            run_pipeline_resilient(&blob_vectors(), &config, &RetryPolicy::default()).unwrap();
+        assert_eq!(run.attempts, 1, "{:?}", run.verdicts);
+        assert!(!run.degraded());
+        assert!(run.pipeline().is_some());
+        assert_eq!(run.verdicts.len(), 1);
+        assert!(run.verdicts[0].converged);
+    }
+
+    #[test]
+    fn forced_failure_exhausts_retries_then_degrades() {
+        let collector = Collector::enabled();
+        let config = PipelineConfig {
+            collector: collector.clone(),
+            ..Default::default()
+        };
+        let run = run_pipeline_resilient(&blob_vectors(), &config, &RetryPolicy::forced_failure())
+            .unwrap();
+        assert_eq!(run.attempts, 3);
+        assert!(run.degraded());
+        assert!(run.pipeline().is_none());
+        assert!(run.verdicts.iter().all(|v| !v.converged));
+        // The degraded dendrogram equals the raw-space baseline.
+        let baseline = run_without_som(&blob_vectors(), &config).unwrap();
+        assert_eq!(run.dendrogram(), &baseline);
+        // The trace narrates 2 retries, 3 attempts, 1 degradation.
+        let report = collector.report().unwrap();
+        assert_eq!(report.retry_count(), 2);
+        assert!(report.degraded());
+        let attempts = report
+            .resilience
+            .iter()
+            .filter(|e| matches!(e, ResilienceEvent::Attempt { .. }))
+            .count();
+        assert_eq!(attempts, 3);
+    }
+
+    #[test]
+    fn escalation_schedule_is_deterministic() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.epochs_for(200, 1), 200);
+        assert_eq!(policy.epochs_for(200, 2), 400);
+        assert_eq!(policy.epochs_for(200, 3), 800);
+        assert_eq!(policy.seed_for(7, 1), 7);
+        assert_eq!(policy.seed_for(7, 2), policy.seed_for(7, 2));
+        assert_ne!(policy.seed_for(7, 2), 7);
+        assert_ne!(policy.seed_for(7, 2), policy.seed_for(7, 3));
+    }
+
+    #[test]
+    fn identical_runs_take_identical_retry_paths() {
+        let run = |c: &Collector| {
+            let config = PipelineConfig {
+                collector: c.clone(),
+                ..Default::default()
+            };
+            run_pipeline_resilient(&blob_vectors(), &config, &RetryPolicy::forced_failure())
+                .unwrap()
+        };
+        let (c1, c2) = (Collector::enabled(), Collector::enabled());
+        let (a, b) = (run(&c1), run(&c2));
+        assert_eq!(a.attempts, b.attempts);
+        assert_eq!(a.dendrogram(), b.dendrogram());
+        assert_eq!(
+            c1.report().unwrap().fingerprint(),
+            c2.report().unwrap().fingerprint()
+        );
+    }
+
+    #[test]
+    fn hard_errors_are_not_retried() {
+        let collector = Collector::enabled();
+        let config = PipelineConfig {
+            collector: collector.clone(),
+            ..Default::default()
+        };
+        let mut nan = blob_vectors();
+        nan[(0, 0)] = f64::NAN;
+        let err = run_pipeline_resilient(&nan, &config, &RetryPolicy::default()).unwrap_err();
+        assert!(matches!(err, CoreError::Som(_)), "{err:?}");
+        // No retry events: a NaN cell is not a convergence problem.
+        assert_eq!(collector.report().unwrap().retry_count(), 0);
+    }
+
+    #[test]
+    fn zero_attempt_policy_rejected() {
+        let policy = RetryPolicy {
+            max_attempts: 0,
+            ..Default::default()
+        };
+        assert!(
+            run_pipeline_resilient(&blob_vectors(), &PipelineConfig::default(), &policy).is_err()
+        );
+    }
+
+    #[test]
+    fn disabled_collector_still_gates_with_probe() {
+        // The default config has a disabled collector; the gate must still
+        // judge each attempt (via a private probe), and forcing failure must
+        // still reach the degradation path.
+        let run = run_pipeline_resilient(
+            &blob_vectors(),
+            &PipelineConfig::default(),
+            &RetryPolicy::forced_failure(),
+        )
+        .unwrap();
+        assert!(run.degraded());
+        assert_eq!(run.attempts, 3);
+        assert!(run.verdicts.iter().all(|v| v.records > 0));
+    }
+}

@@ -125,7 +125,8 @@ impl ScoreTable {
                 score_a: hierarchical_mean(a, &clusters, mean)?,
                 score_b: hierarchical_mean(b, &clusters, mean)?,
             })
-        })?;
+        })
+        .map_err(CoreError::from)?;
         if collector.is_enabled() {
             let mut buf = CounterBuf::new();
             buf.add(Counter::ScoreSweepCells, 2 * rows.len() as u64);

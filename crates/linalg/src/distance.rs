@@ -143,7 +143,8 @@ pub fn pairwise(points: &crate::Matrix, metric: Metric) -> Result<crate::Matrix,
             }
         }
         Ok::<_, LinalgError>(strip)
-    })?;
+    })
+    .map_err(LinalgError::from)?;
     // Scatter each strip into the upper triangle with row-contiguous
     // copies; per-entry iteration here would cost as much as the distance
     // computation itself.

@@ -145,11 +145,7 @@ pub fn jacobi_eigen(a: &Matrix) -> Result<Eigen, LinalgError> {
 fn sorted_eigen(d: Matrix, v: Matrix) -> Eigen {
     let n = d.nrows();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| {
-        d[(j, j)]
-            .partial_cmp(&d[(i, i)])
-            .expect("finite diagonal after convergence")
-    });
+    order.sort_by(|&i, &j| d[(j, j)].total_cmp(&d[(i, i)]));
     let values: Vec<f64> = order.iter().map(|&i| d[(i, i)]).collect();
     let mut vectors = Matrix::zeros(n, n);
     for (new_col, &old_col) in order.iter().enumerate() {

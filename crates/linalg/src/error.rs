@@ -47,6 +47,19 @@ pub enum LinalgError {
         /// Why the value was rejected.
         reason: &'static str,
     },
+    /// A parallel worker panicked; the panic was caught and isolated by
+    /// [`crate::parallel`] instead of aborting the process.
+    WorkerPanic {
+        /// Index of the chunk whose worker panicked.
+        chunk: usize,
+        /// The panic payload rendered as text.
+        payload: String,
+    },
+    /// The input failed stage-boundary validation (see [`crate::validate`]).
+    InvalidData {
+        /// The typed diagnostics describing what was wrong.
+        report: crate::validate::ValidationReport,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -76,11 +89,26 @@ impl fmt::Display for LinalgError {
             LinalgError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter {name}: {reason}")
             }
+            LinalgError::WorkerPanic { chunk, payload } => {
+                write!(f, "worker panicked in chunk {chunk}: {payload}")
+            }
+            LinalgError::InvalidData { report } => write!(f, "invalid input data: {report}"),
         }
     }
 }
 
 impl Error for LinalgError {}
+
+impl From<crate::parallel::ParallelError<LinalgError>> for LinalgError {
+    fn from(e: crate::parallel::ParallelError<LinalgError>) -> Self {
+        match e {
+            crate::parallel::ParallelError::Task(e) => e,
+            crate::parallel::ParallelError::WorkerPanic { chunk, payload } => {
+                LinalgError::WorkerPanic { chunk, payload }
+            }
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod error;
 mod matrix;
@@ -50,7 +51,9 @@ pub mod parallel;
 pub mod pca;
 pub mod scale;
 pub mod stats;
+pub mod validate;
 pub mod vector;
 
 pub use error::LinalgError;
 pub use matrix::Matrix;
+pub use parallel::ParallelError;

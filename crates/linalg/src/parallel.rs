@@ -3,7 +3,7 @@
 //! Every parallel hot path in the workspace — pairwise distance matrices,
 //! the SOM's best-matching-unit search and batch-epoch accumulation, and the
 //! per-`k` dendrogram score sweep — routes through this module instead of
-//! hand-rolling its own thread pool. The design enforces three invariants:
+//! hand-rolling its own thread pool. The design enforces four invariants:
 //!
 //! 1. **Bit-for-bit determinism.** Chunk boundaries are a pure function of
 //!    the input length and the caller's chunk size — never of the worker
@@ -11,11 +11,16 @@
 //!    The same input therefore produces the same bits on a 1-core and a
 //!    96-core machine, and the serial fallback executes the identical
 //!    chunked computation.
-//! 2. **Error propagation.** Workers return `Result`s; the first error in
+//! 2. **Error propagation.** Workers return `Result`s; the first failure in
 //!    *chunk order* (the same one serial execution would surface) is
-//!    returned to the caller. Worker panics propagate normally through
-//!    [`std::thread::scope`] — nothing is swallowed.
-//! 3. **No oversubscription cliffs.** The worker count follows
+//!    returned to the caller as [`ParallelError::Task`].
+//! 3. **Panic isolation.** A panicking chunk does not abort the process or
+//!    poison its siblings: the panic is caught per chunk and surfaces as
+//!    [`ParallelError::WorkerPanic`] with the chunk index and the panic
+//!    payload, ranked against task errors by the same chunk-order rule. The
+//!    serial fallback catches panics identically, so behavior does not
+//!    depend on whether the input crossed the parallelism threshold.
+//! 4. **No oversubscription cliffs.** The worker count follows
 //!    [`std::thread::available_parallelism`] with no hard cap, and inputs
 //!    shorter than the caller's threshold skip thread spawning entirely.
 //!
@@ -23,9 +28,72 @@
 //! scattered into a pre-sized slot vector — no locks, and no reliance on
 //! arrival order.
 
+use std::fmt;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+
+/// A failure from a chunked parallel computation: either a worker's typed
+/// error or a worker panic that was caught and isolated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParallelError<E> {
+    /// A worker closure returned `Err`.
+    Task(E),
+    /// A worker closure panicked; the panic was caught so the process (and
+    /// the sibling chunks) survive, and the payload is preserved.
+    WorkerPanic {
+        /// Index of the chunk whose closure panicked.
+        chunk: usize,
+        /// The panic payload rendered as text (`String`/`&str` payloads are
+        /// kept verbatim; anything else becomes a placeholder).
+        payload: String,
+    },
+}
+
+impl<E> ParallelError<E> {
+    /// Maps the task-error type, leaving panics untouched.
+    pub fn map_task<F, G: FnOnce(E) -> F>(self, f: G) -> ParallelError<F> {
+        match self {
+            ParallelError::Task(e) => ParallelError::Task(f(e)),
+            ParallelError::WorkerPanic { chunk, payload } => {
+                ParallelError::WorkerPanic { chunk, payload }
+            }
+        }
+    }
+}
+
+impl<E: fmt::Display> fmt::Display for ParallelError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParallelError::Task(e) => e.fmt(f),
+            ParallelError::WorkerPanic { chunk, payload } => {
+                write!(f, "worker panicked in chunk {chunk}: {payload}")
+            }
+        }
+    }
+}
+
+impl<E: std::error::Error + 'static> std::error::Error for ParallelError<E> {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParallelError::Task(e) => Some(e),
+            ParallelError::WorkerPanic { .. } => None,
+        }
+    }
+}
+
+/// Renders a caught panic payload: `&str` and `String` payloads verbatim,
+/// anything else as a placeholder.
+fn panic_payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
 
 /// How to split an index range into chunks and when to go parallel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +149,24 @@ fn chunk_ranges(len: usize, chunk_size: usize) -> Vec<Range<usize>> {
         .collect()
 }
 
+/// Runs one chunk's closure with panic isolation. `AssertUnwindSafe` is
+/// sound here: on any failure (error or panic) every per-chunk result is
+/// discarded and only the typed failure escapes, so no partially-mutated
+/// state is ever observed by the caller.
+fn run_chunk<T, E, F>(chunk: usize, range: Range<usize>, map: &F) -> Result<T, ParallelError<E>>
+where
+    F: Fn(Range<usize>) -> Result<T, E> + Sync,
+{
+    match catch_unwind(AssertUnwindSafe(|| map(range))) {
+        Ok(Ok(value)) => Ok(value),
+        Ok(Err(e)) => Err(ParallelError::Task(e)),
+        Err(payload) => Err(ParallelError::WorkerPanic {
+            chunk,
+            payload: panic_payload_text(payload.as_ref()),
+        }),
+    }
+}
+
 /// Applies `map` to each chunk of `0..len` and returns the per-chunk results
 /// in ascending chunk order.
 ///
@@ -90,10 +176,17 @@ fn chunk_ranges(len: usize, chunk_size: usize) -> Vec<Range<usize>> {
 ///
 /// # Errors
 ///
-/// Returns the first error in chunk order — the same error serial execution
-/// would produce. All claimed chunks run to completion first, so an error
-/// in one chunk never leaves another chunk half-observed.
-pub fn try_map_chunks<T, E, F>(len: usize, chunking: Chunking, map: F) -> Result<Vec<T>, E>
+/// Returns the first failure in chunk order — the same one serial execution
+/// would surface. A worker that returns `Err` yields
+/// [`ParallelError::Task`]; a worker that panics yields
+/// [`ParallelError::WorkerPanic`] instead of aborting the process. All
+/// claimed chunks run to completion first, so a failure in one chunk never
+/// leaves another chunk half-observed.
+pub fn try_map_chunks<T, E, F>(
+    len: usize,
+    chunking: Chunking,
+    map: F,
+) -> Result<Vec<T>, ParallelError<E>>
 where
     T: Send,
     E: Send,
@@ -114,7 +207,7 @@ pub fn try_map_chunks_with_workers<T, E, F>(
     chunking: Chunking,
     workers: usize,
     map: F,
-) -> Result<Vec<T>, E>
+) -> Result<Vec<T>, ParallelError<E>>
 where
     T: Send,
     E: Send,
@@ -123,13 +216,17 @@ where
     let ranges = chunk_ranges(len, chunking.chunk_size);
     let workers = workers.min(ranges.len());
     if len < chunking.min_parallel_len || workers <= 1 {
-        return ranges.into_iter().map(map).collect();
+        return ranges
+            .into_iter()
+            .enumerate()
+            .map(|(chunk, range)| run_chunk(chunk, range, &map))
+            .collect();
     }
 
     let n_chunks = ranges.len();
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, Result<T, E>)>();
-    let mut slots: Vec<Option<Result<T, E>>> = Vec::with_capacity(n_chunks);
+    let (tx, rx) = mpsc::channel::<(usize, Result<T, ParallelError<E>>)>();
+    let mut slots: Vec<Option<Result<T, ParallelError<E>>>> = Vec::with_capacity(n_chunks);
     slots.resize_with(n_chunks, || None);
 
     std::thread::scope(|scope| {
@@ -141,7 +238,7 @@ where
             scope.spawn(move || loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 let Some(range) = ranges.get(idx) else { break };
-                if tx.send((idx, map(range.clone()))).is_err() {
+                if tx.send((idx, run_chunk(idx, range.clone(), map))).is_err() {
                     break;
                 }
             });
@@ -154,7 +251,18 @@ where
 
     let mut out = Vec::with_capacity(n_chunks);
     for slot in slots {
-        out.push(slot.expect("every chunk index is claimed exactly once")?);
+        match slot {
+            Some(result) => out.push(result?),
+            // Unreachable by construction (every chunk index is claimed
+            // exactly once), but a typed failure beats a panic in the
+            // crate whose job is panic isolation.
+            None => {
+                return Err(ParallelError::WorkerPanic {
+                    chunk: out.len(),
+                    payload: "chunk result missing from gather".to_owned(),
+                })
+            }
+        }
     }
     Ok(out)
 }
@@ -165,8 +273,13 @@ where
 ///
 /// # Errors
 ///
-/// Returns the first error in index order, as serial execution would.
-pub fn try_map_items<T, E, F>(len: usize, chunking: Chunking, map: F) -> Result<Vec<T>, E>
+/// Returns the first failure in index order, as serial execution would; a
+/// panicking worker surfaces as [`ParallelError::WorkerPanic`].
+pub fn try_map_items<T, E, F>(
+    len: usize,
+    chunking: Chunking,
+    map: F,
+) -> Result<Vec<T>, ParallelError<E>>
 where
     T: Send,
     E: Send,
@@ -185,14 +298,15 @@ where
 ///
 /// # Errors
 ///
-/// Returns the first error in chunk order, as serial execution would.
+/// Returns the first failure in chunk order, as serial execution would; a
+/// panicking worker surfaces as [`ParallelError::WorkerPanic`].
 pub fn try_map_reduce<T, E, A, F, R>(
     len: usize,
     chunking: Chunking,
     map: F,
     init: A,
     reduce: R,
-) -> Result<A, E>
+) -> Result<A, ParallelError<E>>
 where
     T: Send,
     E: Send,
@@ -251,8 +365,90 @@ mod tests {
                 }
             })
             .unwrap_err();
-            assert_eq!(err, "chunk 2 failed", "workers = {workers}");
+            assert_eq!(
+                err,
+                ParallelError::Task("chunk 2 failed".to_owned()),
+                "workers = {workers}"
+            );
         }
+    }
+
+    #[test]
+    fn worker_panic_is_isolated_and_typed() {
+        // A panicking chunk must not abort the process; it surfaces as a
+        // typed WorkerPanic carrying the chunk index and payload, on both
+        // the serial and the parallel path.
+        for workers in [1, 4] {
+            let err = try_map_chunks_with_workers(32, SMALL, workers, |r| {
+                if r.start / 4 == 3 {
+                    panic!("injected fault in chunk 3");
+                }
+                Ok::<_, ()>(())
+            })
+            .unwrap_err();
+            assert_eq!(
+                err,
+                ParallelError::WorkerPanic {
+                    chunk: 3,
+                    payload: "injected fault in chunk 3".to_owned()
+                },
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn panic_vs_error_ranked_by_chunk_order() {
+        // A panic in chunk 1 outranks an error in chunk 4 — failures are
+        // ordered uniformly by chunk index, whatever their kind.
+        for workers in [1, 4] {
+            let err = try_map_chunks_with_workers(32, SMALL, workers, |r| {
+                let chunk = r.start / 4;
+                if chunk == 1 {
+                    panic!("panic in chunk 1");
+                }
+                if chunk == 4 {
+                    return Err("error in chunk 4".to_owned());
+                }
+                Ok(())
+            })
+            .unwrap_err();
+            assert!(
+                matches!(err, ParallelError::WorkerPanic { chunk: 1, .. }),
+                "workers = {workers}: {err:?}"
+            );
+        }
+        // And the mirror image: an error in chunk 0 outranks a later panic.
+        let err = try_map_chunks_with_workers(32, SMALL, 4, |r| {
+            let chunk = r.start / 4;
+            if chunk == 0 {
+                return Err("error in chunk 0".to_owned());
+            }
+            if chunk == 5 {
+                panic!("panic in chunk 5");
+            }
+            Ok(())
+        })
+        .unwrap_err();
+        assert_eq!(err, ParallelError::Task("error in chunk 0".to_owned()));
+    }
+
+    #[test]
+    fn non_string_panic_payload_is_placeholder() {
+        let err = try_map_chunks_with_workers(8, SMALL, 1, |r| {
+            if r.start == 0 {
+                std::panic::panic_any(42_i32);
+            }
+            Ok::<_, ()>(())
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ParallelError::WorkerPanic {
+                chunk: 0,
+                payload: "<non-string panic payload>".to_owned()
+            }
+        );
     }
 
     #[test]
@@ -289,5 +485,23 @@ mod tests {
     fn empty_input_yields_empty_output() {
         let out: Vec<()> = try_map_chunks(0, SMALL, |_| Ok::<_, ()>(())).unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_error_display_and_map_task() {
+        let p: ParallelError<String> = ParallelError::WorkerPanic {
+            chunk: 2,
+            payload: "boom".into(),
+        };
+        assert_eq!(p.to_string(), "worker panicked in chunk 2: boom");
+        let t: ParallelError<String> = ParallelError::Task("bad".into());
+        assert_eq!(t.to_string(), "bad");
+        let mapped = t.map_task(|s| format!("wrapped: {s}"));
+        assert_eq!(mapped, ParallelError::Task("wrapped: bad".to_owned()));
+        let mapped_panic = p.map_task(|s| s);
+        assert!(matches!(
+            mapped_panic,
+            ParallelError::WorkerPanic { chunk: 2, .. }
+        ));
     }
 }

@@ -1,0 +1,205 @@
+//! Property tests for the stage-boundary input guards (`validate`).
+//!
+//! The robustness contract under test: for *any* matrix — poisoned cells,
+//! constant columns, duplicated rows, degenerate shapes — the guards never
+//! panic, diagnostics carry exact coordinates, and lenient repair either
+//! yields a matrix with no fatal issues or a typed error.
+
+use hiermeans_linalg::{validate, LinalgError, Matrix};
+use proptest::prelude::*;
+
+/// A finite matrix plus a poison list: `(rows, cols, data, poisons)` where
+/// each poison is `(row, col, kind)` with kind 0 = NaN, 1 = +inf, 2 = -inf.
+type Poisoned = (usize, usize, Vec<f64>, Vec<(usize, usize, usize)>);
+
+fn poisoned_matrix() -> impl Strategy<Value = Poisoned> {
+    (1usize..10, 1usize..7).prop_flat_map(|(rows, cols)| {
+        (
+            Just(rows),
+            Just(cols),
+            prop::collection::vec(-1e3..1e3f64, rows * cols),
+            prop::collection::vec((0..rows, 0..cols, 0usize..3), 0..5),
+        )
+    })
+}
+
+fn build(rows: usize, cols: usize, data: Vec<f64>, poisons: &[(usize, usize, usize)]) -> Matrix {
+    let mut m = Matrix::from_vec(rows, cols, data).expect("len matches");
+    for &(r, c, kind) in poisons {
+        m[(r, c)] = match kind {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => f64::NEG_INFINITY,
+        };
+    }
+    m
+}
+
+/// Row-major coordinates of every non-finite cell — the ground truth the
+/// report must reproduce exactly.
+fn non_finite_coords(m: &Matrix) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for r in 0..m.nrows() {
+        for c in 0..m.ncols() {
+            if !m[(r, c)].is_finite() {
+                out.push((r, c));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn poisoned_cells_are_reported_with_exact_coordinates(input in poisoned_matrix()) {
+        let (rows, cols, data, poisons) = input;
+        let m = build(rows, cols, data, &poisons);
+        let expected = non_finite_coords(&m);
+
+        let report = validate::validate(&m);
+        prop_assert_eq!(report.non_finite_cells(), expected.clone());
+        prop_assert_eq!(report.has_fatal(), !expected.is_empty());
+
+        // The strict guard agrees and its typed error carries the report.
+        match validate::ensure_valid(&m) {
+            Ok(clean) => prop_assert!(expected.is_empty() && !clean.has_fatal()),
+            Err(LinalgError::InvalidData { report }) => {
+                prop_assert_eq!(report.non_finite_cells(), expected.clone());
+            }
+            Err(other) => return Err(TestCaseError::fail(format!("unexpected error: {other}"))),
+        }
+    }
+
+    #[test]
+    fn repair_yields_clean_matrix_or_typed_error(input in poisoned_matrix()) {
+        let (rows, cols, data, poisons) = input;
+        let m = build(rows, cols, data, &poisons);
+        match validate::repair(&m) {
+            Ok(repair) => {
+                // The repaired matrix must pass the strict guard: no
+                // non-finite cells survive, and the dropped zero-variance
+                // columns were exactly the constant-over-kept-rows ones.
+                let after = validate::validate(&repair.matrix);
+                prop_assert!(!after.has_fatal());
+                prop_assert!(after.non_finite_cells().is_empty());
+                // Kept + dropped rows partition the original rows.
+                let mut all_rows = repair.kept_rows.clone();
+                all_rows.extend(repair.dropped_rows.iter().copied());
+                all_rows.sort_unstable();
+                prop_assert_eq!(all_rows, (0..rows).collect::<Vec<_>>());
+                prop_assert_eq!(repair.matrix.nrows(), repair.kept_rows.len());
+                prop_assert_eq!(
+                    repair.matrix.ncols(),
+                    cols - repair.dropped_columns.len()
+                );
+                // Surviving cells are verbatim copies, not re-derived.
+                for (ri, &r) in repair.kept_rows.iter().enumerate() {
+                    let mut ci = 0;
+                    for c in 0..cols {
+                        if repair.dropped_columns.contains(&c) {
+                            continue;
+                        }
+                        prop_assert_eq!(
+                            repair.matrix[(ri, ci)].to_bits(),
+                            m[(r, c)].to_bits()
+                        );
+                        ci += 1;
+                    }
+                }
+            }
+            Err(LinalgError::InvalidData { .. }) => {
+                // Legal only when nothing analyzable remains; with continuous
+                // random data that means every row was poisoned.
+                let clean_rows = (0..rows)
+                    .filter(|&r| m.row(r).iter().all(|v| v.is_finite()))
+                    .count();
+                prop_assert!(clean_rows == 0);
+            }
+            Err(other) => return Err(TestCaseError::fail(format!("unexpected error: {other}"))),
+        }
+    }
+
+    #[test]
+    fn constant_columns_are_advisory_and_dropped(
+        input in (2usize..9, 2usize..6).prop_flat_map(|(rows, cols)| {
+            (
+                Just(rows),
+                Just(cols),
+                prop::collection::vec(-1e3..1e3f64, rows * cols),
+                0..cols,
+                -1e3..1e3f64,
+            )
+        }),
+    ) {
+        let (rows, cols, data, const_col, value) = input;
+        let mut m = Matrix::from_vec(rows, cols, data).expect("len matches");
+        for r in 0..rows {
+            m[(r, const_col)] = value;
+            // Guarantee every other column actually varies.
+            if r == 0 {
+                for c in (0..cols).filter(|&c| c != const_col) {
+                    m[(0, c)] += 1.0;
+                }
+            }
+        }
+        let report = validate::validate(&m);
+        prop_assert!(report.zero_variance_columns().contains(&const_col));
+        prop_assert!(!report.has_fatal(), "zero variance is advisory, not fatal");
+
+        let repair = validate::repair(&m).expect("other columns still vary");
+        prop_assert!(repair.dropped_columns.contains(&const_col));
+        prop_assert!(repair.dropped_rows.is_empty());
+        prop_assert!(validate::validate(&repair.matrix)
+            .zero_variance_columns()
+            .is_empty());
+    }
+
+    #[test]
+    fn duplicate_rows_are_advisory_and_kept(
+        input in (2usize..9, 1usize..6).prop_flat_map(|(rows, cols)| {
+            (
+                Just(rows),
+                Just(cols),
+                prop::collection::vec(-1e3..1e3f64, rows * cols),
+                0..rows,
+            )
+        }),
+    ) {
+        let (rows, cols, data, src) = input;
+        let mut m = Matrix::from_vec(rows, cols, data).expect("len matches");
+        let dup_row = m.row(src).to_vec();
+        m.push_row(&dup_row).expect("width matches");
+
+        let report = validate::validate(&m);
+        prop_assert!(
+            report
+                .duplicate_rows()
+                .iter()
+                .any(|&(row, _)| row == rows),
+            "the appended copy must be flagged as a duplicate"
+        );
+        prop_assert!(!report.has_fatal(), "duplicates are advisory, not fatal");
+
+        // Lenient repair keeps duplicates (dropping them silently would bias
+        // the workload population; see the validate module docs).
+        if let Ok(repair) = validate::repair(&m) {
+            prop_assert!(repair.kept_rows.contains(&rows));
+            prop_assert_eq!(repair.dropped_rows.len(), 0);
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_never_panic(n in 0usize..8) {
+        for m in [Matrix::zeros(0, n), Matrix::zeros(n, 0)] {
+            let report = validate::validate(&m);
+            prop_assert!(report.has_fatal(), "empty input must be fatal");
+            let strict = matches!(
+                validate::ensure_valid(&m),
+                Err(LinalgError::InvalidData { .. })
+            );
+            prop_assert!(strict, "ensure_valid must reject an empty matrix");
+            let lenient = matches!(validate::repair(&m), Err(LinalgError::InvalidData { .. }));
+            prop_assert!(lenient, "repair must reject an empty matrix");
+        }
+    }
+}

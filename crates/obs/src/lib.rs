@@ -48,6 +48,7 @@
 pub mod convergence;
 pub mod metrics;
 pub mod report;
+pub mod resilience;
 pub mod span;
 
 use std::sync::{Arc, Mutex};
@@ -56,6 +57,7 @@ use std::time::Instant;
 pub use convergence::{ConvergenceVerdict, EpochRecord};
 pub use metrics::{Counter, CounterBuf, CounterExport, HistogramExport, HistogramId};
 pub use report::{EventExport, StudyTrace, TraceDocument, TraceReport, SCHEMA_VERSION};
+pub use resilience::ResilienceEvent;
 pub use span::{SpanExport, SpanGuard};
 
 use metrics::Histogram;
@@ -99,6 +101,7 @@ pub(crate) struct State {
     pub(crate) merge_distances: Vec<f64>,
     pub(crate) verdict: Option<ConvergenceVerdict>,
     pub(crate) events: Vec<EventRecord>,
+    pub(crate) resilience: Vec<ResilienceEvent>,
 }
 
 #[derive(Debug)]
@@ -162,6 +165,7 @@ impl Collector {
                 merge_distances: Vec::new(),
                 verdict: None,
                 events: Vec::new(),
+                resilience: Vec::new(),
             }),
         })))
     }
@@ -283,6 +287,28 @@ impl Collector {
                 at_us,
             });
         }
+    }
+
+    /// Records one self-healing event (retry, degradation, injected fault)
+    /// into the trace's `resilience` field.
+    pub fn record_resilience(&self, event: ResilienceEvent) {
+        if let Some(inner) = self.0.as_ref() {
+            let mut state = inner.state.lock().expect("obs state poisoned");
+            state.resilience.push(event);
+        }
+    }
+
+    /// The self-healing events recorded so far (empty when disabled).
+    #[must_use]
+    pub fn resilience_events(&self) -> Vec<ResilienceEvent> {
+        self.0.as_ref().map_or_else(Vec::new, |inner| {
+            inner
+                .state
+                .lock()
+                .expect("obs state poisoned")
+                .resilience
+                .clone()
+        })
     }
 
     /// Stores the training run's convergence verdict (last write wins).

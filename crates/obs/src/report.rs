@@ -19,11 +19,17 @@ use serde::{Deserialize, Serialize};
 
 use crate::convergence::{ConvergenceVerdict, EpochRecord};
 use crate::metrics::{Counter, CounterExport, HistogramExport};
+use crate::resilience::ResilienceEvent;
 use crate::span::SpanExport;
 use crate::State;
 
 /// Version stamp of the `OBS_trace.json` schema.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// * v1 — spans, counters, histograms, events, epoch telemetry, merge
+///   trajectory, convergence verdict.
+/// * v2 — adds the `resilience` field: typed retry / degradation /
+///   fault-injection events ([`ResilienceEvent`]).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One recorded point event, exported.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -57,6 +63,9 @@ pub struct TraceReport {
     pub merge_distances: Vec<f64>,
     /// The SOM convergence verdict, if training recorded telemetry.
     pub convergence: Option<ConvergenceVerdict>,
+    /// Self-healing events — retries, degradations, injected faults — in
+    /// record order. Empty for a fault-free single-attempt run.
+    pub resilience: Vec<ResilienceEvent>,
 }
 
 pub(crate) fn export(state: &State) -> TraceReport {
@@ -95,6 +104,7 @@ pub(crate) fn export(state: &State) -> TraceReport {
         som_epochs: state.epochs.clone(),
         merge_distances: state.merge_distances.clone(),
         convergence: state.verdict.clone(),
+        resilience: state.resilience.clone(),
     }
 }
 
@@ -123,6 +133,24 @@ impl TraceReport {
             .filter(|s| s.name == name)
             .map(|s| s.duration_us)
             .collect()
+    }
+
+    /// Whether a degradation event was recorded — the run fell back to
+    /// raw-space clustering after exhausting retries.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.resilience
+            .iter()
+            .any(|e| matches!(e, ResilienceEvent::Degraded { .. }))
+    }
+
+    /// How many retry events were recorded.
+    #[must_use]
+    pub fn retry_count(&self) -> usize {
+        self.resilience
+            .iter()
+            .filter(|e| matches!(e, ResilienceEvent::Retry { .. }))
+            .count()
     }
 
     /// A deterministic projection of the trace: the span tree (names and
@@ -180,6 +208,9 @@ impl TraceReport {
                 v.reason
             );
         }
+        for (i, e) in self.resilience.iter().enumerate() {
+            let _ = writeln!(out, "resilience {} {} {}", i, e.kind(), e);
+        }
         out
     }
 
@@ -233,6 +264,12 @@ impl TraceReport {
                 },
                 v.reason
             );
+        }
+        if !self.resilience.is_empty() {
+            let _ = writeln!(out, "  resilience:");
+            for e in &self.resilience {
+                let _ = writeln!(out, "    {e}");
+            }
         }
         out
     }
@@ -365,6 +402,29 @@ mod tests {
         assert!(text.contains("pipeline.som"));
         assert!(text.contains("bmu_searches"));
         assert!(text.contains("merge_distance"));
+    }
+
+    #[test]
+    fn resilience_events_survive_export_and_fingerprint() {
+        let c = Collector::enabled();
+        c.record_resilience(crate::resilience::ResilienceEvent::Retry {
+            attempt: 2,
+            epochs: 400,
+            seed: 7,
+        });
+        c.record_resilience(crate::resilience::ResilienceEvent::Degraded {
+            after_attempts: 3,
+            mode: "raw_space".into(),
+        });
+        let r = c.report().unwrap();
+        assert_eq!(r.retry_count(), 1);
+        assert!(r.degraded());
+        assert!(r.fingerprint().contains("resilience 1 degraded"));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: TraceReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+        // The rendered tree narrates the fallback.
+        assert!(r.render_tree().contains("degraded to raw_space"));
     }
 
     #[test]

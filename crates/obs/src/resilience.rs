@@ -1,0 +1,264 @@
+//! Self-healing telemetry: typed records of retries, degradations, and
+//! injected faults.
+//!
+//! The resilient pipeline driver (`hiermeans-core`) and the fault-injection
+//! harness both narrate what they did through [`ResilienceEvent`]s recorded
+//! on the run's [`crate::Collector`]. The events land in the
+//! schema-versioned `resilience` field of [`crate::TraceReport`], so a
+//! trace diff shows not just *what* the pipeline computed but *how many
+//! tries it took* and *whether it fell back* — silent degradation is the
+//! failure mode this field exists to prevent.
+
+use std::fmt;
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// One self-healing event, in record order.
+///
+/// Serialized with an internally tagged `kind` discriminant so the JSON is
+/// self-describing:
+/// `{"kind":"retry","attempt":2,"epochs":400,"seed":123}` — implemented by
+/// hand because the vendored serde shim derives external tagging only.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResilienceEvent {
+    /// A SOM training attempt completed and its convergence was judged.
+    Attempt {
+        /// 1-based attempt number.
+        attempt: usize,
+        /// Epoch budget this attempt trained with.
+        epochs: usize,
+        /// Codebook-initialization seed this attempt used.
+        seed: u64,
+        /// Whether the convergence gate passed.
+        converged: bool,
+        /// The verdict's human-readable reason.
+        reason: String,
+    },
+    /// A retry was scheduled with deterministically escalated parameters.
+    Retry {
+        /// 1-based number of the attempt about to run.
+        attempt: usize,
+        /// Escalated epoch budget.
+        epochs: usize,
+        /// Reseeded codebook-initialization seed.
+        seed: u64,
+    },
+    /// Every attempt failed the gate; the pipeline fell back.
+    Degraded {
+        /// How many attempts were exhausted first.
+        after_attempts: usize,
+        /// The fallback taken, e.g. `raw_space`.
+        mode: String,
+    },
+    /// The harness injected a fault (absent outside fault-injection runs).
+    FaultInjected {
+        /// Stable fault label, e.g. `nan_cell`, `worker_panic`,
+        /// `forced_non_convergence`.
+        fault: String,
+        /// What exactly was perturbed.
+        detail: String,
+    },
+    /// An injected fault was absorbed: the pipeline recovered or surfaced
+    /// the expected typed error instead of crashing.
+    Recovered {
+        /// The fault label this recovery answers.
+        fault: String,
+        /// How the fault was absorbed.
+        detail: String,
+    },
+}
+
+impl ResilienceEvent {
+    /// The stable `kind` discriminant, matching the serialized tag.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ResilienceEvent::Attempt { .. } => "attempt",
+            ResilienceEvent::Retry { .. } => "retry",
+            ResilienceEvent::Degraded { .. } => "degraded",
+            ResilienceEvent::FaultInjected { .. } => "fault_injected",
+            ResilienceEvent::Recovered { .. } => "recovered",
+        }
+    }
+}
+
+impl Serialize for ResilienceEvent {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![("kind".to_owned(), Value::Str(self.kind().to_owned()))];
+        match self {
+            ResilienceEvent::Attempt {
+                attempt,
+                epochs,
+                seed,
+                converged,
+                reason,
+            } => {
+                fields.push(("attempt".to_owned(), attempt.to_value()));
+                fields.push(("epochs".to_owned(), epochs.to_value()));
+                fields.push(("seed".to_owned(), seed.to_value()));
+                fields.push(("converged".to_owned(), converged.to_value()));
+                fields.push(("reason".to_owned(), reason.to_value()));
+            }
+            ResilienceEvent::Retry {
+                attempt,
+                epochs,
+                seed,
+            } => {
+                fields.push(("attempt".to_owned(), attempt.to_value()));
+                fields.push(("epochs".to_owned(), epochs.to_value()));
+                fields.push(("seed".to_owned(), seed.to_value()));
+            }
+            ResilienceEvent::Degraded {
+                after_attempts,
+                mode,
+            } => {
+                fields.push(("after_attempts".to_owned(), after_attempts.to_value()));
+                fields.push(("mode".to_owned(), mode.to_value()));
+            }
+            ResilienceEvent::FaultInjected { fault, detail }
+            | ResilienceEvent::Recovered { fault, detail } => {
+                fields.push(("fault".to_owned(), fault.to_value()));
+                fields.push(("detail".to_owned(), detail.to_value()));
+            }
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for ResilienceEvent {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let kind: String = serde::field(v, "kind")?;
+        match kind.as_str() {
+            "attempt" => Ok(ResilienceEvent::Attempt {
+                attempt: serde::field(v, "attempt")?,
+                epochs: serde::field(v, "epochs")?,
+                seed: serde::field(v, "seed")?,
+                converged: serde::field(v, "converged")?,
+                reason: serde::field(v, "reason")?,
+            }),
+            "retry" => Ok(ResilienceEvent::Retry {
+                attempt: serde::field(v, "attempt")?,
+                epochs: serde::field(v, "epochs")?,
+                seed: serde::field(v, "seed")?,
+            }),
+            "degraded" => Ok(ResilienceEvent::Degraded {
+                after_attempts: serde::field(v, "after_attempts")?,
+                mode: serde::field(v, "mode")?,
+            }),
+            "fault_injected" => Ok(ResilienceEvent::FaultInjected {
+                fault: serde::field(v, "fault")?,
+                detail: serde::field(v, "detail")?,
+            }),
+            "recovered" => Ok(ResilienceEvent::Recovered {
+                fault: serde::field(v, "fault")?,
+                detail: serde::field(v, "detail")?,
+            }),
+            other => Err(DeError::new(format!(
+                "unknown resilience event kind `{other}`"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for ResilienceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResilienceEvent::Attempt {
+                attempt,
+                epochs,
+                seed,
+                converged,
+                reason,
+            } => write!(
+                f,
+                "attempt {attempt} (epochs={epochs} seed={seed:#x}): {} — {reason}",
+                if *converged {
+                    "converged"
+                } else {
+                    "not converged"
+                }
+            ),
+            ResilienceEvent::Retry {
+                attempt,
+                epochs,
+                seed,
+            } => write!(
+                f,
+                "retry -> attempt {attempt} (epochs={epochs} seed={seed:#x})"
+            ),
+            ResilienceEvent::Degraded {
+                after_attempts,
+                mode,
+            } => write!(f, "degraded to {mode} after {after_attempts} attempts"),
+            ResilienceEvent::FaultInjected { fault, detail } => {
+                write!(f, "fault injected [{fault}]: {detail}")
+            }
+            ResilienceEvent::Recovered { fault, detail } => {
+                write!(f, "recovered [{fault}]: {detail}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_with_kind_tag() {
+        let events = vec![
+            ResilienceEvent::Attempt {
+                attempt: 1,
+                epochs: 200,
+                seed: 7,
+                converged: false,
+                reason: "slope too steep".into(),
+            },
+            ResilienceEvent::Retry {
+                attempt: 2,
+                epochs: 400,
+                seed: 99,
+            },
+            ResilienceEvent::Degraded {
+                after_attempts: 3,
+                mode: "raw_space".into(),
+            },
+            ResilienceEvent::FaultInjected {
+                fault: "nan_cell".into(),
+                detail: "(0,3) = NaN".into(),
+            },
+            ResilienceEvent::Recovered {
+                fault: "nan_cell".into(),
+                detail: "typed InvalidData".into(),
+            },
+        ];
+        let json = serde_json::to_string(&events).unwrap();
+        assert!(json.contains("\"kind\":\"retry\""));
+        assert!(json.contains("\"kind\":\"fault_injected\""));
+        let back: Vec<ResilienceEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(events, back);
+    }
+
+    #[test]
+    fn kind_matches_serialized_tag() {
+        let e = ResilienceEvent::Degraded {
+            after_attempts: 2,
+            mode: "raw_space".into(),
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains(&format!("\"kind\":\"{}\"", e.kind())));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = ResilienceEvent::Retry {
+            attempt: 2,
+            epochs: 400,
+            seed: 0xAB,
+        };
+        let text = e.to_string();
+        assert!(text.contains("attempt 2"));
+        assert!(text.contains("epochs=400"));
+        assert!(text.contains("0xab"));
+    }
+}

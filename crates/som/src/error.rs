@@ -34,6 +34,20 @@ pub enum SomError {
         /// Dimensionality of the offending input.
         actual: usize,
     },
+    /// The training data failed stage-boundary validation; the report names
+    /// the exact offending cells.
+    InvalidData {
+        /// The typed diagnostics.
+        report: hiermeans_linalg::validate::ValidationReport,
+    },
+    /// A parallel worker panicked during training or mapping; the panic was
+    /// caught and isolated instead of aborting the process.
+    WorkerPanic {
+        /// Index of the chunk whose worker panicked.
+        chunk: usize,
+        /// The panic payload rendered as text.
+        payload: String,
+    },
 }
 
 impl fmt::Display for SomError {
@@ -49,6 +63,12 @@ impl fmt::Display for SomError {
             }
             SomError::DimensionMismatch { expected, actual } => {
                 write!(f, "input has dimension {actual}, map expects {expected}")
+            }
+            SomError::InvalidData { report } => {
+                write!(f, "invalid SOM training data: {report}")
+            }
+            SomError::WorkerPanic { chunk, payload } => {
+                write!(f, "worker panicked in chunk {chunk}: {payload}")
             }
         }
     }
@@ -67,6 +87,17 @@ impl Error for SomError {
 impl From<LinalgError> for SomError {
     fn from(e: LinalgError) -> Self {
         SomError::Linalg(e)
+    }
+}
+
+impl From<hiermeans_linalg::ParallelError<SomError>> for SomError {
+    fn from(e: hiermeans_linalg::ParallelError<SomError>) -> Self {
+        match e {
+            hiermeans_linalg::ParallelError::Task(e) => e,
+            hiermeans_linalg::ParallelError::WorkerPanic { chunk, payload } => {
+                SomError::WorkerPanic { chunk, payload }
+            }
+        }
     }
 }
 

@@ -61,7 +61,8 @@ impl BmuTable {
                     second,
                     best_distance,
                 })
-        })?;
+        })
+        .map_err(SomError::from)?;
         Ok(BmuTable { hits })
     }
 

@@ -120,6 +120,16 @@ impl CharacteristicVectors {
     /// invariant, and propagates standardization failures.
     pub fn from_sar(dataset: &SarDataset) -> Result<Self, WorkloadError> {
         let averaged = dataset.averaged();
+        // Guard the raw averages before the variance filter: a NaN counter
+        // has NaN variance, which fails the `> eps` test and would silently
+        // drop the poisoned column instead of reporting it.
+        let report = hiermeans_linalg::validate::validate(&averaged);
+        if report.has_fatal() {
+            return Err(WorkloadError::InvalidData {
+                what: "sar counter averages",
+                report,
+            });
+        }
         let mut keep = Vec::new();
         let mut names = Vec::new();
         for c in 0..averaged.ncols() {
@@ -161,6 +171,13 @@ impl CharacteristicVectors {
                 reason: "one name per feature column is required",
             });
         }
+        let report = hiermeans_linalg::validate::validate(features);
+        if report.has_fatal() {
+            return Err(WorkloadError::InvalidData {
+                what: "feature matrix",
+                report,
+            });
+        }
         let mut keep = Vec::new();
         let mut kept_names = Vec::new();
         for (c, name) in names.iter().enumerate() {
@@ -195,6 +212,13 @@ impl CharacteristicVectors {
     /// and propagates standardization failures.
     pub fn from_methods(dataset: &MethodDataset) -> Result<Self, WorkloadError> {
         let bits = dataset.bits();
+        let report = hiermeans_linalg::validate::validate(bits);
+        if report.has_fatal() {
+            return Err(WorkloadError::InvalidData {
+                what: "method coverage bits",
+                report,
+            });
+        }
         let n = bits.nrows();
         let mut keep = Vec::new();
         let mut names = Vec::new();

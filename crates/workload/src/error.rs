@@ -23,6 +23,14 @@ pub enum WorkloadError {
     },
     /// The suite was empty where at least one workload is required.
     EmptySuite,
+    /// Measured characterization data failed stage-boundary validation; the
+    /// report names the exact offending cells (e.g. a NaN SAR counter).
+    InvalidData {
+        /// Which dataset was rejected.
+        what: &'static str,
+        /// The typed diagnostics.
+        report: hiermeans_linalg::validate::ValidationReport,
+    },
 }
 
 impl fmt::Display for WorkloadError {
@@ -34,6 +42,9 @@ impl fmt::Display for WorkloadError {
                 write!(f, "invalid parameter {name}: {reason}")
             }
             WorkloadError::EmptySuite => write!(f, "benchmark suite is empty"),
+            WorkloadError::InvalidData { what, report } => {
+                write!(f, "invalid {what}: {report}")
+            }
         }
     }
 }

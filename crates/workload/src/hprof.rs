@@ -23,7 +23,7 @@
 use hiermeans_linalg::Matrix;
 use serde::{Deserialize, Serialize};
 
-use crate::measurement::{latent_positions, Characterization, N_WORKLOADS};
+use crate::measurement::{LATENT_METHODS, N_WORKLOADS};
 use crate::rng::SimRng;
 use crate::WorkloadError;
 
@@ -124,8 +124,7 @@ impl HprofCollector {
 
     /// Collects the coverage profiles for the paper suite.
     pub fn collect(&self) -> MethodDataset {
-        let positions = latent_positions(Characterization::MethodUtilization)
-            .expect("method utilization geometry always exists");
+        let positions = LATENT_METHODS;
         let mut names = Vec::new();
         let mut kinds = Vec::new();
         let mut columns: Vec<[f64; N_WORKLOADS]> = Vec::new();

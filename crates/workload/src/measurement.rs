@@ -221,54 +221,65 @@ pub fn reference_clustering(
 /// characterizes it).
 pub fn latent_positions(characterization: Characterization) -> Option<[[f64; 2]; N_WORKLOADS]> {
     match characterization {
-        Characterization::SarCounters(Machine::A) => Some([
-            [4.600, 1.000], // compress
-            [7.400, 4.400], // jess
-            [9.000, 7.600], // javac
-            [5.000, 1.000], // mpegaudio
-            [7.400, 5.000], // mtrt
-            [1.600, 2.000], // FFT
-            [2.000, 2.000], // LU
-            [2.400, 2.600], // MonteCarlo
-            [2.400, 2.600], // SOR
-            [2.600, 2.600], // Sparse
-            [4.800, 2.200], // hsqldb
-            [1.000, 5.400], // chart
-            [2.200, 6.200], // xalan
-        ]),
-        Characterization::SarCounters(Machine::B) => Some([
-            [8.800, 1.200],
-            [8.600, 5.400],
-            [9.000, 1.000],
-            [7.600, 2.400],
-            [8.800, 1.400],
-            [1.800, 1.800],
-            [2.000, 2.000],
-            [2.000, 1.600],
-            [2.600, 2.400],
-            [1.200, 2.800],
-            [0.600, 4.600],
-            [2.600, 8.600],
-            [3.200, 8.000],
-        ]),
-        Characterization::MethodUtilization => Some([
-            [1.594, 1.679],
-            [8.687, 0.241],
-            [8.173, 5.022],
-            [4.302, 9.000],
-            [6.523, 7.936],
-            [2.160, 2.080], // all five SciMark2 workloads share one point:
-            [2.160, 2.080], // the paper observes them mapping to a single
-            [2.160, 2.080], // SOM cell under method utilization
-            [2.160, 2.080],
-            [2.160, 2.080],
-            [7.227, 2.263],
-            [2.595, 3.073],
-            [3.104, 5.309],
-        ]),
+        Characterization::SarCounters(Machine::A) => Some(LATENT_MACHINE_A),
+        Characterization::SarCounters(Machine::B) => Some(LATENT_MACHINE_B),
+        Characterization::MethodUtilization => Some(LATENT_METHODS),
         Characterization::SarCounters(Machine::Reference) => None,
     }
 }
+
+/// Latent coordinates for SAR counters on machine A
+/// (see [`latent_positions`]).
+pub const LATENT_MACHINE_A: [[f64; 2]; N_WORKLOADS] = [
+    [4.600, 1.000], // compress
+    [7.400, 4.400], // jess
+    [9.000, 7.600], // javac
+    [5.000, 1.000], // mpegaudio
+    [7.400, 5.000], // mtrt
+    [1.600, 2.000], // FFT
+    [2.000, 2.000], // LU
+    [2.400, 2.600], // MonteCarlo
+    [2.400, 2.600], // SOR
+    [2.600, 2.600], // Sparse
+    [4.800, 2.200], // hsqldb
+    [1.000, 5.400], // chart
+    [2.200, 6.200], // xalan
+];
+
+/// Latent coordinates for SAR counters on machine B
+/// (see [`latent_positions`]).
+pub const LATENT_MACHINE_B: [[f64; 2]; N_WORKLOADS] = [
+    [8.800, 1.200],
+    [8.600, 5.400],
+    [9.000, 1.000],
+    [7.600, 2.400],
+    [8.800, 1.400],
+    [1.800, 1.800],
+    [2.000, 2.000],
+    [2.000, 1.600],
+    [2.600, 2.400],
+    [1.200, 2.800],
+    [0.600, 4.600],
+    [2.600, 8.600],
+    [3.200, 8.000],
+];
+
+/// Latent coordinates for method utilization (see [`latent_positions`]).
+pub const LATENT_METHODS: [[f64; 2]; N_WORKLOADS] = [
+    [1.594, 1.679],
+    [8.687, 0.241],
+    [8.173, 5.022],
+    [4.302, 9.000],
+    [6.523, 7.936],
+    [2.160, 2.080], // all five SciMark2 workloads share one point:
+    [2.160, 2.080], // the paper observes them mapping to a single
+    [2.160, 2.080], // SOM cell under method utilization
+    [2.160, 2.080],
+    [2.160, 2.080],
+    [7.227, 2.263],
+    [2.595, 3.073],
+    [3.104, 5.309],
+];
 
 /// The published rows of Tables IV, V and VI: `(k, hgm_a, hgm_b, ratio)`.
 pub fn paper_hgm_table(characterization: Characterization) -> Option<[(usize, f64, f64, f64); 7]> {

@@ -15,7 +15,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::machine::Machine;
-use crate::measurement::{self, Characterization};
+use crate::measurement;
 use crate::rng::SimRng;
 use crate::suite::{BenchmarkSuite, Workload};
 use crate::WorkloadError;
@@ -121,9 +121,7 @@ impl MergeScenario {
             });
         }
         let paper = BenchmarkSuite::paper();
-        let base_positions =
-            measurement::latent_positions(Characterization::SarCounters(Machine::A))
-                .expect("machine A geometry exists");
+        let base_positions = measurement::LATENT_MACHINE_A;
 
         let mut workloads: Vec<Workload> = Vec::new();
         let mut a = Vec::new();

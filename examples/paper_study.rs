@@ -118,7 +118,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "recommended cluster count: {} (ratio {:.2})\n",
             analysis.recommended_k(),
-            analysis.recommended_row().ratio()
+            analysis.recommended_row()?.ratio()
         );
         let sm_cluster = analysis.scimark_cluster()?;
         let members: Vec<&str> = sm_cluster.iter().map(|&i| SHORT[i]).collect();

@@ -79,10 +79,13 @@ fn som_rejects_degenerate_inputs() {
     ));
     let mut nan = data.clone();
     nan[(0, 0)] = f64::NAN;
-    assert!(matches!(
-        SomBuilder::new(3, 3).train(&nan).unwrap_err(),
-        SomError::Linalg(LinalgError::NonFinite { .. })
-    ));
+    // Stage-boundary validation reports the exact offending cell.
+    match SomBuilder::new(3, 3).train(&nan).unwrap_err() {
+        SomError::InvalidData { report } => {
+            assert_eq!(report.non_finite_cells(), vec![(0, 0)]);
+        }
+        other => panic!("expected InvalidData, got {other:?}"),
+    }
 }
 
 #[test]
