@@ -6,7 +6,12 @@
 //!                    table4 table5 table6 all
 //!   extensions:      merger jackknife means-family duplication correlation
 //!                    mica evaluation report extensions
-//!   performance:     bench-pipeline (writes BENCH_pipeline.json)
+//!   performance:     bench-pipeline [--baseline <file>]
+//!                    (writes BENCH_pipeline.json; with --baseline, exits
+//!                    nonzero when any stage median regresses > 25% and
+//!                    > 0.5 ms over the stored report)
+//!                    bench-kernels (writes BENCH_kernels.json with the
+//!                    scalar-vs-blocked kernel speedups)
 //!   observability:   trace (writes OBS_trace.json; exits nonzero if any
 //!                    study's SOM did not converge)
 //!   robustness:      faults (writes OBS_faults.json; exits nonzero if any
@@ -22,19 +27,22 @@
 use std::panic::{self, AssertUnwindSafe};
 use std::process::ExitCode;
 
-use hiermeans_bench::{check, experiments, extensions, faults, perf, trace};
+use hiermeans_bench::{check, experiments, extensions, faults, kernels, perf, trace};
 use hiermeans_workload::measurement::Characterization;
 use hiermeans_workload::Machine;
 
 fn run(artifact: &str) -> Result<String, String> {
     if artifact == "bench-pipeline" {
-        return perf::bench_pipeline_json()
+        return run_bench_pipeline(None);
+    }
+    if artifact == "bench-kernels" {
+        return kernels::bench_kernels_json()
             .and_then(|json| {
-                std::fs::write("BENCH_pipeline.json", &json)
-                    .map_err(|e| format!("writing BENCH_pipeline.json: {e}"))?;
-                Ok(format!("wrote BENCH_pipeline.json\n{json}"))
+                std::fs::write("BENCH_kernels.json", &json)
+                    .map_err(|e| format!("writing BENCH_kernels.json: {e}"))?;
+                Ok(format!("wrote BENCH_kernels.json\n{json}"))
             })
-            .map_err(|e| format!("bench-pipeline failed: {e}"));
+            .map_err(|e| format!("bench-kernels failed: {e}"));
     }
     if artifact == "trace" {
         let (document, json, rendered) =
@@ -98,6 +106,34 @@ fn run(artifact: &str) -> Result<String, String> {
     result.map_err(|e| format!("{artifact} failed: {e}"))
 }
 
+/// Runs the pipeline benches, writes `BENCH_pipeline.json`, and — when a
+/// baseline file is given — applies the regression gate: any stage median
+/// more than 25% (and 0.5 ms) over the baseline's fails the run.
+fn run_bench_pipeline(baseline: Option<&str>) -> Result<String, String> {
+    // Parse the baseline before benching (and before the fresh report
+    // lands on disk): the committed baseline conventionally lives at
+    // BENCH_pipeline.json itself, which the write below replaces.
+    let base: Option<perf::PipelineBenchReport> = baseline
+        .map(|path| {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("bench-pipeline: cannot read baseline {path}: {e}"))?;
+            serde_json::from_str(&text)
+                .map_err(|e| format!("bench-pipeline: parsing baseline {path}: {e}"))
+        })
+        .transpose()?;
+    let report = perf::bench_pipeline();
+    let json =
+        serde_json::to_string_pretty(&report).map_err(|e| format!("bench-pipeline failed: {e}"))?;
+    std::fs::write("BENCH_pipeline.json", &json)
+        .map_err(|e| format!("writing BENCH_pipeline.json: {e}"))?;
+    let mut out = format!("wrote BENCH_pipeline.json\n{json}");
+    if let (Some(path), Some(base)) = (baseline, base) {
+        let table = perf::compare_with_baseline(&report, &base)?;
+        out.push_str(&format!("\nregression gate vs {path}: ok\n{table}"));
+    }
+    Ok(out)
+}
+
 /// Validates a matrix file, printing typed diagnostics instead of
 /// panicking on malformed content.
 fn run_check(path: &str) -> Result<String, String> {
@@ -133,13 +169,14 @@ fn main() -> ExitCode {
             "usage: repro <artifact>...\n  paper artifacts: table1 table2 table3 fig3 fig4 \
              fig5 fig6 fig7 fig8 table4 table5 table6 all\n  extensions: merger jackknife \
              means-family duplication correlation mica evaluation report extensions\n  \
-             performance: bench-pipeline (writes BENCH_pipeline.json)\n  \
+             performance: bench-pipeline [--baseline <file>] (writes BENCH_pipeline.json), \
+             bench-kernels (writes BENCH_kernels.json)\n  \
              observability: trace (writes OBS_trace.json)\n  \
              robustness: faults (writes OBS_faults.json), check <file>"
         );
         return ExitCode::FAILURE;
     }
-    let mut args = args.into_iter();
+    let mut args = args.into_iter().peekable();
     while let Some(artifact) = args.next() {
         let outcome = if artifact == "check" {
             let Some(path) = args.next() else {
@@ -147,6 +184,15 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             };
             run_guarded(|| run_check(&path), "check")
+        } else if artifact == "bench-pipeline"
+            && args.peek().map(String::as_str) == Some("--baseline")
+        {
+            args.next();
+            let Some(path) = args.next() else {
+                eprintln!("bench-pipeline: --baseline requires a <file> argument");
+                return ExitCode::FAILURE;
+            };
+            run_guarded(|| run_bench_pipeline(Some(&path)), "bench-pipeline")
         } else {
             run_guarded(|| run(&artifact), &artifact)
         };

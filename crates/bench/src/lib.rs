@@ -12,5 +12,6 @@ pub mod check;
 pub mod experiments;
 pub mod extensions;
 pub mod faults;
+pub mod kernels;
 pub mod perf;
 pub mod trace;

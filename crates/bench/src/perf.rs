@@ -19,7 +19,7 @@ use hiermeans_linalg::parallel;
 use hiermeans_linalg::Matrix;
 use hiermeans_obs::{Collector, ObsConfig};
 use hiermeans_som::{SomBuilder, TrainingMode};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Synthetic workload counts the hot paths are measured at; 13 is the
 /// paper's suite size, the larger sizes show where threading pays off.
@@ -29,7 +29,7 @@ pub const SIZES: [usize; 3] = [13, 128, 1024];
 pub const DIMS: usize = 32;
 
 /// One serial-vs-parallel measurement of a pipeline stage.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StageTiming {
     /// Stage name (`pairwise`, `som_batch`, `paper_pipeline`).
     pub stage: String,
@@ -44,7 +44,7 @@ pub struct StageTiming {
 }
 
 /// The full `BENCH_pipeline.json` document.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PipelineBenchReport {
     /// Worker count used for the parallel measurements.
     pub workers: usize,
@@ -156,6 +156,76 @@ fn som_batch(data: &Matrix) -> hiermeans_som::Som {
         .expect("synthetic data trains")
 }
 
+/// Stage medians above `baseline * (1 + REGRESSION_TOLERANCE)` fail the
+/// regression gate.
+pub const REGRESSION_TOLERANCE: f64 = 0.25;
+
+/// Absolute regression floor in milliseconds: medians within this of the
+/// baseline never fail the gate, so micro-stages (tens of microseconds)
+/// don't flake on scheduler noise.
+pub const REGRESSION_FLOOR_MS: f64 = 0.5;
+
+/// Compares a fresh report against a stored baseline, stage by stage.
+///
+/// A stage regresses when either of its medians (serial or parallel)
+/// exceeds the baseline median by more than [`REGRESSION_TOLERANCE`] *and*
+/// by more than [`REGRESSION_FLOOR_MS`] absolute. Stages present in only
+/// one report are listed but never fail the gate (the benchmark set is
+/// allowed to grow).
+///
+/// # Errors
+///
+/// Returns the rendered comparison as an error when any stage regressed,
+/// so the caller can exit nonzero with the table on stderr.
+pub fn compare_with_baseline(
+    current: &PipelineBenchReport,
+    baseline: &PipelineBenchReport,
+) -> Result<String, String> {
+    let mut out = String::new();
+    let mut regressed = false;
+    out.push_str("stage              n      variant   baseline_ms  current_ms   ratio  verdict\n");
+    for base in &baseline.results {
+        let Some(cur) = current
+            .results
+            .iter()
+            .find(|c| c.stage == base.stage && c.n == base.n)
+        else {
+            out.push_str(&format!(
+                "{:<18} {:<6} (missing from current run)\n",
+                base.stage, base.n
+            ));
+            continue;
+        };
+        for (variant, b_ms, c_ms) in [
+            ("serial", base.serial_ms, cur.serial_ms),
+            ("parallel", base.parallel_ms, cur.parallel_ms),
+        ] {
+            let ratio = c_ms / b_ms;
+            let slow =
+                c_ms > b_ms * (1.0 + REGRESSION_TOLERANCE) && c_ms - b_ms > REGRESSION_FLOOR_MS;
+            regressed |= slow;
+            out.push_str(&format!(
+                "{:<18} {:<6} {:<9} {:>11.3} {:>11.3} {:>7.2}  {}\n",
+                base.stage,
+                base.n,
+                variant,
+                b_ms,
+                c_ms,
+                ratio,
+                if slow { "REGRESSED" } else { "ok" }
+            ));
+        }
+    }
+    if regressed {
+        Err(format!(
+            "performance regression gate failed (> {:.0}% and > {REGRESSION_FLOOR_MS} ms over baseline)\n{out}",
+            REGRESSION_TOLERANCE * 100.0
+        ))
+    } else {
+        Ok(out)
+    }
+}
+
 /// Renders [`bench_pipeline`] as pretty-printed JSON.
 ///
 /// # Errors
@@ -200,6 +270,66 @@ mod tests {
         assert!(json.contains("\"workers\": 4"));
         assert!(json.contains("\"stage\": \"pairwise\""));
         assert!(json.contains("\"speedup\": 2.0"));
+    }
+
+    fn report_with(stage: &str, serial_ms: f64, parallel_ms: f64) -> PipelineBenchReport {
+        PipelineBenchReport {
+            workers: 4,
+            sizes: vec![13],
+            results: vec![StageTiming {
+                stage: stage.into(),
+                n: 13,
+                serial_ms,
+                parallel_ms,
+                speedup: serial_ms / parallel_ms,
+            }],
+        }
+    }
+
+    #[test]
+    fn regression_gate_passes_within_tolerance() {
+        let baseline = report_with("pairwise", 10.0, 5.0);
+        // 20% slower: inside the 25% tolerance.
+        let current = report_with("pairwise", 12.0, 6.0);
+        assert!(compare_with_baseline(&current, &baseline).is_ok());
+        // Faster is always fine.
+        let faster = report_with("pairwise", 5.0, 2.0);
+        assert!(compare_with_baseline(&faster, &baseline).is_ok());
+    }
+
+    #[test]
+    fn regression_gate_fails_beyond_tolerance() {
+        let baseline = report_with("pairwise", 10.0, 5.0);
+        let slow = report_with("pairwise", 14.0, 5.0);
+        let err = compare_with_baseline(&slow, &baseline).unwrap_err();
+        assert!(err.contains("REGRESSED"), "{err}");
+        assert!(err.contains("pairwise"), "{err}");
+    }
+
+    #[test]
+    fn regression_gate_ignores_sub_floor_noise() {
+        // 10x slower but only 0.09 ms absolute: micro-stage noise, not a
+        // regression.
+        let baseline = report_with("pairwise", 0.01, 0.01);
+        let current = report_with("pairwise", 0.1, 0.1);
+        assert!(compare_with_baseline(&current, &baseline).is_ok());
+    }
+
+    #[test]
+    fn regression_gate_tolerates_stage_set_changes() {
+        let baseline = report_with("renamed_stage", 10.0, 5.0);
+        let current = report_with("pairwise", 10.0, 5.0);
+        let table = compare_with_baseline(&current, &baseline).unwrap();
+        assert!(table.contains("missing from current run"), "{table}");
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let report = report_with("som_batch", 3.0, 1.5);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: PipelineBenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.results[0].stage, "som_batch");
+        assert_eq!(back.results[0].serial_ms, 3.0);
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //! benchmark-suite-sized inputs (tens of workloads). Ties are broken toward
 //! the lexicographically smallest `(i, j)` pair so results are deterministic.
 
-use hiermeans_linalg::distance::{pairwise, Metric};
+use hiermeans_linalg::distance::{pairwise_with_policy, Metric};
+use hiermeans_linalg::kernels::KernelPolicy;
 use hiermeans_linalg::Matrix;
 use hiermeans_obs::{Collector, Counter, CounterBuf};
 
@@ -52,6 +53,22 @@ pub fn cluster(
     cluster_traced(points, metric, linkage, &Collector::disabled())
 }
 
+/// [`cluster`] with an explicit [`KernelPolicy`] for the pairwise distance
+/// matrix. [`KernelPolicy::Blocked`] routes (squared-)Euclidean metrics
+/// through the norm-trick kernel; other metrics always take the scalar path.
+///
+/// # Errors
+///
+/// Same as [`cluster`].
+pub fn cluster_with_policy(
+    points: &Matrix,
+    metric: Metric,
+    linkage: Linkage,
+    policy: KernelPolicy,
+) -> Result<Dendrogram, ClusterError> {
+    cluster_traced_with_policy(points, metric, linkage, policy, &Collector::disabled())
+}
+
 /// [`cluster`] with observability: wraps the run in a `cluster.agglomerate`
 /// span (with a nested `cluster.pairwise` span for the distance matrix),
 /// counts pairwise distance evaluations, and records every merge distance
@@ -66,6 +83,23 @@ pub fn cluster_traced(
     linkage: Linkage,
     collector: &Collector,
 ) -> Result<Dendrogram, ClusterError> {
+    cluster_traced_with_policy(points, metric, linkage, KernelPolicy::default(), collector)
+}
+
+/// [`cluster_traced`] with an explicit [`KernelPolicy`] for the pairwise
+/// distance matrix — the fully-parameterized entry point the
+/// characterization pipeline calls.
+///
+/// # Errors
+///
+/// Same as [`cluster`].
+pub fn cluster_traced_with_policy(
+    points: &Matrix,
+    metric: Metric,
+    linkage: Linkage,
+    policy: KernelPolicy,
+    collector: &Collector,
+) -> Result<Dendrogram, ClusterError> {
     if points.is_empty() {
         return Err(ClusterError::EmptyInput);
     }
@@ -78,7 +112,7 @@ pub fn cluster_traced(
     let span = collector.span("cluster.agglomerate");
     let dist = {
         let _pairwise = collector.span("cluster.pairwise");
-        let dist = pairwise(points, metric)?;
+        let dist = pairwise_with_policy(points, metric, policy)?;
         if collector.is_enabled() {
             let n = points.nrows() as u64;
             let mut buf = CounterBuf::new();
@@ -228,6 +262,7 @@ fn validate_distance_matrix(dist: &Matrix) -> Result<(), ClusterError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hiermeans_linalg::distance::pairwise;
 
     fn line_points() -> Matrix {
         Matrix::from_rows(&[vec![0.0], vec![1.0], vec![5.0], vec![6.0]]).unwrap()

@@ -62,22 +62,38 @@ impl SuiteAnalysis {
         characterization: Characterization,
         collector: &Collector,
     ) -> Result<Self, CoreError> {
+        let config = PipelineConfig {
+            collector: collector.clone(),
+            ..PipelineConfig::default()
+        };
+        Self::paper_with_config(characterization, &config)
+    }
+
+    /// [`SuiteAnalysis::paper_with`] with the full pipeline configuration
+    /// exposed — used to run the paper study under a non-default
+    /// [`hiermeans_linalg::kernels::KernelPolicy`] or training mode.
+    /// Observability flows through `config.collector`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SuiteAnalysis::paper`].
+    pub fn paper_with_config(
+        characterization: Characterization,
+        config: &PipelineConfig,
+    ) -> Result<Self, CoreError> {
+        let collector = &config.collector;
         let span = collector.span("analysis");
         let speedups = {
             let _sim = collector.span("analysis.simulate");
             ExecutionSimulator::paper().speedup_table()?
         };
         let vectors = paper_vectors(characterization, collector)?;
-        let config = PipelineConfig {
-            collector: collector.clone(),
-            ..PipelineConfig::default()
-        };
         let result = Self::run(
             BenchmarkSuite::paper(),
             characterization,
             speedups,
             vectors,
-            &config,
+            config,
         );
         drop(span);
         result

@@ -8,6 +8,7 @@
 use hiermeans_cluster::agglomerative;
 use hiermeans_cluster::{ClusterAssignment, Dendrogram, Linkage};
 use hiermeans_linalg::distance::Metric;
+use hiermeans_linalg::kernels::KernelPolicy;
 use hiermeans_linalg::parallel::{self, Chunking};
 use hiermeans_linalg::Matrix;
 use hiermeans_obs::{Collector, Counter, CounterBuf};
@@ -46,6 +47,12 @@ pub struct PipelineConfig {
     pub linkage: Linkage,
     /// Point-to-point metric (the paper uses Euclidean).
     pub metric: Metric,
+    /// Compute-kernel policy for the SOM's BMU searches and the clustering
+    /// stage's pairwise distance matrix. [`KernelPolicy::Blocked`] (the
+    /// default) routes Euclidean hot paths through the norm-trick kernels;
+    /// results are identical to [`KernelPolicy::Scalar`] — same cluster
+    /// assignments, same trace fingerprint — just faster.
+    pub kernel_policy: KernelPolicy,
     /// Observability collector. The default is the disabled no-op handle,
     /// which costs one branch per instrumentation point; pass
     /// [`Collector::enabled`] to capture spans, counters, per-epoch SOM
@@ -64,6 +71,7 @@ impl Default for PipelineConfig {
             training: hiermeans_som::TrainingMode::Online,
             linkage: Linkage::Complete,
             metric: Metric::Euclidean,
+            kernel_policy: KernelPolicy::default(),
             collector: Collector::disabled(),
         }
     }
@@ -190,6 +198,7 @@ pub fn run_pipeline(
                 end: config.sigma_end,
             })
             .mode(config.training)
+            .kernel_policy(config.kernel_policy)
             .train_traced(vectors, collector)?
     };
     let positions = {
@@ -198,7 +207,13 @@ pub fn run_pipeline(
     };
     let dendrogram = {
         let _cluster_span = collector.span("pipeline.cluster");
-        agglomerative::cluster_traced(&positions, config.metric, config.linkage, collector)?
+        agglomerative::cluster_traced_with_policy(
+            &positions,
+            config.metric,
+            config.linkage,
+            config.kernel_policy,
+            collector,
+        )?
     };
     drop(span);
     Ok(PipelineResult {
@@ -216,10 +231,11 @@ pub fn run_pipeline(
 ///
 /// Returns [`CoreError::Cluster`] if clustering fails.
 pub fn run_without_som(vectors: &Matrix, config: &PipelineConfig) -> Result<Dendrogram, CoreError> {
-    Ok(agglomerative::cluster(
+    Ok(agglomerative::cluster_with_policy(
         vectors,
         config.metric,
         config.linkage,
+        config.kernel_policy,
     )?)
 }
 

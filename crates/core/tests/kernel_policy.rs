@@ -1,0 +1,80 @@
+//! End-to-end kernel-policy equivalence on the paper's three studies.
+//!
+//! The blocked kernels are a pure performance change: running the full
+//! suite analysis under [`KernelPolicy::Blocked`] must produce the same
+//! cluster assignments and the same observability trace fingerprint as
+//! [`KernelPolicy::Scalar`] — bit for bit, per study. This is the
+//! acceptance gate that keeps PR 2's fingerprint stability intact.
+
+use hiermeans_core::analysis::{SuiteAnalysis, K_RANGE};
+use hiermeans_core::pipeline::PipelineConfig;
+use hiermeans_linalg::kernels::KernelPolicy;
+use hiermeans_obs::Collector;
+use hiermeans_workload::measurement::Characterization;
+use hiermeans_workload::Machine;
+
+fn paper_studies() -> Vec<(&'static str, Characterization)> {
+    vec![
+        ("sar_machine_a", Characterization::SarCounters(Machine::A)),
+        ("sar_machine_b", Characterization::SarCounters(Machine::B)),
+        ("method_utilization", Characterization::MethodUtilization),
+    ]
+}
+
+fn run_study(characterization: Characterization, policy: KernelPolicy) -> (SuiteAnalysis, String) {
+    let collector = Collector::enabled();
+    let config = PipelineConfig {
+        kernel_policy: policy,
+        collector: collector.clone(),
+        ..PipelineConfig::default()
+    };
+    let analysis =
+        SuiteAnalysis::paper_with_config(characterization, &config).expect("paper study runs");
+    let fingerprint = collector
+        .report()
+        .expect("enabled collector yields a report")
+        .fingerprint();
+    (analysis, fingerprint)
+}
+
+#[test]
+fn blocked_policy_matches_scalar_on_all_paper_studies() {
+    for (label, characterization) in paper_studies() {
+        let (scalar, scalar_fp) = run_study(characterization, KernelPolicy::Scalar);
+        let (blocked, blocked_fp) = run_study(characterization, KernelPolicy::Blocked);
+
+        // Same map positions bit for bit, so the clustering stage sees
+        // identical input.
+        assert_eq!(
+            scalar.pipeline().positions(),
+            blocked.pipeline().positions(),
+            "{label}: SOM positions diverged across kernel policies"
+        );
+        // Same dendrogram, same recommended cluster count, and the same
+        // assignment at every paper cut.
+        assert_eq!(
+            scalar.pipeline().dendrogram(),
+            blocked.pipeline().dendrogram(),
+            "{label}: dendrograms diverged across kernel policies"
+        );
+        assert_eq!(
+            scalar.recommended_k(),
+            blocked.recommended_k(),
+            "{label}: recommended k diverged across kernel policies"
+        );
+        let max_k = (*K_RANGE.end()).min(scalar.suite().len());
+        for k in *K_RANGE.start()..=max_k {
+            assert_eq!(
+                scalar.pipeline().clusters(k).unwrap(),
+                blocked.pipeline().clusters(k).unwrap(),
+                "{label}: cluster assignment at k={k} diverged across kernel policies"
+            );
+        }
+        // The whole trace — spans, counters, per-epoch QE/TE bits, merge
+        // trajectory — is identical.
+        assert_eq!(
+            scalar_fp, blocked_fp,
+            "{label}: trace fingerprints diverged across kernel policies"
+        );
+    }
+}

@@ -6,6 +6,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::kernels::{self, KernelPolicy};
 use crate::LinalgError;
 
 /// A point-to-point distance metric over `f64` vectors.
@@ -187,6 +188,81 @@ fn mirror_upper_to_lower(d: &mut crate::Matrix) {
     }
 }
 
+/// Computes the pairwise distance matrix with an explicit [`KernelPolicy`].
+///
+/// Under [`KernelPolicy::Blocked`] with a (squared) Euclidean metric, each
+/// entry is computed by the norm trick `‖a‖² + ‖b‖² − 2·a·b` with
+/// precomputed row norms and unrolled dot products — roughly half the
+/// memory traffic of the subtract-square loop. The trick reassociates
+/// floating-point sums, so entries agree with [`pairwise`] only to ULP
+/// tolerance (exactly when the inputs are integer-valued, e.g. SOM grid
+/// positions, where every intermediate is exact); values are still
+/// deterministic for a given input and independent of the worker count.
+/// Other metrics, and [`KernelPolicy::Scalar`], fall back to [`pairwise`].
+///
+/// # Errors
+///
+/// Propagates errors from [`Metric::distance`].
+pub fn pairwise_with_policy(
+    points: &crate::Matrix,
+    metric: Metric,
+    policy: KernelPolicy,
+) -> Result<crate::Matrix, LinalgError> {
+    let squared = match (policy, metric) {
+        (KernelPolicy::Blocked, Metric::Euclidean) => false,
+        (KernelPolicy::Blocked, Metric::SquaredEuclidean) => true,
+        _ => return pairwise(points, metric),
+    };
+    let n = points.nrows();
+    let mut norms = vec![0.0; n];
+    kernels::row_sq_norms_into(points, &mut norms);
+    let entry = |i: usize, j: usize| {
+        let d2 =
+            (norms[i] + norms[j] - 2.0 * kernels::dot_fast(points.row(i), points.row(j))).max(0.0);
+        if squared {
+            d2
+        } else {
+            d2.sqrt()
+        }
+    };
+    let mut d = crate::Matrix::zeros(n, n);
+    if n < PAIRWISE_CHUNKING.min_parallel_len || crate::parallel::worker_count() <= 1 {
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = entry(i, j);
+                d[(i, j)] = v;
+                d[(j, i)] = v;
+            }
+        }
+        return Ok(d);
+    }
+    // Same strip decomposition as `pairwise`: per-entry values are a pure
+    // function of (i, j), so the result is identical for any worker count.
+    let chunk_size = PAIRWISE_CHUNKING.chunk_size;
+    let strips = crate::parallel::try_map_chunks(n, PAIRWISE_CHUNKING, |rows| {
+        let mut strip = Vec::with_capacity(rows.clone().map(|i| n - i - 1).sum());
+        for i in rows {
+            for j in (i + 1)..n {
+                strip.push(entry(i, j));
+            }
+        }
+        Ok::<_, LinalgError>(strip)
+    })
+    .map_err(LinalgError::from)?;
+    for (c, strip) in strips.iter().enumerate() {
+        let start = c * chunk_size;
+        let end = ((c + 1) * chunk_size).min(n);
+        let mut offset = 0;
+        for i in start..end {
+            let len = n - i - 1;
+            d.row_mut(i)[(i + 1)..n].copy_from_slice(&strip[offset..offset + len]);
+            offset += len;
+        }
+    }
+    mirror_upper_to_lower(&mut d);
+    Ok(d)
+}
+
 /// The single-threaded reference implementation of [`pairwise`].
 ///
 /// Kept public so property tests and benchmarks can compare the parallel
@@ -331,6 +407,67 @@ mod tests {
             assert_eq!(par, ser, "{metric:?}");
         }
         crate::parallel::set_worker_override(None);
+    }
+
+    #[test]
+    fn blocked_pairwise_exact_on_integer_coordinates() {
+        // SOM map positions are small integer grid coordinates: every norm
+        // and dot is exactly representable, so the norm trick loses nothing
+        // and the blocked path must match the scalar path bit for bit.
+        let mut rows = Vec::new();
+        for x in 0..12 {
+            for y in 0..11 {
+                rows.push(vec![f64::from(x), f64::from(y)]);
+            }
+        }
+        let pts = Matrix::from_rows(&rows).unwrap();
+        for metric in [Metric::Euclidean, Metric::SquaredEuclidean] {
+            let blocked = pairwise_with_policy(&pts, metric, KernelPolicy::Blocked).unwrap();
+            let scalar = pairwise(&pts, metric).unwrap();
+            assert_eq!(blocked, scalar, "{metric:?}");
+        }
+    }
+
+    #[test]
+    fn blocked_pairwise_within_ulp_band_on_real_data() {
+        let pts = big_matrix(70, 9);
+        let blocked =
+            pairwise_with_policy(&pts, Metric::SquaredEuclidean, KernelPolicy::Blocked).unwrap();
+        let scalar = pairwise(&pts, Metric::SquaredEuclidean).unwrap();
+        let mut norms = vec![0.0; 70];
+        crate::kernels::row_sq_norms_into(&pts, &mut norms);
+        for i in 0..70 {
+            for j in 0..70 {
+                let band = crate::kernels::candidate_band(9, norms[i], norms[j]);
+                assert!(
+                    (blocked[(i, j)] - scalar[(i, j)]).abs() <= band,
+                    "({i},{j}): {} vs {}",
+                    blocked[(i, j)],
+                    scalar[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_pairwise_worker_count_invariant() {
+        let pts = big_matrix(80, 5);
+        crate::parallel::set_worker_override(Some(4));
+        let par = pairwise_with_policy(&pts, Metric::Euclidean, KernelPolicy::Blocked).unwrap();
+        crate::parallel::set_worker_override(Some(1));
+        let ser = pairwise_with_policy(&pts, Metric::Euclidean, KernelPolicy::Blocked).unwrap();
+        crate::parallel::set_worker_override(None);
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn scalar_policy_and_foreign_metric_fall_back() {
+        let pts = big_matrix(20, 4);
+        let scalar = pairwise_with_policy(&pts, Metric::Euclidean, KernelPolicy::Scalar).unwrap();
+        assert_eq!(scalar, pairwise(&pts, Metric::Euclidean).unwrap());
+        let manhattan =
+            pairwise_with_policy(&pts, Metric::Manhattan, KernelPolicy::Blocked).unwrap();
+        assert_eq!(manhattan, pairwise(&pts, Metric::Manhattan).unwrap());
     }
 
     #[test]

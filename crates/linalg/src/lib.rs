@@ -17,6 +17,9 @@
 //!   (the paper initializes unit weights from the two major principal
 //!   components) and as the dimension-reduction baseline the paper compares
 //!   SOM against.
+//! * [`kernels`] — cache-blocked compute kernels (matmul/syrk, norm-trick
+//!   batched distances) behind the hot paths, selected by
+//!   [`kernels::KernelPolicy`].
 //!
 //! # Example
 //!
@@ -41,12 +44,14 @@
 #![warn(missing_debug_implementations)]
 #![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(clippy::needless_range_loop, clippy::redundant_clone)]
 
 mod error;
 mod matrix;
 
 pub mod distance;
 pub mod eigen;
+pub mod kernels;
 pub mod parallel;
 pub mod pca;
 pub mod scale;

@@ -151,6 +151,11 @@ impl Matrix {
 
     /// Returns column `c` as an owned vector.
     ///
+    /// **Deprecated pattern**: this allocates a fresh `Vec` on every call,
+    /// which turns column sweeps (PCA, scalers) into allocation churn. New
+    /// code should use [`Matrix::col_iter`] to stream a column, or
+    /// [`Matrix::col_into`] to fill a reusable buffer.
+    ///
     /// # Panics
     ///
     /// Panics if `c >= ncols()`.
@@ -161,6 +166,40 @@ impl Matrix {
             self.cols
         );
         (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Copies column `c` into `out` without allocating.
+    ///
+    /// This is the allocation-free replacement for [`Matrix::col`] at call
+    /// sites that sweep columns with a reusable scratch buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= ncols()` or `out.len() != nrows()`.
+    pub fn col_into(&self, c: usize, out: &mut [f64]) {
+        assert!(
+            c < self.cols,
+            "column index {c} out of bounds ({})",
+            self.cols
+        );
+        assert_eq!(out.len(), self.rows, "column buffer length");
+        for (o, row) in out.iter_mut().zip(self.rows_iter()) {
+            *o = row[c];
+        }
+    }
+
+    /// Iterates over the entries of column `c` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= ncols()`.
+    pub fn col_iter(&self, c: usize) -> impl Iterator<Item = f64> + '_ {
+        assert!(
+            c < self.cols,
+            "column index {c} out of bounds ({})",
+            self.cols
+        );
+        self.rows_iter().map(move |row| row[c])
     }
 
     /// Iterates over the rows as slices.
@@ -176,6 +215,12 @@ impl Matrix {
     /// Consumes the matrix and returns the underlying row-major data.
     pub fn into_vec(self) -> Vec<f64> {
         self.data
+    }
+
+    /// Overwrites every entry with `value` (used to reset reusable scratch
+    /// accumulators without reallocating).
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
     }
 
     /// Returns `true` if every entry is finite.
@@ -196,30 +241,15 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
+    /// Runs the cache-blocked kernel from [`crate::kernels`]; results are
+    /// bitwise identical to the naive triple loop for finite inputs (the
+    /// per-cell summation order is preserved), just faster.
+    ///
     /// # Errors
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `self.ncols() != rhs.nrows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
-        if self.cols != rhs.rows {
-            return Err(LinalgError::ShapeMismatch {
-                left: self.shape(),
-                right: rhs.shape(),
-                op: "matmul",
-            });
-        }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                for j in 0..rhs.cols {
-                    out[(i, j)] += a * rhs[(k, j)];
-                }
-            }
-        }
-        Ok(out)
+        crate::kernels::matmul(self, rhs)
     }
 
     /// Matrix-vector product `self * v`.
@@ -294,19 +324,21 @@ impl Matrix {
         }
         let n = self.rows as f64;
         let means: Vec<f64> = (0..self.cols)
-            .map(|c| self.col(c).iter().sum::<f64>() / n)
+            .map(|c| self.col_iter(c).sum::<f64>() / n)
             .collect();
-        let mut cov = Matrix::zeros(self.cols, self.cols);
-        for i in 0..self.cols {
-            for j in i..self.cols {
-                let mut s = 0.0;
-                for r in 0..self.rows {
-                    s += (self[(r, i)] - means[i]) * (self[(r, j)] - means[j]);
-                }
-                let v = s / (n - 1.0);
-                cov[(i, j)] = v;
-                cov[(j, i)] = v;
+        // Center once, then run the blocked syrk kernel. The kernel adds the
+        // per-row contributions for each (i, j) cell in ascending row order —
+        // the same association as the scalar accumulation this replaces — so
+        // the result is bitwise identical.
+        let mut centered = self.clone();
+        for row in centered.data.chunks_exact_mut(self.cols) {
+            for (v, m) in row.iter_mut().zip(&means) {
+                *v -= m;
             }
+        }
+        let mut cov = crate::kernels::syrk_rows(&centered);
+        for v in &mut cov.data {
+            *v /= n - 1.0;
         }
         Ok(cov)
     }
@@ -466,6 +498,22 @@ mod tests {
         assert_eq!(m[(1, 0)], 4.0);
         assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
         assert_eq!(m.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn col_into_and_iter_match_col() {
+        let m = sample();
+        let mut buf = vec![0.0; 2];
+        m.col_into(1, &mut buf);
+        assert_eq!(buf, m.col(1));
+        let streamed: Vec<f64> = m.col_iter(1).collect();
+        assert_eq!(streamed, m.col(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "column buffer length")]
+    fn col_into_rejects_wrong_len() {
+        sample().col_into(0, &mut [0.0; 3]);
     }
 
     #[test]

@@ -131,19 +131,23 @@ impl Pca {
 
         let mut components = Matrix::zeros(n_components, data.ncols());
         let mut explained_variance = Vec::with_capacity(n_components);
+        // Scratch buffers reused across components: the eigenvector u and the
+        // recovered axis v (no per-component allocation).
+        let mut u = vec![0.0; n];
+        let mut v = vec![0.0; data.ncols()];
         for k in 0..n_components {
             let lambda = eigen.values[k].max(0.0);
             explained_variance.push(lambda);
-            let u = eigen.vectors.col(k);
+            eigen.vectors.col_into(k, &mut u);
             // v = Xcᵀ u, normalized.
-            let mut v = vec![0.0; data.ncols()];
-            for r in 0..n {
+            v.fill(0.0);
+            for (r, row) in xc.rows_iter().enumerate() {
                 let ur = u[r];
                 if ur == 0.0 {
                     continue;
                 }
-                for c in 0..data.ncols() {
-                    v[c] += ur * xc[(r, c)];
+                for (vc, &x) in v.iter_mut().zip(row) {
+                    *vc += ur * x;
                 }
             }
             let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
@@ -152,9 +156,7 @@ impl Pca {
                     *x /= norm;
                 }
             }
-            for c in 0..data.ncols() {
-                components[(k, c)] = v[c];
-            }
+            components.row_mut(k).copy_from_slice(&v);
         }
         Ok(Pca {
             components,
@@ -251,7 +253,7 @@ impl Pca {
 
 fn column_means(data: &Matrix) -> Vec<f64> {
     (0..data.ncols())
-        .map(|c| data.col(c).iter().sum::<f64>() / data.nrows() as f64)
+        .map(|c| data.col_iter(c).sum::<f64>() / data.nrows() as f64)
         .collect()
 }
 

@@ -56,8 +56,11 @@ impl Standardizer {
         }
         let mut means = Vec::with_capacity(data.ncols());
         let mut stds = Vec::with_capacity(data.ncols());
+        // One column buffer reused for every sweep instead of a fresh Vec
+        // per column (the old `Matrix::col` pattern).
+        let mut col = vec![0.0; data.nrows()];
         for c in 0..data.ncols() {
-            let col = data.col(c);
+            data.col_into(c, &mut col);
             means.push(stats::mean(&col)?);
             let sd = stats::std_dev(&col)?;
             stds.push(if sd > 0.0 { sd } else { 1.0 });
@@ -161,8 +164,10 @@ impl MinMaxScaler {
         }
         let mut mins = Vec::with_capacity(data.ncols());
         let mut ranges = Vec::with_capacity(data.ncols());
+        let mut col = vec![0.0; data.nrows()];
         for c in 0..data.ncols() {
-            let (lo, hi) = stats::min_max(&data.col(c))?;
+            data.col_into(c, &mut col);
+            let (lo, hi) = stats::min_max(&col)?;
             mins.push(lo);
             ranges.push(if hi > lo { hi - lo } else { 1.0 });
         }

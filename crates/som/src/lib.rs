@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![deny(clippy::needless_range_loop, clippy::redundant_clone)]
 #![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
@@ -56,6 +57,7 @@ pub mod umatrix;
 
 pub use error::SomError;
 pub use grid::{Grid, GridTopology};
+pub use hiermeans_linalg::kernels::KernelPolicy;
 pub use kernel::NeighborhoodKernel;
 pub use schedule::{DecaySchedule, ScheduleError};
 pub use train::{Initializer, Som, SomBuilder, TrainingMode};

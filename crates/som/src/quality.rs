@@ -14,14 +14,10 @@
 //! is what keeps per-epoch convergence telemetry from doubling training's
 //! O(epochs·n·cells) BMU work.
 
-use hiermeans_linalg::parallel::{self, Chunking};
 use hiermeans_linalg::Matrix;
 
 use crate::train::Som;
 use crate::SomError;
-
-/// Chunking for the cached BMU pass — same policy as the trainer's search.
-const BMU_CHUNKING: Chunking = Chunking::new(64, 256);
 
 /// One sample's cached BMU search result.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,9 +38,10 @@ pub struct BmuTable {
 }
 
 impl BmuTable {
-    /// Runs one best-two search pass over every row of `data`,
-    /// parallelized over row chunks (bitwise identical for any worker
-    /// count — each row's search is independent).
+    /// Runs one best-two search pass over every row of `data` via
+    /// [`Som::bmu_batch`] — parallelized over row chunks and routed through
+    /// the map's [`hiermeans_linalg::kernels::KernelPolicy`] (bitwise
+    /// identical for any worker count and either policy).
     ///
     /// # Errors
     ///
@@ -54,16 +51,9 @@ impl BmuTable {
         if data.is_empty() {
             return Err(SomError::EmptyData);
         }
-        let hits = parallel::try_map_items(data.nrows(), BMU_CHUNKING, |r| {
-            som.best_two_with_distance(data.row(r))
-                .map(|((best, best_distance), (second, _))| BmuHit {
-                    best,
-                    second,
-                    best_distance,
-                })
+        Ok(BmuTable {
+            hits: som.bmu_batch(data)?,
         })
-        .map_err(SomError::from)?;
-        Ok(BmuTable { hits })
     }
 
     /// The per-sample hits, in row order.

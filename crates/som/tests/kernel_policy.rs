@@ -1,0 +1,114 @@
+//! Kernel-policy equivalence guarantees for the SOM.
+//!
+//! [`KernelPolicy::Blocked`] accelerates the BMU search with norm-trick
+//! pruning plus an exact scalar refinement pass, so its observable results
+//! — BMU indices, runner-ups, distances, and every trained weight — must
+//! be *bitwise* identical to [`KernelPolicy::Scalar`]'s. These properties
+//! are what let PR 1's determinism guarantees and PR 2's trace fingerprint
+//! equality survive the kernel layer.
+
+use hiermeans_linalg::Matrix;
+use hiermeans_som::{KernelPolicy, SomBuilder, TrainingMode};
+use proptest::prelude::*;
+
+fn finite_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1e2..1e2f64, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("len matches"))
+}
+
+proptest! {
+    #[test]
+    fn bmu_batch_agrees_exactly_across_policies(
+        data in finite_matrix(9, 4),
+        queries in finite_matrix(17, 4),
+        seed in 0u64..1000,
+    ) {
+        let scalar = SomBuilder::new(4, 5)
+            .seed(seed)
+            .epochs(5)
+            .kernel_policy(KernelPolicy::Scalar)
+            .train(&data)
+            .unwrap();
+        let blocked = scalar.clone().with_kernel_policy(KernelPolicy::Blocked);
+        let hits_scalar = scalar.bmu_batch(&queries).unwrap();
+        let hits_blocked = blocked.bmu_batch(&queries).unwrap();
+        // Exact agreement: same unit indices AND the same distance bits.
+        prop_assert_eq!(hits_scalar, hits_blocked);
+    }
+
+    #[test]
+    fn online_training_is_bitwise_identical_across_policies(
+        data in finite_matrix(8, 3),
+        seed in 0u64..1000,
+    ) {
+        let train = |policy| {
+            SomBuilder::new(3, 4)
+                .seed(seed)
+                .epochs(12)
+                .mode(TrainingMode::Online)
+                .kernel_policy(policy)
+                .train(&data)
+                .unwrap()
+        };
+        let scalar = train(KernelPolicy::Scalar);
+        let blocked = train(KernelPolicy::Blocked);
+        prop_assert_eq!(scalar.weights().as_slice(), blocked.weights().as_slice());
+        prop_assert_eq!(
+            scalar.map_rows(&data).unwrap(),
+            blocked.map_rows(&data).unwrap()
+        );
+    }
+
+    #[test]
+    fn batch_training_is_bitwise_identical_across_policies(
+        data in finite_matrix(10, 3),
+        seed in 0u64..1000,
+    ) {
+        let train = |policy| {
+            SomBuilder::new(3, 4)
+                .seed(seed)
+                .epochs(8)
+                .mode(TrainingMode::Batch)
+                .kernel_policy(policy)
+                .train(&data)
+                .unwrap()
+        };
+        let scalar = train(KernelPolicy::Scalar);
+        let blocked = train(KernelPolicy::Blocked);
+        prop_assert_eq!(scalar.weights().as_slice(), blocked.weights().as_slice());
+    }
+}
+
+#[test]
+fn policy_roundtrips_through_serialization_and_defaults_blocked() {
+    let data = Matrix::from_rows(&[
+        vec![0.0, 0.0],
+        vec![1.0, 0.5],
+        vec![0.5, 1.0],
+        vec![1.0, 1.0],
+    ])
+    .unwrap();
+    let som = SomBuilder::new(3, 3)
+        .seed(1)
+        .epochs(4)
+        .train(&data)
+        .unwrap();
+    assert_eq!(som.kernel_policy(), KernelPolicy::Blocked);
+    let json = serde_json::to_string(&som).unwrap();
+    let back: hiermeans_som::Som = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.kernel_policy(), KernelPolicy::Blocked);
+    assert_eq!(back.weights().as_slice(), som.weights().as_slice());
+    // A document written before the field existed still loads (the field
+    // falls back to its default).
+    let mut value: serde::Value = serde_json::from_str(&json).unwrap();
+    if let serde::Value::Object(entries) = &mut value {
+        let before = entries.len();
+        entries.retain(|(k, _)| k != "kernel_policy");
+        assert_eq!(entries.len(), before - 1, "field not stripped");
+    } else {
+        panic!("expected an object");
+    }
+    let stripped = serde_json::to_string(&value).unwrap();
+    let legacy: hiermeans_som::Som = serde_json::from_str(&stripped).unwrap();
+    assert_eq!(legacy.kernel_policy(), KernelPolicy::Blocked);
+}

@@ -1,0 +1,126 @@
+//! Steady-state training epochs perform zero heap allocations.
+//!
+//! The trainers preallocate their scratch up front (`SearchScratch` for the
+//! blocked BMU search, `BatchScratch` for the batch accumulators), so on the
+//! serial path every allocation happens during setup: training for more
+//! epochs must allocate exactly as much as training for one. A counting
+//! global allocator makes that a hard test rather than a code-review claim.
+//!
+//! This lives in its own integration-test binary because a
+//! `#[global_allocator]` is process-wide.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hiermeans_linalg::{parallel, Matrix};
+use hiermeans_som::{KernelPolicy, SomBuilder, TrainingMode};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+std::thread_local! {
+    /// Only allocations made *by the measuring thread* are counted. The
+    /// libtest harness's main thread lazily allocates its channel-blocking
+    /// context the first time its `CompletedTest` receive actually parks —
+    /// a 2-allocation one-shot that races into whichever measurement
+    /// window is open when it fires. The training under test is pinned
+    /// serial, so its allocations all happen on this thread.
+    static MEASURING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn count() {
+    // try_with: TLS may be unavailable during thread teardown; those
+    // allocations belong to no measurement window anyway.
+    if MEASURING.try_with(Cell::get).unwrap_or(false) {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    MEASURING.with(|m| m.set(true));
+    f();
+    MEASURING.with(|m| m.set(false));
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+fn sample_data() -> Matrix {
+    // Small and fixed: n < the parallel threshold, so both trainers take
+    // the serial scratch path this test is about.
+    let rows: Vec<Vec<f64>> = (0..24)
+        .map(|i| {
+            let x = f64::from(i % 5);
+            let y = f64::from(i / 5);
+            vec![x, y * 0.5, x * 0.25 + y]
+        })
+        .collect();
+    Matrix::from_rows(&rows).unwrap()
+}
+
+fn allocations_for(mode: TrainingMode, policy: KernelPolicy, epochs: usize) -> u64 {
+    let data = sample_data();
+    allocations_during(|| {
+        let som = SomBuilder::new(4, 4)
+            .seed(11)
+            .epochs(epochs)
+            .mode(mode)
+            .kernel_policy(policy)
+            .train(&data)
+            .unwrap();
+        std::hint::black_box(&som);
+    })
+}
+
+/// Training for many epochs allocates exactly as much as training for one:
+/// all per-epoch work runs on preallocated scratch.
+#[test]
+fn steady_state_epochs_allocate_nothing() {
+    // Pin to one worker so the serial path is taken regardless of the
+    // machine the test runs on.
+    parallel::set_worker_override(Some(1));
+    let configs = [
+        (TrainingMode::Online, KernelPolicy::Blocked),
+        (TrainingMode::Online, KernelPolicy::Scalar),
+        (TrainingMode::Batch, KernelPolicy::Blocked),
+        (TrainingMode::Batch, KernelPolicy::Scalar),
+    ];
+    for (mode, policy) in configs {
+        // Warm-up run absorbs one-time lazy initialization anywhere in the
+        // process (thread-local RNG state, allocator internals).
+        allocations_for(mode, policy, 1);
+        let one = allocations_for(mode, policy, 1);
+        let many = allocations_for(mode, policy, 51);
+        assert_eq!(
+            many, one,
+            "{mode:?}/{policy:?}: 51 epochs allocated {many}, 1 epoch {one} — \
+             steady-state epochs must not allocate"
+        );
+    }
+    parallel::set_worker_override(None);
+}

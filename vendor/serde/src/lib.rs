@@ -107,6 +107,24 @@ pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
     }
 }
 
+/// Like [`field`], but a field absent from the object falls back to
+/// `T::default()` — the behavior of `#[serde(default)]`, used for
+/// forward-compatible deserialization of artifacts written before the
+/// field existed.
+pub fn field_or_default<T: Deserialize + Default>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v.get(name) {
+        Some(inner) => {
+            T::from_value(inner).map_err(|e| DeError::new(format!("field `{name}`: {}", e.message)))
+        }
+        None => match v {
+            Value::Object(_) => Ok(T::default()),
+            _ => Err(DeError::new(format!(
+                "expected an object with field `{name}`"
+            ))),
+        },
+    }
+}
+
 // ---- Serialize impls for primitives and containers ----
 
 impl Serialize for bool {

@@ -10,13 +10,13 @@
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derives `serde::Serialize` by rendering the type into `serde::Value`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, Mode::Serialize)
 }
 
 /// Derives `serde::Deserialize` by rebuilding the type from `serde::Value`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, Mode::Deserialize)
 }
@@ -40,8 +40,15 @@ enum Item {
 
 enum Fields {
     Unit,
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
+}
+
+/// A named field plus the subset of `#[serde(...)]` attributes the shim
+/// honors (`default` only — enough for forward-compatible new fields).
+struct Field {
+    name: String,
+    default: bool,
 }
 
 fn expand(input: TokenStream, mode: Mode) -> TokenStream {
@@ -134,14 +141,59 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
+/// Like [`skip_attrs_and_vis`], but reports whether any of the skipped
+/// attributes was `#[serde(default)]`.
+fn scan_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut default = false;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // `#`
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if attr_is_serde_default(g.stream()) {
+                        default = true;
+                    }
+                    *i += 1; // `[...]`
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return default,
+        }
+    }
+}
+
+/// Recognizes the attribute body `serde(default)` (within `#[...]`).
+fn attr_is_serde_default(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            g.stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(ref id) if id.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
 /// Extracts field names from `name: Type, ...`, tracking `<`/`>` depth so
-/// commas inside generic arguments do not split fields.
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+/// commas inside generic arguments do not split fields. A preceding
+/// `#[serde(default)]` attribute marks the field as defaultable.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let default = scan_attrs_and_vis(&tokens, &mut i);
         if i >= tokens.len() {
             break;
         }
@@ -153,7 +205,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
         if !matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
             return Err(format!("expected `:` after field `{name}`"));
         }
-        fields.push(name);
+        fields.push(Field { name, default });
         // Skip the type: advance to the next comma at angle-bracket depth 0.
         let mut depth: i32 = 0;
         while i < tokens.len() {
@@ -240,13 +292,27 @@ fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> 
 
 // ---- code generation ----
 
+/// Renders one named-field initializer for deserialization, honoring the
+/// field's `#[serde(default)]` flag.
+fn field_de_init(f: &Field, source: &str) -> String {
+    let name = &f.name;
+    if f.default {
+        format!("{name}: serde::field_or_default({source}, {name:?})?")
+    } else {
+        format!("{name}: serde::field({source}, {name:?})?")
+    }
+}
+
 fn struct_ser(name: &str, fields: &Fields) -> String {
     let body = match fields {
         Fields::Unit => "serde::Value::Null".to_string(),
         Fields::Named(names) => {
             let entries: Vec<String> = names
                 .iter()
-                .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value(&self.{f}))"))
+                .map(|f| {
+                    let f = &f.name;
+                    format!("({f:?}.to_string(), serde::Serialize::to_value(&self.{f}))")
+                })
                 .collect();
             format!("serde::Value::Object(vec![{}])", entries.join(", "))
         }
@@ -274,10 +340,7 @@ fn struct_de(name: &str, fields: &Fields) -> String {
              }}"
         ),
         Fields::Named(names) => {
-            let inits: Vec<String> = names
-                .iter()
-                .map(|f| format!("{f}: serde::field(v, {f:?})?"))
-                .collect();
+            let inits: Vec<String> = names.iter().map(|f| field_de_init(f, "v")).collect();
             format!("Ok({name} {{ {} }})", inits.join(", "))
         }
         Fields::Tuple(1) => {
@@ -328,10 +391,17 @@ fn enum_ser(name: &str, variants: &[(String, Fields)]) -> String {
                 )
             }
             Fields::Named(fields) => {
-                let binds = fields.join(", ");
+                let binds = fields
+                    .iter()
+                    .map(|f| f.name.clone())
+                    .collect::<Vec<_>>()
+                    .join(", ");
                 let entries: Vec<String> = fields
                     .iter()
-                    .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value({f}))"))
+                    .map(|f| {
+                        let f = &f.name;
+                        format!("({f:?}.to_string(), serde::Serialize::to_value({f}))")
+                    })
                     .collect();
                 format!(
                     "{name}::{v} {{ {binds} }} => serde::Value::Object(vec![({v:?}.to_string(), \
@@ -379,10 +449,7 @@ fn enum_de(name: &str, variants: &[(String, Fields)]) -> String {
                 ))
             }
             Fields::Named(fields) => {
-                let inits: Vec<String> = fields
-                    .iter()
-                    .map(|f| format!("{f}: serde::field(inner, {f:?})?"))
-                    .collect();
+                let inits: Vec<String> = fields.iter().map(|f| field_de_init(f, "inner")).collect();
                 Some(format!(
                     "{v:?} => Ok({name}::{v} {{ {} }}),",
                     inits.join(", ")
