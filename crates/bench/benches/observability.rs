@@ -1,13 +1,16 @@
 //! Observability overhead: the paper pipeline with the collector disabled
-//! (the default no-op handle), enabled with spans + counters only, and
-//! enabled with per-epoch quality sampling.
+//! (the default no-op handle), enabled with spans + counters only, enabled
+//! with worker-lane recording on top, and enabled with per-epoch quality
+//! sampling.
 //!
 //! The contract this guards: a disabled collector costs one branch per
 //! instrumentation point (~0% on pipeline scale), and an enabled collector
 //! without quality sampling stays under ~2% (it only takes the state lock
-//! at epoch/stage granularity). Per-epoch quality sampling is *expected* to
-//! cost more — it adds one shared BMU pass per sampled epoch — which is why
-//! it is a separate configuration, not the default.
+//! at epoch/stage granularity). Lane recording must be within noise of
+//! lanes-off — per chunk it is two clock reads and one push into a
+//! pre-allocated buffer. Per-epoch quality sampling is *expected* to cost
+//! more — it adds one shared BMU pass per sampled epoch — which is why it
+//! is a separate configuration, not the default.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hiermeans_core::pipeline::{run_pipeline, PipelineConfig};
@@ -30,6 +33,19 @@ fn bench_overhead(c: &mut Criterion) {
             let config = PipelineConfig {
                 collector: Collector::enabled_with(ObsConfig {
                     epoch_quality_stride: 0,
+                    lanes: false,
+                }),
+                ..PipelineConfig::default()
+            };
+            run_pipeline(vectors.matrix(), &config).unwrap()
+        })
+    });
+    group.bench_function("pipeline_enabled_lanes", |b| {
+        b.iter(|| {
+            let config = PipelineConfig {
+                collector: Collector::enabled_with(ObsConfig {
+                    epoch_quality_stride: 0,
+                    lanes: true,
                 }),
                 ..PipelineConfig::default()
             };

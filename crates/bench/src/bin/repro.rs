@@ -12,8 +12,16 @@
 //!                    > 0.5 ms over the stored report)
 //!                    bench-kernels (writes BENCH_kernels.json with the
 //!                    scalar-vs-blocked kernel speedups)
-//!   observability:   trace (writes OBS_trace.json; exits nonzero if any
-//!                    study's SOM did not converge)
+//!   observability:   trace [--prom <file>] (writes OBS_trace.json; exits
+//!                    nonzero if any study's SOM did not converge; with
+//!                    --prom, also writes the document in Prometheus text
+//!                    exposition format)
+//!                    profile (writes OBS_profile.json with per-worker
+//!                    lane timelines, occupancy, and parallel efficiency,
+//!                    plus OBS_profile.trace.json in Chrome trace-event
+//!                    format, loadable in Perfetto)
+//!                    check-trace <file> (validates a Chrome trace-event
+//!                    file's shape: every event has ph/ts/dur/tid)
 //!   robustness:      faults (writes OBS_faults.json; exits nonzero if any
 //!                    injected fault is not absorbed)
 //!                    check <file> (validates a CSV/whitespace matrix and
@@ -27,7 +35,7 @@
 use std::panic::{self, AssertUnwindSafe};
 use std::process::ExitCode;
 
-use hiermeans_bench::{check, experiments, extensions, faults, kernels, perf, trace};
+use hiermeans_bench::{check, experiments, extensions, faults, kernels, perf, profile, trace};
 use hiermeans_workload::measurement::Characterization;
 use hiermeans_workload::Machine;
 
@@ -45,14 +53,18 @@ fn run(artifact: &str) -> Result<String, String> {
             .map_err(|e| format!("bench-kernels failed: {e}"));
     }
     if artifact == "trace" {
-        let (document, json, rendered) =
-            trace::trace_artifact().map_err(|e| format!("trace failed: {e}"))?;
-        std::fs::write("OBS_trace.json", &json)
-            .map_err(|e| format!("writing OBS_trace.json: {e}"))?;
-        if !document.all_converged() {
-            return Err(format!("trace: SOM convergence gate failed\n{rendered}"));
-        }
-        return Ok(format!("wrote OBS_trace.json\n{rendered}"));
+        return run_trace(None);
+    }
+    if artifact == "profile" {
+        let (_document, json, chrome_json, rendered) =
+            profile::profile_artifact().map_err(|e| format!("profile failed: {e}"))?;
+        std::fs::write("OBS_profile.json", &json)
+            .map_err(|e| format!("writing OBS_profile.json: {e}"))?;
+        std::fs::write("OBS_profile.trace.json", &chrome_json)
+            .map_err(|e| format!("writing OBS_profile.trace.json: {e}"))?;
+        return Ok(format!(
+            "wrote OBS_profile.json and OBS_profile.trace.json\n{rendered}"
+        ));
     }
     if artifact == "faults" {
         let (_document, json, rendered) =
@@ -134,6 +146,36 @@ fn run_bench_pipeline(baseline: Option<&str>) -> Result<String, String> {
     Ok(out)
 }
 
+/// Runs the traced paper studies, writes `OBS_trace.json` (and, when
+/// `--prom` was given, the Prometheus text exposition), and applies the SOM
+/// convergence gate.
+fn run_trace(prom: Option<&str>) -> Result<String, String> {
+    let (document, json, rendered) =
+        trace::trace_artifact().map_err(|e| format!("trace failed: {e}"))?;
+    std::fs::write("OBS_trace.json", &json).map_err(|e| format!("writing OBS_trace.json: {e}"))?;
+    let mut wrote = "wrote OBS_trace.json".to_owned();
+    if let Some(path) = prom {
+        let text = hiermeans_obs::prom::to_prometheus(&document);
+        std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+        wrote.push_str(&format!(" and {path}"));
+    }
+    if !document.all_converged() {
+        return Err(format!("trace: SOM convergence gate failed\n{rendered}"));
+    }
+    Ok(format!("{wrote}\n{rendered}"))
+}
+
+/// Validates a Chrome trace-event file (`repro check-trace <file>`): every
+/// event must be a complete `ph: "X"` duration event with numeric
+/// `ts`/`dur`/`pid`/`tid` — the shape Perfetto's importer requires.
+fn run_check_trace(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("check-trace: cannot read {path}: {e}"))?;
+    let events =
+        hiermeans_obs::chrome::validate(&text).map_err(|e| format!("check-trace {path}: {e}"))?;
+    Ok(format!("{path}: ok ({events} trace events)"))
+}
+
 /// Validates a matrix file, printing typed diagnostics instead of
 /// panicking on malformed content.
 fn run_check(path: &str) -> Result<String, String> {
@@ -171,7 +213,9 @@ fn main() -> ExitCode {
              means-family duplication correlation mica evaluation report extensions\n  \
              performance: bench-pipeline [--baseline <file>] (writes BENCH_pipeline.json), \
              bench-kernels (writes BENCH_kernels.json)\n  \
-             observability: trace (writes OBS_trace.json)\n  \
+             observability: trace [--prom <file>] (writes OBS_trace.json), \
+             profile (writes OBS_profile.json + OBS_profile.trace.json), \
+             check-trace <file>\n  \
              robustness: faults (writes OBS_faults.json), check <file>"
         );
         return ExitCode::FAILURE;
@@ -184,6 +228,19 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             };
             run_guarded(|| run_check(&path), "check")
+        } else if artifact == "check-trace" {
+            let Some(path) = args.next() else {
+                eprintln!("check-trace: missing <file> argument");
+                return ExitCode::FAILURE;
+            };
+            run_guarded(|| run_check_trace(&path), "check-trace")
+        } else if artifact == "trace" && args.peek().map(String::as_str) == Some("--prom") {
+            args.next();
+            let Some(path) = args.next() else {
+                eprintln!("trace: --prom requires a <file> argument");
+                return ExitCode::FAILURE;
+            };
+            run_guarded(|| run_trace(Some(&path)), "trace")
         } else if artifact == "bench-pipeline"
             && args.peek().map(String::as_str) == Some("--baseline")
         {

@@ -14,4 +14,5 @@ pub mod extensions;
 pub mod faults;
 pub mod kernels;
 pub mod perf;
+pub mod profile;
 pub mod trace;

@@ -17,7 +17,7 @@ use hiermeans_core::pipeline::{run_pipeline, PipelineConfig};
 use hiermeans_linalg::distance::{pairwise, Metric};
 use hiermeans_linalg::parallel;
 use hiermeans_linalg::Matrix;
-use hiermeans_obs::{Collector, ObsConfig};
+use hiermeans_obs::{stages, Collector, ObsConfig};
 use hiermeans_som::{SomBuilder, TrainingMode};
 use serde::{Deserialize, Serialize};
 
@@ -28,10 +28,20 @@ pub const SIZES: [usize; 3] = [13, 128, 1024];
 /// Dimensionality of the synthetic characteristic vectors.
 pub const DIMS: usize = 32;
 
+/// The stage names `BENCH_pipeline.json` reports. These are the *same*
+/// span names the instrumented pipeline emits into `OBS_trace.json` (see
+/// [`hiermeans_obs::stages`]), so the two artifacts can never drift apart —
+/// a unit test pins `PERF_STAGES ⊆ stages::ALL`.
+pub const PERF_STAGES: [&str; 3] = [
+    stages::CLUSTER_PAIRWISE,
+    stages::SOM_TRAIN,
+    stages::PIPELINE,
+];
+
 /// One serial-vs-parallel measurement of a pipeline stage.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StageTiming {
-    /// Stage name (`pairwise`, `som_batch`, `paper_pipeline`).
+    /// Stage name (one of [`PERF_STAGES`]).
     pub stage: String,
     /// Number of synthetic workloads (matrix rows).
     pub n: usize,
@@ -69,20 +79,21 @@ pub fn synthetic_vectors(n: usize, d: usize) -> Matrix {
     Matrix::from_vec(n, d, data).expect("length matches")
 }
 
-/// Median duration of `stage` over `reps` runs, each rep measured by an
-/// observability span on a fresh collector — the same clock and bookkeeping
-/// that produces `OBS_trace.json`. Quality sampling is off so the span
-/// covers training work only.
+/// Median duration of `stage` over `reps` runs, read off the observability
+/// span of that name — the same clock and bookkeeping that produces
+/// `OBS_trace.json`. The workload closure is responsible for emitting the
+/// span (either itself or through the traced pipeline APIs), which keeps
+/// the benchmark's stage names pinned to the pipeline's real span names.
+/// Quality sampling and lane recording are off so the span covers training
+/// work only.
 fn median_ms(stage: &'static str, reps: usize, mut f: impl FnMut(&Collector)) -> f64 {
     let mut samples: Vec<f64> = (0..reps)
         .map(|_| {
             let collector = Collector::enabled_with(ObsConfig {
                 epoch_quality_stride: 0,
+                lanes: false,
             });
-            {
-                let _span = collector.span(stage);
-                f(&collector);
-            }
+            f(&collector);
             let report = collector.report().expect("enabled collector");
             report.span_durations_us(stage).iter().sum::<u64>() as f64 / 1e3
         })
@@ -117,17 +128,19 @@ pub fn bench_pipeline() -> PipelineBenchReport {
     for n in SIZES {
         let data = synthetic_vectors(n, DIMS);
         let reps = if n >= 1024 { 5 } else { 9 };
-        results.push(timed_pair("pairwise", n, reps, |_| {
+        results.push(timed_pair(stages::CLUSTER_PAIRWISE, n, reps, |collector| {
+            let _span = collector.span(stages::CLUSTER_PAIRWISE);
             std::hint::black_box(pairwise_vs(&data));
         }));
-        results.push(timed_pair("som_batch", n, reps, |_| {
-            std::hint::black_box(som_batch(&data));
+        results.push(timed_pair(stages::SOM_TRAIN, n, reps, |collector| {
+            std::hint::black_box(som_batch(&data, collector));
         }));
     }
     // The paper's actual 13-workload pipeline, end to end, with the bench
-    // collector threaded through so its stage spans nest under the timed one.
+    // collector threaded through; the timing is read off the pipeline's own
+    // root span.
     let paper = synthetic_vectors(13, DIMS);
-    results.push(timed_pair("paper_pipeline", 13, 9, |collector| {
+    results.push(timed_pair(stages::PIPELINE, 13, 9, |collector| {
         let config = PipelineConfig {
             collector: collector.clone(),
             ..PipelineConfig::default()
@@ -146,13 +159,14 @@ fn pairwise_vs(data: &Matrix) -> Matrix {
 }
 
 /// One short batch-SOM training run (BMU search + batch accumulation are
-/// the threaded paths).
-fn som_batch(data: &Matrix) -> hiermeans_som::Som {
+/// the threaded paths); the trainer emits the `som.train` span read by the
+/// timing loop.
+fn som_batch(data: &Matrix, collector: &Collector) -> hiermeans_som::Som {
     SomBuilder::new(10, 10)
         .seed(7)
         .epochs(3)
         .mode(TrainingMode::Batch)
-        .train(data)
+        .train_traced(data, collector)
         .expect("synthetic data trains")
 }
 
@@ -336,7 +350,17 @@ mod tests {
     fn pairwise_and_som_helpers_run() {
         let data = synthetic_vectors(16, 4);
         assert_eq!(pairwise_vs(&data).shape(), (16, 16));
-        let som = som_batch(&data);
+        let som = som_batch(&data, &Collector::disabled());
         assert_eq!(som.weights().ncols(), 4);
+    }
+
+    #[test]
+    fn perf_stages_are_real_trace_span_names() {
+        for stage in PERF_STAGES {
+            assert!(
+                stages::ALL.contains(&stage),
+                "{stage} is not a span the instrumented pipeline emits"
+            );
+        }
     }
 }

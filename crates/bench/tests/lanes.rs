@@ -1,0 +1,87 @@
+//! Acceptance checks for the `repro profile` artifact:
+//!
+//! * the structural lane fingerprint of every paper study is identical for
+//!   1, 2, and all workers (timestamps and worker ids may differ; the
+//!   recorded stage/chunk structure may not);
+//! * the Chrome trace-event export validates and carries the coordinator
+//!   lane (`tid 0`) plus at least one worker lane.
+
+use hiermeans_bench::profile;
+use hiermeans_bench::trace::paper_studies;
+use hiermeans_core::analysis::SuiteAnalysis;
+use hiermeans_linalg::parallel;
+use hiermeans_obs::{chrome, Collector, ObsConfig};
+use hiermeans_workload::measurement::Characterization;
+
+fn lane_fingerprint(ch: Characterization, workers: Option<usize>) -> String {
+    parallel::set_worker_override(workers);
+    let collector = Collector::enabled_with(ObsConfig {
+        epoch_quality_stride: 0,
+        lanes: true,
+    });
+    SuiteAnalysis::paper_with(ch, &collector).unwrap();
+    parallel::set_worker_override(None);
+    collector.report().unwrap().lane_fingerprint()
+}
+
+#[test]
+fn lane_fingerprint_is_worker_count_invariant_for_every_paper_study() {
+    for (label, ch) in paper_studies() {
+        let one = lane_fingerprint(ch, Some(1));
+        let two = lane_fingerprint(ch, Some(2));
+        let all = lane_fingerprint(ch, None);
+        assert!(!one.is_empty(), "{label}: no lanes recorded");
+        assert_eq!(one, two, "{label}: 1 vs 2 workers");
+        assert_eq!(one, all, "{label}: 1 vs all workers");
+    }
+}
+
+#[test]
+fn profile_artifact_emits_valid_chrome_trace_with_worker_lanes() {
+    let (document, json, chrome_json, _rendered) = profile::profile_artifact().unwrap();
+    // Every study reports lane analytics.
+    for study in &document.studies {
+        assert!(
+            !study.trace.lanes.is_empty(),
+            "{}: no lane sets",
+            study.label
+        );
+        for lane in &study.trace.lanes {
+            assert!(
+                lane.parallel_efficiency > 0.0 && lane.parallel_efficiency <= 1.0 + 1e-9,
+                "{}: {} efficiency {}",
+                study.label,
+                lane.stage,
+                lane.parallel_efficiency
+            );
+            for worker in &lane.workers {
+                assert!(
+                    (0.0..=1.0 + 1e-9).contains(&worker.occupancy),
+                    "{}: {} worker {} occupancy {}",
+                    study.label,
+                    lane.stage,
+                    worker.worker,
+                    worker.occupancy
+                );
+            }
+        }
+    }
+    // The stable JSON artifact carries the lanes field (schema v3).
+    assert!(json.contains("\"lanes\""));
+    // The Chrome trace validates and has both lane kinds.
+    let events = chrome::validate(&chrome_json).unwrap();
+    assert!(events > 0);
+    let parsed: serde::Value = serde_json::from_str(&chrome_json).unwrap();
+    let events = match parsed.get("traceEvents") {
+        Some(serde::Value::Array(events)) => events,
+        other => panic!("traceEvents missing or not an array: {other:?}"),
+    };
+    let tid_of = |event: &serde::Value| match event.get("tid") {
+        Some(serde::Value::UInt(tid)) => *tid,
+        Some(serde::Value::Int(tid)) => u64::try_from(*tid).unwrap(),
+        other => panic!("tid missing or not numeric: {other:?}"),
+    };
+    let tids: std::collections::BTreeSet<u64> = events.iter().map(tid_of).collect();
+    assert!(tids.contains(&0), "coordinator lane (tid 0) missing");
+    assert!(tids.iter().any(|&t| t > 0), "no worker lanes in {tids:?}");
+}

@@ -15,10 +15,10 @@
 //! benchmark-suite-sized inputs (tens of workloads). Ties are broken toward
 //! the lexicographically smallest `(i, j)` pair so results are deterministic.
 
-use hiermeans_linalg::distance::{pairwise_with_policy, Metric};
+use hiermeans_linalg::distance::{pairwise_with_policy_lanes, Metric, PAIRWISE_CHUNKING};
 use hiermeans_linalg::kernels::KernelPolicy;
 use hiermeans_linalg::Matrix;
-use hiermeans_obs::{Collector, Counter, CounterBuf};
+use hiermeans_obs::{stages, Collector, Counter, CounterBuf, LaneBuf};
 
 use crate::dendrogram::{Dendrogram, Merge};
 use crate::{ClusterError, Linkage};
@@ -109,10 +109,22 @@ pub fn cluster_traced_with_policy(
     if report.has_fatal() {
         return Err(ClusterError::InvalidData { report });
     }
-    let span = collector.span("cluster.agglomerate");
+    let span = collector.span(stages::CLUSTER_AGGLOMERATE);
     let dist = {
-        let _pairwise = collector.span("cluster.pairwise");
-        let dist = pairwise_with_policy(points, metric, policy)?;
+        let _pairwise = collector.span(stages::CLUSTER_PAIRWISE);
+        let n_chunks = points.nrows().div_ceil(PAIRWISE_CHUNKING.chunk_size);
+        let mut lane_buf = collector
+            .lane_clock()
+            .map(|clock| (clock, LaneBuf::with_capacity(n_chunks)));
+        let dist = pairwise_with_policy_lanes(
+            points,
+            metric,
+            policy,
+            lane_buf.as_mut().map(|(clock, buf)| (*clock, buf)),
+        )?;
+        if let Some((_, buf)) = lane_buf.as_ref() {
+            collector.attach_lanes(stages::CLUSTER_PAIRWISE, n_chunks, buf);
+        }
         if collector.is_enabled() {
             let n = points.nrows() as u64;
             let mut buf = CounterBuf::new();
@@ -151,7 +163,7 @@ pub fn cluster_from_distances_traced(
     linkage: Linkage,
     collector: &Collector,
 ) -> Result<Dendrogram, ClusterError> {
-    let _span = collector.span("cluster.merge_loop");
+    let _span = collector.span(stages::CLUSTER_MERGE_LOOP);
     validate_distance_matrix(dist)?;
     let n = dist.nrows();
     if n == 1 {
@@ -164,8 +176,13 @@ pub fn cluster_from_distances_traced(
     // Per-slot cluster metadata: (dendrogram id, leaf count).
     let mut info: Vec<Option<(usize, usize)>> = (0..n).map(|i| Some((i, 1))).collect();
     let mut merges = Vec::with_capacity(n - 1);
+    // The merge loop is serial by construction; its timeline is one lane
+    // with one interval per merge step (chunk = step index) on worker 0.
+    let lane_clock = collector.lane_clock();
+    let mut lane_buf = lane_clock.map(|_| LaneBuf::with_capacity(n - 1));
 
     for step in 0..(n - 1) {
+        let lane_begin = lane_clock.map_or(0, |c| c.now_us());
         // Find the closest active pair (ties -> smallest (i, j)).
         let mut best: Option<(usize, usize, f64)> = None;
         for i in 0..n {
@@ -216,6 +233,13 @@ pub fn cluster_from_distances_traced(
         }
         info[i] = Some((new_id, new_size));
         info[j] = None;
+        if let (Some(clock), Some(lanes)) = (lane_clock, lane_buf.as_mut()) {
+            lanes.record(step, 0, lane_begin, clock.now_us());
+        }
+    }
+    if let Some(lanes) = lane_buf.as_mut() {
+        lanes.end_run();
+        collector.attach_lanes(stages::CLUSTER_MERGE_LOOP, n - 1, lanes);
     }
 
     Dendrogram::new(n, merges)

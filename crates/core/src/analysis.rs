@@ -10,7 +10,7 @@
 
 use hiermeans_cluster::validity;
 use hiermeans_linalg::Matrix;
-use hiermeans_obs::Collector;
+use hiermeans_obs::{stages, Collector};
 use hiermeans_workload::charvec::CharacteristicVectors;
 use hiermeans_workload::execution::{ExecutionSimulator, SpeedupTable};
 use hiermeans_workload::hprof::HprofCollector;
@@ -82,9 +82,9 @@ impl SuiteAnalysis {
         config: &PipelineConfig,
     ) -> Result<Self, CoreError> {
         let collector = &config.collector;
-        let span = collector.span("analysis");
+        let span = collector.span(stages::ANALYSIS);
         let speedups = {
-            let _sim = collector.span("analysis.simulate");
+            let _sim = collector.span(stages::ANALYSIS_SIMULATE);
             ExecutionSimulator::paper().speedup_table()?
         };
         let vectors = paper_vectors(characterization, collector)?;
@@ -124,7 +124,7 @@ impl SuiteAnalysis {
             collector,
         )?;
         let recommended_k = {
-            let _rec = collector.span("analysis.recommend_k");
+            let _rec = collector.span(stages::ANALYSIS_RECOMMEND_K);
             recommend_k(pipeline.positions(), pipeline.dendrogram(), max_k)?
         };
         collector.event("analysis.recommended_k", format!("k = {recommended_k}"));
@@ -214,7 +214,7 @@ pub fn paper_vectors(
     characterization: Characterization,
     collector: &Collector,
 ) -> Result<CharacteristicVectors, CoreError> {
-    let _char = collector.span("analysis.characterize");
+    let _char = collector.span(stages::ANALYSIS_CHARACTERIZE);
     match characterization {
         Characterization::SarCounters(machine) => {
             let dataset = SarCollector::paper().collect(machine)?;

@@ -11,7 +11,7 @@ use hiermeans_linalg::distance::Metric;
 use hiermeans_linalg::kernels::KernelPolicy;
 use hiermeans_linalg::parallel::{self, Chunking};
 use hiermeans_linalg::Matrix;
-use hiermeans_obs::{Collector, Counter, CounterBuf};
+use hiermeans_obs::{stages, Collector, Counter, CounterBuf, LaneBuf};
 use hiermeans_som::{Som, SomBuilder};
 
 use crate::CoreError;
@@ -130,13 +130,26 @@ impl PipelineResult {
         &self,
         ks: impl IntoIterator<Item = usize>,
     ) -> Result<Vec<(usize, ClusterAssignment)>, CoreError> {
-        let _span = self.collector.span("pipeline.sweep");
+        let _span = self.collector.span(stages::PIPELINE_SWEEP);
         let ks: Vec<usize> = ks.into_iter().collect();
-        let cuts = parallel::try_map_items(ks.len(), SWEEP_CHUNKING, |i| {
-            let k = ks[i];
-            Ok::<_, CoreError>((k, self.dendrogram.cut_into(k)?))
-        })
+        let mut lane_buf = self
+            .collector
+            .lane_clock()
+            .map(|clock| (clock, LaneBuf::with_capacity(ks.len())));
+        let cuts = parallel::try_map_items_lanes(
+            ks.len(),
+            SWEEP_CHUNKING,
+            lane_buf.as_mut().map(|(clock, buf)| (*clock, buf)),
+            |i| {
+                let k = ks[i];
+                Ok::<_, CoreError>((k, self.dendrogram.cut_into(k)?))
+            },
+        )
         .map_err(CoreError::from)?;
+        if let Some((_, buf)) = lane_buf.as_ref() {
+            self.collector
+                .attach_lanes(stages::PIPELINE_SWEEP, ks.len(), buf);
+        }
         if self.collector.is_enabled() {
             // One sweep cell per (workload, k) pair produced by the cuts.
             let cells: u64 = cuts.iter().map(|(_, a)| a.labels().len() as u64).sum();
@@ -180,7 +193,7 @@ pub fn run_pipeline(
     config: &PipelineConfig,
 ) -> Result<PipelineResult, CoreError> {
     let collector = &config.collector;
-    let span = collector.span("pipeline");
+    let span = collector.span(stages::PIPELINE);
     let diameter = hiermeans_som::Grid::new(
         config.som_width.max(1),
         config.som_height.max(1),
@@ -188,7 +201,7 @@ pub fn run_pipeline(
     )
     .diameter();
     let som = {
-        let _som_span = collector.span("pipeline.som");
+        let _som_span = collector.span(stages::PIPELINE_SOM);
         SomBuilder::new(config.som_width, config.som_height)
             .seed(config.seed)
             .epochs(config.epochs)
@@ -202,11 +215,11 @@ pub fn run_pipeline(
             .train_traced(vectors, collector)?
     };
     let positions = {
-        let _project_span = collector.span("pipeline.project");
+        let _project_span = collector.span(stages::PIPELINE_PROJECT);
         som.project(vectors)?
     };
     let dendrogram = {
-        let _cluster_span = collector.span("pipeline.cluster");
+        let _cluster_span = collector.span(stages::PIPELINE_CLUSTER);
         agglomerative::cluster_traced_with_policy(
             &positions,
             config.metric,

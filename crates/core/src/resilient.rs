@@ -202,7 +202,7 @@ pub fn run_pipeline_resilient(
 ) -> Result<ResilientRun, CoreError> {
     policy.validate()?;
     let caller = &config.collector;
-    let span = caller.span("pipeline.resilient");
+    let span = caller.span(hiermeans_obs::stages::PIPELINE_RESILIENT);
     let share_collector = caller.is_enabled() && caller.epoch_quality_stride() >= 1;
     let mut verdicts: Vec<ConvergenceVerdict> = Vec::new();
     for attempt in 1..=policy.max_attempts {
@@ -258,7 +258,7 @@ pub fn run_pipeline_resilient(
         mode: DEGRADED_MODE_RAW_SPACE.to_owned(),
     });
     let dendrogram = {
-        let _fallback_span = caller.span("pipeline.degraded_raw_space");
+        let _fallback_span = caller.span(hiermeans_obs::stages::PIPELINE_DEGRADED_RAW_SPACE);
         run_without_som(vectors, config)?
     };
     drop(span);

@@ -3,7 +3,7 @@
 
 use hiermeans_cluster::Dendrogram;
 use hiermeans_linalg::parallel::{self, Chunking};
-use hiermeans_obs::{Collector, Counter, CounterBuf};
+use hiermeans_obs::{stages, Collector, Counter, CounterBuf, LaneBuf};
 use hiermeans_workload::execution::SpeedupTable;
 use hiermeans_workload::Machine;
 use serde::{Deserialize, Serialize};
@@ -113,20 +113,31 @@ impl ScoreTable {
         clusters_for: impl Fn(usize) -> Result<Vec<Vec<usize>>, CoreError> + Sync,
         collector: &Collector,
     ) -> Result<Self, CoreError> {
-        let _span = collector.span("score.sweep");
+        let _span = collector.span(stages::SCORE_SWEEP);
         let a = speedups.speedups(Machine::A);
         let b = speedups.speedups(Machine::B);
         let ks: Vec<usize> = ks.into_iter().collect();
-        let rows = parallel::try_map_items(ks.len(), SWEEP_CHUNKING, |i| {
-            let k = ks[i];
-            let clusters = clusters_for(k)?;
-            Ok::<_, CoreError>(ScoreRow {
-                k,
-                score_a: hierarchical_mean(a, &clusters, mean)?,
-                score_b: hierarchical_mean(b, &clusters, mean)?,
-            })
-        })
+        let mut lane_buf = collector
+            .lane_clock()
+            .map(|clock| (clock, LaneBuf::with_capacity(ks.len())));
+        let rows = parallel::try_map_items_lanes(
+            ks.len(),
+            SWEEP_CHUNKING,
+            lane_buf.as_mut().map(|(clock, buf)| (*clock, buf)),
+            |i| {
+                let k = ks[i];
+                let clusters = clusters_for(k)?;
+                Ok::<_, CoreError>(ScoreRow {
+                    k,
+                    score_a: hierarchical_mean(a, &clusters, mean)?,
+                    score_b: hierarchical_mean(b, &clusters, mean)?,
+                })
+            },
+        )
         .map_err(CoreError::from)?;
+        if let Some((_, buf)) = lane_buf.as_ref() {
+            collector.attach_lanes(stages::SCORE_SWEEP, ks.len(), buf);
+        }
         if collector.is_enabled() {
             let mut buf = CounterBuf::new();
             buf.add(Counter::ScoreSweepCells, 2 * rows.len() as u64);

@@ -8,10 +8,12 @@
 //!   once silently corrupted machine B's SAR clustering (100 epochs), and
 //!   passes the paper's 200-epoch default.
 
+use hiermeans_core::analysis::SuiteAnalysis;
 use hiermeans_core::pipeline::{run_pipeline, PipelineConfig};
 use hiermeans_linalg::{parallel, Matrix};
-use hiermeans_obs::Collector;
+use hiermeans_obs::{stages, Collector};
 use hiermeans_workload::charvec::CharacteristicVectors;
+use hiermeans_workload::measurement::Characterization;
 use hiermeans_workload::sar::SarCollector;
 use hiermeans_workload::Machine;
 use proptest::prelude::*;
@@ -87,6 +89,53 @@ fn trace_fingerprint_identical_serial_vs_parallel() {
     let four = fingerprint(Some(4));
     assert_eq!(serial, parallel_run);
     assert_eq!(serial, four);
+}
+
+#[test]
+fn every_stage_constant_appears_in_the_paper_trace() {
+    // `stages::ALL` is the contract between `hiermeans_obs::stages` and the
+    // instrumented pipeline: every constant must be a span the full paper
+    // study actually emits, so consumers (BENCH_pipeline.json, dashboards)
+    // can never reference a stage that silently drifted away.
+    let collector = Collector::enabled();
+    SuiteAnalysis::paper_with(Characterization::SarCounters(Machine::A), &collector).unwrap();
+    let report = collector.report().unwrap();
+    let names: std::collections::HashSet<&str> =
+        report.spans.iter().map(|s| s.name.as_str()).collect();
+    for stage in stages::ALL {
+        assert!(
+            names.contains(stage),
+            "span {stage} missing from the paper trace; got {names:?}"
+        );
+    }
+}
+
+#[test]
+fn lane_intervals_sit_inside_their_attaching_span() {
+    let vectors = machine_b_vectors();
+    let (config, collector) = traced_config(60);
+    let result = run_pipeline(vectors.matrix(), &config).unwrap();
+    result.clusters_sweep(2..=8).unwrap();
+    let report = collector.report().unwrap();
+    assert!(!report.lanes.is_empty(), "traced run recorded no lane sets");
+    for lane in &report.lanes {
+        let span_id = lane.span.expect("lane sets attach under an open span");
+        let span = &report.spans[span_id];
+        let span_end = span.start_us + span.duration_us;
+        assert!(!lane.intervals.is_empty(), "{}: empty lane set", lane.stage);
+        for iv in &lane.intervals {
+            assert!(
+                iv.begin_us >= span.start_us && iv.end_us <= span_end,
+                "{}: interval [{}, {}] outside span {} [{}, {}]",
+                lane.stage,
+                iv.begin_us,
+                iv.end_us,
+                span.name,
+                span.start_us,
+                span_end
+            );
+        }
+    }
 }
 
 fn synthetic(rows: usize, cols: usize, seed: u64) -> Matrix {

@@ -112,8 +112,9 @@ fn sq_euclid(a: &[f64], b: &[f64]) -> f64 {
 
 /// Chunking for [`pairwise`]: a handful of rows per chunk keeps the ragged
 /// upper-triangle work balanced, and matrices under 64 rows are cheaper to
-/// do in place than to spawn for.
-const PAIRWISE_CHUNKING: crate::parallel::Chunking = crate::parallel::Chunking::new(8, 64);
+/// do in place than to spawn for. Public so lane-recording callers can size
+/// their `LaneBuf`s to the chunk count this module will produce.
+pub const PAIRWISE_CHUNKING: crate::parallel::Chunking = crate::parallel::Chunking::new(8, 64);
 
 /// Computes the full pairwise distance matrix between the rows of `points`,
 /// parallelizing over row chunks for large inputs.
@@ -129,14 +130,35 @@ const PAIRWISE_CHUNKING: crate::parallel::Chunking = crate::parallel::Chunking::
 ///
 /// Propagates errors from [`Metric::distance`].
 pub fn pairwise(points: &crate::Matrix, metric: Metric) -> Result<crate::Matrix, LinalgError> {
+    pairwise_lanes(points, metric, None)
+}
+
+/// [`pairwise`] with worker-lane recording.
+///
+/// When `lanes` is `Some`, the chunked strip decomposition runs even below
+/// the parallelism threshold so the recorded chunk structure is a pure
+/// function of `n` — never of the worker count. Each entry is computed by
+/// the same expression either way, so the result stays bit-for-bit
+/// identical to [`pairwise_serial`].
+///
+/// # Errors
+///
+/// Propagates errors from [`Metric::distance`].
+pub fn pairwise_lanes(
+    points: &crate::Matrix,
+    metric: Metric,
+    lanes: crate::parallel::Lanes<'_>,
+) -> Result<crate::Matrix, LinalgError> {
     let n = points.nrows();
-    if n < PAIRWISE_CHUNKING.min_parallel_len || crate::parallel::worker_count() <= 1 {
+    if lanes.is_none()
+        && (n < PAIRWISE_CHUNKING.min_parallel_len || crate::parallel::worker_count() <= 1)
+    {
         return pairwise_serial(points, metric);
     }
     // Each chunk of rows yields its strict-upper-triangle strip
     // `(i, j > i, distance)` as one contiguous vector.
     let chunk_size = PAIRWISE_CHUNKING.chunk_size;
-    let strips = crate::parallel::try_map_chunks(n, PAIRWISE_CHUNKING, |rows| {
+    let strips = crate::parallel::try_map_chunks_lanes(n, PAIRWISE_CHUNKING, lanes, |rows| {
         let mut strip = Vec::with_capacity(rows.clone().map(|i| n - i - 1).sum());
         for i in rows {
             for j in (i + 1)..n {
@@ -208,10 +230,27 @@ pub fn pairwise_with_policy(
     metric: Metric,
     policy: KernelPolicy,
 ) -> Result<crate::Matrix, LinalgError> {
+    pairwise_with_policy_lanes(points, metric, policy, None)
+}
+
+/// [`pairwise_with_policy`] with worker-lane recording; like
+/// [`pairwise_lanes`], lane recording pins the chunked strip decomposition
+/// so the lane structure depends only on `n` (and is identical under either
+/// [`KernelPolicy`]).
+///
+/// # Errors
+///
+/// Propagates errors from [`Metric::distance`].
+pub fn pairwise_with_policy_lanes(
+    points: &crate::Matrix,
+    metric: Metric,
+    policy: KernelPolicy,
+    lanes: crate::parallel::Lanes<'_>,
+) -> Result<crate::Matrix, LinalgError> {
     let squared = match (policy, metric) {
         (KernelPolicy::Blocked, Metric::Euclidean) => false,
         (KernelPolicy::Blocked, Metric::SquaredEuclidean) => true,
-        _ => return pairwise(points, metric),
+        _ => return pairwise_lanes(points, metric, lanes),
     };
     let n = points.nrows();
     let mut norms = vec![0.0; n];
@@ -226,7 +265,9 @@ pub fn pairwise_with_policy(
         }
     };
     let mut d = crate::Matrix::zeros(n, n);
-    if n < PAIRWISE_CHUNKING.min_parallel_len || crate::parallel::worker_count() <= 1 {
+    if lanes.is_none()
+        && (n < PAIRWISE_CHUNKING.min_parallel_len || crate::parallel::worker_count() <= 1)
+    {
         for i in 0..n {
             for j in (i + 1)..n {
                 let v = entry(i, j);
@@ -239,7 +280,7 @@ pub fn pairwise_with_policy(
     // Same strip decomposition as `pairwise`: per-entry values are a pure
     // function of (i, j), so the result is identical for any worker count.
     let chunk_size = PAIRWISE_CHUNKING.chunk_size;
-    let strips = crate::parallel::try_map_chunks(n, PAIRWISE_CHUNKING, |rows| {
+    let strips = crate::parallel::try_map_chunks_lanes(n, PAIRWISE_CHUNKING, lanes, |rows| {
         let mut strip = Vec::with_capacity(rows.clone().map(|i| n - i - 1).sum());
         for i in rows {
             for j in (i + 1)..n {
@@ -468,6 +509,63 @@ mod tests {
         let manhattan =
             pairwise_with_policy(&pts, Metric::Manhattan, KernelPolicy::Blocked).unwrap();
         assert_eq!(manhattan, pairwise(&pts, Metric::Manhattan).unwrap());
+    }
+
+    #[test]
+    fn lanes_record_same_structure_for_any_worker_count_and_identical_bits() {
+        // n = 13 is below the parallelism threshold: lane recording must
+        // still produce the chunked structure (2 chunks of 8) and identical
+        // distance bits, whether the serial fallback or real workers ran.
+        let pts = big_matrix(13, 4);
+        let clock = hiermeans_obs::Collector::enabled()
+            .lane_clock()
+            .expect("enabled collector has a lane clock");
+        let serial = pairwise_serial(&pts, Metric::Euclidean).unwrap();
+        let mut structures = Vec::new();
+        for workers in [Some(1), Some(4), None] {
+            crate::parallel::set_worker_override(workers);
+            let mut buf = crate::parallel::LaneBuf::new();
+            let d = pairwise_lanes(&pts, Metric::Euclidean, Some((clock, &mut buf))).unwrap();
+            assert_eq!(d, serial, "workers = {workers:?}");
+            let mut chunks: Vec<u32> = buf.intervals().iter().map(|iv| iv.chunk).collect();
+            chunks.sort_unstable();
+            structures.push((buf.runs(), chunks));
+        }
+        crate::parallel::set_worker_override(None);
+        assert_eq!(structures[0], (1, vec![0, 1]));
+        assert!(structures.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn policy_lanes_share_the_chunk_structure() {
+        let pts = big_matrix(70, 5);
+        let clock = hiermeans_obs::Collector::enabled()
+            .lane_clock()
+            .expect("enabled collector has a lane clock");
+        let mut blocked_buf = crate::parallel::LaneBuf::new();
+        let mut scalar_buf = crate::parallel::LaneBuf::new();
+        let blocked = pairwise_with_policy_lanes(
+            &pts,
+            Metric::Euclidean,
+            KernelPolicy::Blocked,
+            Some((clock, &mut blocked_buf)),
+        )
+        .unwrap();
+        let scalar = pairwise_with_policy_lanes(
+            &pts,
+            Metric::Euclidean,
+            KernelPolicy::Scalar,
+            Some((clock, &mut scalar_buf)),
+        )
+        .unwrap();
+        assert_eq!(blocked.shape(), scalar.shape());
+        let chunks = |buf: &crate::parallel::LaneBuf| {
+            let mut c: Vec<u32> = buf.intervals().iter().map(|iv| iv.chunk).collect();
+            c.sort_unstable();
+            c
+        };
+        assert_eq!(chunks(&blocked_buf), chunks(&scalar_buf));
+        assert_eq!(chunks(&blocked_buf), (0..9).collect::<Vec<u32>>());
     }
 
     #[test]

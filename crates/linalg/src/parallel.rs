@@ -34,6 +34,14 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
+pub use hiermeans_obs::{LaneBuf, LaneClock, LaneInterval};
+
+/// Optional worker-lane recording for one parallel section: the collector's
+/// clock plus the caller's pre-allocated interval buffer. `None` (the common
+/// case, and always the case under a disabled collector) records nothing and
+/// costs one branch per chunk.
+pub type Lanes<'a> = Option<(LaneClock, &'a mut LaneBuf)>;
+
 /// A failure from a chunked parallel computation: either a worker's typed
 /// error or a worker panic that was caught and isolated.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -195,6 +203,30 @@ where
     try_map_chunks_with_workers(len, chunking, worker_count(), map)
 }
 
+/// [`try_map_chunks`] with worker-lane recording: each chunk's execution is
+/// stamped `(chunk, worker, begin_us, end_us)` into `lanes` (serial chunks
+/// record as worker 0), the coordinator merges parallel workers' intervals
+/// in chunk order, and one run is closed per call. Chunk boundaries — and
+/// therefore the recorded lane *structure* — are identical for every worker
+/// count.
+///
+/// # Errors
+///
+/// Identical to [`try_map_chunks`].
+pub fn try_map_chunks_lanes<T, E, F>(
+    len: usize,
+    chunking: Chunking,
+    lanes: Lanes<'_>,
+    map: F,
+) -> Result<Vec<T>, ParallelError<E>>
+where
+    T: Send,
+    E: Send,
+    F: Fn(Range<usize>) -> Result<T, E> + Sync,
+{
+    try_map_chunks_with_workers_lanes(len, chunking, worker_count(), lanes, map)
+}
+
 /// [`try_map_chunks`] with an explicit worker count, bypassing detection and
 /// the global override. `workers <= 1` is the serial path; tests use this to
 /// compare serial and parallel results without touching process state.
@@ -213,41 +245,110 @@ where
     E: Send,
     F: Fn(Range<usize>) -> Result<T, E> + Sync,
 {
+    try_map_chunks_with_workers_lanes(len, chunking, workers, None, map)
+}
+
+/// [`try_map_chunks_lanes`] with an explicit worker count — the full
+/// implementation every other chunk-mapping entry point delegates to.
+///
+/// # Errors
+///
+/// Identical to [`try_map_chunks`].
+pub fn try_map_chunks_with_workers_lanes<T, E, F>(
+    len: usize,
+    chunking: Chunking,
+    workers: usize,
+    mut lanes: Lanes<'_>,
+    map: F,
+) -> Result<Vec<T>, ParallelError<E>>
+where
+    T: Send,
+    E: Send,
+    F: Fn(Range<usize>) -> Result<T, E> + Sync,
+{
     let ranges = chunk_ranges(len, chunking.chunk_size);
     let workers = workers.min(ranges.len());
     if len < chunking.min_parallel_len || workers <= 1 {
-        return ranges
+        // The serial path records the identical chunk structure on lane 0,
+        // directly into the caller's buffer — no merging, no allocation
+        // beyond the buffer's pre-reserved capacity.
+        let out = ranges
             .into_iter()
             .enumerate()
-            .map(|(chunk, range)| run_chunk(chunk, range, &map))
+            .map(|(chunk, range)| match lanes.as_mut() {
+                Some((clock, buf)) => {
+                    let begin_us = clock.now_us();
+                    let result = run_chunk(chunk, range, &map);
+                    buf.record(chunk, 0, begin_us, clock.now_us());
+                    result
+                }
+                None => run_chunk(chunk, range, &map),
+            })
             .collect();
+        if let Some((_, buf)) = lanes.as_mut() {
+            buf.end_run();
+        }
+        return out;
     }
 
     let n_chunks = ranges.len();
+    let clock = lanes.as_ref().map(|(clock, _)| *clock);
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, Result<T, ParallelError<E>>)>();
     let mut slots: Vec<Option<Result<T, ParallelError<E>>>> = Vec::with_capacity(n_chunks);
     slots.resize_with(n_chunks, || None);
+    let mut recorded: Vec<LaneInterval> = Vec::new();
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        let mut handles = Vec::with_capacity(workers);
+        for worker in 0..workers {
             let tx = tx.clone();
             let next = &next;
             let ranges = &ranges;
             let map = &map;
-            scope.spawn(move || loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                let Some(range) = ranges.get(idx) else { break };
-                if tx.send((idx, run_chunk(idx, range.clone(), map))).is_err() {
-                    break;
+            // Workers stamp intervals into a thread-local vector — no
+            // locks, no channel traffic per interval — returned through
+            // the scoped join handle when the worker retires.
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<LaneInterval> = match clock {
+                    Some(_) => Vec::with_capacity(n_chunks),
+                    None => Vec::new(),
+                };
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(range) = ranges.get(idx) else { break };
+                    let begin_us = clock.as_ref().map(LaneClock::now_us);
+                    let result = run_chunk(idx, range.clone(), map);
+                    if let (Some(clock), Some(begin_us)) = (clock.as_ref(), begin_us) {
+                        local.push(LaneInterval {
+                            chunk: u32::try_from(idx).unwrap_or(u32::MAX),
+                            worker: u32::try_from(worker).unwrap_or(u32::MAX),
+                            run: 0,
+                            begin_us,
+                            end_us: clock.now_us(),
+                        });
+                    }
+                    if tx.send((idx, result)).is_err() {
+                        break;
+                    }
                 }
-            });
+                local
+            }));
         }
         drop(tx);
         for (idx, result) in rx {
             slots[idx] = Some(result);
         }
+        for handle in handles {
+            if let Ok(local) = handle.join() {
+                recorded.extend(local);
+            }
+        }
     });
+
+    if let Some((_, buf)) = lanes.as_mut() {
+        buf.absorb_run(recorded);
+    }
 
     let mut out = Vec::with_capacity(n_chunks);
     for slot in slots {
@@ -285,7 +386,27 @@ where
     E: Send,
     F: Fn(usize) -> Result<T, E> + Sync,
 {
-    let chunks = try_map_chunks(len, chunking, |range| {
+    try_map_items_lanes(len, chunking, None, map)
+}
+
+/// [`try_map_items`] with worker-lane recording (see
+/// [`try_map_chunks_lanes`]).
+///
+/// # Errors
+///
+/// Identical to [`try_map_items`].
+pub fn try_map_items_lanes<T, E, F>(
+    len: usize,
+    chunking: Chunking,
+    lanes: Lanes<'_>,
+    map: F,
+) -> Result<Vec<T>, ParallelError<E>>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let chunks = try_map_chunks_lanes(len, chunking, lanes, |range| {
         range.map(&map).collect::<Result<Vec<T>, E>>()
     })?;
     Ok(chunks.into_iter().flatten().collect())
@@ -313,7 +434,30 @@ where
     F: Fn(Range<usize>) -> Result<T, E> + Sync,
     R: FnMut(A, T) -> A,
 {
-    let partials = try_map_chunks(len, chunking, map)?;
+    try_map_reduce_lanes(len, chunking, None, map, init, reduce)
+}
+
+/// [`try_map_reduce`] with worker-lane recording (see
+/// [`try_map_chunks_lanes`]). The fold still runs in ascending chunk order.
+///
+/// # Errors
+///
+/// Identical to [`try_map_reduce`].
+pub fn try_map_reduce_lanes<T, E, A, F, R>(
+    len: usize,
+    chunking: Chunking,
+    lanes: Lanes<'_>,
+    map: F,
+    init: A,
+    reduce: R,
+) -> Result<A, ParallelError<E>>
+where
+    T: Send,
+    E: Send,
+    F: Fn(Range<usize>) -> Result<T, E> + Sync,
+    R: FnMut(A, T) -> A,
+{
+    let partials = try_map_chunks_lanes(len, chunking, lanes, map)?;
     Ok(partials.into_iter().fold(init, reduce))
 }
 
@@ -485,6 +629,82 @@ mod tests {
     fn empty_input_yields_empty_output() {
         let out: Vec<()> = try_map_chunks(0, SMALL, |_| Ok::<_, ()>(())).unwrap();
         assert!(out.is_empty());
+    }
+
+    fn lane_clock() -> LaneClock {
+        hiermeans_obs::Collector::enabled()
+            .lane_clock()
+            .expect("enabled collector has a lane clock")
+    }
+
+    #[test]
+    fn lanes_record_every_chunk_exactly_once_for_any_worker_count() {
+        let clock = lane_clock();
+        for workers in [1, 2, 3, 8] {
+            let mut buf = LaneBuf::with_capacity(26);
+            let out = try_map_chunks_with_workers_lanes(
+                103,
+                SMALL,
+                workers,
+                Some((clock, &mut buf)),
+                |r| Ok::<_, ()>(r.len()),
+            )
+            .unwrap();
+            assert_eq!(out.len(), 26);
+            assert_eq!(buf.runs(), 1, "workers = {workers}");
+            let chunks: Vec<u32> = buf.intervals().iter().map(|iv| iv.chunk).collect();
+            assert_eq!(
+                chunks,
+                (0..26).collect::<Vec<u32>>(),
+                "workers = {workers}: chunk indices must partition 0..n_chunks in order"
+            );
+            for iv in buf.intervals() {
+                assert!(iv.end_us >= iv.begin_us);
+                if workers == 1 {
+                    assert_eq!(iv.worker, 0, "serial path records on lane 0");
+                } else {
+                    assert!((iv.worker as usize) < workers);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_accumulate_runs_across_calls() {
+        let clock = lane_clock();
+        let mut buf = LaneBuf::with_capacity(6);
+        for _ in 0..3 {
+            try_map_items_lanes(8, SMALL, Some((clock, &mut buf)), Ok::<_, ()>).unwrap();
+        }
+        assert_eq!(buf.runs(), 3);
+        assert_eq!(buf.intervals().len(), 6);
+        assert_eq!(buf.intervals()[2].run, 1);
+        assert_eq!(buf.intervals()[5].run, 2);
+    }
+
+    #[test]
+    fn lanes_none_records_nothing_and_reduce_matches() {
+        let clock = lane_clock();
+        let mut buf = LaneBuf::new();
+        let with_lanes = try_map_reduce_lanes(
+            12,
+            SMALL,
+            Some((clock, &mut buf)),
+            |r| Ok::<_, ()>(r.sum::<usize>()),
+            0usize,
+            |a, b| a + b,
+        )
+        .unwrap();
+        let without = try_map_reduce(
+            12,
+            SMALL,
+            |r| Ok::<_, ()>(r.sum::<usize>()),
+            0usize,
+            |a, b| a + b,
+        )
+        .unwrap();
+        assert_eq!(with_lanes, without);
+        assert_eq!(buf.intervals().len(), 3);
     }
 
     #[test]

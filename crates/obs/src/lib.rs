@@ -45,21 +45,27 @@
 #![warn(missing_debug_implementations)]
 #![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
 
+pub mod chrome;
 pub mod convergence;
+pub mod lanes;
 pub mod metrics;
+pub mod prom;
 pub mod report;
 pub mod resilience;
 pub mod span;
+pub mod stages;
 
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 pub use convergence::{ConvergenceVerdict, EpochRecord};
+pub use lanes::{LaneBuf, LaneClock, LaneInterval, LaneSetExport, LaneWorkerExport};
 pub use metrics::{Counter, CounterBuf, CounterExport, HistogramExport, HistogramId};
 pub use report::{EventExport, StudyTrace, TraceDocument, TraceReport, SCHEMA_VERSION};
 pub use resilience::ResilienceEvent;
 pub use span::{SpanExport, SpanGuard};
 
+use lanes::LaneSetRecord;
 use metrics::Histogram;
 use span::SpanRecord;
 
@@ -72,12 +78,18 @@ pub struct ObsConfig {
     /// near-zero-overhead configurations use `0` and convergence auditing
     /// uses `1`.
     pub epoch_quality_stride: usize,
+    /// Record per-worker chunk timelines ([`LaneBuf`]) in the parallel hot
+    /// paths. On by default: lane recording is two clock reads and one push
+    /// into a pre-allocated buffer per chunk, within noise of off (see the
+    /// `obs_overhead` bench).
+    pub lanes: bool,
 }
 
 impl Default for ObsConfig {
     fn default() -> Self {
         ObsConfig {
             epoch_quality_stride: 1,
+            lanes: true,
         }
     }
 }
@@ -102,6 +114,7 @@ pub(crate) struct State {
     pub(crate) verdict: Option<ConvergenceVerdict>,
     pub(crate) events: Vec<EventRecord>,
     pub(crate) resilience: Vec<ResilienceEvent>,
+    pub(crate) lane_sets: Vec<LaneSetRecord>,
 }
 
 #[derive(Debug)]
@@ -131,6 +144,16 @@ impl PartialEq for Collector {
             (Some(a), Some(b)) => Arc::ptr_eq(a, b),
             _ => false,
         }
+    }
+}
+
+/// Slowest chunk over mean chunk duration for one run; `1.0` when all
+/// durations are zero (nothing measurable, so nothing imbalanced).
+fn imbalance(max: u64, sum: u64, count: u64) -> f64 {
+    if sum == 0 {
+        1.0
+    } else {
+        max as f64 * count as f64 / sum as f64
     }
 }
 
@@ -166,6 +189,7 @@ impl Collector {
                 verdict: None,
                 events: Vec::new(),
                 resilience: Vec::new(),
+                lane_sets: Vec::new(),
             }),
         })))
     }
@@ -249,6 +273,62 @@ impl Collector {
         if let Some(inner) = self.0.as_ref() {
             let mut state = inner.state.lock().expect("obs state poisoned");
             state.histograms[id as usize].record(value);
+        }
+    }
+
+    /// A copy of this collector's origin clock for stamping worker-lane
+    /// intervals, or `None` when the collector is disabled or lane
+    /// recording is configured off — so instrumented hot paths pay zero
+    /// clock reads unless lanes are actually wanted.
+    #[must_use]
+    pub fn lane_clock(&self) -> Option<LaneClock> {
+        self.0
+            .as_ref()
+            .and_then(|inner| inner.config.lanes.then(|| LaneClock::new(inner.origin)))
+    }
+
+    /// Attaches one stage's recorded worker lanes under the innermost open
+    /// span, feeding the chunk-duration and per-run imbalance histograms.
+    /// Callers accumulate a [`LaneBuf`] across a stage's runs (e.g. all
+    /// training epochs) and attach once — a single clone of the interval
+    /// buffer, keeping steady-state loops allocation-free.
+    pub fn attach_lanes(&self, stage: &'static str, n_chunks: usize, buf: &LaneBuf) {
+        if let Some(inner) = self.0.as_ref() {
+            if !inner.config.lanes {
+                return;
+            }
+            let mut state = inner.state.lock().expect("obs state poisoned");
+            let span = state.open.last().copied();
+            // Chunk-duration observations plus one imbalance ratio
+            // (max/mean duration) per run.
+            let mut run = u32::MAX;
+            let (mut run_max, mut run_sum, mut run_count) = (0u64, 0u64, 0u64);
+            for iv in buf.intervals() {
+                let duration = iv.duration_us();
+                state.histograms[HistogramId::ChunkDurationMicros as usize].record(duration as f64);
+                if iv.run != run {
+                    if run_count > 0 {
+                        state.histograms[HistogramId::ChunkImbalance as usize]
+                            .record(imbalance(run_max, run_sum, run_count));
+                    }
+                    run = iv.run;
+                    (run_max, run_sum, run_count) = (duration, duration, 1);
+                } else {
+                    run_max = run_max.max(duration);
+                    run_sum += duration;
+                    run_count += 1;
+                }
+            }
+            if run_count > 0 {
+                state.histograms[HistogramId::ChunkImbalance as usize]
+                    .record(imbalance(run_max, run_sum, run_count));
+            }
+            state.lane_sets.push(LaneSetRecord {
+                stage,
+                span,
+                n_chunks,
+                buf: buf.clone(),
+            });
         }
     }
 
@@ -411,9 +491,67 @@ mod tests {
     fn stride_zero_disables_quality_sampling() {
         let c = Collector::enabled_with(ObsConfig {
             epoch_quality_stride: 0,
+            ..ObsConfig::default()
         });
         assert!(c.is_enabled());
         assert_eq!(c.epoch_quality_stride(), 0);
         assert_eq!(Collector::enabled().epoch_quality_stride(), 1);
+    }
+
+    #[test]
+    fn lane_clock_respects_config_and_enablement() {
+        assert!(Collector::disabled().lane_clock().is_none());
+        assert!(Collector::enabled().lane_clock().is_some());
+        let off = Collector::enabled_with(ObsConfig {
+            lanes: false,
+            ..ObsConfig::default()
+        });
+        assert!(off.lane_clock().is_none());
+        // Attaching to a lanes-off collector records nothing.
+        let mut buf = LaneBuf::new();
+        buf.record(0, 0, 0, 5);
+        buf.end_run();
+        off.attach_lanes("stage", 1, &buf);
+        assert!(off.report().unwrap().lanes.is_empty());
+    }
+
+    #[test]
+    fn attach_lanes_records_under_open_span_and_feeds_histograms() {
+        let c = Collector::enabled();
+        {
+            let _root = c.span("root");
+            let _inner = c.span("inner");
+            let mut buf = LaneBuf::with_capacity(4);
+            // Run 0: durations 10 and 30 (imbalance 1.5); run 1: one chunk.
+            buf.record(0, 0, 0, 10);
+            buf.record(1, 1, 0, 30);
+            buf.end_run();
+            buf.record(0, 0, 40, 50);
+            buf.end_run();
+            c.attach_lanes("stage.lanes", 2, &buf);
+        }
+        let r = c.report().unwrap();
+        assert_eq!(r.lanes.len(), 1);
+        let lane = r.lane("stage.lanes").unwrap();
+        assert_eq!(lane.span, Some(1));
+        assert_eq!(lane.n_chunks, 2);
+        assert_eq!(lane.runs, 2);
+        assert_eq!(lane.intervals.len(), 3);
+        let chunk = r.histogram("chunk_duration_us").unwrap();
+        assert_eq!(chunk.total, 3);
+        assert_eq!(chunk.sum, 50.0);
+        let imbalance = r.histogram("chunk_imbalance").unwrap();
+        assert_eq!(imbalance.total, 2);
+        assert!((imbalance.max - 1.5).abs() < 1e-12);
+        assert!((imbalance.min - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lane_clock_is_monotonic() {
+        let c = Collector::enabled();
+        let clock = c.lane_clock().unwrap();
+        let a = clock.now_us();
+        let b = clock.now_us();
+        assert!(b >= a);
     }
 }

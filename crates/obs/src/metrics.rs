@@ -114,27 +114,45 @@ pub enum HistogramId {
     EpochDurationMicros,
     /// Dendrogram merge distances, in map-coordinate units.
     MergeDistance,
+    /// Wall-clock duration of one parallel-section chunk (lane interval),
+    /// in microseconds.
+    ChunkDurationMicros,
+    /// Per-run chunk-duration imbalance: the slowest chunk's duration over
+    /// the run's mean chunk duration (1.0 = perfectly balanced).
+    ChunkImbalance,
 }
 
 impl HistogramId {
     /// Every histogram, in export order.
-    pub const ALL: [HistogramId; 2] =
-        [HistogramId::EpochDurationMicros, HistogramId::MergeDistance];
+    pub const ALL: [HistogramId; 4] = [
+        HistogramId::EpochDurationMicros,
+        HistogramId::MergeDistance,
+        HistogramId::ChunkDurationMicros,
+        HistogramId::ChunkImbalance,
+    ];
 
     /// Stable snake_case name used in `OBS_trace.json`.
     pub fn name(self) -> &'static str {
         match self {
             HistogramId::EpochDurationMicros => "epoch_duration_us",
             HistogramId::MergeDistance => "merge_distance",
+            HistogramId::ChunkDurationMicros => "chunk_duration_us",
+            HistogramId::ChunkImbalance => "chunk_imbalance",
         }
     }
 
-    /// Whether the recorded values are wall-clock timings. Timing histograms
-    /// are excluded from [`crate::report::TraceReport::fingerprint`], since
-    /// durations legitimately differ between serial and parallel runs of the
-    /// same computation.
+    /// Whether the recorded values are wall-clock timings (or derived from
+    /// them, like the chunk imbalance ratio). Timing histograms are excluded
+    /// from [`crate::report::TraceReport::fingerprint`], since durations
+    /// legitimately differ between serial and parallel runs of the same
+    /// computation.
     pub fn is_timing(self) -> bool {
-        matches!(self, HistogramId::EpochDurationMicros)
+        matches!(
+            self,
+            HistogramId::EpochDurationMicros
+                | HistogramId::ChunkDurationMicros
+                | HistogramId::ChunkImbalance
+        )
     }
 
     /// The fixed upper bucket boundaries (the last bucket is unbounded).
@@ -146,6 +164,11 @@ impl HistogramId {
             // boundaries resolve both the near-duplicate merges and the
             // final cross-map joins.
             HistogramId::MergeDistance => &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0],
+            // Chunks are 1..=256 items of cheap arithmetic: sub-µs to ms.
+            HistogramId::ChunkDurationMicros => &[1.0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6],
+            // Ratio >= 1; a straggler chunk at 2x the mean halves the
+            // achievable speedup of a 2-worker stage.
+            HistogramId::ChunkImbalance => &[1.1, 1.25, 1.5, 2.0, 3.0, 5.0, 8.0],
         }
     }
 }
@@ -187,6 +210,38 @@ impl Histogram {
         self.max = self.max.max(value);
     }
 
+    /// The `q`-quantile (`0.0..=1.0`) estimated by linear interpolation
+    /// within the fixed buckets. The first bucket is clamped below by the
+    /// observed minimum and the overflow bucket above by the observed
+    /// maximum, so estimates never leave the observed range.
+    fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let boundaries = self.id.boundaries();
+        let target = q * self.total as f64;
+        let mut cumulative = 0u64;
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let before = cumulative as f64;
+            cumulative += count;
+            if cumulative as f64 >= target {
+                let upper = boundaries.get(bucket).copied().unwrap_or(self.max);
+                let lower = if bucket == 0 {
+                    self.min
+                } else {
+                    boundaries[bucket - 1].max(self.min)
+                };
+                let lower = lower.min(upper);
+                let fraction = ((target - before) / count as f64).clamp(0.0, 1.0);
+                return (lower + fraction * (upper - lower)).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
     pub(crate) fn export(&self) -> HistogramExport {
         HistogramExport {
             name: self.id.name().to_owned(),
@@ -197,6 +252,9 @@ impl Histogram {
             sum: self.sum,
             min: if self.total == 0 { 0.0 } else { self.min },
             max: if self.total == 0 { 0.0 } else { self.max },
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
         }
     }
 }
@@ -230,6 +288,16 @@ pub struct HistogramExport {
     pub min: f64,
     /// Largest recorded value (0 when empty).
     pub max: f64,
+    /// Median, interpolated within the fixed buckets (0 when empty).
+    /// `#[serde(default)]` keeps schema-v2 artifacts parseable.
+    #[serde(default)]
+    pub p50: f64,
+    /// 95th percentile, interpolated within the fixed buckets.
+    #[serde(default)]
+    pub p95: f64,
+    /// 99th percentile, interpolated within the fixed buckets.
+    #[serde(default)]
+    pub p99: f64,
 }
 
 #[cfg(test)]
@@ -285,6 +353,49 @@ mod tests {
         assert_eq!(e.total, 0);
         assert_eq!(e.min, 0.0);
         assert_eq!(e.max, 0.0);
+        assert_eq!(e.p50, 0.0);
+        assert_eq!(e.p95, 0.0);
+        assert_eq!(e.p99, 0.0);
         assert!(e.timing);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // 1..=100 across the first two decade buckets: interpolation
+        // recovers the true percentiles to within a couple of units.
+        let mut h = Histogram::new(HistogramId::EpochDurationMicros);
+        for v in 1..=100 {
+            h.record(f64::from(v));
+        }
+        let e = h.export();
+        assert!((e.p50 - 50.0).abs() < 2.0, "p50 = {}", e.p50);
+        assert!((e.p95 - 95.0).abs() < 2.0, "p95 = {}", e.p95);
+        assert!((e.p99 - 99.0).abs() < 2.0, "p99 = {}", e.p99);
+    }
+
+    #[test]
+    fn quantiles_clamp_to_observed_range() {
+        let mut h = Histogram::new(HistogramId::EpochDurationMicros);
+        h.record(42.0);
+        let e = h.export();
+        assert_eq!(e.p50, 42.0);
+        assert_eq!(e.p99, 42.0);
+        // Overflow-bucket values are bounded by the observed max.
+        let mut h = Histogram::new(HistogramId::MergeDistance);
+        h.record(100.0);
+        h.record(200.0);
+        let e = h.export();
+        assert!(e.p99 <= 200.0 && e.p99 >= 100.0, "p99 = {}", e.p99);
+    }
+
+    #[test]
+    fn new_lane_histograms_are_timing() {
+        assert!(HistogramId::ChunkDurationMicros.is_timing());
+        assert!(HistogramId::ChunkImbalance.is_timing());
+        assert!(!HistogramId::MergeDistance.is_timing());
+        assert_eq!(HistogramId::ALL.len(), 4);
+        for (i, id) in HistogramId::ALL.iter().enumerate() {
+            assert_eq!(*id as usize, i);
+        }
     }
 }

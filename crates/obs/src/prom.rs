@@ -1,0 +1,186 @@
+//! Prometheus text-exposition export of trace metrics.
+//!
+//! `repro trace --prom <file>` writes this rendering alongside the JSON
+//! artifact so scrape-style tooling can consume counters and histograms
+//! without a JSON post-processing step. One time series per paper study,
+//! labelled `study="<label>"`; histogram buckets are cumulative with an
+//! explicit `+Inf` bucket, per the exposition-format convention.
+
+use std::fmt::Write as _;
+
+use crate::metrics::HistogramExport;
+use crate::report::TraceDocument;
+
+const PREFIX: &str = "hiermeans_";
+
+/// Renders every study's counters, histograms, and lane parallel-efficiency
+/// gauges in Prometheus text exposition format.
+#[must_use]
+pub fn to_prometheus(doc: &TraceDocument) -> String {
+    let mut out = String::new();
+    let Some(first) = doc.studies.first() else {
+        return out;
+    };
+    for (i, counter) in first.trace.counters.iter().enumerate() {
+        let _ = writeln!(out, "# TYPE {PREFIX}{} counter", counter.name);
+        for s in &doc.studies {
+            if let Some(c) = s.trace.counters.get(i) {
+                let _ = writeln!(
+                    out,
+                    "{PREFIX}{}{{study=\"{}\"}} {}",
+                    c.name,
+                    escape(&s.label),
+                    c.value
+                );
+            }
+        }
+    }
+    for (i, histogram) in first.trace.histograms.iter().enumerate() {
+        let _ = writeln!(out, "# TYPE {PREFIX}{} histogram", histogram.name);
+        for s in &doc.studies {
+            if let Some(h) = s.trace.histograms.get(i) {
+                render_histogram(&mut out, h, &s.label);
+            }
+        }
+    }
+    let mut wrote_gauge_type = false;
+    for s in &doc.studies {
+        for lane_set in &s.trace.lanes {
+            if !wrote_gauge_type {
+                let _ = writeln!(out, "# TYPE {PREFIX}parallel_efficiency gauge");
+                wrote_gauge_type = true;
+            }
+            let _ = writeln!(
+                out,
+                "{PREFIX}parallel_efficiency{{study=\"{}\",stage=\"{}\"}} {}",
+                escape(&s.label),
+                escape(&lane_set.stage),
+                fmt_f64(lane_set.parallel_efficiency)
+            );
+        }
+    }
+    out
+}
+
+fn render_histogram(out: &mut String, h: &HistogramExport, study: &str) {
+    let study = escape(study);
+    let mut cumulative = 0u64;
+    for (bucket, count) in h.counts.iter().enumerate() {
+        cumulative += count;
+        let le = match h.boundaries.get(bucket) {
+            Some(b) => fmt_f64(*b),
+            None => "+Inf".to_owned(),
+        };
+        let _ = writeln!(
+            out,
+            "{PREFIX}{}_bucket{{study=\"{study}\",le=\"{le}\"}} {cumulative}",
+            h.name
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{PREFIX}{}_sum{{study=\"{study}\"}} {}",
+        h.name,
+        fmt_f64(h.sum)
+    );
+    let _ = writeln!(
+        out,
+        "{PREFIX}{}_count{{study=\"{study}\"}} {}",
+        h.name, h.total
+    );
+}
+
+/// Prometheus floats: plain decimal, no exponent needed for our ranges;
+/// integral values render without a trailing `.0` either way is accepted,
+/// so the default `Display` is fine.
+fn fmt_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+/// Escapes a label value per the exposition format.
+fn escape(label: &str) -> String {
+    label
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{StudyTrace, TraceDocument};
+    use crate::{Collector, Counter, HistogramId, LaneBuf};
+
+    fn sample_document() -> TraceDocument {
+        let c = Collector::enabled();
+        {
+            let _root = c.span("pipeline");
+            c.add(Counter::BmuSearches, 13);
+            c.record(HistogramId::MergeDistance, 0.3);
+            c.record(HistogramId::MergeDistance, 3.0);
+            let mut buf = LaneBuf::new();
+            buf.record(0, 0, 0, 10);
+            buf.end_run();
+            c.attach_lanes("score.sweep", 1, &buf);
+        }
+        TraceDocument::new(
+            1,
+            vec![StudyTrace {
+                label: "sar_machine_a".into(),
+                trace: c.report().expect("enabled"),
+            }],
+        )
+    }
+
+    #[test]
+    fn renders_counters_histograms_and_gauges() {
+        let text = to_prometheus(&sample_document());
+        assert!(text.contains("# TYPE hiermeans_bmu_searches counter"));
+        assert!(text.contains("hiermeans_bmu_searches{study=\"sar_machine_a\"} 13"));
+        assert!(text.contains("# TYPE hiermeans_merge_distance histogram"));
+        // 0.3 <= 0.5 and 3.0 <= 4.0: cumulative buckets end at 2.
+        assert!(
+            text.contains("hiermeans_merge_distance_bucket{study=\"sar_machine_a\",le=\"0.25\"} 0")
+        );
+        assert!(
+            text.contains("hiermeans_merge_distance_bucket{study=\"sar_machine_a\",le=\"0.5\"} 1")
+        );
+        assert!(
+            text.contains("hiermeans_merge_distance_bucket{study=\"sar_machine_a\",le=\"+Inf\"} 2")
+        );
+        assert!(text.contains("hiermeans_merge_distance_count{study=\"sar_machine_a\"} 2"));
+        assert!(text.contains("# TYPE hiermeans_parallel_efficiency gauge"));
+        assert!(text.contains(
+            "hiermeans_parallel_efficiency{study=\"sar_machine_a\",stage=\"score.sweep\"} 1"
+        ));
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotonic() {
+        let text = to_prometheus(&sample_document());
+        let mut last = 0;
+        for line in text
+            .lines()
+            .filter(|l| l.contains("merge_distance_bucket{"))
+        {
+            let value: u64 = line
+                .rsplit(' ')
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap();
+            assert!(value >= last, "{line}");
+            last = value;
+        }
+        assert_eq!(last, 2);
+    }
+
+    #[test]
+    fn empty_document_renders_empty() {
+        assert!(to_prometheus(&TraceDocument::new(1, vec![])).is_empty());
+    }
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

@@ -18,6 +18,7 @@ use std::fmt::Write as _;
 use serde::{Deserialize, Serialize};
 
 use crate::convergence::{ConvergenceVerdict, EpochRecord};
+use crate::lanes::LaneSetExport;
 use crate::metrics::{Counter, CounterExport, HistogramExport};
 use crate::resilience::ResilienceEvent;
 use crate::span::SpanExport;
@@ -29,7 +30,12 @@ use crate::State;
 ///   trajectory, convergence verdict.
 /// * v2 — adds the `resilience` field: typed retry / degradation /
 ///   fault-injection events ([`ResilienceEvent`]).
-pub const SCHEMA_VERSION: u32 = 2;
+/// * v3 — adds the `lanes` field (per-worker chunk timelines with
+///   occupancy/parallel-efficiency analytics, [`LaneSetExport`]), the
+///   `chunk_duration_us`/`chunk_imbalance` histograms, and `p50`/`p95`/
+///   `p99` summary fields on every histogram. All additions are
+///   `#[serde(default)]`-compatible: v2 artifacts still parse.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// One recorded point event, exported.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -66,6 +72,10 @@ pub struct TraceReport {
     /// Self-healing events — retries, degradations, injected faults — in
     /// record order. Empty for a fault-free single-attempt run.
     pub resilience: Vec<ResilienceEvent>,
+    /// Per-stage worker-lane timelines with parallel-efficiency analytics,
+    /// in attach order. Empty when lane recording is off (v2 traces).
+    #[serde(default)]
+    pub lanes: Vec<LaneSetExport>,
 }
 
 pub(crate) fn export(state: &State) -> TraceReport {
@@ -105,6 +115,7 @@ pub(crate) fn export(state: &State) -> TraceReport {
         merge_distances: state.merge_distances.clone(),
         convergence: state.verdict.clone(),
         resilience: state.resilience.clone(),
+        lanes: state.lane_sets.iter().map(crate::lanes::export).collect(),
     }
 }
 
@@ -151,6 +162,24 @@ impl TraceReport {
             .iter()
             .filter(|e| matches!(e, ResilienceEvent::Retry { .. }))
             .count()
+    }
+
+    /// The lane set attached under this stage name, if any.
+    #[must_use]
+    pub fn lane(&self, stage: &str) -> Option<&LaneSetExport> {
+        self.lanes.iter().find(|l| l.stage == stage)
+    }
+
+    /// The structural projection of every lane set: stage, enclosing span,
+    /// chunk count, run count, and the chunk-index multiset — no clocks, no
+    /// worker attribution, so the string is identical for any worker count.
+    #[must_use]
+    pub fn lane_fingerprint(&self) -> String {
+        let mut out = String::new();
+        for l in &self.lanes {
+            let _ = writeln!(out, "{}", l.structural_line());
+        }
+        out
     }
 
     /// A deterministic projection of the trace: the span tree (names and
@@ -211,6 +240,7 @@ impl TraceReport {
         for (i, e) in self.resilience.iter().enumerate() {
             let _ = writeln!(out, "resilience {} {} {}", i, e.kind(), e);
         }
+        out.push_str(&self.lane_fingerprint());
         out
     }
 
@@ -234,13 +264,40 @@ impl TraceReport {
         for h in self.histograms.iter().filter(|h| h.total > 0) {
             let _ = writeln!(
                 out,
-                "  histogram {:<22} n={} min={:.3} max={:.3} mean={:.3}",
+                "  histogram {:<22} n={} min={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3} mean={:.3}",
                 h.name,
                 h.total,
                 h.min,
+                h.p50,
+                h.p95,
+                h.p99,
                 h.max,
                 h.sum / h.total as f64
             );
+        }
+        if !self.lanes.is_empty() {
+            let _ = writeln!(out, "  lanes:");
+            for l in &self.lanes {
+                let _ = writeln!(
+                    out,
+                    "    {:<28} runs={} chunks={} workers={} busy={} wall={} eff={:.0}%",
+                    l.stage,
+                    l.runs,
+                    l.n_chunks,
+                    l.workers.len(),
+                    fmt_us(l.busy_us),
+                    fmt_us(l.wall_us),
+                    l.parallel_efficiency * 100.0
+                );
+                if l.workers.len() > 1 {
+                    let occupancies: Vec<String> = l
+                        .workers
+                        .iter()
+                        .map(|w| format!("{}:{:.0}%", w.worker, w.occupancy * 100.0))
+                        .collect();
+                    let _ = writeln!(out, "      occupancy {}", occupancies.join(" "));
+                }
+            }
         }
         if let Some((first, last)) = self.som_epochs.first().zip(self.som_epochs.last()) {
             let _ = writeln!(

@@ -14,6 +14,7 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use hiermeans_linalg::{parallel, Matrix};
+use hiermeans_obs::{Collector, ObsConfig};
 use hiermeans_som::{KernelPolicy, SomBuilder, TrainingMode};
 
 struct CountingAllocator;
@@ -97,6 +98,29 @@ fn allocations_for(mode: TrainingMode, policy: KernelPolicy, epochs: usize) -> u
     })
 }
 
+fn allocations_for_lanes(mode: TrainingMode, policy: KernelPolicy, epochs: usize) -> u64 {
+    let data = sample_data();
+    allocations_during(|| {
+        // Lanes on, quality sampling off: the configuration `repro profile`
+        // uses for timing-faithful traces. The lane buffers are sized for
+        // the whole run up front, so the allocation *count* must not depend
+        // on the epoch count even though the buffers themselves scale.
+        let collector = Collector::enabled_with(ObsConfig {
+            epoch_quality_stride: 0,
+            lanes: true,
+        });
+        let som = SomBuilder::new(4, 4)
+            .seed(11)
+            .epochs(epochs)
+            .mode(mode)
+            .kernel_policy(policy)
+            .train_traced(&data, &collector)
+            .unwrap();
+        std::hint::black_box(&som);
+        std::hint::black_box(&collector);
+    })
+}
+
 /// Training for many epochs allocates exactly as much as training for one:
 /// all per-epoch work runs on preallocated scratch.
 #[test]
@@ -120,6 +144,31 @@ fn steady_state_epochs_allocate_nothing() {
             many, one,
             "{mode:?}/{policy:?}: 51 epochs allocated {many}, 1 epoch {one} — \
              steady-state epochs must not allocate"
+        );
+    }
+    parallel::set_worker_override(None);
+}
+
+/// The same guarantee holds with worker-lane recording enabled: per-chunk
+/// interval records land in buffers preallocated for the full run, so an
+/// epoch's lane bookkeeping is clock reads and in-capacity pushes only.
+#[test]
+fn steady_state_epochs_allocate_nothing_with_lanes_enabled() {
+    parallel::set_worker_override(Some(1));
+    let configs = [
+        (TrainingMode::Online, KernelPolicy::Blocked),
+        (TrainingMode::Online, KernelPolicy::Scalar),
+        (TrainingMode::Batch, KernelPolicy::Blocked),
+        (TrainingMode::Batch, KernelPolicy::Scalar),
+    ];
+    for (mode, policy) in configs {
+        allocations_for_lanes(mode, policy, 1);
+        let one = allocations_for_lanes(mode, policy, 1);
+        let many = allocations_for_lanes(mode, policy, 51);
+        assert_eq!(
+            many, one,
+            "{mode:?}/{policy:?} with lanes: 51 epochs allocated {many}, 1 epoch {one} — \
+             lane recording must not allocate in steady state"
         );
     }
     parallel::set_worker_override(None);

@@ -72,7 +72,7 @@ impl CharacteristicVectors {
         dataset: &SarDataset,
         collector: &Collector,
     ) -> Result<Self, WorkloadError> {
-        let _span = collector.span("workload.characterize");
+        let _span = collector.span(hiermeans_obs::stages::WORKLOAD_CHARACTERIZE);
         let cv = Self::from_sar(dataset)?;
         cv.record_into(collector);
         Ok(cv)
@@ -89,7 +89,7 @@ impl CharacteristicVectors {
         features: &Matrix,
         collector: &Collector,
     ) -> Result<Self, WorkloadError> {
-        let _span = collector.span("workload.characterize");
+        let _span = collector.span(hiermeans_obs::stages::WORKLOAD_CHARACTERIZE);
         let cv = Self::from_features(names, features)?;
         cv.record_into(collector);
         Ok(cv)
@@ -105,7 +105,7 @@ impl CharacteristicVectors {
         dataset: &MethodDataset,
         collector: &Collector,
     ) -> Result<Self, WorkloadError> {
-        let _span = collector.span("workload.characterize");
+        let _span = collector.span(hiermeans_obs::stages::WORKLOAD_CHARACTERIZE);
         let cv = Self::from_methods(dataset)?;
         cv.record_into(collector);
         Ok(cv)
