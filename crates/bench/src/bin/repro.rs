@@ -12,6 +12,13 @@
 //!                    > 0.5 ms over the stored report)
 //!                    bench-kernels (writes BENCH_kernels.json with the
 //!                    scalar-vs-blocked kernel speedups)
+//!                    bench-scale [--baseline <file>]
+//!                    (writes BENCH_scale.json with the large-n scaling
+//!                    curves — naive vs NN-chain merge loops, O(n)-memory
+//!                    single/complete linkage up to n = 100 000,
+//!                    heuristic-grid batch SOM; with --baseline, exits
+//!                    nonzero when any row regresses > 50% and > 250 ms
+//!                    over the stored report. Takes minutes.)
 //!   observability:   trace [--prom <file>] (writes OBS_trace.json; exits
 //!                    nonzero if any study's SOM did not converge; with
 //!                    --prom, also writes the document in Prometheus text
@@ -35,13 +42,18 @@
 use std::panic::{self, AssertUnwindSafe};
 use std::process::ExitCode;
 
-use hiermeans_bench::{check, experiments, extensions, faults, kernels, perf, profile, trace};
+use hiermeans_bench::{
+    check, experiments, extensions, faults, kernels, perf, profile, scale, trace,
+};
 use hiermeans_workload::measurement::Characterization;
 use hiermeans_workload::Machine;
 
 fn run(artifact: &str) -> Result<String, String> {
     if artifact == "bench-pipeline" {
         return run_bench_pipeline(None);
+    }
+    if artifact == "bench-scale" {
+        return run_bench_scale(None);
     }
     if artifact == "bench-kernels" {
         return kernels::bench_kernels_json()
@@ -146,6 +158,36 @@ fn run_bench_pipeline(baseline: Option<&str>) -> Result<String, String> {
     Ok(out)
 }
 
+/// Runs the scaling curves (naive vs NN-chain merge loops, the O(n)-memory
+/// single/complete-linkage algorithms up to n = 100 000, heuristic-grid
+/// batch SOM), writes `BENCH_scale.json`, and — when a baseline file is
+/// given — applies the scale regression gate: any curve row more than 50%
+/// (and 250 ms) over the baseline's fails the run.
+fn run_bench_scale(baseline: Option<&str>) -> Result<String, String> {
+    // Parse the baseline before benching: the committed baseline
+    // conventionally lives at BENCH_scale.json itself, which the write
+    // below replaces.
+    let base: Option<scale::ScaleBenchReport> = baseline
+        .map(|path| {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("bench-scale: cannot read baseline {path}: {e}"))?;
+            serde_json::from_str(&text)
+                .map_err(|e| format!("bench-scale: parsing baseline {path}: {e}"))
+        })
+        .transpose()?;
+    let report = scale::bench_scale();
+    let json =
+        serde_json::to_string_pretty(&report).map_err(|e| format!("bench-scale failed: {e}"))?;
+    std::fs::write("BENCH_scale.json", &json)
+        .map_err(|e| format!("writing BENCH_scale.json: {e}"))?;
+    let mut out = format!("wrote BENCH_scale.json\n{json}");
+    if let (Some(path), Some(base)) = (baseline, base) {
+        let table = scale::compare_with_scale_baseline(&report, &base)?;
+        out.push_str(&format!("\nscale regression gate vs {path}: ok\n{table}"));
+    }
+    Ok(out)
+}
+
 /// Runs the traced paper studies, writes `OBS_trace.json` (and, when
 /// `--prom` was given, the Prometheus text exposition), and applies the SOM
 /// convergence gate.
@@ -212,7 +254,8 @@ fn main() -> ExitCode {
              fig5 fig6 fig7 fig8 table4 table5 table6 all\n  extensions: merger jackknife \
              means-family duplication correlation mica evaluation report extensions\n  \
              performance: bench-pipeline [--baseline <file>] (writes BENCH_pipeline.json), \
-             bench-kernels (writes BENCH_kernels.json)\n  \
+             bench-kernels (writes BENCH_kernels.json), \
+             bench-scale [--baseline <file>] (writes BENCH_scale.json; takes minutes)\n  \
              observability: trace [--prom <file>] (writes OBS_trace.json), \
              profile (writes OBS_profile.json + OBS_profile.trace.json), \
              check-trace <file>\n  \
@@ -250,6 +293,14 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             };
             run_guarded(|| run_bench_pipeline(Some(&path)), "bench-pipeline")
+        } else if artifact == "bench-scale" && args.peek().map(String::as_str) == Some("--baseline")
+        {
+            args.next();
+            let Some(path) = args.next() else {
+                eprintln!("bench-scale: missing --baseline <file> argument");
+                return ExitCode::FAILURE;
+            };
+            run_guarded(|| run_bench_scale(Some(&path)), "bench-scale")
         } else {
             run_guarded(|| run(&artifact), &artifact)
         };

@@ -15,4 +15,5 @@ pub mod faults;
 pub mod kernels;
 pub mod perf;
 pub mod profile;
+pub mod scale;
 pub mod trace;

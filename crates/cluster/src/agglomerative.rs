@@ -19,9 +19,102 @@ use hiermeans_linalg::distance::{pairwise_with_policy_lanes, Metric, PAIRWISE_CH
 use hiermeans_linalg::kernels::KernelPolicy;
 use hiermeans_linalg::Matrix;
 use hiermeans_obs::{stages, Collector, Counter, CounterBuf, LaneBuf};
+use serde::{Deserialize, Serialize};
 
 use crate::dendrogram::{Dendrogram, Merge};
-use crate::{ClusterError, Linkage};
+use crate::{nnchain, ClusterError, Linkage};
+
+/// Which agglomerative implementation the pipeline runs.
+///
+/// Both implementations produce cut-equivalent dendrograms for reducible
+/// linkages (property-tested), and — because complete/single linkage's
+/// Lance–Williams updates are pure `max`/`min` selections — the *same
+/// merge-distance multiset bit for bit*, so a traced run carries an
+/// identical fingerprint under either choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AgglomerationStrategy {
+    /// The textbook global-minimum merge loop — O(n³), fine for
+    /// benchmark-suite-sized inputs.
+    Naive,
+    /// The NN-chain algorithm ([`crate::nnchain`]) — O(n²), requires a
+    /// reducible linkage (not centroid/median).
+    NnChain,
+    /// Picks [`AgglomerationStrategy::NnChain`] when the input has at least
+    /// [`AgglomerationStrategy::AUTO_THRESHOLD`] rows *and* the linkage is
+    /// reducible; [`AgglomerationStrategy::Naive`] otherwise. The default:
+    /// paper-sized suites keep their exact historical path, large corpora
+    /// get the quadratic algorithm.
+    #[default]
+    Auto,
+}
+
+impl AgglomerationStrategy {
+    /// Input size at which [`AgglomerationStrategy::Auto`] switches to
+    /// NN-chain. Below this the naive loop's cubic term is microseconds and
+    /// not worth a second code path.
+    pub const AUTO_THRESHOLD: usize = 128;
+
+    /// Resolves the strategy for an input of `n` points under `linkage`:
+    /// `true` means NN-chain runs.
+    pub fn use_nn_chain(self, n: usize, linkage: Linkage) -> bool {
+        match self {
+            AgglomerationStrategy::Naive => false,
+            AgglomerationStrategy::NnChain => true,
+            AgglomerationStrategy::Auto => {
+                n >= Self::AUTO_THRESHOLD && nnchain::is_reducible(linkage)
+            }
+        }
+    }
+}
+
+/// Clusters the rows of `points` with the implementation `strategy`
+/// selects (see [`AgglomerationStrategy::use_nn_chain`]).
+///
+/// # Errors
+///
+/// Same as [`cluster`]; an explicit [`AgglomerationStrategy::NnChain`]
+/// with a non-reducible linkage returns [`ClusterError::InvalidLabels`].
+pub fn cluster_with_strategy(
+    points: &Matrix,
+    metric: Metric,
+    linkage: Linkage,
+    policy: KernelPolicy,
+    strategy: AgglomerationStrategy,
+) -> Result<Dendrogram, ClusterError> {
+    cluster_with_strategy_traced(
+        points,
+        metric,
+        linkage,
+        policy,
+        strategy,
+        &Collector::disabled(),
+    )
+}
+
+/// [`cluster_with_strategy`] with observability — the entry point the
+/// characterization pipeline calls. Both strategies emit the same span
+/// structure (`cluster.agglomerate` → `cluster.pairwise` +
+/// `cluster.merge_loop`), the same distance-evaluation counter, the same
+/// sorted merge-distance trajectory, and the same lane shapes, so the
+/// trace fingerprint does not depend on the strategy.
+///
+/// # Errors
+///
+/// Same as [`cluster_with_strategy`].
+pub fn cluster_with_strategy_traced(
+    points: &Matrix,
+    metric: Metric,
+    linkage: Linkage,
+    policy: KernelPolicy,
+    strategy: AgglomerationStrategy,
+    collector: &Collector,
+) -> Result<Dendrogram, ClusterError> {
+    if strategy.use_nn_chain(points.nrows(), linkage) {
+        nnchain::cluster_nn_chain_traced_with_policy(points, metric, linkage, policy, collector)
+    } else {
+        cluster_traced_with_policy(points, metric, linkage, policy, collector)
+    }
+}
 
 /// Clusters the rows of `points` and returns the full merge history.
 ///
@@ -110,32 +203,43 @@ pub fn cluster_traced_with_policy(
         return Err(ClusterError::InvalidData { report });
     }
     let span = collector.span(stages::CLUSTER_AGGLOMERATE);
-    let dist = {
-        let _pairwise = collector.span(stages::CLUSTER_PAIRWISE);
-        let n_chunks = points.nrows().div_ceil(PAIRWISE_CHUNKING.chunk_size);
-        let mut lane_buf = collector
-            .lane_clock()
-            .map(|clock| (clock, LaneBuf::with_capacity(n_chunks)));
-        let dist = pairwise_with_policy_lanes(
-            points,
-            metric,
-            policy,
-            lane_buf.as_mut().map(|(clock, buf)| (*clock, buf)),
-        )?;
-        if let Some((_, buf)) = lane_buf.as_ref() {
-            collector.attach_lanes(stages::CLUSTER_PAIRWISE, n_chunks, buf);
-        }
-        if collector.is_enabled() {
-            let n = points.nrows() as u64;
-            let mut buf = CounterBuf::new();
-            buf.add(Counter::DistanceEvaluations, n * n.saturating_sub(1) / 2);
-            collector.flush(&buf);
-        }
-        dist
-    };
+    let dist = pairwise_traced_with_policy(points, metric, policy, collector)?;
     let result = cluster_from_distances_traced(&dist, linkage, collector);
     drop(span);
     result
+}
+
+/// The traced pairwise stage shared by the naive and NN-chain paths: a
+/// `cluster.pairwise` span with its chunk-lane recording and the
+/// distance-evaluation counter. Keeping one implementation guarantees both
+/// strategies emit an identical pairwise trace.
+pub(crate) fn pairwise_traced_with_policy(
+    points: &Matrix,
+    metric: Metric,
+    policy: KernelPolicy,
+    collector: &Collector,
+) -> Result<Matrix, ClusterError> {
+    let _pairwise = collector.span(stages::CLUSTER_PAIRWISE);
+    let n_chunks = points.nrows().div_ceil(PAIRWISE_CHUNKING.chunk_size);
+    let mut lane_buf = collector
+        .lane_clock()
+        .map(|clock| (clock, LaneBuf::with_capacity(n_chunks)));
+    let dist = pairwise_with_policy_lanes(
+        points,
+        metric,
+        policy,
+        lane_buf.as_mut().map(|(clock, buf)| (*clock, buf)),
+    )?;
+    if let Some((_, buf)) = lane_buf.as_ref() {
+        collector.attach_lanes(stages::CLUSTER_PAIRWISE, n_chunks, buf);
+    }
+    if collector.is_enabled() {
+        let n = points.nrows() as u64;
+        let mut buf = CounterBuf::new();
+        buf.add(Counter::DistanceEvaluations, n * n.saturating_sub(1) / 2);
+        collector.flush(&buf);
+    }
+    Ok(dist)
 }
 
 /// Clusters from a precomputed symmetric distance matrix.
@@ -245,7 +349,7 @@ pub fn cluster_from_distances_traced(
     Dendrogram::new(n, merges)
 }
 
-fn validate_distance_matrix(dist: &Matrix) -> Result<(), ClusterError> {
+pub(crate) fn validate_distance_matrix(dist: &Matrix) -> Result<(), ClusterError> {
     let (r, c) = dist.shape();
     if r == 0 || c == 0 {
         return Err(ClusterError::EmptyInput);

@@ -85,19 +85,27 @@ impl Dendrogram {
             .all(|w| w[1].distance >= w[0].distance - 1e-12)
     }
 
-    /// Cuts at a merging distance: applies every merge with
-    /// `distance <= threshold` and returns the resulting clusters.
+    /// Cuts at a merging distance: applies the longest *prefix* of merges
+    /// whose distances are all `<= threshold` and returns the resulting
+    /// clusters.
     ///
     /// "At a specific merging distance, clusters that are located closer than
     /// the merging distance should merge."
+    ///
+    /// For monotone dendrograms the prefix rule is exact — the prefix is
+    /// precisely the set of merges at or below the threshold. For
+    /// non-monotone dendrograms (centroid/median linkage can invert), the
+    /// `take_while` stops at the first merge *above* the threshold even if
+    /// later merges dip back below it: a merge can only be applied once its
+    /// operands exist, so skipping an early merge and applying a later one
+    /// that depends on it would be incoherent. The cut therefore honors
+    /// merge order, not just merge height.
     pub fn cut_at(&self, threshold: f64) -> ClusterAssignment {
         let applied = self
             .merges
             .iter()
             .take_while(|m| m.distance <= threshold)
             .count();
-        // For monotone dendrograms take_while is exact; for inverted ones we
-        // still honor every early merge at or below the threshold.
         self.assignment_after(applied)
     }
 
@@ -116,10 +124,12 @@ impl Dendrogram {
         Ok(self.assignment_after(self.n_leaves - k))
     }
 
-    /// The smallest threshold at which cutting yields exactly `k` clusters
-    /// (the midpoint convention is not used; this is the distance of the
-    /// first unapplied merge minus an epsilon is avoided by returning the
-    /// half-open interval's lower bound: the `(n-k)`-th merge distance).
+    /// The smallest threshold at which [`Dendrogram::cut_at`] yields exactly
+    /// `k` clusters: the distance of the last merge the cut must apply (the
+    /// `(n-k)`-th). Any threshold in the half-open interval from this value
+    /// up to (but excluding) the next merge's distance produces the same
+    /// `k`-cluster partition; this returns the interval's lower bound rather
+    /// than a midpoint or a "next distance minus epsilon" convention.
     ///
     /// Returns 0.0 for `k == n`.
     ///
@@ -167,25 +177,56 @@ impl Dendrogram {
 
     /// The cophenetic distance matrix: entry `(i, j)` is the merging distance
     /// at which leaves `i` and `j` first share a cluster.
+    ///
+    /// This materializes an n×n matrix. For large dendrograms, prefer
+    /// [`Dendrogram::for_each_cophenetic_pair`], which visits the same
+    /// entries with O(n) live memory.
     pub fn cophenetic(&self) -> Matrix {
         let n = self.n_leaves;
         let mut coph = Matrix::zeros(n, n);
-        // members[id] = leaves under that cluster id.
+        match self.for_each_cophenetic_pair(|a, b, d| {
+            coph[(a, b)] = d;
+            coph[(b, a)] = d;
+            Ok::<(), std::convert::Infallible>(())
+        }) {
+            Ok(()) => {}
+            Err(e) => match e {},
+        }
+        coph
+    }
+
+    /// Streams every unordered leaf pair's cophenetic distance — `f(i, j, d)`
+    /// with `i < j` not guaranteed; each pair is visited exactly once, in
+    /// merge order — without materializing an n×n matrix. Member lists are
+    /// moved, not cloned, so peak memory stays O(n) elements on top of the
+    /// dendrogram itself. Returning `Err` from the visitor aborts the walk.
+    ///
+    /// # Errors
+    ///
+    /// Only the error the visitor itself returns.
+    pub fn for_each_cophenetic_pair<E>(
+        &self,
+        mut f: impl FnMut(usize, usize, f64) -> Result<(), E>,
+    ) -> Result<(), E> {
+        let n = self.n_leaves;
+        // members[id] = leaves under that cluster id; merged lists are moved
+        // into the new cluster's slot, so each leaf lives in exactly one
+        // list at any time.
         let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        members.reserve(self.merges.len());
         for m in &self.merges {
-            let left = members[m.left].clone();
-            let right = members[m.right].clone();
+            let left = std::mem::take(&mut members[m.left]);
+            let right = std::mem::take(&mut members[m.right]);
             for &a in &left {
                 for &b in &right {
-                    coph[(a, b)] = m.distance;
-                    coph[(b, a)] = m.distance;
+                    f(a, b, m.distance)?;
                 }
             }
             let mut merged = left;
             merged.extend(right);
             members.push(merged);
         }
-        coph
+        Ok(())
     }
 
     /// Leaves in dendrogram-plot order: a depth-first traversal placing each

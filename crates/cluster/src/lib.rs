@@ -11,7 +11,11 @@
 //!
 //! * [`linkage`] — Lance–Williams linkage rules (single, complete, average,
 //!   weighted, Ward, centroid, median).
-//! * [`agglomerative`] — the merge loop producing a [`Dendrogram`].
+//! * [`agglomerative`] — the merge loop producing a [`Dendrogram`], plus
+//!   the [`AgglomerationStrategy`] switch between it and NN-chain.
+//! * [`nnchain`] — the O(n²) NN-chain algorithm for reducible linkages.
+//! * [`scalable`] — SLINK/CLINK single/complete linkage in O(n) memory
+//!   for corpora whose distance matrix does not fit.
 //! * [`dendrogram`] — cutting at a merging distance or into exactly `k`
 //!   clusters, cophenetic distances, leaf ordering.
 //! * [`assignment`] — normalized cluster label vectors.
@@ -50,9 +54,11 @@ pub mod dendrogram;
 pub mod kmeans;
 pub mod linkage;
 pub mod nnchain;
+pub mod scalable;
 pub mod selection;
 pub mod validity;
 
+pub use agglomerative::AgglomerationStrategy;
 pub use assignment::ClusterAssignment;
 pub use dendrogram::{Dendrogram, Merge};
 pub use error::ClusterError;

@@ -19,9 +19,12 @@
 //! after sorting merges by distance, every cut produces identical clusters
 //! (verified against the naive implementation by property tests).
 
-use hiermeans_linalg::distance::{pairwise, Metric};
+use hiermeans_linalg::distance::{pairwise_with_policy, Metric};
+use hiermeans_linalg::kernels::KernelPolicy;
 use hiermeans_linalg::Matrix;
+use hiermeans_obs::{stages, Collector, LaneBuf};
 
+use crate::agglomerative;
 use crate::dendrogram::{Dendrogram, Merge};
 use crate::{ClusterError, Linkage};
 
@@ -29,6 +32,25 @@ use crate::{ClusterError, Linkage};
 /// NN-chain requires.
 pub fn is_reducible(linkage: Linkage) -> bool {
     !matches!(linkage, Linkage::Centroid | Linkage::Median)
+}
+
+/// How the nearest-neighbor and Lance–Williams scans enumerate candidate
+/// clusters.
+///
+/// Both scans produce bit-identical merge sequences: ties are broken toward
+/// the smallest slot index by explicit `(distance, slot)` comparison, not by
+/// iteration order, and the Lance–Williams updates are independent per
+/// slot. The variants exist so `bench-scale` can show the constant-factor
+/// win of skipping dead slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SlotScan {
+    /// Walk all `n` slots every scan, skipping merged-away (`None`) ones —
+    /// late merges traverse mostly-dead arrays.
+    Full,
+    /// Walk a compact list of live slots, maintained by swap-removal —
+    /// scan cost shrinks with every merge. The default.
+    #[default]
+    Active,
 }
 
 /// Clusters the rows of `points` with the NN-chain algorithm.
@@ -62,11 +84,16 @@ pub fn cluster_nn_chain(
     if points.is_empty() {
         return Err(ClusterError::EmptyInput);
     }
-    let dist = pairwise(points, metric)?;
-    cluster_nn_chain_from_distances(&dist, linkage)
+    // Same default pairwise kernel as `agglomerative::cluster`, so the two
+    // algorithms see bitwise-identical distance matrices (the norm-trick
+    // and scalar kernels differ in final ULPs on non-integer coordinates).
+    let dist = pairwise_with_policy(points, metric, KernelPolicy::default())?;
+    cluster_nn_chain_owned(dist, linkage)
 }
 
-/// NN-chain over a precomputed distance matrix.
+/// NN-chain over a borrowed precomputed distance matrix. Clones the matrix
+/// into working storage; callers that can give up their matrix should use
+/// [`cluster_nn_chain_owned`] instead, which needs no copy.
 ///
 /// # Errors
 ///
@@ -75,36 +102,157 @@ pub fn cluster_nn_chain_from_distances(
     dist: &Matrix,
     linkage: Linkage,
 ) -> Result<Dendrogram, ClusterError> {
-    if !is_reducible(linkage) {
-        return Err(ClusterError::InvalidLabels {
-            reason: "NN-chain requires a reducible linkage (not centroid/median)",
-        });
-    }
-    let (r, c) = dist.shape();
-    if r == 0 {
-        return Err(ClusterError::EmptyInput);
-    }
-    if r != c {
-        return Err(ClusterError::InvalidDistanceMatrix {
-            reason: "matrix is not square",
-        });
-    }
-    let n = r;
+    cluster_nn_chain_owned(dist.clone(), linkage)
+}
+
+/// NN-chain consuming its distance matrix: the Lance–Williams updates run
+/// in place, so peak memory is the one matrix the caller already paid for —
+/// no clone at exactly the scale NN-chain exists for.
+///
+/// # Errors
+///
+/// Same as [`cluster_nn_chain`], plus distance-matrix validation errors.
+pub fn cluster_nn_chain_owned(dist: Matrix, linkage: Linkage) -> Result<Dendrogram, ClusterError> {
+    cluster_nn_chain_owned_with_scan(dist, linkage, SlotScan::Active)
+}
+
+/// [`cluster_nn_chain_owned`] with an explicit [`SlotScan`]. Results are
+/// bit-identical across scans; the knob exists for benchmarking the
+/// active-list win.
+///
+/// # Errors
+///
+/// Same as [`cluster_nn_chain_owned`].
+pub fn cluster_nn_chain_owned_with_scan(
+    dist: Matrix,
+    linkage: Linkage,
+    scan: SlotScan,
+) -> Result<Dendrogram, ClusterError> {
+    check_reducible(linkage)?;
+    agglomerative::validate_distance_matrix(&dist)?;
+    let n = dist.nrows();
     if n == 1 {
         return Dendrogram::new(1, vec![]);
     }
+    let raw = nn_chain_merges(dist, linkage, scan, &mut |_step| {})?;
+    sort_merges(n, raw)
+}
 
-    let mut d = dist.clone();
+/// [`cluster_nn_chain`] with a [`hiermeans_linalg::kernels::KernelPolicy`]
+/// for the pairwise stage and full observability, mirroring
+/// [`agglomerative::cluster_traced_with_policy`]'s trace shape exactly: a
+/// `cluster.agglomerate` span containing the shared `cluster.pairwise`
+/// stage (chunk lanes + distance-evaluation counter) and a
+/// `cluster.merge_loop` span with one serial lane interval per merge; the
+/// merge-distance trajectory is recorded in sorted order, which is the
+/// order the naive loop discovers merges in.
+///
+/// # Errors
+///
+/// Same as [`cluster_nn_chain`], plus [`ClusterError::InvalidData`] for
+/// non-finite coordinates.
+pub fn cluster_nn_chain_traced_with_policy(
+    points: &Matrix,
+    metric: Metric,
+    linkage: Linkage,
+    policy: KernelPolicy,
+    collector: &Collector,
+) -> Result<Dendrogram, ClusterError> {
+    check_reducible(linkage)?;
+    if points.is_empty() {
+        return Err(ClusterError::EmptyInput);
+    }
+    // Same stage-boundary guard as the naive entry point.
+    let report = hiermeans_linalg::validate::validate(points);
+    if report.has_fatal() {
+        return Err(ClusterError::InvalidData { report });
+    }
+    let span = collector.span(stages::CLUSTER_AGGLOMERATE);
+    let dist = agglomerative::pairwise_traced_with_policy(points, metric, policy, collector)?;
+    let result = cluster_nn_chain_owned_traced(dist, linkage, collector);
+    drop(span);
+    result
+}
+
+/// The traced merge stage over an owned distance matrix: a
+/// `cluster.merge_loop` span, one lane interval per merge step on worker 0
+/// (the loop is serial by construction, like the naive one), and the merge
+/// trajectory recorded in sorted-distance order.
+///
+/// # Errors
+///
+/// Same as [`cluster_nn_chain_owned`].
+pub fn cluster_nn_chain_owned_traced(
+    dist: Matrix,
+    linkage: Linkage,
+    collector: &Collector,
+) -> Result<Dendrogram, ClusterError> {
+    check_reducible(linkage)?;
+    let _span = collector.span(stages::CLUSTER_MERGE_LOOP);
+    agglomerative::validate_distance_matrix(&dist)?;
+    let n = dist.nrows();
+    if n == 1 {
+        return Dendrogram::new(1, vec![]);
+    }
+    let lane_clock = collector.lane_clock();
+    let mut lane_buf = lane_clock.map(|_| LaneBuf::with_capacity(n - 1));
+    let mut step_begin = lane_clock.map_or(0, |c| c.now_us());
+    let raw = nn_chain_merges(dist, linkage, SlotScan::Active, &mut |step| {
+        if let (Some(clock), Some(lanes)) = (lane_clock, lane_buf.as_mut()) {
+            let now = clock.now_us();
+            lanes.record(step, 0, step_begin, now);
+            step_begin = now;
+        }
+    })?;
+    let dendrogram = sort_merges(n, raw)?;
+    // The naive loop discovers merges in ascending distance order; replaying
+    // the sorted sequence keeps the recorded trajectory (and its histogram)
+    // identical across strategies.
+    for m in dendrogram.merges() {
+        collector.record_merge(m.distance);
+    }
+    if let Some(lanes) = lane_buf.as_mut() {
+        lanes.end_run();
+        collector.attach_lanes(stages::CLUSTER_MERGE_LOOP, n - 1, lanes);
+    }
+    Ok(dendrogram)
+}
+
+fn check_reducible(linkage: Linkage) -> Result<(), ClusterError> {
+    if is_reducible(linkage) {
+        Ok(())
+    } else {
+        Err(ClusterError::InvalidLabels {
+            reason: "NN-chain requires a reducible linkage (not centroid/median)",
+        })
+    }
+}
+
+/// The chain loop proper: consumes the working matrix, returns raw merges
+/// as `(smaller id, larger id, distance, size)` in discovery order, and
+/// calls `on_merge(step)` after each merge (for lane recording).
+fn nn_chain_merges(
+    mut d: Matrix,
+    linkage: Linkage,
+    scan: SlotScan,
+    on_merge: &mut dyn FnMut(usize),
+) -> Result<Vec<(usize, usize, f64, usize)>, ClusterError> {
+    let n = d.nrows();
     // Slot metadata: Some((dendrogram id, size)) while active.
     let mut info: Vec<Option<(usize, usize)>> = (0..n).map(|i| Some((i, 1))).collect();
+    // Compact live-slot list with positions, maintained by swap-removal.
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut pos: Vec<usize> = (0..n).collect();
     let mut raw_merges: Vec<(usize, usize, f64, usize)> = Vec::with_capacity(n - 1);
     let mut chain: Vec<usize> = Vec::with_capacity(n);
-    let mut remaining = n;
     let mut next_id = n;
+    let mut step = 0;
 
-    while remaining > 1 {
+    while active.len() > 1 {
         if chain.is_empty() {
-            let Some(start) = info.iter().position(|s| s.is_some()) else {
+            // Start from the smallest active slot, matching the full scan's
+            // first-`Some` selection.
+            let Some(start) = active.iter().copied().min() else {
                 return Err(ClusterError::Internal {
                     what: "NN-chain found no active cluster to start from",
                 });
@@ -117,16 +265,36 @@ pub fn cluster_nn_chain_from_distances(
                     what: "NN-chain emptied mid-walk",
                 });
             };
-            // Nearest active neighbor of `top` (smallest slot wins ties so
-            // reciprocal pairs are found deterministically).
-            let mut nearest = None;
-            for j in 0..n {
-                if j == top || info[j].is_none() {
-                    continue;
+            // Nearest active neighbor of `top`. The smallest slot wins ties
+            // (explicit `(distance, slot)` comparison, so both scan orders
+            // find the same neighbor) and reciprocal pairs are found
+            // deterministically.
+            let mut nearest: Option<(usize, f64)> = None;
+            let consider = |nearest: &mut Option<(usize, f64)>, j: usize, dj: f64| {
+                let better = match *nearest {
+                    None => true,
+                    Some((bj, bd)) => dj < bd || (dj == bd && j < bj),
+                };
+                if better {
+                    *nearest = Some((j, dj));
                 }
-                let dj = d[(top, j)];
-                if nearest.is_none_or(|(_, best)| dj < best) {
-                    nearest = Some((j, dj));
+            };
+            match scan {
+                SlotScan::Full => {
+                    for j in 0..n {
+                        if j == top || info[j].is_none() {
+                            continue;
+                        }
+                        consider(&mut nearest, j, d[(top, j)]);
+                    }
+                }
+                SlotScan::Active => {
+                    for &j in &active {
+                        if j == top {
+                            continue;
+                        }
+                        consider(&mut nearest, j, d[(top, j)]);
+                    }
                 }
             }
             let Some((nn, dnn)) = nearest else {
@@ -147,31 +315,56 @@ pub fn cluster_nn_chain_from_distances(
                 };
                 let new_size = size_a + size_b;
                 raw_merges.push((id_a.min(id_b), id_a.max(id_b), dnn, new_size));
-                // Lance-Williams update into slot a.
-                for k in 0..n {
-                    if k == a || k == b {
-                        continue;
+                // Lance-Williams update into slot a. Each slot's update is
+                // independent, so scan order cannot change any entry.
+                match scan {
+                    SlotScan::Full => {
+                        for k in 0..n {
+                            if k == a || k == b {
+                                continue;
+                            }
+                            let Some((_, size_k)) = info[k] else {
+                                continue;
+                            };
+                            let updated =
+                                linkage.update(d[(k, a)], d[(k, b)], dnn, size_a, size_b, size_k);
+                            d[(k, a)] = updated;
+                            d[(a, k)] = updated;
+                        }
                     }
-                    let Some((_, size_k)) = info[k] else {
-                        continue;
-                    };
-                    let updated = linkage.update(d[(k, a)], d[(k, b)], dnn, size_a, size_b, size_k);
-                    d[(k, a)] = updated;
-                    d[(a, k)] = updated;
+                    SlotScan::Active => {
+                        for &k in &active {
+                            if k == a || k == b {
+                                continue;
+                            }
+                            let Some((_, size_k)) = info[k] else {
+                                return Err(ClusterError::Internal {
+                                    what: "active list referenced a dead slot",
+                                });
+                            };
+                            let updated =
+                                linkage.update(d[(k, a)], d[(k, b)], dnn, size_a, size_b, size_k);
+                            d[(k, a)] = updated;
+                            d[(a, k)] = updated;
+                        }
+                    }
                 }
                 info[a] = Some((next_id, new_size));
                 info[b] = None;
+                let pb = pos[b];
+                active.swap_remove(pb);
+                if pb < active.len() {
+                    pos[active[pb]] = pb;
+                }
                 next_id += 1;
-                remaining -= 1;
+                on_merge(step);
+                step += 1;
                 break;
             }
             chain.push(nn);
         }
     }
-
-    // NN-chain emits merges out of distance order; relabel into the sorted
-    // order so the Dendrogram invariants (and monotone cuts) hold.
-    sort_merges(n, raw_merges)
+    Ok(raw_merges)
 }
 
 /// Sorts raw merges by distance (stable on discovery order) and remaps the
@@ -214,6 +407,7 @@ fn sort_merges(
 mod tests {
     use super::*;
     use crate::agglomerative;
+    use hiermeans_linalg::distance::pairwise;
 
     fn grid_points(n: usize) -> Matrix {
         // Deterministic pseudo-random points with no structured distance
@@ -334,5 +528,76 @@ mod tests {
         let d = cluster_nn_chain(&pts, Metric::Euclidean, Linkage::Complete).unwrap();
         assert_eq!(d.merges().len(), 3);
         assert!(d.is_monotone());
+    }
+
+    #[test]
+    fn active_scan_matches_full_scan_bitwise() {
+        // Tie-heavy integer lattice: the explicit (distance, slot) tie-break
+        // must make both scan orders produce identical dendrograms.
+        let lattice: Vec<Vec<f64>> = (0..5)
+            .flat_map(|x| (0..5).map(move |y| vec![f64::from(x), f64::from(y)]))
+            .collect();
+        let lattice = Matrix::from_rows(&lattice).unwrap();
+        for pts in [&lattice, &grid_points(40)] {
+            for linkage in [
+                Linkage::Single,
+                Linkage::Complete,
+                Linkage::Average,
+                Linkage::Weighted,
+                Linkage::Ward,
+            ] {
+                let dist = pairwise(pts, Metric::Euclidean).unwrap();
+                let full = cluster_nn_chain_owned_with_scan(dist.clone(), linkage, SlotScan::Full)
+                    .unwrap();
+                let active =
+                    cluster_nn_chain_owned_with_scan(dist, linkage, SlotScan::Active).unwrap();
+                assert_eq!(full, active, "{linkage} differs between scans");
+            }
+        }
+    }
+
+    #[test]
+    fn owned_matches_borrowed() {
+        let pts = grid_points(30);
+        let dist = pairwise(&pts, Metric::Euclidean).unwrap();
+        let borrowed = cluster_nn_chain_from_distances(&dist, Linkage::Complete).unwrap();
+        let owned = cluster_nn_chain_owned(dist, Linkage::Complete).unwrap();
+        assert_eq!(borrowed, owned);
+    }
+
+    #[test]
+    fn traced_matches_untraced_and_naive_trace() {
+        use hiermeans_obs::Collector;
+
+        let pts = grid_points(32);
+        let traced_collector = Collector::enabled();
+        let traced = cluster_nn_chain_traced_with_policy(
+            &pts,
+            Metric::Euclidean,
+            Linkage::Complete,
+            KernelPolicy::default(),
+            &traced_collector,
+        )
+        .unwrap();
+        let plain = cluster_nn_chain(&pts, Metric::Euclidean, Linkage::Complete).unwrap();
+        assert_eq!(traced, plain);
+
+        // Complete linkage's Lance–Williams update is a pure max selection,
+        // so the naive loop sees the same merge distances bit for bit and
+        // the two strategies must fingerprint identically.
+        let naive_collector = Collector::enabled();
+        let naive = agglomerative::cluster_traced_with_policy(
+            &pts,
+            Metric::Euclidean,
+            Linkage::Complete,
+            KernelPolicy::default(),
+            &naive_collector,
+        )
+        .unwrap();
+        assert_eq!(traced, naive);
+        assert_eq!(
+            traced_collector.report().unwrap().fingerprint(),
+            naive_collector.report().unwrap().fingerprint()
+        );
     }
 }

@@ -8,9 +8,9 @@
 //! coefficient as a global dendrogram-quality score.
 
 use hiermeans_linalg::distance::{pairwise, Metric};
-use hiermeans_linalg::{stats, Matrix};
+use hiermeans_linalg::{LinalgError, Matrix};
 
-use crate::validity::silhouette;
+use crate::validity::{silhouette_from_distances, wcss_from_distances};
 use crate::{ClusterError, Dendrogram};
 
 /// Picks `k` by the largest gap between consecutive merge distances within
@@ -81,6 +81,10 @@ pub fn elbow_k(
 /// all-singleton cut wins only when every coarser cut has a negative
 /// silhouette.
 ///
+/// The pairwise distances are computed **once** and every cut is scored
+/// through [`silhouette_from_distances`]; a sweep over `m` candidate counts
+/// costs one `O(n²·dim)` distance pass instead of `m` of them.
+///
 /// # Errors
 ///
 /// Propagates cut and silhouette errors; the range must fit `2..=n`.
@@ -97,13 +101,14 @@ pub fn silhouette_k(
             points: n,
         });
     }
+    let dist = pairwise(points, Metric::Euclidean)?;
     let mut best = (lo, f64::NEG_INFINITY);
     for k in lo..=hi {
         let cut = dendrogram.cut_into(k)?;
         if cut.n_clusters() < 2 {
             continue;
         }
-        let s = silhouette(points, &cut)?;
+        let s = silhouette_from_distances(&dist, &cut)?;
         if s > best.1 + 1e-12 {
             best = (k, s);
         }
@@ -148,17 +153,23 @@ pub fn gap_statistic_k(
         let hi_v = col.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         bounds.push((lo_v, if hi_v > lo_v { hi_v } else { lo_v + 1.0 }));
     }
-    let log_wcss = |pts: &Matrix, cut: &crate::ClusterAssignment| -> Result<f64, ClusterError> {
-        Ok(crate::validity::wcss(pts, cut)?.max(1e-12).ln())
+    let log_wcss = |sq: &Matrix, cut: &crate::ClusterAssignment| -> Result<f64, ClusterError> {
+        Ok(wcss_from_distances(sq, cut)?.max(1e-12).ln())
     };
 
     let ks: Vec<usize> = (lo..=hi).collect();
-    // Observed dispersions.
+    // Observed dispersions: one squared-distance pass scores every cut.
+    let observed_sq = pairwise(points, Metric::SquaredEuclidean)?;
     let mut observed = Vec::with_capacity(ks.len());
     for &k in &ks {
-        observed.push(log_wcss(points, &dendrogram.cut_into(k)?)?);
+        observed.push(log_wcss(&observed_sq, &dendrogram.cut_into(k)?)?);
     }
+    drop(observed_sq);
     // Reference dispersions from uniform bootstraps, clustered the same way.
+    // Each bootstrap computes squared distances once; the Euclidean matrix
+    // the clustering sees is its elementwise square root (bitwise what
+    // `pairwise(_, Euclidean)` would have produced), and the WCSS of every
+    // cut comes from the squared matrix via the centroid-free identity.
     let mut rng = StdRng::seed_from_u64(seed);
     let mut reference_mean = vec![0.0f64; ks.len()];
     let mut reference_sq = vec![0.0f64; ks.len()];
@@ -169,10 +180,18 @@ pub fn gap_statistic_k(
                 data[(r, c)] = rng.gen_range(bounds[c].0..bounds[c].1);
             }
         }
+        let sq = pairwise(&data, Metric::SquaredEuclidean)?;
+        let mut euclid = sq.clone();
+        for r in 0..n {
+            for v in euclid.row_mut(r) {
+                *v = v.sqrt();
+            }
+        }
         let reference_dendrogram =
-            crate::agglomerative::cluster(&data, Metric::Euclidean, crate::Linkage::Complete)?;
+            crate::agglomerative::cluster_from_distances(&euclid, crate::Linkage::Complete)?;
+        drop(euclid);
         for (i, &k) in ks.iter().enumerate() {
-            let w = log_wcss(&data, &reference_dendrogram.cut_into(k)?)?;
+            let w = log_wcss(&sq, &reference_dendrogram.cut_into(k)?)?;
             reference_mean[i] += w;
             reference_sq[i] += w * w;
         }
@@ -211,9 +230,17 @@ pub fn gap_statistic_k(
 /// dendrogram, in `[-1, 1]`. Values near 1 mean the dendrogram faithfully
 /// encodes the metric structure.
 ///
+/// Both distance sets are **streamed** pair by pair through
+/// [`Dendrogram::for_each_cophenetic_pair`] — neither the `n × n`
+/// cophenetic matrix nor the `n(n-1)/2` sample vectors are materialized,
+/// so the extra memory is `O(n)` regardless of corpus size. Two passes
+/// (means, then centered moments) keep the same numerically stable
+/// formulation as `stats::correlation`.
+///
 /// # Errors
 ///
-/// Propagates distance and correlation errors; requires at least 3 points.
+/// Propagates distance errors; requires at least 3 points and errors on a
+/// constant sample, mirroring `stats::correlation`.
 pub fn cophenetic_correlation(
     dendrogram: &Dendrogram,
     points: &Matrix,
@@ -231,17 +258,42 @@ pub fn cophenetic_correlation(
             points: n,
         });
     }
-    let original = pairwise(points, metric)?;
-    let cophenetic = dendrogram.cophenetic();
-    let mut xs = Vec::with_capacity(n * (n - 1) / 2);
-    let mut ys = Vec::with_capacity(n * (n - 1) / 2);
-    for i in 0..n {
-        for j in (i + 1)..n {
-            xs.push(original[(i, j)]);
-            ys.push(cophenetic[(i, j)]);
-        }
+    // Pass 1: means of both samples.
+    let (mut sx, mut sy, mut count) = (0.0f64, 0.0f64, 0usize);
+    dendrogram.for_each_cophenetic_pair(|i, j, coph| {
+        let d = metric
+            .distance(points.row(i), points.row(j))
+            .map_err(ClusterError::Linalg)?;
+        sx += d;
+        sy += coph;
+        count += 1;
+        Ok::<(), ClusterError>(())
+    })?;
+    if count < 2 {
+        return Err(ClusterError::Linalg(LinalgError::InvalidParameter {
+            name: "points",
+            reason: "correlation requires at least two values",
+        }));
     }
-    stats::correlation(&xs, &ys).map_err(ClusterError::Linalg)
+    let (mx, my) = (sx / count as f64, sy / count as f64);
+    // Pass 2: centered second moments.
+    let (mut sxy, mut sxx, mut syy) = (0.0f64, 0.0f64, 0.0f64);
+    dendrogram.for_each_cophenetic_pair(|i, j, coph| {
+        let d = metric
+            .distance(points.row(i), points.row(j))
+            .map_err(ClusterError::Linalg)?;
+        sxy += (d - mx) * (coph - my);
+        sxx += (d - mx) * (d - mx);
+        syy += (coph - my) * (coph - my);
+        Ok::<(), ClusterError>(())
+    })?;
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(ClusterError::Linalg(LinalgError::InvalidParameter {
+            name: "points",
+            reason: "correlation is undefined for a constant sample",
+        }));
+    }
+    Ok(sxy / (sxx * syy).sqrt())
 }
 
 #[cfg(test)]
@@ -354,6 +406,41 @@ mod tests {
         assert!(elbow_k(&d, 1..=3).is_err());
         assert!(elbow_k(&d, 2..=20).is_err());
         assert!(silhouette_k(&d, &pts, 0..=2).is_err());
+    }
+
+    #[test]
+    fn cophenetic_streamed_matches_materialized() {
+        use hiermeans_linalg::stats;
+        let pts = three_blobs();
+        let n = pts.nrows();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let d = cluster(&pts, Metric::Euclidean, linkage).unwrap();
+            let streamed = cophenetic_correlation(&d, &pts, Metric::Euclidean).unwrap();
+            let original = pairwise(&pts, Metric::Euclidean).unwrap();
+            let coph = d.cophenetic();
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    xs.push(original[(i, j)]);
+                    ys.push(coph[(i, j)]);
+                }
+            }
+            let materialized = stats::correlation(&xs, &ys).unwrap();
+            assert!(
+                (streamed - materialized).abs() < 1e-12,
+                "{streamed} vs {materialized}"
+            );
+        }
+    }
+
+    #[test]
+    fn cophenetic_rejects_constant_sample() {
+        // Points exactly equidistant under Chebyshev: every pairwise and
+        // cophenetic distance is identical, so the correlation is undefined.
+        let pts = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let d = cluster(&pts, Metric::Chebyshev, Linkage::Single).unwrap();
+        assert!(cophenetic_correlation(&d, &pts, Metric::Chebyshev).is_err());
     }
 
     #[test]

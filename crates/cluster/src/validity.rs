@@ -83,6 +83,78 @@ pub fn silhouette(points: &Matrix, assignment: &ClusterAssignment) -> Result<f64
     Ok(total / n as f64)
 }
 
+/// [`silhouette`] over a precomputed distance matrix.
+///
+/// Numerically identical to [`silhouette`] with Euclidean distances when
+/// `dist` is the Euclidean pairwise matrix (the summation order matches
+/// member-list order exactly), but lets sweeps such as
+/// [`crate::selection::silhouette_k`] compute the n² distances once
+/// instead of once per candidate k.
+///
+/// # Errors
+///
+/// * [`ClusterError::InvalidLabels`] if the assignment length differs from
+///   the matrix size or there are fewer than 2 clusters.
+/// * [`ClusterError::InvalidDistanceMatrix`] if `dist` is not square.
+pub fn silhouette_from_distances(
+    dist: &Matrix,
+    assignment: &ClusterAssignment,
+) -> Result<f64, ClusterError> {
+    let (r, c) = dist.shape();
+    if r == 0 {
+        return Err(ClusterError::EmptyInput);
+    }
+    if r != c {
+        return Err(ClusterError::InvalidDistanceMatrix {
+            reason: "matrix is not square",
+        });
+    }
+    if r != assignment.len() {
+        return Err(ClusterError::InvalidLabels {
+            reason: "assignment length differs from point count",
+        });
+    }
+    if assignment.n_clusters() < 2 {
+        return Err(ClusterError::InvalidLabels {
+            reason: "silhouette requires at least two clusters",
+        });
+    }
+    let n = r;
+    let clusters = assignment.clusters();
+    let labels = assignment.labels();
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = &clusters[labels[i]];
+        if own.len() == 1 {
+            continue; // silhouette 0 by convention
+        }
+        let mut a = 0.0;
+        for &j in own {
+            if j != i {
+                a += dist[(i, j)];
+            }
+        }
+        a /= (own.len() - 1) as f64;
+        let mut b = f64::INFINITY;
+        for (c, members) in clusters.iter().enumerate() {
+            if c == labels[i] {
+                continue;
+            }
+            let mut m = 0.0;
+            for &j in members {
+                m += dist[(i, j)];
+            }
+            m /= members.len() as f64;
+            b = b.min(m);
+        }
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    Ok(total / n as f64)
+}
+
 /// Davies–Bouldin index (lower is better).
 ///
 /// # Errors
@@ -179,6 +251,50 @@ pub fn wcss(points: &Matrix, assignment: &ClusterAssignment) -> Result<f64, Clus
         for &i in members {
             total += Metric::SquaredEuclidean.distance(points.row(i), centroids.row(c))?;
         }
+    }
+    Ok(total)
+}
+
+/// [`wcss`] from a precomputed *squared-Euclidean* distance matrix, via the
+/// centroid-free identity `WCSS(C) = (1 / 2|C|) Σ_{i,j ∈ C} d²(i, j)`.
+///
+/// Mathematically equal to [`wcss`] (up to floating-point rounding); used
+/// by sweeps that already hold the pairwise matrix, e.g. the gap
+/// statistic's per-reference WCSS evaluations across cuts.
+///
+/// # Errors
+///
+/// * [`ClusterError::EmptyInput`] for an empty matrix.
+/// * [`ClusterError::InvalidDistanceMatrix`] if `sq_dist` is not square.
+/// * [`ClusterError::InvalidLabels`] if the assignment length differs from
+///   the matrix size.
+pub fn wcss_from_distances(
+    sq_dist: &Matrix,
+    assignment: &ClusterAssignment,
+) -> Result<f64, ClusterError> {
+    let (r, c) = sq_dist.shape();
+    if r == 0 {
+        return Err(ClusterError::EmptyInput);
+    }
+    if r != c {
+        return Err(ClusterError::InvalidDistanceMatrix {
+            reason: "matrix is not square",
+        });
+    }
+    if r != assignment.len() {
+        return Err(ClusterError::InvalidLabels {
+            reason: "assignment length differs from point count",
+        });
+    }
+    let mut total = 0.0;
+    for members in assignment.clusters() {
+        let mut sum = 0.0;
+        for (a, &i) in members.iter().enumerate() {
+            for &j in &members[a + 1..] {
+                sum += sq_dist[(i, j)];
+            }
+        }
+        total += sum / members.len() as f64;
     }
     Ok(total)
 }
@@ -287,6 +403,42 @@ mod tests {
         let (pts, two) = blobs();
         let one = ClusterAssignment::from_labels(&[0; 6]).unwrap();
         assert!(wcss(&pts, &two).unwrap() < wcss(&pts, &one).unwrap());
+    }
+
+    #[test]
+    fn silhouette_from_distances_matches_raw_points_bitwise() {
+        use hiermeans_linalg::distance::pairwise;
+        let (pts, good) = blobs();
+        let bad = ClusterAssignment::from_labels(&[0, 1, 0, 1, 0, 1]).unwrap();
+        let dist = pairwise(&pts, Metric::Euclidean).unwrap();
+        for a in [&good, &bad] {
+            let from_points = silhouette(&pts, a).unwrap();
+            let from_dist = silhouette_from_distances(&dist, a).unwrap();
+            assert_eq!(from_points.to_bits(), from_dist.to_bits());
+        }
+    }
+
+    #[test]
+    fn wcss_from_distances_matches_centroid_form() {
+        use hiermeans_linalg::distance::pairwise;
+        let (pts, two) = blobs();
+        let sq = pairwise(&pts, Metric::SquaredEuclidean).unwrap();
+        let a = wcss(&pts, &two).unwrap();
+        let b = wcss_from_distances(&sq, &two).unwrap();
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        let singletons = ClusterAssignment::from_labels(&[0, 1, 2, 3, 4, 5]).unwrap();
+        assert!(wcss_from_distances(&sq, &singletons).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn from_distances_validate_inputs() {
+        let (_, a) = blobs();
+        let not_square = Matrix::zeros(6, 5);
+        assert!(silhouette_from_distances(&not_square, &a).is_err());
+        assert!(wcss_from_distances(&not_square, &a).is_err());
+        let wrong_len = Matrix::zeros(4, 4);
+        assert!(silhouette_from_distances(&wrong_len, &a).is_err());
+        assert!(wcss_from_distances(&wrong_len, &a).is_err());
     }
 
     #[test]

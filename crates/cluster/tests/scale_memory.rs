@@ -1,0 +1,134 @@
+//! Peak-allocation proof that the scalable paths never materialize n×n.
+//!
+//! A counting global allocator tracks live and peak heap bytes inside a
+//! measurement window. The scalable linkage algorithms ([`cluster_slink`],
+//! [`cluster_sequential_complete`]) run at a size whose dense distance
+//! matrix would dwarf the asserted ceiling, and the owning NN-chain entry
+//! is shown to consume its matrix in place rather than cloning it.
+//!
+//! Everything lives in ONE `#[test]` so no sibling test's allocations leak
+//! into the measurement window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+
+/// Live bytes allocated while [`MEASURING`] is set.
+static LIVE: AtomicI64 = AtomicI64::new(0);
+/// High-water mark of [`LIVE`] within the current window.
+static PEAK: AtomicI64 = AtomicI64::new(0);
+/// Gate: only count allocations made inside a measurement window.
+static MEASURING: AtomicBool = AtomicBool::new(false);
+
+struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System`; only adds atomic counters.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { System.alloc(layout) };
+        if !ptr.is_null() && MEASURING.load(Ordering::Relaxed) {
+            let live =
+                LIVE.fetch_add(layout.size() as i64, Ordering::Relaxed) + layout.size() as i64;
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if MEASURING.load(Ordering::Relaxed) {
+            LIVE.fetch_sub(layout.size() as i64, Ordering::Relaxed);
+        }
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
+        if !new_ptr.is_null() && MEASURING.load(Ordering::Relaxed) {
+            let delta = new_size as i64 - layout.size() as i64;
+            let live = LIVE.fetch_add(delta, Ordering::Relaxed) + delta;
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        new_ptr
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Run `f` inside a fresh measurement window; returns (result, peak bytes).
+///
+/// The window only counts allocations it observes from birth, so frees of
+/// pre-existing buffers can push `LIVE` negative — the peak of *new* memory
+/// is still an upper bound on what `f` itself held at once.
+fn measured<T>(f: impl FnOnce() -> T) -> (T, i64) {
+    LIVE.store(0, Ordering::SeqCst);
+    PEAK.store(0, Ordering::SeqCst);
+    MEASURING.store(true, Ordering::SeqCst);
+    let out = f();
+    MEASURING.store(false, Ordering::SeqCst);
+    (out, PEAK.load(Ordering::SeqCst))
+}
+
+use hiermeans_cluster::nnchain::cluster_nn_chain_owned;
+use hiermeans_cluster::scalable::{cluster_sequential_complete, cluster_slink};
+use hiermeans_cluster::Linkage;
+use hiermeans_linalg::distance::{pairwise, Metric};
+use hiermeans_linalg::kernels::KernelPolicy;
+use hiermeans_linalg::Matrix;
+
+fn lcg_points(n: usize, dim: usize, mut state: u64) -> Matrix {
+    let data: Vec<f64> = (0..n * dim)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        })
+        .collect();
+    Matrix::from_vec(n, dim, data).unwrap()
+}
+
+#[test]
+fn scalable_paths_never_materialize_n_squared() {
+    // --- Scenario A: SLINK + sequential-complete at n = 4096. ---
+    // A dense 4096×4096 f64 matrix is 128 MiB; anything near that inside
+    // the window means an n² buffer snuck in. The real footprint is a few
+    // O(n) vectors plus one tile row, so 16 MiB is already generous.
+    let n = 4096;
+    let pts = lcg_points(n, 4, 0x5EED_CAFE);
+    let dense_bytes = (n * n * std::mem::size_of::<f64>()) as i64;
+    let ceiling = 16 << 20; // 16 MiB
+    assert!(ceiling * 8 <= dense_bytes, "ceiling must rule out dense n²");
+
+    let (slink, slink_peak) =
+        measured(|| cluster_slink(&pts, Metric::Euclidean, KernelPolicy::Blocked).unwrap());
+    assert_eq!(slink.merges().len(), n - 1);
+    assert!(
+        slink_peak < ceiling,
+        "SLINK peak {slink_peak} B >= {ceiling} B (dense would be {dense_bytes} B)"
+    );
+
+    let (seq, seq_peak) = measured(|| {
+        cluster_sequential_complete(&pts, Metric::Euclidean, KernelPolicy::Blocked).unwrap()
+    });
+    assert_eq!(seq.merges().len(), n - 1);
+    assert!(
+        seq_peak < ceiling,
+        "sequential-complete peak {seq_peak} B >= {ceiling} B (dense would be {dense_bytes} B)"
+    );
+
+    // --- Scenario B: the owning NN-chain entry must not clone its input. ---
+    // Hand it a 1024×1024 matrix allocated OUTSIDE the window; if the
+    // algorithm cloned it, the in-window peak would jump by ~8 MiB. The
+    // chain stack, active list, and merge log are all O(n).
+    let m = 1024;
+    let small = lcg_points(m, 4, 0xDEAD_BEEF);
+    let dist = pairwise(&small, Metric::Euclidean).unwrap();
+    let matrix_bytes = (m * m * std::mem::size_of::<f64>()) as i64;
+    let (dendro, chain_peak) =
+        measured(|| cluster_nn_chain_owned(dist, Linkage::Complete).unwrap());
+    assert_eq!(dendro.merges().len(), m - 1);
+    assert!(
+        chain_peak < matrix_bytes / 2,
+        "owned NN-chain peak {chain_peak} B suggests the {matrix_bytes} B matrix was cloned"
+    );
+}

@@ -6,7 +6,7 @@
 //! neighborhood, Euclidean distances, complete linkage.
 
 use hiermeans_cluster::agglomerative;
-use hiermeans_cluster::{ClusterAssignment, Dendrogram, Linkage};
+use hiermeans_cluster::{AgglomerationStrategy, ClusterAssignment, Dendrogram, Linkage};
 use hiermeans_linalg::distance::Metric;
 use hiermeans_linalg::kernels::KernelPolicy;
 use hiermeans_linalg::parallel::{self, Chunking};
@@ -53,6 +53,14 @@ pub struct PipelineConfig {
     /// results are identical to [`KernelPolicy::Scalar`] — same cluster
     /// assignments, same trace fingerprint — just faster.
     pub kernel_policy: KernelPolicy,
+    /// How the agglomerative stage runs its merge loop.
+    /// [`AgglomerationStrategy::Auto`] (the default) keeps the naive
+    /// closest-pair loop for small inputs — the paper's 13-workload studies
+    /// are bit-for-bit unchanged — and switches to the NN-chain algorithm
+    /// once the input is large enough that the naive loop's cubic scan
+    /// dominates, provided the linkage is reducible. The dendrogram and the
+    /// trace fingerprint are identical either way.
+    pub agglomeration: AgglomerationStrategy,
     /// Observability collector. The default is the disabled no-op handle,
     /// which costs one branch per instrumentation point; pass
     /// [`Collector::enabled`] to capture spans, counters, per-epoch SOM
@@ -72,7 +80,28 @@ impl Default for PipelineConfig {
             linkage: Linkage::Complete,
             metric: Metric::Euclidean,
             kernel_policy: KernelPolicy::default(),
+            agglomeration: AgglomerationStrategy::default(),
             collector: Collector::disabled(),
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A configuration sized for a corpus of `n` workloads instead of the
+    /// paper's fixed 13: the SOM grid grows as `≈5·√n` units
+    /// ([`hiermeans_som::heuristic_map_size`]), training switches to batch
+    /// mode with a short epoch budget (each batch epoch sees every row, so
+    /// dozens of passes converge where online needed hundreds), and the
+    /// agglomeration strategy stays [`AgglomerationStrategy::Auto`] so large
+    /// inputs take the NN-chain path.
+    pub fn scaled(n: usize) -> Self {
+        let (som_width, som_height) = hiermeans_som::heuristic_map_size(n);
+        PipelineConfig {
+            som_width,
+            som_height,
+            epochs: 30,
+            training: hiermeans_som::TrainingMode::Batch,
+            ..Default::default()
         }
     }
 }
@@ -220,11 +249,12 @@ pub fn run_pipeline(
     };
     let dendrogram = {
         let _cluster_span = collector.span(stages::PIPELINE_CLUSTER);
-        agglomerative::cluster_traced_with_policy(
+        agglomerative::cluster_with_strategy_traced(
             &positions,
             config.metric,
             config.linkage,
             config.kernel_policy,
+            config.agglomeration,
             collector,
         )?
     };
@@ -244,11 +274,12 @@ pub fn run_pipeline(
 ///
 /// Returns [`CoreError::Cluster`] if clustering fails.
 pub fn run_without_som(vectors: &Matrix, config: &PipelineConfig) -> Result<Dendrogram, CoreError> {
-    Ok(agglomerative::cluster_with_policy(
+    Ok(agglomerative::cluster_with_strategy(
         vectors,
         config.metric,
         config.linkage,
         config.kernel_policy,
+        config.agglomeration,
     )?)
 }
 
@@ -306,6 +337,40 @@ mod tests {
         // Rows 0-2 land on the same or nearby cells; at distance 0 only
         // exact cellmates merge, so cluster count is between 1 and 6.
         assert!(a.n_clusters() >= 1 && a.n_clusters() <= 6);
+    }
+
+    #[test]
+    fn naive_and_nn_chain_agree_end_to_end() {
+        let naive = PipelineConfig {
+            agglomeration: AgglomerationStrategy::Naive,
+            ..Default::default()
+        };
+        let chain = PipelineConfig {
+            agglomeration: AgglomerationStrategy::NnChain,
+            ..Default::default()
+        };
+        let a = run_pipeline(&blob_vectors(), &naive).unwrap();
+        let b = run_pipeline(&blob_vectors(), &chain).unwrap();
+        assert_eq!(a.positions(), b.positions());
+        assert_eq!(a.dendrogram(), b.dendrogram());
+        assert_eq!(
+            run_without_som(&blob_vectors(), &naive).unwrap(),
+            run_without_som(&blob_vectors(), &chain).unwrap()
+        );
+    }
+
+    #[test]
+    fn scaled_config_sizes_with_n() {
+        let small = PipelineConfig::scaled(13);
+        let big = PipelineConfig::scaled(10_000);
+        assert!(big.som_width > small.som_width);
+        assert_eq!(small.training, hiermeans_som::TrainingMode::Batch);
+        assert_eq!(small.agglomeration, AgglomerationStrategy::Auto);
+        // The defaults the scaling rule does not touch stay the paper's.
+        assert_eq!(small.linkage, Linkage::Complete);
+        assert_eq!(small.metric, Metric::Euclidean);
+        let res = run_pipeline(&blob_vectors(), &PipelineConfig::scaled(6)).unwrap();
+        assert_eq!(res.positions().shape(), (6, 2));
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! End-to-end agglomeration-strategy equivalence and large-n recovery.
+//!
+//! Two gates for the NN-chain wiring:
+//!
+//! 1. The paper's three studies must be bit-for-bit identical under
+//!    [`AgglomerationStrategy::Naive`] and a forced
+//!    [`AgglomerationStrategy::NnChain`] — positions, dendrogram, every
+//!    paper cut, and the full observability trace fingerprint. Complete
+//!    linkage is a pure max selection, so the sorted NN-chain history is
+//!    the naive history exactly.
+//! 2. At n ≈ 2k — far past where the naive loop is practical as a default —
+//!    the scaled pipeline under NN-chain must still recover planted
+//!    structure from a synthetic Gaussian mixture.
+
+use hiermeans_cluster::AgglomerationStrategy;
+use hiermeans_core::analysis::{SuiteAnalysis, K_RANGE};
+use hiermeans_core::pipeline::{run_pipeline, PipelineConfig};
+use hiermeans_obs::Collector;
+use hiermeans_workload::measurement::Characterization;
+use hiermeans_workload::synthetic::{gaussian_mixture, MixtureSpec};
+use hiermeans_workload::Machine;
+
+fn paper_studies() -> Vec<(&'static str, Characterization)> {
+    vec![
+        ("sar_machine_a", Characterization::SarCounters(Machine::A)),
+        ("sar_machine_b", Characterization::SarCounters(Machine::B)),
+        ("method_utilization", Characterization::MethodUtilization),
+    ]
+}
+
+fn run_study(
+    characterization: Characterization,
+    agglomeration: AgglomerationStrategy,
+) -> (SuiteAnalysis, String) {
+    let collector = Collector::enabled();
+    let config = PipelineConfig {
+        agglomeration,
+        collector: collector.clone(),
+        ..PipelineConfig::default()
+    };
+    let analysis =
+        SuiteAnalysis::paper_with_config(characterization, &config).expect("paper study runs");
+    let fingerprint = collector
+        .report()
+        .expect("enabled collector yields a report")
+        .fingerprint();
+    (analysis, fingerprint)
+}
+
+#[test]
+fn nn_chain_matches_naive_on_all_paper_studies() {
+    for (label, characterization) in paper_studies() {
+        let (naive, naive_fp) = run_study(characterization, AgglomerationStrategy::Naive);
+        let (chain, chain_fp) = run_study(characterization, AgglomerationStrategy::NnChain);
+
+        assert_eq!(
+            naive.pipeline().positions(),
+            chain.pipeline().positions(),
+            "{label}: SOM positions diverged across agglomeration strategies"
+        );
+        assert_eq!(
+            naive.pipeline().dendrogram(),
+            chain.pipeline().dendrogram(),
+            "{label}: dendrograms diverged across agglomeration strategies"
+        );
+        assert_eq!(
+            naive.recommended_k(),
+            chain.recommended_k(),
+            "{label}: recommended k diverged across agglomeration strategies"
+        );
+        let max_k = (*K_RANGE.end()).min(naive.suite().len());
+        for k in *K_RANGE.start()..=max_k {
+            assert_eq!(
+                naive.pipeline().clusters(k).unwrap(),
+                chain.pipeline().clusters(k).unwrap(),
+                "{label}: cluster assignment at k={k} diverged across agglomeration strategies"
+            );
+        }
+        assert_eq!(
+            naive_fp, chain_fp,
+            "{label}: trace fingerprints diverged across agglomeration strategies"
+        );
+    }
+}
+
+/// Rand index between two labelings: fraction of point pairs on which they
+/// agree (together/apart).
+fn rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let mut agree = 0u64;
+    let mut total = 0u64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total += 1;
+            if (a[i] == a[j]) == (b[i] == b[j]) {
+                agree += 1;
+            }
+        }
+    }
+    agree as f64 / total as f64
+}
+
+#[test]
+fn scaled_pipeline_recovers_planted_clusters_at_2k() {
+    let n = 2048;
+    let k = 8;
+    let planted =
+        gaussian_mixture(&MixtureSpec::separated(n, 8, k, 42)).expect("valid mixture spec");
+
+    let config = PipelineConfig {
+        agglomeration: AgglomerationStrategy::NnChain,
+        ..PipelineConfig::scaled(n)
+    };
+    let result = run_pipeline(&planted.points, &config).expect("scaled pipeline runs");
+    assert_eq!(result.positions().nrows(), n);
+
+    let cut = result.clusters(k).expect("cut at the planted k");
+    let ri = rand_index(cut.labels(), &planted.labels);
+    assert!(
+        ri >= 0.98,
+        "planted recovery degraded: rand index {ri} < 0.98 at n={n}, k={k}"
+    );
+}

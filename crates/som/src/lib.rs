@@ -60,4 +60,4 @@ pub use grid::{Grid, GridTopology};
 pub use hiermeans_linalg::kernels::KernelPolicy;
 pub use kernel::NeighborhoodKernel;
 pub use schedule::{DecaySchedule, ScheduleError};
-pub use train::{Initializer, Som, SomBuilder, TrainingMode};
+pub use train::{heuristic_map_size, Initializer, Som, SomBuilder, TrainingMode};

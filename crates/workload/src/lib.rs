@@ -29,6 +29,9 @@
 //! * [`hprof`] — synthesizes Java method-utilization bit vectors with the
 //!   paper's observed structure (shared core libraries, a self-contained
 //!   SciMark2 math library, per-workload private packages).
+//! * [`synthetic`] — seeded Gaussian-mixture corpora with planted cluster
+//!   structure, for scale benchmarks and recovery tests far past the
+//!   paper's 13 workloads.
 //! * [`charvec`] — assembles characteristic vectors: sample averaging,
 //!   invariant-counter filtering, universal/unique-method filtering, and
 //!   z-score standardization, exactly as Section IV-C describes.
@@ -66,6 +69,7 @@ pub mod mica;
 pub mod rng;
 pub mod sar;
 pub mod suite;
+pub mod synthetic;
 pub mod timing;
 pub mod trace;
 
