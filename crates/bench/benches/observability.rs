@@ -34,6 +34,7 @@ fn bench_overhead(c: &mut Criterion) {
                 collector: Collector::enabled_with(ObsConfig {
                     epoch_quality_stride: 0,
                     lanes: false,
+                    memory: false,
                 }),
                 ..PipelineConfig::default()
             };
@@ -46,6 +47,7 @@ fn bench_overhead(c: &mut Criterion) {
                 collector: Collector::enabled_with(ObsConfig {
                     epoch_quality_stride: 0,
                     lanes: true,
+                    memory: false,
                 }),
                 ..PipelineConfig::default()
             };

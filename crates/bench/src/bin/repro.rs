@@ -5,7 +5,7 @@
 //!   paper artifacts: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8
 //!                    table4 table5 table6 all
 //!   extensions:      merger jackknife means-family duplication correlation
-//!                    mica evaluation report extensions
+//!                    mica evaluation json-reports extensions
 //!   performance:     bench-pipeline [--baseline <file>]
 //!                    (writes BENCH_pipeline.json; with --baseline, exits
 //!                    nonzero when any stage median regresses > 25% and
@@ -29,6 +29,17 @@
 //!                    format, loadable in Perfetto)
 //!                    check-trace <file> (validates a Chrome trace-event
 //!                    file's shape: every event has ph/ts/dur/tid)
+//!   run history:     trace/profile/bench-pipeline/bench-scale each append
+//!                    one compact record to OBS_history.jsonl
+//!                    history [--gate] (renders the trend table over the
+//!                    store; with --gate, judges the latest run of each
+//!                    kind against the rolling median + k·MAD window of
+//!                    prior comparable runs and exits nonzero on any
+//!                    statistical regression)
+//!                    report (writes OBS_report.html, a self-contained
+//!                    dashboard over the history store)
+//!                    check-report <file> (validates a dashboard's
+//!                    embedded history payload round-trips)
 //!   robustness:      faults (writes OBS_faults.json; exits nonzero if any
 //!                    injected fault is not absorbed)
 //!                    check <file> (validates a CSV/whitespace matrix and
@@ -40,13 +51,21 @@
 //! panic into a one-line structured diagnostic and a nonzero exit.
 
 use std::panic::{self, AssertUnwindSafe};
+use std::path::Path;
 use std::process::ExitCode;
 
 use hiermeans_bench::{
-    check, experiments, extensions, faults, kernels, perf, profile, scale, trace,
+    check, experiments, extensions, faults, history, kernels, perf, profile, scale, trace,
 };
 use hiermeans_workload::measurement::Characterization;
 use hiermeans_workload::Machine;
+
+/// The tracking allocator backing per-span memory telemetry. A
+/// `#[global_allocator]` is per-binary, so `repro` installs it here; the
+/// library side detects the hook and degrades to RSS-only telemetry in
+/// binaries that don't.
+#[global_allocator]
+static ALLOC: hiermeans_obs::memhook::TrackingAlloc = hiermeans_obs::memhook::TrackingAlloc;
 
 fn run(artifact: &str) -> Result<String, String> {
     if artifact == "bench-pipeline" {
@@ -68,15 +87,22 @@ fn run(artifact: &str) -> Result<String, String> {
         return run_trace(None);
     }
     if artifact == "profile" {
-        let (_document, json, chrome_json, rendered) =
+        let (document, json, chrome_json, rendered) =
             profile::profile_artifact().map_err(|e| format!("profile failed: {e}"))?;
         std::fs::write("OBS_profile.json", &json)
             .map_err(|e| format!("writing OBS_profile.json: {e}"))?;
         std::fs::write("OBS_profile.trace.json", &chrome_json)
             .map_err(|e| format!("writing OBS_profile.trace.json: {e}"))?;
+        let appended = history::append(&history::record_from_profile(&document))?;
         return Ok(format!(
-            "wrote OBS_profile.json and OBS_profile.trace.json\n{rendered}"
+            "wrote OBS_profile.json and OBS_profile.trace.json\n{appended}\n{rendered}"
         ));
+    }
+    if artifact == "history" {
+        return run_history(false);
+    }
+    if artifact == "report" {
+        return run_report();
     }
     if artifact == "faults" {
         let (_document, json, rendered) =
@@ -101,7 +127,9 @@ fn run(artifact: &str) -> Result<String, String> {
         "table4" => experiments::table_hgm(sar_a),
         "table5" => experiments::table_hgm(sar_b),
         "table6" => experiments::table_hgm(methods),
-        "report" => extensions::json_reports(),
+        // `report` itself now names the run-history dashboard above; the
+        // archivable per-study JSON dump keeps an explicit name.
+        "json-reports" => extensions::json_reports(),
         "correlation" => extensions::counter_correlation(),
         "mica" => extensions::mica_characterization(),
         "evaluation" => extensions::suite_evaluation(),
@@ -150,7 +178,8 @@ fn run_bench_pipeline(baseline: Option<&str>) -> Result<String, String> {
         serde_json::to_string_pretty(&report).map_err(|e| format!("bench-pipeline failed: {e}"))?;
     std::fs::write("BENCH_pipeline.json", &json)
         .map_err(|e| format!("writing BENCH_pipeline.json: {e}"))?;
-    let mut out = format!("wrote BENCH_pipeline.json\n{json}");
+    let appended = history::append(&history::record_from_pipeline_bench(&report))?;
+    let mut out = format!("wrote BENCH_pipeline.json\n{appended}\n{json}");
     if let (Some(path), Some(base)) = (baseline, base) {
         let table = perf::compare_with_baseline(&report, &base)?;
         out.push_str(&format!("\nregression gate vs {path}: ok\n{table}"));
@@ -180,7 +209,8 @@ fn run_bench_scale(baseline: Option<&str>) -> Result<String, String> {
         serde_json::to_string_pretty(&report).map_err(|e| format!("bench-scale failed: {e}"))?;
     std::fs::write("BENCH_scale.json", &json)
         .map_err(|e| format!("writing BENCH_scale.json: {e}"))?;
-    let mut out = format!("wrote BENCH_scale.json\n{json}");
+    let appended = history::append(&history::record_from_scale(&report))?;
+    let mut out = format!("wrote BENCH_scale.json\n{appended}\n{json}");
     if let (Some(path), Some(base)) = (baseline, base) {
         let table = scale::compare_with_scale_baseline(&report, &base)?;
         out.push_str(&format!("\nscale regression gate vs {path}: ok\n{table}"));
@@ -201,10 +231,62 @@ fn run_trace(prom: Option<&str>) -> Result<String, String> {
         std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
         wrote.push_str(&format!(" and {path}"));
     }
+    // The record lands before the convergence gate: a non-converged run
+    // must appear in the history (the statistical gate fails it there too),
+    // not vanish from the trend.
+    let appended = history::append(&history::record_from_trace(&document))?;
     if !document.all_converged() {
         return Err(format!("trace: SOM convergence gate failed\n{rendered}"));
     }
-    Ok(format!("{wrote}\n{rendered}"))
+    Ok(format!("{wrote}\n{appended}\n{rendered}"))
+}
+
+/// Renders the run-history trend table (`repro history`); with `gate`,
+/// also judges the latest run of each kind against the rolling window of
+/// prior comparable runs and fails on any statistical regression.
+fn run_history(gate: bool) -> Result<String, String> {
+    let records = hiermeans_obs::history::load_history(Path::new(history::HISTORY_PATH))
+        .map_err(|e| format!("history: {e}"))?;
+    let mut out = hiermeans_obs::history::trend_table(&records);
+    if gate {
+        let outcome =
+            hiermeans_obs::history::gate(&records, &hiermeans_obs::history::GateConfig::default());
+        out.push('\n');
+        out.push_str(&outcome.render());
+        if !outcome.passed {
+            return Err(format!(
+                "history: statistical regression gate failed\n{out}"
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Writes `OBS_report.html`, the self-contained dashboard over the history
+/// store (`repro report`).
+fn run_report() -> Result<String, String> {
+    let records = hiermeans_obs::history::load_history(Path::new(history::HISTORY_PATH))
+        .map_err(|e| format!("report: {e}"))?;
+    let html =
+        hiermeans_obs::dashboard::render_dashboard(&records).map_err(|e| format!("report: {e}"))?;
+    std::fs::write("OBS_report.html", &html)
+        .map_err(|e| format!("writing OBS_report.html: {e}"))?;
+    Ok(format!(
+        "wrote OBS_report.html ({} records, {} bytes)",
+        records.len(),
+        html.len()
+    ))
+}
+
+/// Validates a dashboard file's embedded history payload (`repro
+/// check-report <file>`): the JSON island must extract and round-trip
+/// through [`hiermeans_obs::history::RunRecord`].
+fn run_check_report(path: &str) -> Result<String, String> {
+    let html = std::fs::read_to_string(path)
+        .map_err(|e| format!("check-report: cannot read {path}: {e}"))?;
+    let records = hiermeans_obs::dashboard::extract_payload(&html)
+        .map_err(|e| format!("check-report {path}: {e}"))?;
+    Ok(format!("{path}: ok ({} history records)", records.len()))
 }
 
 /// Validates a Chrome trace-event file (`repro check-trace <file>`): every
@@ -252,13 +334,16 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: repro <artifact>...\n  paper artifacts: table1 table2 table3 fig3 fig4 \
              fig5 fig6 fig7 fig8 table4 table5 table6 all\n  extensions: merger jackknife \
-             means-family duplication correlation mica evaluation report extensions\n  \
+             means-family duplication correlation mica evaluation json-reports extensions\n  \
              performance: bench-pipeline [--baseline <file>] (writes BENCH_pipeline.json), \
              bench-kernels (writes BENCH_kernels.json), \
              bench-scale [--baseline <file>] (writes BENCH_scale.json; takes minutes)\n  \
              observability: trace [--prom <file>] (writes OBS_trace.json), \
              profile (writes OBS_profile.json + OBS_profile.trace.json), \
              check-trace <file>\n  \
+             run history: history [--gate] (trend table over OBS_history.jsonl; \
+             --gate fails on statistical regressions), \
+             report (writes OBS_report.html), check-report <file>\n  \
              robustness: faults (writes OBS_faults.json), check <file>"
         );
         return ExitCode::FAILURE;
@@ -277,6 +362,15 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             };
             run_guarded(|| run_check_trace(&path), "check-trace")
+        } else if artifact == "check-report" {
+            let Some(path) = args.next() else {
+                eprintln!("check-report: missing <file> argument");
+                return ExitCode::FAILURE;
+            };
+            run_guarded(|| run_check_report(&path), "check-report")
+        } else if artifact == "history" && args.peek().map(String::as_str) == Some("--gate") {
+            args.next();
+            run_guarded(|| run_history(true), "history")
         } else if artifact == "trace" && args.peek().map(String::as_str) == Some("--prom") {
             args.next();
             let Some(path) = args.next() else {

@@ -62,6 +62,9 @@ pub struct KernelBenchReport {
     pub dims: Vec<usize>,
     /// Per-operation scalar-vs-blocked timings.
     pub results: Vec<KernelTiming>,
+    /// Provenance stamp (`None` in pre-stamp baselines).
+    #[serde(default)]
+    pub meta: Option<hiermeans_obs::history::BenchMeta>,
 }
 
 /// Median wall-clock milliseconds of `f` over `reps` runs.
@@ -199,6 +202,7 @@ pub fn bench_kernels() -> KernelBenchReport {
         sizes: KERNEL_SIZES.to_vec(),
         dims: KERNEL_DIMS.to_vec(),
         results,
+        meta: Some(hiermeans_obs::history::BenchMeta::capture()),
     }
 }
 
@@ -229,6 +233,7 @@ mod tests {
                 blocked_ms: 0.5,
                 speedup: 4.0,
             }],
+            meta: None,
         };
         let json = serde_json::to_string_pretty(&report).unwrap();
         let back: KernelBenchReport = serde_json::from_str(&json).unwrap();

@@ -12,6 +12,7 @@ pub mod check;
 pub mod experiments;
 pub mod extensions;
 pub mod faults;
+pub mod history;
 pub mod kernels;
 pub mod perf;
 pub mod profile;

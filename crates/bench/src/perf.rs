@@ -62,6 +62,9 @@ pub struct PipelineBenchReport {
     pub sizes: Vec<usize>,
     /// Per-stage serial-vs-parallel timings.
     pub results: Vec<StageTiming>,
+    /// Provenance stamp (`None` in pre-stamp baselines).
+    #[serde(default)]
+    pub meta: Option<hiermeans_obs::history::BenchMeta>,
 }
 
 /// A deterministic pseudo-random `n x d` matrix of synthetic workload
@@ -92,6 +95,7 @@ fn median_ms(stage: &'static str, reps: usize, mut f: impl FnMut(&Collector)) ->
             let collector = Collector::enabled_with(ObsConfig {
                 epoch_quality_stride: 0,
                 lanes: false,
+                memory: true,
             });
             f(&collector);
             let report = collector.report().expect("enabled collector");
@@ -151,6 +155,7 @@ pub fn bench_pipeline() -> PipelineBenchReport {
         workers: parallel::worker_count(),
         sizes: SIZES.to_vec(),
         results,
+        meta: Some(hiermeans_obs::history::BenchMeta::capture()),
     }
 }
 
@@ -279,17 +284,24 @@ mod tests {
                 parallel_ms: 0.5,
                 speedup: 2.0,
             }],
+            meta: Some(hiermeans_obs::history::BenchMeta::capture()),
         };
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("\"workers\": 4"));
         assert!(json.contains("\"stage\": \"pairwise\""));
         assert!(json.contains("\"speedup\": 2.0"));
+        assert!(json.contains("\"git_rev\""));
+        // A pre-stamp baseline (no `meta` key) still parses.
+        let legacy = json.replace("\"meta\"", "\"meta_legacy\"");
+        let back: PipelineBenchReport = serde_json::from_str(&legacy).unwrap();
+        assert!(back.meta.is_none());
     }
 
     fn report_with(stage: &str, serial_ms: f64, parallel_ms: f64) -> PipelineBenchReport {
         PipelineBenchReport {
             workers: 4,
             sizes: vec![13],
+            meta: None,
             results: vec![StageTiming {
                 stage: stage.into(),
                 n: 13,

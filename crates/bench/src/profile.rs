@@ -31,6 +31,7 @@ pub fn paper_profile_document() -> Result<TraceDocument, String> {
         let collector = Collector::enabled_with(ObsConfig {
             epoch_quality_stride: 0,
             lanes: true,
+            memory: true,
         });
         SuiteAnalysis::paper_with(characterization, &collector)
             .map_err(|e| format!("{label}: {e}"))?;
@@ -72,6 +73,7 @@ mod tests {
         let collector = Collector::enabled_with(ObsConfig {
             epoch_quality_stride: 0,
             lanes: true,
+            memory: true,
         });
         let (label, ch) = paper_studies().remove(0);
         SuiteAnalysis::paper_with(ch, &collector).unwrap();

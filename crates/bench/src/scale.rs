@@ -44,6 +44,9 @@ pub struct ScaleTiming {
 pub struct ScaleBenchReport {
     /// Per-(algorithm, n) timings.
     pub results: Vec<ScaleTiming>,
+    /// Provenance stamp (`None` in pre-stamp baselines).
+    #[serde(default)]
+    pub meta: Option<hiermeans_obs::history::BenchMeta>,
 }
 
 /// Relative regression tolerance: a row fails only beyond `baseline * 1.5`.
@@ -187,7 +190,10 @@ pub fn bench_scale() -> ScaleBenchReport {
         );
     }
 
-    ScaleBenchReport { results }
+    ScaleBenchReport {
+        results,
+        meta: Some(hiermeans_obs::history::BenchMeta::capture()),
+    }
 }
 
 /// Compares a fresh scale report against a stored baseline, row by row.
@@ -249,6 +255,7 @@ mod tests {
 
     fn report(rows: &[(&str, usize, f64)]) -> ScaleBenchReport {
         ScaleBenchReport {
+            meta: None,
             results: rows
                 .iter()
                 .map(|&(algorithm, n, ms)| ScaleTiming {

@@ -9,7 +9,7 @@
 
 use hiermeans_core::analysis::SuiteAnalysis;
 use hiermeans_linalg::parallel;
-use hiermeans_obs::{Collector, StudyTrace, TraceDocument};
+use hiermeans_obs::{Collector, ObsConfig, StudyTrace, TraceDocument};
 use hiermeans_workload::measurement::Characterization;
 use hiermeans_workload::Machine;
 
@@ -32,7 +32,13 @@ pub fn paper_studies() -> Vec<(&'static str, Characterization)> {
 pub fn paper_trace_document() -> Result<TraceDocument, String> {
     let mut studies = Vec::new();
     for (label, characterization) in paper_studies() {
-        let collector = Collector::enabled();
+        // Memory telemetry is on for repro runs; the `repro` binary
+        // installs the tracking allocator, so spans carry attribution.
+        // Memory never feeds the fingerprint, so determinism gates hold.
+        let collector = Collector::enabled_with(ObsConfig {
+            memory: true,
+            ..ObsConfig::default()
+        });
         SuiteAnalysis::paper_with(characterization, &collector)
             .map_err(|e| format!("{label}: {e}"))?;
         let trace = collector

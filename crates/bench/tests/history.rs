@@ -1,0 +1,128 @@
+//! End-to-end run-history flow: glue records → JSONL store → trend table,
+//! statistical gate, and dashboard, exactly as the `repro` subcommands
+//! drive them.
+//!
+//! The gate scenarios mirror the acceptance criteria: a synthetic history
+//! whose latest run doubled a stage timing must FAIL, while a history of
+//! deterministic run-to-run jitter must PASS. Both use fixed LCG seeds so
+//! the verdicts are reproducible.
+
+use std::path::PathBuf;
+
+use hiermeans_bench::history::{record_from_pipeline_bench, HISTORY_PATH};
+use hiermeans_bench::perf::{PipelineBenchReport, StageTiming};
+use hiermeans_obs::dashboard;
+use hiermeans_obs::history::{append_record, gate, load_history, trend_table, GateConfig};
+
+/// ±4% deterministic jitter around `base`, varying per run index.
+fn jittered(base: f64, state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6_364_136_223_846_793_005)
+        .wrapping_add(1);
+    let unit = (*state >> 33) as f64 / (1u64 << 31) as f64; // [0, 1)
+    base * (0.96 + 0.08 * unit)
+}
+
+fn report_with(serial_ms: f64, parallel_ms: f64) -> PipelineBenchReport {
+    PipelineBenchReport {
+        workers: 4,
+        sizes: vec![1024],
+        meta: None,
+        results: vec![StageTiming {
+            stage: "pipeline".into(),
+            n: 1024,
+            serial_ms,
+            parallel_ms,
+            speedup: serial_ms / parallel_ms,
+        }],
+    }
+}
+
+/// A store of `runs` jittered bench_pipeline records, the last one scaled
+/// by `last_factor`, written to a scratch JSONL file.
+fn synthetic_store(name: &str, runs: usize, last_factor: f64, seed: u64) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("hiermeans_history_{name}_{seed}.jsonl"));
+    let _ = std::fs::remove_file(&path);
+    let mut state = seed;
+    for i in 0..runs {
+        let factor = if i == runs - 1 { last_factor } else { 1.0 };
+        let report = report_with(
+            jittered(80.0, &mut state) * factor,
+            jittered(25.0, &mut state) * factor,
+        );
+        append_record(&path, &record_from_pipeline_bench(&report)).unwrap();
+    }
+    path
+}
+
+#[test]
+fn doubled_latest_run_fails_the_statistical_gate() {
+    let path = synthetic_store("doubled", 9, 2.0, 0x5EED_0001);
+    let records = load_history(&path).unwrap();
+    let outcome = gate(&records, &GateConfig::default());
+    assert!(
+        !outcome.passed,
+        "a 2x slowdown must fail:\n{}",
+        outcome.render()
+    );
+    assert!(outcome.render().contains("FAIL"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn jittered_stable_history_passes_the_statistical_gate() {
+    let path = synthetic_store("stable", 9, 1.0, 0x5EED_0002);
+    let records = load_history(&path).unwrap();
+    let outcome = gate(&records, &GateConfig::default());
+    assert!(
+        outcome.passed,
+        "normal jitter must pass:\n{}",
+        outcome.render()
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn trend_table_names_every_gateable_metric() {
+    let path = synthetic_store("trend", 6, 1.0, 0x5EED_0003);
+    let records = load_history(&path).unwrap();
+    let table = trend_table(&records);
+    assert!(table.contains("bench_pipeline"), "{table}");
+    assert!(table.contains("pipeline/n=1024/serial"), "{table}");
+    assert!(table.contains("pipeline/n=1024/parallel"), "{table}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn dashboard_payload_round_trips_through_run_records() {
+    let path = synthetic_store("dashboard", 5, 1.0, 0x5EED_0004);
+    let records = load_history(&path).unwrap();
+    let html = dashboard::render_dashboard(&records).unwrap();
+    // Self-contained single file: no external fetches of any kind.
+    for needle in ["src=", "href=", "http://", "https://"] {
+        assert!(
+            !html.contains(needle),
+            "dashboard must not reference {needle}"
+        );
+    }
+    let back = dashboard::extract_payload(&html).unwrap();
+    assert_eq!(back, records);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn glue_records_carry_provenance_meta() {
+    let record = record_from_pipeline_bench(&report_with(80.0, 25.0));
+    assert!(!record.meta.git_rev.is_empty());
+    assert!(!record.meta.host.is_empty());
+    assert!(!record.meta.cargo_profile.is_empty());
+    assert_eq!(
+        record.schema_version,
+        hiermeans_obs::history::HISTORY_SCHEMA_VERSION
+    );
+}
+
+#[test]
+fn history_path_is_the_documented_store_name() {
+    assert_eq!(HISTORY_PATH, "OBS_history.jsonl");
+}

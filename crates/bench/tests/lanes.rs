@@ -18,6 +18,7 @@ fn lane_fingerprint(ch: Characterization, workers: Option<usize>) -> String {
     let collector = Collector::enabled_with(ObsConfig {
         epoch_quality_stride: 0,
         lanes: true,
+        memory: false,
     });
     SuiteAnalysis::paper_with(ch, &collector).unwrap();
     parallel::set_worker_override(None);

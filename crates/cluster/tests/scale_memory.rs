@@ -1,72 +1,20 @@
-//! Peak-allocation proof that the scalable paths never materialize n×n.
+//! Peak-allocation proof that the scalable paths never materialize n×n —
+//! and that span-level memory telemetry agrees with the proof.
 //!
-//! A counting global allocator tracks live and peak heap bytes inside a
-//! measurement window. The scalable linkage algorithms ([`cluster_slink`],
-//! [`cluster_sequential_complete`]) run at a size whose dense distance
-//! matrix would dwarf the asserted ceiling, and the owning NN-chain entry
-//! is shown to consume its matrix in place rather than cloning it.
+//! The shared tracking allocator (`hiermeans_obs::memhook`) replaces the
+//! hand-rolled counting allocator this test used to carry:
+//! [`memhook::global_window`] tracks process-wide live/peak heap bytes
+//! inside a measurement window. The scalable linkage algorithms
+//! ([`cluster_slink`], [`cluster_sequential_complete`]) run at a size whose
+//! dense distance matrix would dwarf the asserted ceiling, and the owning
+//! NN-chain entry is shown to consume its matrix in place rather than
+//! cloning it. A memory-enabled collector runs alongside, and its per-stage
+//! high-water mark must respect the same < 16 MiB bound the window proves —
+//! the telemetry is only worth shipping if it reports the truth the test
+//! already knows.
 //!
 //! Everything lives in ONE `#[test]` so no sibling test's allocations leak
 //! into the measurement window.
-
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
-
-/// Live bytes allocated while [`MEASURING`] is set.
-static LIVE: AtomicI64 = AtomicI64::new(0);
-/// High-water mark of [`LIVE`] within the current window.
-static PEAK: AtomicI64 = AtomicI64::new(0);
-/// Gate: only count allocations made inside a measurement window.
-static MEASURING: AtomicBool = AtomicBool::new(false);
-
-struct CountingAlloc;
-
-// SAFETY: delegates every operation to `System`; only adds atomic counters.
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let ptr = unsafe { System.alloc(layout) };
-        if !ptr.is_null() && MEASURING.load(Ordering::Relaxed) {
-            let live =
-                LIVE.fetch_add(layout.size() as i64, Ordering::Relaxed) + layout.size() as i64;
-            PEAK.fetch_max(live, Ordering::Relaxed);
-        }
-        ptr
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        if MEASURING.load(Ordering::Relaxed) {
-            LIVE.fetch_sub(layout.size() as i64, Ordering::Relaxed);
-        }
-        unsafe { System.dealloc(ptr, layout) }
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
-        if !new_ptr.is_null() && MEASURING.load(Ordering::Relaxed) {
-            let delta = new_size as i64 - layout.size() as i64;
-            let live = LIVE.fetch_add(delta, Ordering::Relaxed) + delta;
-            PEAK.fetch_max(live, Ordering::Relaxed);
-        }
-        new_ptr
-    }
-}
-
-#[global_allocator]
-static ALLOC: CountingAlloc = CountingAlloc;
-
-/// Run `f` inside a fresh measurement window; returns (result, peak bytes).
-///
-/// The window only counts allocations it observes from birth, so frees of
-/// pre-existing buffers can push `LIVE` negative — the peak of *new* memory
-/// is still an upper bound on what `f` itself held at once.
-fn measured<T>(f: impl FnOnce() -> T) -> (T, i64) {
-    LIVE.store(0, Ordering::SeqCst);
-    PEAK.store(0, Ordering::SeqCst);
-    MEASURING.store(true, Ordering::SeqCst);
-    let out = f();
-    MEASURING.store(false, Ordering::SeqCst);
-    (out, PEAK.load(Ordering::SeqCst))
-}
 
 use hiermeans_cluster::nnchain::cluster_nn_chain_owned;
 use hiermeans_cluster::scalable::{cluster_sequential_complete, cluster_slink};
@@ -74,6 +22,16 @@ use hiermeans_cluster::Linkage;
 use hiermeans_linalg::distance::{pairwise, Metric};
 use hiermeans_linalg::kernels::KernelPolicy;
 use hiermeans_linalg::Matrix;
+use hiermeans_obs::memhook::{self, TrackingAlloc};
+use hiermeans_obs::{Collector, ObsConfig};
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
+/// Run `f` inside a fresh measurement window; returns (result, peak bytes).
+fn measured<T>(f: impl FnOnce() -> T) -> (T, i64) {
+    memhook::global_window(f)
+}
 
 fn lcg_points(n: usize, dim: usize, mut state: u64) -> Matrix {
     let data: Vec<f64> = (0..n * dim)
@@ -99,12 +57,33 @@ fn scalable_paths_never_materialize_n_squared() {
     let ceiling = 16 << 20; // 16 MiB
     assert!(ceiling * 8 <= dense_bytes, "ceiling must rule out dense n²");
 
-    let (slink, slink_peak) =
-        measured(|| cluster_slink(&pts, Metric::Euclidean, KernelPolicy::Blocked).unwrap());
+    // SLINK runs under a memory-enabled collector: the global window proves
+    // the ceiling, and the span telemetry must agree with it.
+    let collector = Collector::enabled_with(ObsConfig {
+        memory: true,
+        ..ObsConfig::default()
+    });
+    let (slink, slink_peak) = measured(|| {
+        let _span = collector.span("pipeline.cluster");
+        cluster_slink(&pts, Metric::Euclidean, KernelPolicy::Blocked).unwrap()
+    });
     assert_eq!(slink.merges().len(), n - 1);
     assert!(
         slink_peak < ceiling,
         "SLINK peak {slink_peak} B >= {ceiling} B (dense would be {dense_bytes} B)"
+    );
+    let report = collector.report().unwrap();
+    let memory = report.memory.as_ref().expect("memory telemetry enabled");
+    let stage = memory
+        .stages
+        .iter()
+        .find(|s| s.stage == "pipeline.cluster")
+        .expect("span attribution for the clustering stage");
+    assert!(stage.allocs > 0, "SLINK setup must allocate: {stage:?}");
+    assert!(
+        (stage.peak_bytes as i64) < ceiling,
+        "telemetry peak {} B disagrees with the counting-window ceiling {ceiling} B",
+        stage.peak_bytes
     );
 
     let (seq, seq_peak) = measured(|| {

@@ -1,0 +1,65 @@
+//! Memory telemetry is a strict observer: enabling it changes nothing.
+//!
+//! The acceptance bar for the schema-v4 `memory` block is bitwise
+//! invisibility everywhere that matters — same pipeline outputs, same
+//! deterministic trace fingerprint — with the telemetry's own data
+//! appearing only in the run-varying `memory` block. This runs the full
+//! paper study (not a synthetic trace) with the tracking allocator
+//! installed, so span attribution is genuinely live in the "on" run.
+//!
+//! Lives in its own integration-test binary because a
+//! `#[global_allocator]` is process-wide.
+
+use hiermeans_core::analysis::SuiteAnalysis;
+use hiermeans_obs::memhook::TrackingAlloc;
+use hiermeans_obs::{Collector, ObsConfig, TraceReport};
+use hiermeans_workload::measurement::Characterization;
+use hiermeans_workload::Machine;
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
+fn paper_study(memory: bool) -> (SuiteAnalysis, TraceReport) {
+    let collector = Collector::enabled_with(ObsConfig {
+        memory,
+        ..ObsConfig::default()
+    });
+    let analysis = SuiteAnalysis::paper_with(Characterization::SarCounters(Machine::A), &collector)
+        .expect("paper study runs");
+    let report = collector.report().expect("enabled collector reports");
+    (analysis, report)
+}
+
+#[test]
+fn memory_telemetry_is_a_strict_no_op_on_the_paper_pipeline() {
+    let (on, on_trace) = paper_study(true);
+    let (off, off_trace) = paper_study(false);
+
+    // Pipeline outputs: identical scores, recommendation, and clustering.
+    assert_eq!(on.recommended_k(), off.recommended_k());
+    let (on_rows, off_rows) = (on.scores().rows(), off.scores().rows());
+    assert_eq!(on_rows.len(), off_rows.len());
+    for (a, b) in on_rows.iter().zip(off_rows) {
+        assert_eq!(a.k, b.k);
+        assert_eq!(a.score_a.to_bits(), b.score_a.to_bits(), "k = {}", a.k);
+        assert_eq!(a.score_b.to_bits(), b.score_b.to_bits(), "k = {}", a.k);
+    }
+    assert_eq!(
+        on.scimark_cluster().unwrap(),
+        off.scimark_cluster().unwrap()
+    );
+
+    // Deterministic trace projection: bitwise identical fingerprints.
+    assert_eq!(on_trace.fingerprint(), off_trace.fingerprint());
+
+    // The only difference is the run-varying memory block itself, and with
+    // the hook installed it must actually attribute: the study allocates.
+    let memory = on_trace.memory.as_ref().expect("memory block when on");
+    assert!(
+        off_trace.memory.is_none(),
+        "memory block must be absent when off"
+    );
+    assert!(memory.peak_rss_kb > 0);
+    assert!(!memory.stages.is_empty());
+    assert!(memory.stages.iter().any(|s| s.allocs > 0));
+}

@@ -310,6 +310,11 @@ where
             // locks, no channel traffic per interval — returned through
             // the scoped join handle when the worker retires.
             handles.push(scope.spawn(move || {
+                // Memory telemetry: when a memory-enabled collector is
+                // live, this worker's allocations fold into the process
+                // tallies that the coordinator's open span picks up. When
+                // none is, `worker_tally_begin` is one relaxed load.
+                let tally = hiermeans_obs::memhook::worker_tally_begin();
                 let mut local: Vec<LaneInterval> = match clock {
                     Some(_) => Vec::with_capacity(n_chunks),
                     None => Vec::new(),
@@ -332,6 +337,7 @@ where
                         break;
                     }
                 }
+                hiermeans_obs::memhook::worker_tally_end(tally);
                 local
             }));
         }

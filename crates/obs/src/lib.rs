@@ -47,7 +47,10 @@
 
 pub mod chrome;
 pub mod convergence;
+pub mod dashboard;
+pub mod history;
 pub mod lanes;
+pub mod memhook;
 pub mod metrics;
 pub mod prom;
 pub mod report;
@@ -61,7 +64,9 @@ use std::time::Instant;
 pub use convergence::{ConvergenceVerdict, EpochRecord};
 pub use lanes::{LaneBuf, LaneClock, LaneInterval, LaneSetExport, LaneWorkerExport};
 pub use metrics::{Counter, CounterBuf, CounterExport, HistogramExport, HistogramId};
-pub use report::{EventExport, StudyTrace, TraceDocument, TraceReport, SCHEMA_VERSION};
+pub use report::{
+    EventExport, MemoryReport, StageMemory, StudyTrace, TraceDocument, TraceReport, SCHEMA_VERSION,
+};
 pub use resilience::ResilienceEvent;
 pub use span::{SpanExport, SpanGuard};
 
@@ -83,6 +88,13 @@ pub struct ObsConfig {
     /// into a pre-allocated buffer per chunk, within noise of off (see the
     /// `obs_overhead` bench).
     pub lanes: bool,
+    /// Record memory telemetry: per-span allocation stats via
+    /// [`memhook`] (when the hosting binary installed the tracking
+    /// allocator) and process peak-RSS sampling. Off by default — with it
+    /// off the collector touches no allocator state at all, so traces and
+    /// pipeline outputs are bitwise identical to a memory-unaware build.
+    /// The `repro` subcommands turn it on.
+    pub memory: bool,
 }
 
 impl Default for ObsConfig {
@@ -90,6 +102,7 @@ impl Default for ObsConfig {
         ObsConfig {
             epoch_quality_stride: 1,
             lanes: true,
+            memory: false,
         }
     }
 }
@@ -121,7 +134,18 @@ pub(crate) struct State {
 struct Inner {
     origin: Instant,
     config: ObsConfig,
+    /// Whether the tracking allocator is installed AND `config.memory` is
+    /// set — i.e. per-span allocation attribution is actually available.
+    hooked: bool,
     state: Mutex<State>,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        if self.config.memory {
+            memhook::tracking_release();
+        }
+    }
 }
 
 /// A shared handle to one trace in progress.
@@ -173,9 +197,18 @@ impl Collector {
     /// A live collector with explicit tuning.
     #[must_use]
     pub fn enabled_with(config: ObsConfig) -> Self {
+        let hooked = if config.memory {
+            memhook::ensure_rss_sampler();
+            // Registers this collector for worker-tally accounting; the
+            // matching release happens in `Drop for Inner`.
+            memhook::tracking_activate()
+        } else {
+            false
+        };
         Collector(Some(Arc::new(Inner {
             origin: Instant::now(),
             config,
+            hooked,
             state: Mutex::new(State {
                 spans: Vec::new(),
                 open: Vec::new(),
@@ -215,6 +248,9 @@ impl Collector {
 
     /// Opens a span named `name`, nested under the innermost open span.
     /// The span closes (and its duration is stamped) when the guard drops.
+    /// With memory telemetry hooked, the guard also opens a
+    /// [`memhook::ThreadScope`] so allocations on the coordinating thread
+    /// (plus parallel worker tallies) are attributed to this span.
     pub fn span(&self, name: &'static str) -> SpanGuard {
         let index = self.0.as_ref().map(|inner| {
             let start_us = Self::elapsed_us(inner);
@@ -227,17 +263,25 @@ impl Collector {
                 start_us,
                 duration_us: 0,
                 closed: false,
+                mem: None,
             });
             state.open.push(index);
             index
         });
+        // The scope opens AFTER the span record is pushed, so the trace's
+        // own bookkeeping allocation charges the parent, not this span.
+        let mem = self
+            .0
+            .as_ref()
+            .and_then(|inner| inner.hooked.then(memhook::ThreadScope::open));
         SpanGuard {
             collector: self.clone(),
             index,
+            mem,
         }
     }
 
-    pub(crate) fn end_span(&self, index: usize) {
+    pub(crate) fn end_span(&self, index: usize, mem: Option<memhook::MemStats>) {
         if let Some(inner) = self.0.as_ref() {
             let now_us = Self::elapsed_us(inner);
             let mut state = inner.state.lock().expect("obs state poisoned");
@@ -245,6 +289,7 @@ impl Collector {
             if let Some(record) = state.spans.get_mut(index) {
                 record.duration_us = now_us.saturating_sub(record.start_us);
                 record.closed = true;
+                record.mem = mem;
             }
         }
     }
@@ -399,12 +444,22 @@ impl Collector {
         }
     }
 
+    /// Whether memory telemetry was requested for this collector.
+    #[must_use]
+    pub fn memory_enabled(&self) -> bool {
+        self.0.as_ref().is_some_and(|inner| inner.config.memory)
+    }
+
     /// Exports the trace recorded so far; `None` for a disabled collector.
     #[must_use]
     pub fn report(&self) -> Option<TraceReport> {
         self.0.as_ref().map(|inner| {
             let state = inner.state.lock().expect("obs state poisoned");
-            report::export(&state)
+            let peak_rss_kb = inner
+                .config
+                .memory
+                .then(|| memhook::peak_rss_kb().unwrap_or(0));
+            report::export(&state, peak_rss_kb)
         })
     }
 }

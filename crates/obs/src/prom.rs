@@ -59,6 +59,39 @@ pub fn to_prometheus(doc: &TraceDocument) -> String {
             );
         }
     }
+    let mut wrote_rss_type = false;
+    for s in &doc.studies {
+        if let Some(memory) = &s.trace.memory {
+            if !wrote_rss_type {
+                let _ = writeln!(out, "# TYPE {PREFIX}process_peak_rss_kb gauge");
+                wrote_rss_type = true;
+            }
+            let _ = writeln!(
+                out,
+                "{PREFIX}process_peak_rss_kb{{study=\"{}\"}} {}",
+                escape(&s.label),
+                memory.peak_rss_kb
+            );
+        }
+    }
+    let mut wrote_peak_type = false;
+    for s in &doc.studies {
+        if let Some(memory) = &s.trace.memory {
+            for stage in &memory.stages {
+                if !wrote_peak_type {
+                    let _ = writeln!(out, "# TYPE {PREFIX}memory_peak_bytes gauge");
+                    wrote_peak_type = true;
+                }
+                let _ = writeln!(
+                    out,
+                    "{PREFIX}memory_peak_bytes{{study=\"{}\",stage=\"{}\"}} {}",
+                    escape(&s.label),
+                    escape(&stage.stage),
+                    stage.peak_bytes
+                );
+            }
+        }
+    }
     out
 }
 
@@ -177,6 +210,40 @@ mod tests {
     #[test]
     fn empty_document_renders_empty() {
         assert!(to_prometheus(&TraceDocument::new(1, vec![])).is_empty());
+    }
+
+    #[test]
+    fn memory_gauges_follow_the_exposition_shape() {
+        let mut doc = sample_document();
+        doc.studies[0].trace.memory = Some(crate::report::MemoryReport {
+            peak_rss_kb: 54321,
+            stages: vec![crate::report::StageMemory {
+                span: 0,
+                stage: "pipeline.som".into(),
+                allocs: 10,
+                bytes: 2048,
+                peak_bytes: 1536,
+            }],
+        });
+        let text = to_prometheus(&doc);
+        assert!(text.contains("# TYPE hiermeans_process_peak_rss_kb gauge"));
+        assert!(text.contains("hiermeans_process_peak_rss_kb{study=\"sar_machine_a\"} 54321"));
+        assert!(text.contains("# TYPE hiermeans_memory_peak_bytes gauge"));
+        assert!(text.contains(
+            "hiermeans_memory_peak_bytes{study=\"sar_machine_a\",stage=\"pipeline.som\"} 1536"
+        ));
+        // Every TYPE declaration precedes its first sample, and every
+        // non-comment line is `name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(series.starts_with("hiermeans_"), "{line}");
+            assert!(series.contains("{study=\""), "{line}");
+            assert!(value.parse::<f64>().is_ok(), "{line}");
+        }
+        // Memory gauges are absent when telemetry was off.
+        let off = to_prometheus(&sample_document());
+        assert!(!off.contains("process_peak_rss_kb"));
+        assert!(!off.contains("memory_peak_bytes"));
     }
 
     #[test]

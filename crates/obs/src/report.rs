@@ -35,7 +35,13 @@ use crate::State;
 ///   `chunk_duration_us`/`chunk_imbalance` histograms, and `p50`/`p95`/
 ///   `p99` summary fields on every histogram. All additions are
 ///   `#[serde(default)]`-compatible: v2 artifacts still parse.
-pub const SCHEMA_VERSION: u32 = 3;
+/// * v4 — adds the `memory` block ([`MemoryReport`]): process peak RSS and
+///   per-span allocation count / bytes / high-water mark from
+///   [`crate::memhook`]. `None` when memory telemetry was off (or for v3
+///   artifacts, which still parse via `#[serde(default)]`). Memory is
+///   run-varying, like the clocks, so it is excluded from
+///   [`TraceReport::fingerprint`].
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// One recorded point event, exported.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,6 +54,34 @@ pub struct EventExport {
     pub span: Option<usize>,
     /// Microseconds from the collector's origin.
     pub at_us: u64,
+}
+
+/// Memory attribution for one span, exported in the `memory` block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageMemory {
+    /// Arena index of the span this attribution belongs to.
+    pub span: usize,
+    /// The span's stage name, duplicated for grep-ability.
+    pub stage: String,
+    /// Heap allocations charged to the span (coordinating thread plus
+    /// parallel worker tallies).
+    pub allocs: u64,
+    /// Bytes requested by those allocations.
+    pub bytes: u64,
+    /// Coordinating-thread live-byte high-water mark over the span.
+    pub peak_bytes: u64,
+}
+
+/// The schema-v4 `memory` block: process peak RSS plus per-span
+/// allocation attribution (only spans that were open while the tracking
+/// allocator was hooked appear in `stages`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryReport {
+    /// Process peak resident set size in kB (kernel `VmHWM` combined with
+    /// the sampler's observed maximum); `0` when unavailable.
+    pub peak_rss_kb: u64,
+    /// Per-span attribution in span open order.
+    pub stages: Vec<StageMemory>,
 }
 
 /// One collector's exported trace.
@@ -76,9 +110,13 @@ pub struct TraceReport {
     /// in attach order. Empty when lane recording is off (v2 traces).
     #[serde(default)]
     pub lanes: Vec<LaneSetExport>,
+    /// Memory telemetry; `None` when `ObsConfig.memory` was off (and for
+    /// pre-v4 traces).
+    #[serde(default)]
+    pub memory: Option<MemoryReport>,
 }
 
-pub(crate) fn export(state: &State) -> TraceReport {
+pub(crate) fn export(state: &State, peak_rss_kb: Option<u64>) -> TraceReport {
     TraceReport {
         schema_version: SCHEMA_VERSION,
         spans: state
@@ -116,6 +154,23 @@ pub(crate) fn export(state: &State) -> TraceReport {
         convergence: state.verdict.clone(),
         resilience: state.resilience.clone(),
         lanes: state.lane_sets.iter().map(crate::lanes::export).collect(),
+        memory: peak_rss_kb.map(|peak_rss_kb| MemoryReport {
+            peak_rss_kb,
+            stages: state
+                .spans
+                .iter()
+                .enumerate()
+                .filter_map(|(id, s)| {
+                    s.mem.map(|m| StageMemory {
+                        span: id,
+                        stage: s.name.to_owned(),
+                        allocs: m.allocs,
+                        bytes: m.bytes,
+                        peak_bytes: m.peak_bytes,
+                    })
+                })
+                .collect(),
+        }),
     }
 }
 
@@ -328,7 +383,30 @@ impl TraceReport {
                 let _ = writeln!(out, "    {e}");
             }
         }
+        if let Some(m) = &self.memory {
+            let _ = writeln!(out, "  memory: peak_rss {} kB", m.peak_rss_kb);
+            for s in &m.stages {
+                let _ = writeln!(
+                    out,
+                    "    {:<28} allocs={} bytes={} peak={}",
+                    s.stage,
+                    s.allocs,
+                    fmt_bytes(s.bytes),
+                    fmt_bytes(s.peak_bytes)
+                );
+            }
+        }
         out
+    }
+}
+
+fn fmt_bytes(bytes: u64) -> String {
+    if bytes >= 1 << 20 {
+        format!("{:.1} MiB", bytes as f64 / (1 << 20) as f64)
+    } else if bytes >= 1 << 10 {
+        format!("{:.1} KiB", bytes as f64 / (1 << 10) as f64)
+    } else {
+        format!("{bytes} B")
     }
 }
 
@@ -450,6 +528,62 @@ mod tests {
         let mut b = a.clone();
         b.counters[0].value += 1;
         assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn memory_block_present_iff_enabled() {
+        // Memory off (the default): no block at all.
+        assert!(sample_report().memory.is_none());
+
+        // Memory on: the block exists even though this unit-test binary has
+        // no tracking allocator installed — RSS-only degradation.
+        let c = Collector::enabled_with(crate::ObsConfig {
+            memory: true,
+            ..crate::ObsConfig::default()
+        });
+        {
+            let _s = c.span("stage");
+        }
+        let r = c.report().unwrap();
+        let m = r.memory.clone().expect("memory block when enabled");
+        assert!(
+            m.stages.is_empty(),
+            "no span attribution without the tracking allocator"
+        );
+        let json = serde_json::to_string(&r).unwrap();
+        let back: TraceReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn memory_does_not_perturb_the_fingerprint() {
+        let a = sample_report();
+        let mut b = a.clone();
+        b.memory = Some(MemoryReport {
+            peak_rss_kb: 12345,
+            stages: vec![StageMemory {
+                span: 0,
+                stage: "pipeline".into(),
+                allocs: 10,
+                bytes: 100,
+                peak_bytes: 50,
+            }],
+        });
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // ...but the rendered tree does show it.
+        assert!(b.render_tree().contains("memory: peak_rss 12345 kB"));
+        assert!(b.render_tree().contains("allocs=10"));
+    }
+
+    #[test]
+    fn v3_documents_without_memory_field_still_parse() {
+        let r = sample_report();
+        let json = serde_json::to_string(&r).unwrap();
+        // A v3 artifact simply has no `memory` key.
+        let v3 = json.replace(",\"memory\":null", "");
+        assert_ne!(v3, json, "compact encoding should carry the null field");
+        let back: TraceReport = serde_json::from_str(&v3).unwrap();
+        assert!(back.memory.is_none());
     }
 
     #[test]

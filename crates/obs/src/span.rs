@@ -10,6 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::memhook::{MemStats, ThreadScope};
 use crate::Collector;
 
 /// One recorded span (internal arena entry).
@@ -20,17 +21,24 @@ pub(crate) struct SpanRecord {
     pub(crate) start_us: u64,
     pub(crate) duration_us: u64,
     pub(crate) closed: bool,
+    /// Memory attribution, stamped at close when the collector has memory
+    /// telemetry hooked.
+    pub(crate) mem: Option<MemStats>,
 }
 
 /// RAII guard for one span; the span ends when the guard drops.
 ///
 /// Obtained from [`Collector::span`]. When the collector is disabled the
-/// guard is inert: no allocation, no lock, no clock read.
+/// guard is inert: no allocation, no lock, no clock read. When memory
+/// telemetry is hooked the guard carries the span's [`ThreadScope`], which
+/// pins the guard to the thread that opened it — exactly the discipline
+/// spans already follow (stage spans live on the coordinating thread).
 #[derive(Debug)]
 #[must_use = "a span ends when its guard drops; binding it to `_` ends it immediately"]
 pub struct SpanGuard {
     pub(crate) collector: Collector,
     pub(crate) index: Option<usize>,
+    pub(crate) mem: Option<ThreadScope>,
 }
 
 impl SpanGuard {
@@ -44,8 +52,11 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        // Close the memory scope first so the collector's own end-of-span
+        // bookkeeping is not charged to this span.
+        let mem = self.mem.take().map(ThreadScope::close);
         if let Some(index) = self.index.take() {
-            self.collector.end_span(index);
+            self.collector.end_span(index, mem);
         }
     }
 }

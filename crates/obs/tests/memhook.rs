@@ -1,0 +1,146 @@
+//! Hooked-allocator behavior of `hiermeans_obs::memhook`.
+//!
+//! This test binary installs [`TrackingAlloc`], so span attribution is
+//! live here — unlike the crate's unit tests, which deliberately run
+//! without the hook and pin the degraded behavior.
+
+use hiermeans_obs::memhook::{self, global_window, hook_installed, thread_probe, TrackingAlloc};
+use hiermeans_obs::{Collector, Counter, ObsConfig};
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
+fn memory_on() -> ObsConfig {
+    ObsConfig {
+        memory: true,
+        ..ObsConfig::default()
+    }
+}
+
+#[test]
+fn hook_is_detected() {
+    assert!(hook_installed());
+}
+
+#[test]
+fn thread_probe_attributes_allocations() {
+    const MIB: u64 = 1 << 20;
+    let ((), stats) = thread_probe(|| {
+        let buf = std::hint::black_box(vec![0u8; MIB as usize]);
+        drop(buf);
+    });
+    assert!(stats.allocs >= 1, "{stats:?}");
+    assert!(stats.bytes >= MIB, "{stats:?}");
+    // The buffer was dropped inside the probe, but the high-water mark
+    // remembers it.
+    assert!(stats.peak_bytes >= MIB, "{stats:?}");
+}
+
+#[test]
+fn nested_scopes_roll_up_to_the_parent() {
+    const KIB: usize = 1 << 10;
+    let ((), outer) = thread_probe(|| {
+        let held = std::hint::black_box(vec![0u8; 512 * KIB]);
+        let ((), inner) = thread_probe(|| {
+            drop(std::hint::black_box(vec![0u8; 256 * KIB]));
+        });
+        assert!(inner.peak_bytes >= 256 * KIB as u64, "{inner:?}");
+        assert!(
+            inner.peak_bytes < 512 * KIB as u64,
+            "inner scope must not be charged the outer buffer: {inner:?}"
+        );
+        drop(held);
+    });
+    // The outer scope held 512 KiB while the inner 256 KiB was live.
+    assert!(outer.peak_bytes >= 768 * KIB as u64, "{outer:?}");
+    assert!(outer.allocs >= 2, "{outer:?}");
+}
+
+#[test]
+fn collector_spans_carry_memory_stats() {
+    let c = Collector::enabled_with(memory_on());
+    {
+        let _root = c.span("pipeline");
+        let _stage = c.span("pipeline.som");
+        drop(std::hint::black_box(vec![0u8; 2 << 20]));
+        c.add(Counter::BmuSearches, 3);
+    }
+    let report = c.report().unwrap();
+    let memory = report.memory.as_ref().expect("memory block");
+    let stage = memory
+        .stages
+        .iter()
+        .find(|s| s.stage == "pipeline.som")
+        .expect("pipeline.som attribution");
+    assert!(stage.peak_bytes >= 2 << 20, "{stage:?}");
+    assert!(stage.allocs >= 1);
+    // The root span rolls the child's allocations up.
+    let root = memory
+        .stages
+        .iter()
+        .find(|s| s.stage == "pipeline")
+        .expect("pipeline attribution");
+    assert!(root.bytes >= stage.bytes - 1024, "{root:?} vs {stage:?}");
+    assert!(memory.peak_rss_kb > 0, "RSS must be readable on Linux CI");
+}
+
+#[test]
+fn memory_toggle_preserves_outputs_and_fingerprints() {
+    let run = |config: ObsConfig| {
+        let c = Collector::enabled_with(config);
+        {
+            let _root = c.span("pipeline");
+            let _stage = c.span("pipeline.cluster");
+            c.add(Counter::LinkageMerges, 12);
+            c.record_merge(0.5);
+            c.record_merge(1.5);
+        }
+        c.report().unwrap()
+    };
+    let off = run(ObsConfig::default());
+    let on = run(memory_on());
+    assert_eq!(off.fingerprint(), on.fingerprint());
+    assert_eq!(off.merge_distances, on.merge_distances);
+    assert_eq!(off.counters, on.counters);
+    assert!(off.memory.is_none());
+    assert!(on.memory.is_some());
+}
+
+#[test]
+fn worker_tallies_fold_into_open_scopes() {
+    let c = Collector::enabled_with(memory_on()); // keeps TRACKING > 0
+    {
+        let _span = c.span("stage");
+        let handle = std::thread::spawn(|| {
+            let tally = memhook::worker_tally_begin();
+            assert!(tally.is_some(), "tracking is active");
+            drop(std::hint::black_box(vec![0u8; 64 << 10]));
+            memhook::worker_tally_end(tally);
+        });
+        handle.join().unwrap();
+    }
+    let report = c.report().unwrap();
+    let stage = &report.memory.as_ref().unwrap().stages[0];
+    assert!(
+        stage.bytes >= 64 << 10,
+        "worker allocation must charge the open span: {stage:?}"
+    );
+}
+
+#[test]
+fn global_window_sees_all_threads() {
+    let ((), peak) = global_window(|| {
+        let handle = std::thread::spawn(|| {
+            std::hint::black_box(vec![0u8; 1 << 20]);
+        });
+        handle.join().unwrap();
+    });
+    assert!(peak >= 1 << 20, "peak {peak}");
+}
+
+#[test]
+fn peak_rss_is_available() {
+    memhook::ensure_rss_sampler();
+    let kb = memhook::peak_rss_kb().expect("Linux: VmHWM readable");
+    assert!(kb > 1024, "a Rust test process exceeds 1 MiB RSS: {kb}");
+}

@@ -1,0 +1,65 @@
+//! Percentile edge cases and ordering invariants for the fixed-bucket
+//! histograms, driven through the public collector API.
+
+use hiermeans_obs::{Collector, HistogramExport, HistogramId};
+use proptest::prelude::*;
+
+/// Records `values` into one histogram and returns its export.
+fn exported(id: HistogramId, values: &[f64]) -> HistogramExport {
+    let c = Collector::enabled();
+    for &v in values {
+        c.record(id, v);
+    }
+    c.report()
+        .expect("enabled collector")
+        .histogram(id.name())
+        .expect("known histogram")
+        .clone()
+}
+
+#[test]
+fn empty_histogram_percentiles_are_zero() {
+    let e = exported(HistogramId::MergeDistance, &[]);
+    assert_eq!((e.total, e.p50, e.p95, e.p99), (0, 0.0, 0.0, 0.0));
+}
+
+#[test]
+fn single_sample_percentiles_collapse_to_it() {
+    let e = exported(HistogramId::MergeDistance, &[3.7]);
+    assert_eq!(e.total, 1);
+    assert_eq!(e.p50, 3.7);
+    assert_eq!(e.p95, 3.7);
+    assert_eq!(e.p99, 3.7);
+}
+
+#[test]
+fn all_mass_in_the_overflow_bucket_stays_in_observed_range() {
+    // Every value exceeds the last MergeDistance boundary (16.0), so all
+    // mass lands in the unbounded overflow bucket — the one with no upper
+    // boundary to interpolate against.
+    let values = [20.0, 25.0, 40.0, 100.0];
+    let e = exported(HistogramId::MergeDistance, &values);
+    assert_eq!(*e.counts.last().unwrap(), values.len() as u64);
+    assert_eq!(e.counts.iter().sum::<u64>(), values.len() as u64);
+    for p in [e.p50, e.p95, e.p99] {
+        assert!((20.0..=100.0).contains(&p), "percentile {p} left the range");
+    }
+    assert!(e.p50 <= e.p95 && e.p95 <= e.p99);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// p50 <= p95 <= p99, and all inside [min, max], for any sample set —
+    /// including duplicates, sub-first-bucket values, and overflow values.
+    #[test]
+    fn percentiles_are_ordered_and_bounded(
+        values in proptest::collection::vec(0.0f64..64.0, 1..80)
+    ) {
+        let e = exported(HistogramId::MergeDistance, &values);
+        prop_assert!(e.p50 <= e.p95, "p50={} p95={}", e.p50, e.p95);
+        prop_assert!(e.p95 <= e.p99, "p95={} p99={}", e.p95, e.p99);
+        prop_assert!(e.min <= e.p50, "min={} p50={}", e.min, e.p50);
+        prop_assert!(e.p99 <= e.max, "p99={} max={}", e.p99, e.max);
+    }
+}

@@ -3,72 +3,29 @@
 //! The trainers preallocate their scratch up front (`SearchScratch` for the
 //! blocked BMU search, `BatchScratch` for the batch accumulators), so on the
 //! serial path every allocation happens during setup: training for more
-//! epochs must allocate exactly as much as training for one. A counting
-//! global allocator makes that a hard test rather than a code-review claim.
+//! epochs must allocate exactly as much as training for one. The shared
+//! tracking allocator (`hiermeans_obs::memhook`) makes that a hard test
+//! rather than a code-review claim.
 //!
 //! This lives in its own integration-test binary because a
-//! `#[global_allocator]` is process-wide.
-
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, Ordering};
+//! `#[global_allocator]` is process-wide. Measurement uses
+//! [`memhook::thread_probe`], which counts only the measuring thread — the
+//! libtest harness's main thread lazily allocates its channel-blocking
+//! context the first time a receive actually parks, a one-shot that must
+//! not race into the measurement window. Training is pinned serial, so its
+//! allocations all happen on this thread.
 
 use hiermeans_linalg::{parallel, Matrix};
+use hiermeans_obs::memhook::{self, TrackingAlloc};
 use hiermeans_obs::{Collector, ObsConfig};
 use hiermeans_som::{KernelPolicy, SomBuilder, TrainingMode};
 
-struct CountingAllocator;
-
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-
-std::thread_local! {
-    /// Only allocations made *by the measuring thread* are counted. The
-    /// libtest harness's main thread lazily allocates its channel-blocking
-    /// context the first time its `CompletedTest` receive actually parks —
-    /// a 2-allocation one-shot that races into whichever measurement
-    /// window is open when it fires. The training under test is pinned
-    /// serial, so its allocations all happen on this thread.
-    static MEASURING: Cell<bool> = const { Cell::new(false) };
-}
-
-fn count() {
-    // try_with: TLS may be unavailable during thread teardown; those
-    // allocations belong to no measurement window anyway.
-    if MEASURING.try_with(Cell::get).unwrap_or(false) {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-    }
-}
-
-unsafe impl GlobalAlloc for CountingAllocator {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        count();
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        count();
-        unsafe { System.alloc_zeroed(layout) }
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        count();
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-}
-
 #[global_allocator]
-static ALLOCATOR: CountingAllocator = CountingAllocator;
+static ALLOCATOR: TrackingAlloc = TrackingAlloc;
 
 fn allocations_during(f: impl FnOnce()) -> u64 {
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
-    MEASURING.with(|m| m.set(true));
-    f();
-    MEASURING.with(|m| m.set(false));
-    ALLOCATIONS.load(Ordering::Relaxed) - before
+    let ((), stats) = memhook::thread_probe(f);
+    stats.allocs
 }
 
 fn sample_data() -> Matrix {
@@ -105,9 +62,12 @@ fn allocations_for_lanes(mode: TrainingMode, policy: KernelPolicy, epochs: usize
         // uses for timing-faithful traces. The lane buffers are sized for
         // the whole run up front, so the allocation *count* must not depend
         // on the epoch count even though the buffers themselves scale.
+        // Memory telemetry stays off: this window measures the trainer, not
+        // the telemetry's own span bookkeeping.
         let collector = Collector::enabled_with(ObsConfig {
             epoch_quality_stride: 0,
             lanes: true,
+            memory: false,
         });
         let som = SomBuilder::new(4, 4)
             .seed(11)
