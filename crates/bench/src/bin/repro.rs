@@ -41,9 +41,21 @@
 //!                    check-report <file> (validates a dashboard's
 //!                    embedded history payload round-trips)
 //!   robustness:      faults (writes OBS_faults.json; exits nonzero if any
-//!                    injected fault is not absorbed)
+//!                    injected fault is not absorbed — including the four
+//!                    storage fault scenarios against the result store)
 //!                    check <file> (validates a CSV/whitespace matrix and
 //!                    prints typed diagnostics with exact coordinates)
+//!   fleet store:     submit [--store <file>] (<subs.jsonl> | --paper |
+//!                    --synthetic <n> [--seed <s>]) (guarded ingest into
+//!                    the crash-safe result store, default
+//!                    STORE_fleet.jsonl; rejects go to the quarantine
+//!                    sidecar, accepts fold into the score cache)
+//!                    merge [--store <dst>] <src.jsonl> (re-ingests every
+//!                    source line with full verification and dedup)
+//!                    query [--store <file>] (per-machine and fleet
+//!                    HGM/HAM/HHM via the incremental score cache)
+//!                    fsck [--store <file>] [--repair] (verifies every
+//!                    record; exits nonzero on unrepaired damage)
 //! ```
 //!
 //! Malformed or degenerate input never produces a raw panic backtrace:
@@ -55,7 +67,8 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use hiermeans_bench::{
-    check, experiments, extensions, faults, history, kernels, perf, profile, scale, trace,
+    check, experiments, extensions, faults, history, kernels, perf, profile, scale, store_cli,
+    trace,
 };
 use hiermeans_workload::measurement::Characterization;
 use hiermeans_workload::Machine;
@@ -245,9 +258,14 @@ fn run_trace(prom: Option<&str>) -> Result<String, String> {
 /// also judges the latest run of each kind against the rolling window of
 /// prior comparable runs and fails on any statistical regression.
 fn run_history(gate: bool) -> Result<String, String> {
-    let records = hiermeans_obs::history::load_history(Path::new(history::HISTORY_PATH))
+    let loaded = hiermeans_obs::history::load_history(Path::new(history::HISTORY_PATH))
         .map_err(|e| format!("history: {e}"))?;
-    let mut out = hiermeans_obs::history::trend_table(&records);
+    let records = loaded.records;
+    let mut out = String::new();
+    if let Some(warning) = loaded.warning {
+        out.push_str(&format!("history: warning: {warning}\n"));
+    }
+    out.push_str(&hiermeans_obs::history::trend_table(&records));
     if gate {
         let outcome =
             hiermeans_obs::history::gate(&records, &hiermeans_obs::history::GateConfig::default());
@@ -265,8 +283,9 @@ fn run_history(gate: bool) -> Result<String, String> {
 /// Writes `OBS_report.html`, the self-contained dashboard over the history
 /// store (`repro report`).
 fn run_report() -> Result<String, String> {
-    let records = hiermeans_obs::history::load_history(Path::new(history::HISTORY_PATH))
+    let loaded = hiermeans_obs::history::load_history(Path::new(history::HISTORY_PATH))
         .map_err(|e| format!("report: {e}"))?;
+    let records = loaded.records;
     let html =
         hiermeans_obs::dashboard::render_dashboard(&records).map_err(|e| format!("report: {e}"))?;
     std::fs::write("OBS_report.html", &html)
@@ -344,13 +363,23 @@ fn main() -> ExitCode {
              run history: history [--gate] (trend table over OBS_history.jsonl; \
              --gate fails on statistical regressions), \
              report (writes OBS_report.html), check-report <file>\n  \
-             robustness: faults (writes OBS_faults.json), check <file>"
+             robustness: faults (writes OBS_faults.json), check <file>\n  \
+             fleet store: submit [--store <file>] (<subs.jsonl> | --paper | \
+             --synthetic <n> [--seed <s>]), \
+             merge [--store <dst>] <src.jsonl>, \
+             query [--store <file>], \
+             fsck [--store <file>] [--repair]"
         );
         return ExitCode::FAILURE;
     }
     let mut args = args.into_iter().peekable();
     while let Some(artifact) = args.next() {
-        let outcome = if artifact == "check" {
+        let outcome = if matches!(artifact.as_str(), "submit" | "merge" | "query" | "fsck") {
+            run_guarded(
+                || store_cli::run_store_command(&artifact, &mut args),
+                &artifact,
+            )
+        } else if artifact == "check" {
             let Some(path) = args.next() else {
                 eprintln!("check: missing <file> argument");
                 return ExitCode::FAILURE;

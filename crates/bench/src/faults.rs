@@ -18,6 +18,20 @@
 //!   deterministically, then degrade to raw-space clustering that still
 //!   reproduces the paper's SciMark2 coagulation.
 //!
+//! The result store is attacked four more ways, each of which must land in
+//! the exact typed diagnostic (a [`RejectReason`] or fsck finding), never a
+//! failed batch or a panic:
+//!
+//! * **`torn_tail`** — a record is chopped mid-write (the crash signature
+//!   of an interrupted append). `fsck` must classify it as the torn
+//!   trailing line and `--repair` must restore a clean store.
+//! * **`checksum_mismatch`** — a sealed record's payload is tampered.
+//!   Ingestion must quarantine it with the expected/found digests.
+//! * **`duplicate_submission`** — the same record is submitted twice. The
+//!   second must quarantine as a duplicate carrying the content hash.
+//! * **`schema_from_future`** — a record claims a schema version newer
+//!   than this build supports. It must quarantine, not misparse.
+//!
 //! Every scenario runs under its own enabled collector; the injected
 //! faults, retries, and degradations land in the `resilience` field of
 //! each trace, and the bundle is written as `OBS_faults.json` (same
@@ -31,6 +45,10 @@ use hiermeans_linalg::parallel::{self, Chunking, ParallelError};
 use hiermeans_linalg::validate;
 use hiermeans_obs::{Collector, ResilienceEvent, StudyTrace, TraceDocument};
 use hiermeans_som::SomError;
+use hiermeans_store::{
+    fsck, ingest_lines, ingest_submissions, Disposition, IngestConfig, RejectReason, ResultStore,
+    Submission, STORE_SCHEMA_VERSION,
+};
 use hiermeans_workload::measurement::{Characterization, SCIMARK2};
 use hiermeans_workload::Machine;
 
@@ -216,6 +234,218 @@ fn inject_non_convergence(
     finish(label, "forced_non_convergence", collector)
 }
 
+/// A scratch result store for one storage-fault scenario, cleared of any
+/// residue from earlier runs.
+fn fault_store(fault: &str) -> Result<ResultStore, String> {
+    let dir = std::env::temp_dir().join(format!("hm_faults_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let store = ResultStore::new(dir.join(format!("{fault}.jsonl")));
+    for p in [
+        store.path().to_path_buf(),
+        store.quarantine_path(),
+        store.lock_path(),
+    ] {
+        let _ = std::fs::remove_file(p);
+    }
+    Ok(store)
+}
+
+/// A small sealed submission for the storage scenarios.
+fn store_submission(machine: &str) -> Result<Submission, String> {
+    Submission::new(
+        machine,
+        "faults",
+        vec!["w0".to_owned(), "w1".to_owned()],
+        vec![2.0, 3.0],
+        vec![vec![0.1, 0.2], vec![0.9, 0.8]],
+    )
+    .sealed()
+}
+
+/// Chops a record mid-write — the crash signature of an interrupted
+/// append — and checks `fsck` classifies it as the torn trailing line and
+/// repairs back to a clean store without touching the good record.
+fn inject_torn_tail(label: &str) -> Result<StudyTrace, String> {
+    let collector = Collector::enabled();
+    let store = fault_store("torn_tail")?;
+    let good = serde_json::to_string(&store_submission("survivor")?)
+        .map_err(|e| format!("{label}/torn_tail: {e}"))?;
+    let torn = serde_json::to_string(&store_submission("interrupted")?)
+        .map_err(|e| format!("{label}/torn_tail: {e}"))?;
+    let torn = &torn[..torn.len() / 2];
+    std::fs::write(store.path(), format!("{good}\n{torn}"))
+        .map_err(|e| format!("{label}/torn_tail: writing store: {e}"))?;
+    collector.record_resilience(ResilienceEvent::FaultInjected {
+        fault: "torn_tail".to_owned(),
+        detail: format!("chopped the trailing record to {} bytes", torn.len()),
+    });
+    let report = fsck(&store, true, &collector)?;
+    let diagnosed = report.problems.len() == 1
+        && report.problems[0].torn_tail
+        && report.problems[0].reason.kind() == "malformed"
+        && report.problems[0].line == 2;
+    if !diagnosed {
+        return Err(format!(
+            "{label}/torn_tail: expected one torn-tail malformed finding at line 2, got {:?}",
+            report.problems
+        ));
+    }
+    let after = store.load()?;
+    if after.records.len() != 1 || after.torn.is_some() || !fsck(&store, false, &collector)?.clean()
+    {
+        return Err(format!(
+            "{label}/torn_tail: repair did not restore a clean one-record store"
+        ));
+    }
+    collector.record_resilience(ResilienceEvent::Recovered {
+        fault: "torn_tail".to_owned(),
+        detail: "fsck diagnosed the torn trailing line and repaired to a clean store".to_owned(),
+    });
+    finish(label, "torn_tail", collector)
+}
+
+/// Tampers a sealed record's payload and checks ingestion quarantines it
+/// with the expected/found digests instead of failing the batch.
+fn inject_checksum_mismatch(label: &str) -> Result<StudyTrace, String> {
+    let collector = Collector::enabled();
+    let store = fault_store("checksum_mismatch")?;
+    let mut tampered = store_submission("tampered")?;
+    tampered.speedups[0] *= 2.0; // payload changed after sealing
+    let line =
+        serde_json::to_string(&tampered).map_err(|e| format!("{label}/checksum_mismatch: {e}"))?;
+    collector.record_resilience(ResilienceEvent::FaultInjected {
+        fault: "checksum_mismatch".to_owned(),
+        detail: "doubled a sealed record's first speedup".to_owned(),
+    });
+    let report = ingest_lines(
+        &store,
+        &format!("{line}\n"),
+        &IngestConfig::default(),
+        &collector,
+    )?;
+    match report.outcomes.as_slice() {
+        [outcome] => match &outcome.disposition {
+            Disposition::Quarantined {
+                reason: RejectReason::ChecksumMismatch { expected, found },
+            } if expected != found => {}
+            other => {
+                let what = format!("expected a checksum_mismatch quarantine, got {other:?}");
+                return Err(format!("{label}/checksum_mismatch: {what}"));
+            }
+        },
+        other => {
+            return Err(format!(
+                "{label}/checksum_mismatch: expected one outcome, got {other:?}"
+            ))
+        }
+    }
+    let quarantined = store.load_quarantine()?.records;
+    if !store.load()?.records.is_empty() || quarantined.len() != 1 || quarantined[0].raw != line {
+        return Err(format!(
+            "{label}/checksum_mismatch: the tampered record must land in quarantine, verbatim"
+        ));
+    }
+    collector.record_resilience(ResilienceEvent::Recovered {
+        fault: "checksum_mismatch".to_owned(),
+        detail: "quarantined with expected/found digests; batch unaffected".to_owned(),
+    });
+    finish(label, "checksum_mismatch", collector)
+}
+
+/// Submits the same record twice and checks the second copy quarantines as
+/// a duplicate carrying the content hash.
+fn inject_duplicate_submission(label: &str) -> Result<StudyTrace, String> {
+    let collector = Collector::enabled();
+    let store = fault_store("duplicate_submission")?;
+    let sub = store_submission("echoed")?;
+    collector.record_resilience(ResilienceEvent::FaultInjected {
+        fault: "duplicate_submission".to_owned(),
+        detail: "the same sealed record submitted twice in one batch".to_owned(),
+    });
+    let report = ingest_submissions(
+        &store,
+        &[sub.clone(), sub.clone()],
+        &IngestConfig::default(),
+        &collector,
+    )?;
+    let duplicate_caught = report.accepted() == 1
+        && matches!(
+            &report.outcomes[1].disposition,
+            Disposition::Quarantined {
+                reason: RejectReason::Duplicate { content_hash },
+            } if *content_hash == sub.content_hash()
+        );
+    if !duplicate_caught {
+        return Err(format!(
+            "{label}/duplicate_submission: expected accept + duplicate quarantine, got {:?}",
+            report.outcomes
+        ));
+    }
+    if store.load()?.records.len() != 1 {
+        return Err(format!(
+            "{label}/duplicate_submission: the store must hold exactly one copy"
+        ));
+    }
+    collector.record_resilience(ResilienceEvent::Recovered {
+        fault: "duplicate_submission".to_owned(),
+        detail: "second copy quarantined as duplicate with its content hash".to_owned(),
+    });
+    finish(label, "duplicate_submission", collector)
+}
+
+/// Submits a record claiming a schema version newer than this build
+/// supports and checks it quarantines with both versions named.
+fn inject_schema_future(label: &str) -> Result<StudyTrace, String> {
+    let collector = Collector::enabled();
+    let store = fault_store("schema_future")?;
+    let mut futuristic = store_submission("time-traveler")?;
+    futuristic.schema_version = STORE_SCHEMA_VERSION + 1;
+    futuristic.seal()?; // a valid seal: only the version is from the future
+    collector.record_resilience(ResilienceEvent::FaultInjected {
+        fault: "schema_from_future".to_owned(),
+        detail: format!(
+            "record claims schema v{} (supported: v{STORE_SCHEMA_VERSION})",
+            futuristic.schema_version
+        ),
+    });
+    let report = ingest_submissions(&store, &[futuristic], &IngestConfig::default(), &collector)?;
+    let rejected = matches!(
+        report.outcomes.as_slice(),
+        [outcome] if matches!(
+            &outcome.disposition,
+            Disposition::Quarantined {
+                reason: RejectReason::SchemaFromFuture { version, supported },
+            } if *version == STORE_SCHEMA_VERSION + 1 && *supported == STORE_SCHEMA_VERSION
+        )
+    );
+    if !rejected || !store.load()?.records.is_empty() {
+        return Err(format!(
+            "{label}/schema_from_future: expected a schema_from_future quarantine, got {:?}",
+            report.outcomes
+        ));
+    }
+    collector.record_resilience(ResilienceEvent::Recovered {
+        fault: "schema_from_future".to_owned(),
+        detail: "quarantined with both versions named; nothing misparsed".to_owned(),
+    });
+    finish(label, "schema_from_future", collector)
+}
+
+/// Runs the four storage-fault scenarios against a scratch result store.
+///
+/// # Errors
+///
+/// Returns the first violated expectation, labeled `result_store/fault`.
+pub fn store_fault_studies() -> Result<Vec<StudyTrace>, String> {
+    let label = "result_store";
+    Ok(vec![
+        inject_torn_tail(label)?,
+        inject_checksum_mismatch(label)?,
+        inject_duplicate_submission(label)?,
+        inject_schema_future(label)?,
+    ])
+}
+
 /// Bundles a scenario's collector into a labeled study trace, checking the
 /// trace actually recorded the injection.
 fn finish(label: &str, fault: &str, collector: Collector) -> Result<StudyTrace, String> {
@@ -253,6 +483,7 @@ pub fn fault_suite_document() -> Result<TraceDocument, String> {
         studies.push(inject_worker_panic(label, characterization)?);
         studies.push(inject_non_convergence(label, characterization)?);
     }
+    studies.extend(store_fault_studies()?);
     Ok(TraceDocument::new(parallel::worker_count(), studies))
 }
 
@@ -309,5 +540,39 @@ mod tests {
         let study = inject_worker_panic("method_utilization", Characterization::MethodUtilization)
             .expect("worker panic must be isolated");
         assert!(study.label.ends_with("/worker_panic"));
+    }
+
+    #[test]
+    fn storage_faults_are_absorbed_with_typed_diagnostics() {
+        let studies = store_fault_studies().expect("every storage fault must be absorbed");
+        let labels: Vec<&str> = studies.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "result_store/torn_tail",
+                "result_store/checksum_mismatch",
+                "result_store/duplicate_submission",
+                "result_store/schema_from_future",
+            ]
+        );
+        // Each trace carries its injection, its recovery, and the store
+        // events narrated by the ingest/fsck machinery.
+        for study in &studies {
+            assert!(
+                study
+                    .trace
+                    .resilience
+                    .iter()
+                    .any(|e| matches!(e, ResilienceEvent::Recovered { .. })),
+                "{}: no recovery recorded",
+                study.label
+            );
+        }
+        assert!(
+            studies[0].trace.resilience.iter().any(
+                |e| matches!(e, ResilienceEvent::Store { action, .. } if action == "fsck_repair")
+            ),
+            "torn-tail repair must narrate itself as a store event"
+        );
     }
 }

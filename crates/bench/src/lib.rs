@@ -17,4 +17,5 @@ pub mod kernels;
 pub mod perf;
 pub mod profile;
 pub mod scale;
+pub mod store_cli;
 pub mod trace;

@@ -58,7 +58,7 @@ fn synthetic_store(name: &str, runs: usize, last_factor: f64, seed: u64) -> Path
 #[test]
 fn doubled_latest_run_fails_the_statistical_gate() {
     let path = synthetic_store("doubled", 9, 2.0, 0x5EED_0001);
-    let records = load_history(&path).unwrap();
+    let records = load_history(&path).unwrap().records;
     let outcome = gate(&records, &GateConfig::default());
     assert!(
         !outcome.passed,
@@ -72,7 +72,7 @@ fn doubled_latest_run_fails_the_statistical_gate() {
 #[test]
 fn jittered_stable_history_passes_the_statistical_gate() {
     let path = synthetic_store("stable", 9, 1.0, 0x5EED_0002);
-    let records = load_history(&path).unwrap();
+    let records = load_history(&path).unwrap().records;
     let outcome = gate(&records, &GateConfig::default());
     assert!(
         outcome.passed,
@@ -85,7 +85,7 @@ fn jittered_stable_history_passes_the_statistical_gate() {
 #[test]
 fn trend_table_names_every_gateable_metric() {
     let path = synthetic_store("trend", 6, 1.0, 0x5EED_0003);
-    let records = load_history(&path).unwrap();
+    let records = load_history(&path).unwrap().records;
     let table = trend_table(&records);
     assert!(table.contains("bench_pipeline"), "{table}");
     assert!(table.contains("pipeline/n=1024/serial"), "{table}");
@@ -96,7 +96,7 @@ fn trend_table_names_every_gateable_metric() {
 #[test]
 fn dashboard_payload_round_trips_through_run_records() {
     let path = synthetic_store("dashboard", 5, 1.0, 0x5EED_0004);
-    let records = load_history(&path).unwrap();
+    let records = load_history(&path).unwrap().records;
     let html = dashboard::render_dashboard(&records).unwrap();
     // Self-contained single file: no external fetches of any kind.
     for needle in ["src=", "href=", "http://", "https://"] {

@@ -1,0 +1,210 @@
+//! End-to-end tests of the fleet store CLI: concurrent `repro submit`
+//! processes under the advisory lock, staged-vs-oneshot score-cache
+//! equivalence, the fsck exit-code contract, and the committed seed
+//! fixture.
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+use hiermeans_store::{synthetic_fleet, ResultStore, Submission};
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+/// A fresh scratch directory for one test.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hm_cli_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_jsonl(path: &PathBuf, subs: &[Submission]) {
+    let mut text = String::new();
+    for s in subs {
+        text.push_str(&serde_json::to_string(s).unwrap());
+        text.push('\n');
+    }
+    std::fs::write(path, text).unwrap();
+}
+
+fn run_ok(dir: &PathBuf, args: &[&str]) -> String {
+    let out = repro().current_dir(dir).args(args).output().unwrap();
+    assert!(
+        out.status.success(),
+        "repro {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Six `repro submit` processes race on one store; the advisory lock must
+/// serialize the appends so no record is lost or torn.
+#[test]
+fn concurrent_submit_processes_lose_no_records() {
+    let dir = scratch("concurrent");
+    let fleet = synthetic_fleet(30, 123).unwrap();
+    for (i, chunk) in fleet.chunks(5).enumerate() {
+        write_jsonl(&dir.join(format!("chunk{i}.jsonl")), chunk);
+    }
+    let children: Vec<_> = (0..6)
+        .map(|i| {
+            repro()
+                .current_dir(&dir)
+                .args(["submit", "--store", "fleet.jsonl"])
+                .arg(format!("chunk{i}.jsonl"))
+                .stdout(Stdio::null())
+                .stderr(Stdio::piped())
+                .spawn()
+                .unwrap()
+        })
+        .collect();
+    for child in children {
+        let out = child.wait_with_output().unwrap();
+        assert!(
+            out.status.success(),
+            "a concurrent submit failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let scan = ResultStore::new(dir.join("fleet.jsonl")).load().unwrap();
+    assert!(scan.torn.is_none(), "no append may tear the store");
+    assert_eq!(scan.records.len(), 30, "every record must survive the race");
+    let mut machines: Vec<&str> = scan.records.iter().map(|s| s.machine.as_str()).collect();
+    machines.sort_unstable();
+    machines.dedup();
+    assert_eq!(machines.len(), 30, "every machine exactly once");
+    // And the store verifies clean end to end.
+    run_ok(&dir, &["fsck", "--store", "fleet.jsonl"]);
+}
+
+/// Submitting a fleet in stages produces a byte-identical score cache to
+/// submitting it in one shot — the CLI-level face of the incremental ==
+/// full-recompute invariant.
+#[test]
+fn staged_and_oneshot_submissions_produce_identical_score_caches() {
+    let oneshot = scratch("oneshot");
+    run_ok(
+        &oneshot,
+        &[
+            "submit",
+            "--store",
+            "fleet.jsonl",
+            "--synthetic",
+            "6",
+            "--seed",
+            "9",
+        ],
+    );
+
+    let staged = scratch("staged");
+    run_ok(
+        &staged,
+        &[
+            "submit",
+            "--store",
+            "fleet.jsonl",
+            "--synthetic",
+            "3",
+            "--seed",
+            "9",
+        ],
+    );
+    // The second submit re-offers the first three machines (the synthetic
+    // fleet is a deterministic prefix); dedup quarantines them and only the
+    // three new machines fold in.
+    let out = run_ok(
+        &staged,
+        &[
+            "submit",
+            "--store",
+            "fleet.jsonl",
+            "--synthetic",
+            "6",
+            "--seed",
+            "9",
+        ],
+    );
+    assert!(out.contains("3 accepted, 3 quarantined"), "{out}");
+
+    let cache_a = std::fs::read_to_string(oneshot.join("fleet.scores.json")).unwrap();
+    let cache_b = std::fs::read_to_string(staged.join("fleet.scores.json")).unwrap();
+    assert_eq!(cache_a, cache_b, "score caches must match byte for byte");
+}
+
+/// `repro fsck` exits nonzero on unrepaired damage, zero after `--repair`,
+/// and the repaired store scores normally.
+#[test]
+fn fsck_exit_codes_track_absorption() {
+    let dir = scratch("fsck");
+    run_ok(
+        &dir,
+        &[
+            "submit",
+            "--store",
+            "fleet.jsonl",
+            "--synthetic",
+            "2",
+            "--seed",
+            "4",
+        ],
+    );
+    // Crash damage: a torn trailing fragment.
+    let mut bytes = std::fs::read(dir.join("fleet.jsonl")).unwrap();
+    bytes.extend_from_slice(b"{\"schema_version\":1,\"machi");
+    std::fs::write(dir.join("fleet.jsonl"), bytes).unwrap();
+
+    let dirty = repro()
+        .current_dir(&dir)
+        .args(["fsck", "--store", "fleet.jsonl"])
+        .output()
+        .unwrap();
+    assert!(
+        !dirty.status.success(),
+        "unrepaired damage must exit nonzero"
+    );
+    let stderr = String::from_utf8_lossy(&dirty.stderr);
+    assert!(stderr.contains("torn tail"), "{stderr}");
+
+    let repaired = run_ok(&dir, &["fsck", "--store", "fleet.jsonl", "--repair"]);
+    assert!(repaired.contains("repaired"), "{repaired}");
+    run_ok(&dir, &["fsck", "--store", "fleet.jsonl"]);
+    let table = run_ok(&dir, &["query", "--store", "fleet.jsonl"]);
+    assert!(
+        table.contains("sim-000") && table.contains("sim-001"),
+        "{table}"
+    );
+}
+
+/// The committed `STORE_fleet.jsonl` seed works out of the box: it is
+/// clean, it scores, and a second query is a pure cache hit with identical
+/// output.
+#[test]
+fn committed_seed_fixture_queries_out_of_the_box() {
+    let fixture = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../STORE_fleet.jsonl");
+    assert!(
+        fixture.is_file(),
+        "seed fixture missing at {}",
+        fixture.display()
+    );
+    let dir = scratch("seed");
+    std::fs::copy(&fixture, dir.join("STORE_fleet.jsonl")).unwrap();
+
+    run_ok(&dir, &["fsck"]); // default store path, must be clean
+    let first = run_ok(&dir, &["query"]);
+    for needle in ["paper-A", "paper-B", "paper-Reference", "fleet ("] {
+        assert!(first.contains(needle), "missing {needle:?} in:\n{first}");
+    }
+    let second = run_ok(&dir, &["query"]);
+    assert!(second.contains("(0 newly folded)"), "{second}");
+    // The score table itself (from the column header down) is identical —
+    // the cache hit changes only the bookkeeping lines above it.
+    let table = |s: &str| s[s.find("machine ").unwrap()..].to_owned();
+    assert_eq!(
+        table(&first),
+        table(&second),
+        "a cache-hit query must reproduce the same table"
+    );
+}

@@ -1,0 +1,419 @@
+//! Fleet-scale incremental scoring: a cached cluster model plus fold-order
+//! running aggregates, so accepting one new submission never re-runs
+//! SOM + clustering for the machines already scored.
+//!
+//! The paper scores 3 machines by running the whole pipeline once; a fleet
+//! ingesting submissions continuously cannot afford that per record. The
+//! split here:
+//!
+//! * [`ClusterModel`] — the workload partition, built **once** per suite
+//!   from the anchor (first accepted) submission's characteristic vectors
+//!   via the standard pipeline (SOM → complete linkage → silhouette-chosen
+//!   `k`). A fingerprint over everything that determined the partition
+//!   (suite, workload names, anchor vector bits, protocol version) lets a
+//!   cache detect staleness.
+//! * [`FleetScoreboard`] — per-machine HGM/HAM/HHM under the shared model,
+//!   plus running aggregates (`Σ ln hgm`, `Σ ham`, `Σ 1/hhm`) maintained in
+//!   fold order. Folding one new machine performs exactly the `f64`
+//!   operations a from-scratch left fold would append, so **incremental
+//!   rescoring is bitwise identical to full recomputation** — pinned by
+//!   test, and preserved across JSON round trips because the vendored
+//!   `serde_json` prints floats shortest-exact.
+//!
+//! This module never reads result stores: `hiermeans-store` handles
+//! durability, the `repro` CLI glues the two together.
+
+use hiermeans_obs::hash::Fnv1a64;
+
+use crate::analysis::recommend_k;
+use crate::error::CoreError;
+use crate::hierarchical::hierarchical_mean;
+use crate::means::Mean;
+use crate::pipeline::{run_pipeline, PipelineConfig};
+use hiermeans_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Version stamp folded into every [`ClusterModel`] fingerprint. Bump when
+/// the model-building procedure changes in a way that must invalidate
+/// caches even for identical inputs.
+pub const FLEET_PROTOCOL_VERSION: u32 = 1;
+
+/// Default ceiling for the silhouette sweep when deriving a model.
+pub const DEFAULT_MAX_K: usize = 8;
+
+/// The workload partition shared by every machine in a fleet scoreboard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterModel {
+    /// Suite the model was derived for.
+    pub suite: String,
+    /// Workload names, in suite order; every folded submission must match.
+    pub workloads: Vec<String>,
+    /// Member indices of each cluster (a partition of `0..workloads.len()`).
+    pub clusters: Vec<Vec<usize>>,
+    /// Machine whose characteristic vectors anchored the model.
+    pub anchor_machine: String,
+    /// [`fingerprint_of`](ClusterModel::fingerprint_of) the anchoring
+    /// inputs — compare against a fresh computation to detect staleness.
+    pub fingerprint: String,
+}
+
+impl ClusterModel {
+    /// Derives a model from the anchor submission's characteristic vectors
+    /// (one row per workload) by running the standard pipeline and cutting
+    /// at the silhouette-recommended `k ≤ max_k`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidClusters`] if `workloads` and `vectors`
+    ///   disagree in length.
+    /// * Any pipeline error (empty/non-finite vectors, ragged rows, bad
+    ///   grid) from the SOM or clustering stages.
+    pub fn from_anchor(
+        suite: &str,
+        workloads: &[String],
+        anchor_machine: &str,
+        vectors: &[Vec<f64>],
+        max_k: usize,
+    ) -> Result<ClusterModel, CoreError> {
+        if workloads.is_empty() || workloads.len() != vectors.len() {
+            return Err(CoreError::InvalidClusters {
+                reason: "anchor must supply one characteristic vector per workload",
+            });
+        }
+        let matrix = Matrix::from_rows(vectors)?;
+        let result = run_pipeline(&matrix, &PipelineConfig::scaled(workloads.len()))?;
+        let k = if workloads.len() == 1 {
+            1
+        } else {
+            recommend_k(result.positions(), result.dendrogram(), max_k)?
+        };
+        let clusters = result.clusters(k)?.clusters();
+        Ok(ClusterModel {
+            suite: suite.to_owned(),
+            workloads: workloads.to_vec(),
+            clusters,
+            anchor_machine: anchor_machine.to_owned(),
+            fingerprint: Self::fingerprint_of(suite, workloads, vectors),
+        })
+    }
+
+    /// The fingerprint of a prospective anchor: FNV-1a 64 over the protocol
+    /// version, suite name, workload names, and the exact bit patterns of
+    /// every vector cell. Two inputs fingerprint equal iff they would
+    /// deterministically build the same model.
+    #[must_use]
+    pub fn fingerprint_of(suite: &str, workloads: &[String], vectors: &[Vec<f64>]) -> String {
+        let mut h = Fnv1a64::new();
+        h.update_u64(u64::from(FLEET_PROTOCOL_VERSION));
+        h.update_u64(suite.len() as u64);
+        h.update(suite.as_bytes());
+        h.update_u64(workloads.len() as u64);
+        for w in workloads {
+            h.update_u64(w.len() as u64);
+            h.update(w.as_bytes());
+        }
+        h.update_u64(vectors.len() as u64);
+        for row in vectors {
+            h.update_u64(row.len() as u64);
+            for &v in row {
+                h.update_f64(v);
+            }
+        }
+        h.finish_hex()
+    }
+
+    /// Whether a fresh computation over `(suite, workloads, vectors)` would
+    /// reproduce this model.
+    #[must_use]
+    pub fn matches(&self, suite: &str, workloads: &[String], vectors: &[Vec<f64>]) -> bool {
+        self.fingerprint == Self::fingerprint_of(suite, workloads, vectors)
+    }
+}
+
+/// One machine's hierarchical means under the fleet's shared model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineScore {
+    /// Machine identifier.
+    pub machine: String,
+    /// Hierarchical geometric mean of the machine's speedups.
+    pub hgm: f64,
+    /// Hierarchical arithmetic mean.
+    pub ham: f64,
+    /// Hierarchical harmonic mean.
+    pub hhm: f64,
+}
+
+/// Fleet-level summary means over every folded machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetScores {
+    /// Geometric mean of the per-machine HGMs.
+    pub hgm: f64,
+    /// Arithmetic mean of the per-machine HAMs.
+    pub ham: f64,
+    /// Harmonic mean of the per-machine HHMs.
+    pub hhm: f64,
+    /// Number of machines folded in.
+    pub machines: usize,
+}
+
+/// Per-machine scores plus fold-order running aggregates.
+///
+/// The aggregates are the *only* mutable scoring state: `Σ ln hgm` for the
+/// fleet geometric mean, `Σ ham` for the arithmetic, `Σ 1/hhm` for the
+/// harmonic. Each [`fold`](FleetScoreboard::fold) appends exactly one term
+/// to each sum, so a scoreboard grown one machine at a time — including
+/// across serialize/parse round trips — is bitwise identical to one rebuilt
+/// from scratch over the same machines in the same order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetScoreboard {
+    /// The shared cluster model every fold scores against.
+    pub model: ClusterModel,
+    /// Per-machine scores, in fold order.
+    pub machines: Vec<MachineScore>,
+    /// Running `Σ ln hgm` over [`machines`](FleetScoreboard::machines).
+    pub log_hgm_sum: f64,
+    /// Running `Σ ham`.
+    pub ham_sum: f64,
+    /// Running `Σ 1/hhm`.
+    pub recip_hhm_sum: f64,
+}
+
+impl FleetScoreboard {
+    /// An empty scoreboard over `model`.
+    #[must_use]
+    pub fn new(model: ClusterModel) -> FleetScoreboard {
+        FleetScoreboard {
+            model,
+            machines: Vec::new(),
+            log_hgm_sum: 0.0,
+            ham_sum: 0.0,
+            recip_hhm_sum: 0.0,
+        }
+    }
+
+    /// Number of machines folded in.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Whether no machine has been folded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// Whether `machine` has already been folded in.
+    #[must_use]
+    pub fn contains(&self, machine: &str) -> bool {
+        self.machines.iter().any(|m| m.machine == machine)
+    }
+
+    /// Scores one machine's speedups under the shared model and folds the
+    /// result into the running aggregates. Returns the machine's score.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidClusters`] if the submission's workload list
+    ///   differs from the model's — scores under different workload orders
+    ///   are not comparable, so the mismatch is refused rather than
+    ///   silently reindexed.
+    /// * Mean errors ([`CoreError::InvalidValue`], …) for non-positive or
+    ///   non-finite speedups.
+    pub fn fold(
+        &mut self,
+        machine: &str,
+        workloads: &[String],
+        speedups: &[f64],
+    ) -> Result<MachineScore, CoreError> {
+        if workloads != self.model.workloads.as_slice() {
+            return Err(CoreError::InvalidClusters {
+                reason: "submission workload list does not match the fleet cluster model",
+            });
+        }
+        let score = MachineScore {
+            machine: machine.to_owned(),
+            hgm: hierarchical_mean(speedups, &self.model.clusters, Mean::Geometric)?,
+            ham: hierarchical_mean(speedups, &self.model.clusters, Mean::Arithmetic)?,
+            hhm: hierarchical_mean(speedups, &self.model.clusters, Mean::Harmonic)?,
+        };
+        self.log_hgm_sum += score.hgm.ln();
+        self.ham_sum += score.ham;
+        self.recip_hhm_sum += 1.0 / score.hhm;
+        self.machines.push(score.clone());
+        Ok(score)
+    }
+
+    /// The fleet-level summary means, or `None` before any fold.
+    #[must_use]
+    pub fn fleet_scores(&self) -> Option<FleetScores> {
+        if self.machines.is_empty() {
+            return None;
+        }
+        let n = self.machines.len() as f64;
+        Some(FleetScores {
+            hgm: (self.log_hgm_sum / n).exp(),
+            ham: self.ham_sum / n,
+            hhm: n / self.recip_hhm_sum,
+            machines: self.machines.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Six workloads in two planted clusters, dimension 3.
+    fn anchor_vectors() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.00, 0.10, 0.00],
+            vec![0.10, 0.00, 0.10],
+            vec![0.05, 0.05, 0.05],
+            vec![5.00, 5.10, 5.00],
+            vec![5.10, 5.00, 5.10],
+            vec![5.05, 5.05, 5.05],
+        ]
+    }
+
+    fn workload_names() -> Vec<String> {
+        (0..6).map(|i| format!("w{i}")).collect()
+    }
+
+    fn model() -> ClusterModel {
+        ClusterModel::from_anchor("paper", &workload_names(), "anchor", &anchor_vectors(), 4)
+            .unwrap()
+    }
+
+    fn speedups_for(machine_idx: usize) -> Vec<f64> {
+        (0..6)
+            .map(|w| 1.5 + 0.25 * machine_idx as f64 + 0.1 * w as f64)
+            .collect()
+    }
+
+    #[test]
+    fn model_derivation_is_deterministic_and_partitions_the_workloads() {
+        let a = model();
+        let b = model();
+        assert_eq!(a, b);
+        let mut members: Vec<usize> = a.clusters.iter().flatten().copied().collect();
+        members.sort_unstable();
+        assert_eq!(members, (0..6).collect::<Vec<_>>());
+        // The planted geometry has two well-separated groups.
+        assert_eq!(a.clusters.len(), 2, "clusters: {:?}", a.clusters);
+        assert!(a.matches("paper", &workload_names(), &anchor_vectors()));
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_model_input() {
+        let base = ClusterModel::fingerprint_of("paper", &workload_names(), &anchor_vectors());
+        assert_eq!(
+            base,
+            ClusterModel::fingerprint_of("paper", &workload_names(), &anchor_vectors())
+        );
+        assert_ne!(
+            base,
+            ClusterModel::fingerprint_of("other", &workload_names(), &anchor_vectors())
+        );
+        let mut renamed = workload_names();
+        renamed[0] = "renamed".to_owned();
+        assert_ne!(
+            base,
+            ClusterModel::fingerprint_of("paper", &renamed, &anchor_vectors())
+        );
+        let mut nudged = anchor_vectors();
+        nudged[3][1] = f64::from_bits(nudged[3][1].to_bits() + 1);
+        assert_ne!(
+            base,
+            ClusterModel::fingerprint_of("paper", &workload_names(), &nudged),
+            "a one-ulp vector change must change the fingerprint"
+        );
+    }
+
+    #[test]
+    fn fold_refuses_mismatched_workloads() {
+        let mut board = FleetScoreboard::new(model());
+        let mut wrong = workload_names();
+        wrong.swap(0, 1);
+        let err = board.fold("m0", &wrong, &speedups_for(0)).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidClusters { .. }));
+        assert!(board.is_empty());
+    }
+
+    #[test]
+    fn single_machine_fleet_scores_equal_the_machine_scores() {
+        let mut board = FleetScoreboard::new(model());
+        let score = board
+            .fold("m0", &workload_names(), &speedups_for(0))
+            .unwrap();
+        let fleet = board.fleet_scores().unwrap();
+        assert_eq!(fleet.machines, 1);
+        assert!((fleet.hgm - score.hgm).abs() < 1e-12);
+        assert!((fleet.ham - score.ham).abs() < 1e-12);
+        assert!((fleet.hhm - score.hhm).abs() < 1e-12);
+        assert!(board.contains("m0") && !board.contains("m1"));
+    }
+
+    /// The acceptance criterion: incremental rescoring — including a JSON
+    /// round trip of the cached scoreboard mid-stream — is bitwise
+    /// identical to a from-scratch recompute over the same machines.
+    #[test]
+    fn incremental_fold_is_bitwise_identical_to_full_recompute() {
+        let names = workload_names();
+        let machines: Vec<(String, Vec<f64>)> =
+            (0..8).map(|i| (format!("m{i}"), speedups_for(i))).collect();
+
+        // Full recompute: fresh scoreboard, fold everything in order.
+        let mut full = FleetScoreboard::new(model());
+        for (m, s) in &machines {
+            full.fold(m, &names, s).unwrap();
+        }
+
+        // Incremental: fold five, cache to JSON, reload, fold the rest.
+        let mut partial = FleetScoreboard::new(model());
+        for (m, s) in &machines[..5] {
+            partial.fold(m, &names, s).unwrap();
+        }
+        let cached = serde_json::to_string(&partial).unwrap();
+        let mut resumed: FleetScoreboard = serde_json::from_str(&cached).unwrap();
+        for (m, s) in &machines[5..] {
+            resumed.fold(m, &names, s).unwrap();
+        }
+
+        assert_eq!(full.model, resumed.model);
+        assert_eq!(full.machines.len(), resumed.machines.len());
+        for (a, b) in full.machines.iter().zip(&resumed.machines) {
+            assert_eq!(a.machine, b.machine);
+            assert_eq!(a.hgm.to_bits(), b.hgm.to_bits());
+            assert_eq!(a.ham.to_bits(), b.ham.to_bits());
+            assert_eq!(a.hhm.to_bits(), b.hhm.to_bits());
+        }
+        assert_eq!(full.log_hgm_sum.to_bits(), resumed.log_hgm_sum.to_bits());
+        assert_eq!(full.ham_sum.to_bits(), resumed.ham_sum.to_bits());
+        assert_eq!(
+            full.recip_hhm_sum.to_bits(),
+            resumed.recip_hhm_sum.to_bits()
+        );
+        let (fa, fb) = (
+            full.fleet_scores().unwrap(),
+            resumed.fleet_scores().unwrap(),
+        );
+        assert_eq!(fa.hgm.to_bits(), fb.hgm.to_bits());
+        assert_eq!(fa.ham.to_bits(), fb.ham.to_bits());
+        assert_eq!(fa.hhm.to_bits(), fb.hhm.to_bits());
+    }
+
+    #[test]
+    fn scoreboard_survives_json_round_trip_exactly() {
+        let mut board = FleetScoreboard::new(model());
+        for i in 0..3 {
+            board
+                .fold(&format!("m{i}"), &workload_names(), &speedups_for(i))
+                .unwrap();
+        }
+        let json = serde_json::to_string(&board).unwrap();
+        let back: FleetScoreboard = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, board);
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+}

@@ -23,6 +23,10 @@
 //! * [`resilient`] — the self-healing pipeline driver: convergence-gated
 //!   retry with deterministic escalation and graceful degradation to
 //!   raw-space clustering.
+//! * [`fleet`] — incremental fleet scoring: a fingerprinted cluster model
+//!   anchored on one submission plus fold-order running aggregates, so
+//!   accepting a new machine is bitwise identical to a full recompute
+//!   without re-running SOM + clustering.
 //!
 //! # Example: redundancy no longer buys score
 //!
@@ -56,6 +60,7 @@ mod error;
 
 pub mod analysis;
 pub mod evaluation;
+pub mod fleet;
 pub mod hierarchical;
 pub mod means;
 pub mod pipeline;

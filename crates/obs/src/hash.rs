@@ -1,0 +1,133 @@
+//! Content hashing for provenance and integrity: FNV-1a 64.
+//!
+//! The workspace needs one deterministic, dependency-free hash in several
+//! places — the clock-free trace fingerprints, the result store's
+//! per-record checksums and content-hash dedup, and the fleet score
+//! cache's model fingerprint. FNV-1a is that hash: trivially portable,
+//! stable across platforms and releases (the constants below are the
+//! published FNV-1a 64-bit parameters, never to change), and good enough
+//! for integrity checking against *accidental* corruption — torn writes,
+//! bit rot, truncation. It is **not** collision-resistant against an
+//! adversary; nothing in this workspace treats it as a MAC.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A running FNV-1a 64-bit hasher for streamed input.
+///
+/// Feeding the same bytes in any chunking produces the same digest, so
+/// callers can hash large structures field by field without assembling an
+/// intermediate buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a64 {
+    state: u64,
+}
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Fnv1a64 {
+            state: FNV64_OFFSET,
+        }
+    }
+}
+
+impl Fnv1a64 {
+    /// A fresh hasher at the offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV64_PRIME);
+        }
+    }
+
+    /// Absorbs one `u64` in little-endian byte order (used for f64 bit
+    /// patterns, lengths, and version stamps).
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Absorbs one `f64` by exact bit pattern — two inputs hash equal iff
+    /// they are bitwise identical (NaN payloads and signed zeros included).
+    pub fn update_f64(&mut self, v: f64) {
+        self.update_u64(v.to_bits());
+    }
+
+    /// The current digest.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// The current digest as a fixed-width 16-hex-digit string — the
+    /// rendering used in checksum fields and fingerprints.
+    #[must_use]
+    pub fn finish_hex(&self) -> String {
+        format!("{:016x}", self.state)
+    }
+}
+
+/// One-shot FNV-1a 64 over a byte slice.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// One-shot FNV-1a 64 over a byte slice, rendered as 16 hex digits.
+#[must_use]
+pub fn fnv1a64_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a64(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_test_vectors() {
+        // The canonical FNV-1a 64 vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn chunking_is_irrelevant() {
+        let mut a = Fnv1a64::new();
+        a.update(b"hello ");
+        a.update(b"world");
+        assert_eq!(a.finish(), fnv1a64(b"hello world"));
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        assert_eq!(fnv1a64_hex(b"").len(), 16);
+        assert_eq!(fnv1a64_hex(b""), "cbf29ce484222325");
+    }
+
+    #[test]
+    fn f64_hashing_is_bitwise() {
+        let mut a = Fnv1a64::new();
+        a.update_f64(0.0);
+        let mut b = Fnv1a64::new();
+        b.update_f64(-0.0);
+        // +0.0 == -0.0 numerically but not bitwise; the hash must see the
+        // difference.
+        assert_ne!(a.finish(), b.finish());
+        let mut c = Fnv1a64::new();
+        c.update_f64(1.5);
+        let mut d = Fnv1a64::new();
+        d.update_u64(1.5f64.to_bits());
+        assert_eq!(c.finish(), d.finish());
+    }
+}

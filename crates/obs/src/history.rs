@@ -11,10 +11,13 @@
 //! * [`BenchMeta`] — provenance stamped into every record AND into the
 //!   `BENCH_*.json` artifacts: git revision, host fingerprint, cargo
 //!   profile, capture time. A baseline from another machine now says so.
-//! * [`append_record`] / [`load_history`] — the JSONL store. Records carry
-//!   [`HISTORY_SCHEMA_VERSION`]; newer-versioned lines are a load error
-//!   (upgrade the reader), malformed lines are an error with the line
-//!   number (the store is append-only, corruption means truncation).
+//! * [`append_record`] / [`load_history`] — the JSONL store, read through
+//!   the shared truncation-tolerant scanner ([`crate::jsonl`]). Records
+//!   carry [`HISTORY_SCHEMA_VERSION`]; newer-versioned lines are a load
+//!   error (upgrade the reader), malformed lines in the middle of the
+//!   store are an error with the line number, and a torn *trailing* line —
+//!   a process killed mid-append — is skipped with a warning instead of
+//!   refusing the whole history.
 //! * [`trend_table`] — per-(kind, key) median, MAD, latest delta, and a
 //!   sparkline of the recent series.
 //! * [`gate`] — the regression verdict: for each gated metric the latest
@@ -219,34 +222,37 @@ pub fn append_record(path: &Path, record: &RunRecord) -> Result<(), String> {
     writeln!(file, "{line}").map_err(|e| format!("append {}: {e}", path.display()))
 }
 
+/// A loaded history: every fully-written record, plus the warning to
+/// surface when the store ended in a torn trailing record.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistoryLoad {
+    /// Records in append order.
+    pub records: Vec<RunRecord>,
+    /// One-line warning when a torn trailing record was skipped.
+    pub warning: Option<String>,
+}
+
 /// Loads every record in append order. A missing store is an empty
-/// history; a malformed or newer-versioned line is an error naming the
-/// line number.
-pub fn load_history(path: &Path) -> Result<Vec<RunRecord>, String> {
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
-        Err(e) => return Err(format!("read {}: {e}", path.display())),
-    };
-    let mut records = Vec::new();
-    for (i, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let record: RunRecord =
-            serde_json::from_str(line).map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?;
+/// history; a malformed line in the *middle* of the store or a
+/// newer-versioned record is an error naming the line number; a torn
+/// *trailing* line (interrupted append) is skipped, with the warning
+/// carried in [`HistoryLoad::warning`] for the caller to print.
+pub fn load_history(path: &Path) -> Result<HistoryLoad, String> {
+    let scan = crate::jsonl::scan::<RunRecord>(path)?;
+    for record in &scan.records {
         if record.schema_version > HISTORY_SCHEMA_VERSION {
             return Err(format!(
-                "{}:{}: history schema v{} is newer than supported v{}",
+                "{}: history schema v{} is newer than supported v{}",
                 path.display(),
-                i + 1,
                 record.schema_version,
                 HISTORY_SCHEMA_VERSION
             ));
         }
-        records.push(record);
     }
-    Ok(records)
+    Ok(HistoryLoad {
+        records: scan.records,
+        warning: scan.torn.map(|t| t.warning(path)),
+    })
 }
 
 /// Median of a series; `0.0` for an empty one.
@@ -575,17 +581,45 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("history.jsonl");
         let _ = std::fs::remove_file(&path);
-        assert_eq!(load_history(&path).unwrap(), Vec::new());
+        assert_eq!(load_history(&path).unwrap(), HistoryLoad::default());
         for i in 0..3 {
             append_record(&path, &record_with("trace", 1000.0 * (i + 1) as f64, i)).unwrap();
         }
-        let records = load_history(&path).unwrap();
-        assert_eq!(records.len(), 3);
-        assert_eq!(records[2].sample("pipeline.som"), Some(3000.0));
-        // Malformed line errors with its line number.
-        std::fs::write(&path, "not json\n").unwrap();
+        let loaded = load_history(&path).unwrap();
+        assert_eq!(loaded.records.len(), 3);
+        assert!(loaded.warning.is_none());
+        assert_eq!(loaded.records[2].sample("pipeline.som"), Some(3000.0));
+        // A malformed line in the middle errors with its line number.
+        std::fs::write(&path, "not json\n{\"also\":\"not a record\"}\n").unwrap();
         let err = load_history(&path).unwrap_err();
         assert!(err.contains(":1:"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn byte_chopped_trailing_record_is_skipped_with_warning() {
+        let dir = std::env::temp_dir().join(format!("obs_history_torn_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("history.jsonl");
+        for i in 0..2 {
+            let _ = std::fs::remove_file(&path);
+            append_record(&path, &record_with("trace", 1000.0, 1)).unwrap();
+            append_record(&path, &record_with("trace", 2000.0, 2)).unwrap();
+            let full = std::fs::read(&path).unwrap();
+            // Chop the second record mid-line at two different depths, as a
+            // crash mid-append would.
+            let keep = full.iter().filter(|&&b| b == b'\n').count();
+            assert_eq!(keep, 2);
+            let first_line_end = full.iter().position(|&b| b == b'\n').unwrap();
+            let cut = first_line_end + 1 + (full.len() - first_line_end) / (i + 2);
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let loaded = load_history(&path).unwrap();
+            assert_eq!(loaded.records.len(), 1, "cut at {cut}");
+            assert_eq!(loaded.records[0].sample("pipeline.som"), Some(1000.0));
+            let warning = loaded.warning.expect("torn tail must warn");
+            assert!(warning.contains(":2:"), "{warning}");
+            assert!(warning.contains("torn trailing record"), "{warning}");
+        }
         let _ = std::fs::remove_file(&path);
     }
 

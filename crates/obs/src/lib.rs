@@ -48,7 +48,9 @@
 pub mod chrome;
 pub mod convergence;
 pub mod dashboard;
+pub mod hash;
 pub mod history;
+pub mod jsonl;
 pub mod lanes;
 pub mod memhook;
 pub mod metrics;
@@ -62,6 +64,8 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 pub use convergence::{ConvergenceVerdict, EpochRecord};
+pub use hash::{fnv1a64, fnv1a64_hex, Fnv1a64};
+pub use jsonl::{JsonlScan, TornTail};
 pub use lanes::{LaneBuf, LaneClock, LaneInterval, LaneSetExport, LaneWorkerExport};
 pub use metrics::{Counter, CounterBuf, CounterExport, HistogramExport, HistogramId};
 pub use report::{

@@ -41,7 +41,14 @@ use crate::State;
 ///   artifacts, which still parse via `#[serde(default)]`). Memory is
 ///   run-varying, like the clocks, so it is excluded from
 ///   [`TraceReport::fingerprint`].
-pub const SCHEMA_VERSION: u32 = 4;
+/// * v5 — adds the `store` resilience-event class
+///   ([`ResilienceEvent::Store`]): result-store actions — quarantine
+///   routing, torn-tail recovery, fsck repair, score-cache rebuild — now
+///   narrate through the same `resilience` field the pipeline driver uses.
+///   Structurally additive (a new `kind` value, no new fields), so v4
+///   artifacts still parse; v5 artifacts containing `store` events do not
+///   parse with a v4 reader, hence the bump.
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// One recorded point event, exported.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]

@@ -66,6 +66,17 @@ pub enum ResilienceEvent {
         /// How the fault was absorbed.
         detail: String,
     },
+    /// A result-store event (schema v5): quarantine routing, torn-tail
+    /// recovery, fsck repair, or a score-cache rebuild after a model
+    /// fingerprint mismatch.
+    Store {
+        /// Stable action label, e.g. `quarantined`, `torn_tail_skipped`,
+        /// `fsck_repair`, `cache_rebuild`.
+        action: String,
+        /// What exactly happened (record identity, reject reason,
+        /// fingerprints).
+        detail: String,
+    },
 }
 
 impl ResilienceEvent {
@@ -78,6 +89,7 @@ impl ResilienceEvent {
             ResilienceEvent::Degraded { .. } => "degraded",
             ResilienceEvent::FaultInjected { .. } => "fault_injected",
             ResilienceEvent::Recovered { .. } => "recovered",
+            ResilienceEvent::Store { .. } => "store",
         }
     }
 }
@@ -120,6 +132,10 @@ impl Serialize for ResilienceEvent {
                 fields.push(("fault".to_owned(), fault.to_value()));
                 fields.push(("detail".to_owned(), detail.to_value()));
             }
+            ResilienceEvent::Store { action, detail } => {
+                fields.push(("action".to_owned(), action.to_value()));
+                fields.push(("detail".to_owned(), detail.to_value()));
+            }
         }
         Value::Object(fields)
     }
@@ -151,6 +167,10 @@ impl Deserialize for ResilienceEvent {
             }),
             "recovered" => Ok(ResilienceEvent::Recovered {
                 fault: serde::field(v, "fault")?,
+                detail: serde::field(v, "detail")?,
+            }),
+            "store" => Ok(ResilienceEvent::Store {
+                action: serde::field(v, "action")?,
                 detail: serde::field(v, "detail")?,
             }),
             other => Err(DeError::new(format!(
@@ -196,6 +216,9 @@ impl fmt::Display for ResilienceEvent {
             ResilienceEvent::Recovered { fault, detail } => {
                 write!(f, "recovered [{fault}]: {detail}")
             }
+            ResilienceEvent::Store { action, detail } => {
+                write!(f, "store [{action}]: {detail}")
+            }
         }
     }
 }
@@ -231,10 +254,15 @@ mod tests {
                 fault: "nan_cell".into(),
                 detail: "typed InvalidData".into(),
             },
+            ResilienceEvent::Store {
+                action: "quarantined".into(),
+                detail: "machine-x/suite-y: checksum_mismatch".into(),
+            },
         ];
         let json = serde_json::to_string(&events).unwrap();
         assert!(json.contains("\"kind\":\"retry\""));
         assert!(json.contains("\"kind\":\"fault_injected\""));
+        assert!(json.contains("\"kind\":\"store\""));
         let back: Vec<ResilienceEvent> = serde_json::from_str(&json).unwrap();
         assert_eq!(events, back);
     }

@@ -1,0 +1,312 @@
+//! Store verification and repair (`repro fsck`).
+//!
+//! A scan walks every raw line and classifies it: parseable, schema-sane,
+//! checksum-verified, unique. Problems are typed and carry line numbers; a
+//! torn trailing line is distinguished from mid-file corruption because the
+//! former is expected crash damage and the latter means something other
+//! than an interrupted append touched the store. With `repair`, the valid
+//! lines are rewritten atomically (byte-for-byte — repair never reencodes a
+//! healthy record) and every bad line is preserved in the quarantine
+//! sidecar before it leaves the store.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use hiermeans_obs::jsonl;
+use hiermeans_obs::{Collector, ResilienceEvent};
+
+use crate::quarantine::{QuarantineRecord, RejectReason};
+use crate::store::ResultStore;
+use crate::submission::{Submission, STORE_SCHEMA_VERSION};
+
+/// One diagnosed store problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FsckProblem {
+    /// 1-based line number in the store.
+    pub line: usize,
+    /// The matching [`RejectReason`] (also the quarantine entry on
+    /// repair).
+    pub reason: RejectReason,
+    /// Whether this is the torn trailing line (expected crash damage)
+    /// rather than mid-file corruption.
+    pub torn_tail: bool,
+}
+
+/// One fsck run's findings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FsckReport {
+    /// Total non-blank lines scanned.
+    pub lines: usize,
+    /// Lines holding valid, unique, verified submissions.
+    pub valid: usize,
+    /// Everything wrong, in line order.
+    pub problems: Vec<FsckProblem>,
+    /// Whether a repair rewrote the store.
+    pub repaired: bool,
+}
+
+impl FsckReport {
+    /// Whether the store needs no attention.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.problems.is_empty()
+    }
+
+    /// Human-readable findings.
+    #[must_use]
+    pub fn render(&self, store: &ResultStore) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fsck {}: {} lines, {} valid, {} problems",
+            store.path().display(),
+            self.lines,
+            self.valid,
+            self.problems.len()
+        );
+        for p in &self.problems {
+            let _ = writeln!(
+                out,
+                "  line {}: [{}]{} {}",
+                p.line,
+                p.reason.kind(),
+                if p.torn_tail { " (torn tail)" } else { "" },
+                p.reason
+            );
+        }
+        if self.repaired {
+            let _ = writeln!(
+                out,
+                "repaired: store rewritten with {} valid lines; {} bad lines quarantined to {}",
+                self.valid,
+                self.problems.len(),
+                store.quarantine_path().display()
+            );
+        } else if !self.clean() {
+            let _ = writeln!(out, "run with --repair to rewrite the store");
+        }
+        out
+    }
+}
+
+/// Classifies one line. `Ok` carries the parsed submission's content hash.
+fn classify(line: &str, seen: &mut HashSet<String>) -> Result<String, RejectReason> {
+    let sub: Submission = serde_json::from_str(line).map_err(|e| RejectReason::Malformed {
+        error: e.to_string(),
+    })?;
+    if sub.schema_version > STORE_SCHEMA_VERSION {
+        return Err(RejectReason::SchemaFromFuture {
+            version: sub.schema_version,
+            supported: STORE_SCHEMA_VERSION,
+        });
+    }
+    match sub.expected_checksum() {
+        Err(e) => {
+            return Err(RejectReason::InvalidValue {
+                detail: format!("record is unserializable: {e}"),
+            })
+        }
+        Ok(expected) if expected != sub.checksum => {
+            return Err(RejectReason::ChecksumMismatch {
+                expected,
+                found: sub.checksum.clone(),
+            })
+        }
+        Ok(_) => {}
+    }
+    let hash = sub.content_hash();
+    if !seen.insert(hash.clone()) {
+        return Err(RejectReason::Duplicate { content_hash: hash });
+    }
+    Ok(hash)
+}
+
+/// Scans the store; with `repair`, rewrites it to only the valid lines and
+/// quarantines the rest. Every repair action is narrated as a
+/// `store`-class [`ResilienceEvent`].
+///
+/// # Errors
+///
+/// I/O failures only — corruption is a finding, not an error.
+pub fn fsck(
+    store: &ResultStore,
+    repair: bool,
+    collector: &Collector,
+) -> Result<FsckReport, String> {
+    let lock = store.lock_exclusive()?;
+    let lines = jsonl::read_lines(store.path())?;
+    let mut seen = HashSet::new();
+    let mut valid_lines: Vec<String> = Vec::with_capacity(lines.len());
+    let mut problems = Vec::new();
+    let last = lines.len();
+    for (seq, (line_no, line)) in lines.iter().enumerate() {
+        match classify(line, &mut seen) {
+            Ok(_) => valid_lines.push(line.clone()),
+            Err(reason) => {
+                let torn_tail = seq + 1 == last && matches!(reason, RejectReason::Malformed { .. });
+                problems.push(FsckProblem {
+                    line: *line_no,
+                    reason,
+                    torn_tail,
+                });
+                if repair {
+                    let (machine, suite) = serde_json::from_str::<Submission>(line)
+                        .map(|s| (s.machine, s.suite))
+                        .unwrap_or_default();
+                    let problem = &problems[problems.len() - 1];
+                    store.append_quarantine(
+                        &lock,
+                        &QuarantineRecord::new(&machine, &suite, problem.reason.clone(), line),
+                    )?;
+                    collector.record_resilience(ResilienceEvent::Store {
+                        action: "quarantined".to_owned(),
+                        detail: format!(
+                            "fsck line {line_no}: [{}] {}",
+                            problem.reason.kind(),
+                            problem.reason
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    let repaired = repair && !problems.is_empty();
+    if repaired {
+        store.rewrite_atomic(&lock, &valid_lines)?;
+        collector.record_resilience(ResilienceEvent::Store {
+            action: "fsck_repair".to_owned(),
+            detail: format!(
+                "{}: rewrote {} valid lines, quarantined {}",
+                store.path().display(),
+                valid_lines.len(),
+                problems.len()
+            ),
+        });
+    }
+    Ok(FsckReport {
+        lines: lines.len(),
+        valid: valid_lines.len(),
+        problems,
+        repaired,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> ResultStore {
+        let dir = std::env::temp_dir().join(format!("hm_fsck_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let store = ResultStore::new(&path);
+        for p in [path.clone(), store.quarantine_path(), store.lock_path()] {
+            let _ = std::fs::remove_file(p);
+        }
+        store
+    }
+
+    fn sealed(machine: &str) -> Submission {
+        Submission::new(
+            machine,
+            "paper",
+            vec!["w1".into()],
+            vec![2.0],
+            vec![vec![0.5, 0.25]],
+        )
+        .sealed()
+        .unwrap()
+    }
+
+    fn write_lines(store: &ResultStore, lines: &[String], torn_suffix: &str) {
+        let mut text = lines.join("\n");
+        if !lines.is_empty() {
+            text.push('\n');
+        }
+        text.push_str(torn_suffix);
+        std::fs::write(store.path(), text).unwrap();
+    }
+
+    #[test]
+    fn clean_store_is_clean() {
+        let store = scratch("clean.jsonl");
+        let lines: Vec<String> = ["a", "b"]
+            .iter()
+            .map(|m| serde_json::to_string(&sealed(m)).unwrap())
+            .collect();
+        write_lines(&store, &lines, "");
+        let report = fsck(&store, false, &Collector::disabled()).unwrap();
+        assert!(report.clean(), "{}", report.render(&store));
+        assert_eq!((report.lines, report.valid), (2, 2));
+    }
+
+    #[test]
+    fn finds_each_problem_class_with_line_numbers() {
+        let store = scratch("dirty.jsonl");
+        let good = serde_json::to_string(&sealed("good")).unwrap();
+        let mut tampered = sealed("tampered");
+        tampered.speedups[0] = 9.0; // breaks the seal
+        let mut future = sealed("future");
+        future.schema_version = STORE_SCHEMA_VERSION + 1;
+        future.seal().unwrap();
+        let lines = vec![
+            good.clone(),
+            serde_json::to_string(&tampered).unwrap(),
+            serde_json::to_string(&future).unwrap(),
+            good.clone(), // duplicate of line 1
+        ];
+        write_lines(&store, &lines, &good[..good.len() / 2]); // torn line 5
+        let report = fsck(&store, false, &Collector::disabled()).unwrap();
+        assert!(!report.clean());
+        assert_eq!(report.lines, 5);
+        assert_eq!(report.valid, 1);
+        let found: Vec<(usize, &str, bool)> = report
+            .problems
+            .iter()
+            .map(|p| (p.line, p.reason.kind(), p.torn_tail))
+            .collect();
+        assert_eq!(
+            found,
+            vec![
+                (2, "checksum_mismatch", false),
+                (3, "schema_from_future", false),
+                (4, "duplicate", false),
+                (5, "malformed", true),
+            ]
+        );
+        assert!(!report.repaired);
+    }
+
+    #[test]
+    fn repair_rewrites_and_quarantines() {
+        let store = scratch("repair.jsonl");
+        let good = serde_json::to_string(&sealed("good")).unwrap();
+        let mut tampered = sealed("tampered");
+        tampered.machine.push('!');
+        let lines = vec![good.clone(), serde_json::to_string(&tampered).unwrap()];
+        write_lines(&store, &lines, "torn{{{");
+        let collector = Collector::enabled();
+        let report = fsck(&store, true, &collector).unwrap();
+        assert!(report.repaired);
+        // The store now holds exactly the valid line, byte-for-byte.
+        assert_eq!(
+            std::fs::read_to_string(store.path()).unwrap(),
+            format!("{good}\n")
+        );
+        let second = fsck(&store, false, &Collector::disabled()).unwrap();
+        assert!(second.clean());
+        // Both bad lines are preserved in quarantine.
+        let quarantined = store.load_quarantine().unwrap().records;
+        assert_eq!(quarantined.len(), 2);
+        assert_eq!(quarantined[0].machine, "tampered!");
+        assert_eq!(quarantined[0].reason.kind(), "checksum_mismatch");
+        assert_eq!(quarantined[1].reason.kind(), "malformed");
+        assert_eq!(quarantined[1].raw, "torn{{{");
+        // And the repair narrated itself.
+        let events = collector.resilience_events();
+        assert_eq!(events.len(), 3, "{events:?}");
+        assert!(
+            matches!(&events[2], ResilienceEvent::Store { action, .. } if action == "fsck_repair")
+        );
+    }
+}

@@ -1,0 +1,322 @@
+//! Typed rejection: every submission the ingest guards refuse is routed to
+//! a quarantine sidecar with a [`RejectReason`] instead of failing the
+//! batch — one bad record degrades one record, never the store.
+//!
+//! The quarantine file is itself a JSONL store of [`QuarantineRecord`]s
+//! (same torn-tail-tolerant reader), carrying the raw rejected text so an
+//! operator can inspect, fix, and resubmit.
+
+use std::fmt;
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use crate::submission::STORE_SCHEMA_VERSION;
+
+/// Why a submission was refused, in guard order.
+///
+/// Serialized with an internally tagged `kind` discriminant (like
+/// `hiermeans_obs::ResilienceEvent`), so quarantine files are
+/// self-describing and greppable by failure class.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RejectReason {
+    /// The line was not a parseable submission at all.
+    Malformed {
+        /// Parse error text.
+        error: String,
+    },
+    /// The record's schema version is newer than this reader supports.
+    SchemaFromFuture {
+        /// The record's version.
+        version: u32,
+        /// The newest version this reader understands.
+        supported: u32,
+    },
+    /// The stamped checksum does not match the record's content.
+    ChecksumMismatch {
+        /// Checksum recomputed from the content.
+        expected: String,
+        /// Checksum the record carried (empty = unsealed).
+        found: String,
+    },
+    /// Field lengths disagree or a collection is empty.
+    InvalidShape {
+        /// What exactly is inconsistent.
+        detail: String,
+    },
+    /// A value is outside its domain (speedups must be positive finite).
+    InvalidValue {
+        /// What exactly is out of domain.
+        detail: String,
+    },
+    /// The characteristic vectors failed `hiermeans_linalg::validate`.
+    InvalidVectors {
+        /// The fatal issues, with exact coordinates.
+        issues: Vec<String>,
+    },
+    /// The same scientific content is already in the store.
+    Duplicate {
+        /// Content hash both records share.
+        content_hash: String,
+    },
+    /// A speedup sits implausibly far from the fleet's per-workload
+    /// distribution (MAD gate).
+    Outlier {
+        /// The offending workload.
+        workload: String,
+        /// The submitted speedup.
+        value: f64,
+        /// Fleet median for that workload.
+        median: f64,
+        /// Fleet MAD for that workload.
+        mad: f64,
+    },
+}
+
+impl RejectReason {
+    /// The stable `kind` discriminant, matching the serialized tag.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RejectReason::Malformed { .. } => "malformed",
+            RejectReason::SchemaFromFuture { .. } => "schema_from_future",
+            RejectReason::ChecksumMismatch { .. } => "checksum_mismatch",
+            RejectReason::InvalidShape { .. } => "invalid_shape",
+            RejectReason::InvalidValue { .. } => "invalid_value",
+            RejectReason::InvalidVectors { .. } => "invalid_vectors",
+            RejectReason::Duplicate { .. } => "duplicate",
+            RejectReason::Outlier { .. } => "outlier",
+        }
+    }
+}
+
+impl Serialize for RejectReason {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![("kind".to_owned(), Value::Str(self.kind().to_owned()))];
+        match self {
+            RejectReason::Malformed { error } => {
+                fields.push(("error".to_owned(), error.to_value()));
+            }
+            RejectReason::SchemaFromFuture { version, supported } => {
+                fields.push(("version".to_owned(), version.to_value()));
+                fields.push(("supported".to_owned(), supported.to_value()));
+            }
+            RejectReason::ChecksumMismatch { expected, found } => {
+                fields.push(("expected".to_owned(), expected.to_value()));
+                fields.push(("found".to_owned(), found.to_value()));
+            }
+            RejectReason::InvalidShape { detail } | RejectReason::InvalidValue { detail } => {
+                fields.push(("detail".to_owned(), detail.to_value()));
+            }
+            RejectReason::InvalidVectors { issues } => {
+                fields.push(("issues".to_owned(), issues.to_value()));
+            }
+            RejectReason::Duplicate { content_hash } => {
+                fields.push(("content_hash".to_owned(), content_hash.to_value()));
+            }
+            RejectReason::Outlier {
+                workload,
+                value,
+                median,
+                mad,
+            } => {
+                fields.push(("workload".to_owned(), workload.to_value()));
+                fields.push(("value".to_owned(), value.to_value()));
+                fields.push(("median".to_owned(), median.to_value()));
+                fields.push(("mad".to_owned(), mad.to_value()));
+            }
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for RejectReason {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let kind: String = serde::field(v, "kind")?;
+        match kind.as_str() {
+            "malformed" => Ok(RejectReason::Malformed {
+                error: serde::field(v, "error")?,
+            }),
+            "schema_from_future" => Ok(RejectReason::SchemaFromFuture {
+                version: serde::field(v, "version")?,
+                supported: serde::field(v, "supported")?,
+            }),
+            "checksum_mismatch" => Ok(RejectReason::ChecksumMismatch {
+                expected: serde::field(v, "expected")?,
+                found: serde::field(v, "found")?,
+            }),
+            "invalid_shape" => Ok(RejectReason::InvalidShape {
+                detail: serde::field(v, "detail")?,
+            }),
+            "invalid_value" => Ok(RejectReason::InvalidValue {
+                detail: serde::field(v, "detail")?,
+            }),
+            "invalid_vectors" => Ok(RejectReason::InvalidVectors {
+                issues: serde::field(v, "issues")?,
+            }),
+            "duplicate" => Ok(RejectReason::Duplicate {
+                content_hash: serde::field(v, "content_hash")?,
+            }),
+            "outlier" => Ok(RejectReason::Outlier {
+                workload: serde::field(v, "workload")?,
+                value: serde::field(v, "value")?,
+                median: serde::field(v, "median")?,
+                mad: serde::field(v, "mad")?,
+            }),
+            other => Err(DeError::new(format!("unknown reject reason `{other}`"))),
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::Malformed { error } => write!(f, "malformed: {error}"),
+            RejectReason::SchemaFromFuture { version, supported } => {
+                write!(f, "schema v{version} is newer than supported v{supported}")
+            }
+            RejectReason::ChecksumMismatch { expected, found } => {
+                let found = if found.is_empty() {
+                    "<unsealed>"
+                } else {
+                    found.as_str()
+                };
+                write!(f, "checksum mismatch: expected {expected}, found {found}")
+            }
+            RejectReason::InvalidShape { detail } => write!(f, "invalid shape: {detail}"),
+            RejectReason::InvalidValue { detail } => write!(f, "invalid value: {detail}"),
+            RejectReason::InvalidVectors { issues } => {
+                write!(f, "invalid vectors: {}", issues.join("; "))
+            }
+            RejectReason::Duplicate { content_hash } => {
+                write!(f, "duplicate of stored content {content_hash}")
+            }
+            RejectReason::Outlier {
+                workload,
+                value,
+                median,
+                mad,
+            } => write!(
+                f,
+                "outlier: {workload} speedup {value} vs fleet median {median} (mad {mad})"
+            ),
+        }
+    }
+}
+
+/// One quarantined submission, as stored in the quarantine sidecar.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantineRecord {
+    /// [`STORE_SCHEMA_VERSION`] of the writer.
+    pub schema_version: u32,
+    /// Claimed machine identifier (empty when the line never parsed).
+    pub machine: String,
+    /// Claimed suite (empty when the line never parsed).
+    pub suite: String,
+    /// Why the submission was refused.
+    pub reason: RejectReason,
+    /// The raw rejected text, verbatim, for inspect-fix-resubmit.
+    pub raw: String,
+}
+
+impl QuarantineRecord {
+    /// Wraps a rejection.
+    #[must_use]
+    pub fn new(machine: &str, suite: &str, reason: RejectReason, raw: &str) -> QuarantineRecord {
+        QuarantineRecord {
+            schema_version: STORE_SCHEMA_VERSION,
+            machine: machine.to_owned(),
+            suite: suite.to_owned(),
+            reason,
+            raw: raw.to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_reasons() -> Vec<RejectReason> {
+        vec![
+            RejectReason::Malformed {
+                error: "expected `:`".into(),
+            },
+            RejectReason::SchemaFromFuture {
+                version: 9,
+                supported: STORE_SCHEMA_VERSION,
+            },
+            RejectReason::ChecksumMismatch {
+                expected: "aaaa".into(),
+                found: String::new(),
+            },
+            RejectReason::InvalidShape {
+                detail: "13 workloads but 12 speedups".into(),
+            },
+            RejectReason::InvalidValue {
+                detail: "speedups[3] = -1".into(),
+            },
+            RejectReason::InvalidVectors {
+                issues: vec!["non-finite cell at row 0, column 3 (NaN)".into()],
+            },
+            RejectReason::Duplicate {
+                content_hash: "cbf29ce484222325".into(),
+            },
+            RejectReason::Outlier {
+                workload: "compress".into(),
+                value: 400.0,
+                median: 4.0,
+                mad: 0.5,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_reason_round_trips_with_kind_tag() {
+        for reason in all_reasons() {
+            let json = serde_json::to_string(&reason).unwrap();
+            assert!(
+                json.contains(&format!("\"kind\":\"{}\"", reason.kind())),
+                "{json}"
+            );
+            let back: RejectReason = serde_json::from_str(&json).unwrap();
+            assert_eq!(reason, back);
+        }
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let kinds: Vec<&str> = all_reasons().iter().map(RejectReason::kind).collect();
+        let mut unique = kinds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(kinds.len(), unique.len());
+    }
+
+    #[test]
+    fn quarantine_record_round_trips() {
+        let rec = QuarantineRecord::new(
+            "machine-x",
+            "paper",
+            RejectReason::Duplicate {
+                content_hash: "00ff".into(),
+            },
+            "{\"machine\":\"machine-x\"}",
+        );
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: QuarantineRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn display_names_the_failure() {
+        for reason in all_reasons() {
+            let text = reason.to_string();
+            assert!(!text.is_empty());
+        }
+        let unsealed = RejectReason::ChecksumMismatch {
+            expected: "aaaa".into(),
+            found: String::new(),
+        };
+        assert!(unsealed.to_string().contains("<unsealed>"));
+    }
+}

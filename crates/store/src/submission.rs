@@ -1,0 +1,238 @@
+//! The store's record type: one [`Submission`] per machine × suite run.
+//!
+//! A submission carries everything the fleet scoreboard needs from one
+//! machine: the suite's workload names, the per-workload speedups against
+//! the reference machine, and the characteristic vectors (one row per
+//! workload) that workload-cluster analysis runs on. Records are sealed
+//! with a per-record checksum over their canonical JSON, so any byte of
+//! storage corruption is detected at read time, and carry a schema version
+//! so a reader can refuse records from its future instead of silently
+//! misreading them.
+
+use serde::{Deserialize, Serialize};
+
+use hiermeans_obs::hash::Fnv1a64;
+use hiermeans_obs::history::BenchMeta;
+
+/// Version stamp of the [`Submission`] record schema.
+///
+/// * v1 — machine, suite, workloads, speedups, vectors, optional
+///   [`BenchMeta`] provenance, checksum. Additions must be
+///   `#[serde(default)]` so v1 readers of later minor shapes and later
+///   readers of v1 records both keep working; a reader rejects only
+///   records whose `schema_version` is *greater* than this constant.
+pub const STORE_SCHEMA_VERSION: u32 = 1;
+
+/// One machine × suite result record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Submission {
+    /// Record schema version ([`STORE_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Submitting machine's stable identifier.
+    pub machine: String,
+    /// Suite the run executed, e.g. `paper`.
+    pub suite: String,
+    /// Workload names, in suite order.
+    pub workloads: Vec<String>,
+    /// Per-workload speedups vs the reference machine (same order as
+    /// `workloads`; positive finite by the ingest guards).
+    pub speedups: Vec<f64>,
+    /// Characteristic vectors, one row per workload (equal dimensions).
+    pub vectors: Vec<Vec<f64>>,
+    /// Provenance, when the submitter captured it.
+    #[serde(default)]
+    pub meta: Option<BenchMeta>,
+    /// FNV-1a 64 checksum (16 hex digits) over the record's canonical
+    /// JSON with this field blank; empty until [`Submission::seal`].
+    #[serde(default)]
+    pub checksum: String,
+}
+
+impl Submission {
+    /// An unsealed submission; call [`Submission::seal`] before storing.
+    #[must_use]
+    pub fn new(
+        machine: impl Into<String>,
+        suite: impl Into<String>,
+        workloads: Vec<String>,
+        speedups: Vec<f64>,
+        vectors: Vec<Vec<f64>>,
+    ) -> Submission {
+        Submission {
+            schema_version: STORE_SCHEMA_VERSION,
+            machine: machine.into(),
+            suite: suite.into(),
+            workloads,
+            speedups,
+            vectors,
+            meta: None,
+            checksum: String::new(),
+        }
+    }
+
+    /// The record's canonical JSON: single-line, struct field order, with
+    /// the `checksum` field blank. Both sealing and verification serialize
+    /// through here, so the checksum is independent of how the incoming
+    /// text was formatted.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a value is unserializable (non-finite float).
+    pub fn canonical_json(&self) -> Result<String, String> {
+        let mut blank = self.clone();
+        blank.checksum = String::new();
+        serde_json::to_string(&blank).map_err(|e| format!("encode submission: {e}"))
+    }
+
+    /// The checksum the record *should* carry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Submission::canonical_json`] failures.
+    pub fn expected_checksum(&self) -> Result<String, String> {
+        Ok(hiermeans_obs::hash::fnv1a64_hex(
+            self.canonical_json()?.as_bytes(),
+        ))
+    }
+
+    /// Computes and stamps the checksum.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Submission::canonical_json`] failures.
+    pub fn seal(&mut self) -> Result<(), String> {
+        self.checksum = self.expected_checksum()?;
+        Ok(())
+    }
+
+    /// Consuming [`Submission::seal`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Submission::canonical_json`] failures.
+    pub fn sealed(mut self) -> Result<Submission, String> {
+        self.seal()?;
+        Ok(self)
+    }
+
+    /// Whether the stamped checksum matches the record's content. An
+    /// unserializable record verifies `false`.
+    #[must_use]
+    pub fn checksum_ok(&self) -> bool {
+        self.expected_checksum()
+            .is_ok_and(|expected| expected == self.checksum)
+    }
+
+    /// Content hash over the *scientific* fields only — machine, suite,
+    /// workload names, speedup bits, vector bits — used for duplicate
+    /// detection. Two captures of the same result dedup even when their
+    /// provenance metadata (host, capture time) differs; hashing bit
+    /// patterns keeps it exact and infallible.
+    #[must_use]
+    pub fn content_hash(&self) -> String {
+        let mut h = Fnv1a64::new();
+        h.update(self.machine.as_bytes());
+        h.update(b"\0");
+        h.update(self.suite.as_bytes());
+        h.update(b"\0");
+        h.update_u64(self.workloads.len() as u64);
+        for w in &self.workloads {
+            h.update(w.as_bytes());
+            h.update(b"\0");
+        }
+        h.update_u64(self.speedups.len() as u64);
+        for &s in &self.speedups {
+            h.update_f64(s);
+        }
+        h.update_u64(self.vectors.len() as u64);
+        for row in &self.vectors {
+            h.update_u64(row.len() as u64);
+            for &v in row {
+                h.update_f64(v);
+            }
+        }
+        h.finish_hex()
+    }
+
+    /// `machine/suite`, the record's human-readable identity.
+    #[must_use]
+    pub fn identity(&self) -> String {
+        format!("{}/{}", self.machine, self.suite)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Submission {
+        Submission::new(
+            "machine-a",
+            "paper",
+            vec!["w1".into(), "w2".into()],
+            vec![1.5, 2.25],
+            vec![vec![0.1, 0.2], vec![0.3, 0.4]],
+        )
+    }
+
+    #[test]
+    fn seal_then_verify_round_trips_through_json() {
+        let sub = sample().sealed().unwrap();
+        assert!(sub.checksum_ok());
+        assert_eq!(sub.checksum.len(), 16);
+        let json = serde_json::to_string(&sub).unwrap();
+        assert!(!json.contains('\n'), "records must be single-line JSON");
+        let back: Submission = serde_json::from_str(&json).unwrap();
+        assert_eq!(sub, back);
+        assert!(back.checksum_ok());
+    }
+
+    #[test]
+    fn checksum_is_formatting_independent() {
+        let sub = sample().sealed().unwrap();
+        let pretty = serde_json::to_string_pretty(&sub).unwrap();
+        let back: Submission = serde_json::from_str(&pretty).unwrap();
+        assert!(back.checksum_ok(), "pretty-printing must not break seals");
+    }
+
+    #[test]
+    fn any_field_edit_breaks_the_seal() {
+        let sealed = sample().sealed().unwrap();
+        let mut edited = sealed.clone();
+        edited.speedups[0] += 1e-9;
+        assert!(!edited.checksum_ok());
+        let mut renamed = sealed.clone();
+        renamed.machine.push('x');
+        assert!(!renamed.checksum_ok());
+        let mut reversioned = sealed;
+        reversioned.schema_version += 1;
+        assert!(!reversioned.checksum_ok());
+    }
+
+    #[test]
+    fn unsealed_record_does_not_verify() {
+        assert!(!sample().checksum_ok());
+    }
+
+    #[test]
+    fn content_hash_ignores_meta_but_sees_values() {
+        let a = sample().sealed().unwrap();
+        let mut b = a.clone();
+        b.meta = Some(BenchMeta::capture());
+        assert_eq!(a.content_hash(), b.content_hash());
+        let mut c = a.clone();
+        c.speedups[1] = c.speedups[1].next_up();
+        assert_ne!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn missing_optional_fields_parse_via_defaults() {
+        // A minimal v1 record without meta/checksum still parses — the
+        // forward-compat contract.
+        let json = "{\"schema_version\":1,\"machine\":\"m\",\"suite\":\"s\",\
+                    \"workloads\":[\"w\"],\"speedups\":[1.0],\"vectors\":[[0.5]]}";
+        let sub: Submission = serde_json::from_str(json).unwrap();
+        assert!(sub.meta.is_none());
+        assert!(sub.checksum.is_empty());
+    }
+}

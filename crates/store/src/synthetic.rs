@@ -1,0 +1,127 @@
+//! Seeded synthetic fleets for tests, CI, and seed artifacts.
+//!
+//! A synthetic fleet is `n` machines reporting the paper's 13-workload
+//! suite: the workload geometry (characteristic vectors) comes from
+//! `hiermeans_workload::synthetic`'s planted Gaussian mixture — shared
+//! across the fleet, with small per-machine measurement jitter — and the
+//! speedups are per-workload log-normals around fleet-wide medians, so the
+//! resulting per-workload distributions are tight enough for the MAD
+//! outlier gate to be meaningful. Everything derives from one seed through
+//! `SimRng` sub-streams: the same `(n, seed)` always produces bitwise the
+//! same submissions.
+
+use hiermeans_workload::rng::SimRng;
+use hiermeans_workload::synthetic::{gaussian_mixture, MixtureSpec};
+use hiermeans_workload::BenchmarkSuite;
+
+use crate::submission::Submission;
+
+/// Dimensionality of the synthetic characteristic vectors.
+pub const SYNTHETIC_DIM: usize = 4;
+
+/// Planted workload-cluster count.
+pub const SYNTHETIC_K: usize = 4;
+
+/// The suite name synthetic submissions report.
+pub const SYNTHETIC_SUITE: &str = "paper";
+
+/// Generates `n` sealed submissions for machines `sim-000..`, all on the
+/// paper suite.
+///
+/// # Errors
+///
+/// Only if the planted mixture parameters are invalid (impossible for
+/// `n > 0` with the constants above) or a record fails to seal.
+pub fn synthetic_fleet(n: usize, seed: u64) -> Result<Vec<Submission>, String> {
+    let suite = BenchmarkSuite::paper();
+    let workloads: Vec<String> = suite.names().iter().map(|&s| s.to_owned()).collect();
+    let n_workloads = workloads.len();
+    let base = gaussian_mixture(&MixtureSpec::separated(
+        n_workloads,
+        SYNTHETIC_DIM,
+        SYNTHETIC_K,
+        seed,
+    ))
+    .map_err(|e| format!("synthetic fleet mixture: {e}"))?;
+    let root = SimRng::new(seed);
+    // Fleet-wide per-workload speedup medians in a plausible range; each
+    // machine's measurement is a tight log-normal around them.
+    let mut median_rng = root.derive("fleet/medians");
+    let medians: Vec<f64> = (0..n_workloads)
+        .map(|_| median_rng.log_normal(2.5, 0.5))
+        .collect();
+    let mut fleet = Vec::with_capacity(n);
+    for m in 0..n {
+        let machine = format!("sim-{m:03}");
+        let mut rng = root.derive(&format!("fleet/{machine}"));
+        let speedups: Vec<f64> = medians
+            .iter()
+            .map(|&med| med * rng.log_normal(1.0, 0.08))
+            .collect();
+        let vectors: Vec<Vec<f64>> = (0..n_workloads)
+            .map(|w| {
+                base.points
+                    .row(w)
+                    .iter()
+                    .map(|&v| v + rng.normal(0.0, 0.05))
+                    .collect()
+            })
+            .collect();
+        fleet.push(
+            Submission::new(
+                &machine,
+                SYNTHETIC_SUITE,
+                workloads.clone(),
+                speedups,
+                vectors,
+            )
+            .sealed()?,
+        );
+    }
+    Ok(fleet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::{ingest_submissions, IngestConfig};
+    use crate::store::ResultStore;
+    use hiermeans_obs::Collector;
+
+    #[test]
+    fn fleet_is_deterministic_and_sealed() {
+        let a = synthetic_fleet(5, 42).unwrap();
+        let b = synthetic_fleet(5, 42).unwrap();
+        assert_eq!(a, b);
+        assert!(a.iter().all(Submission::checksum_ok));
+        assert_eq!(a[0].workloads.len(), 13);
+        assert_eq!(a[0].vectors[0].len(), SYNTHETIC_DIM);
+        assert!(a.iter().flat_map(|s| &s.speedups).all(|&v| v > 0.0));
+        let c = synthetic_fleet(5, 43).unwrap();
+        assert_ne!(a, c, "the seed must matter");
+    }
+
+    #[test]
+    fn a_whole_fleet_passes_its_own_ingest_guards() {
+        let dir = std::env::temp_dir().join(format!("hm_synth_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = ResultStore::new(dir.join("fleet.jsonl"));
+        for p in [
+            store.path().to_path_buf(),
+            store.quarantine_path(),
+            store.lock_path(),
+        ] {
+            let _ = std::fs::remove_file(p);
+        }
+        let fleet = synthetic_fleet(50, 7).unwrap();
+        let report = ingest_submissions(
+            &store,
+            &fleet,
+            &IngestConfig::default(),
+            &Collector::disabled(),
+        )
+        .unwrap();
+        assert_eq!(report.accepted(), 50, "{}", report.render());
+        assert_eq!(report.quarantined(), 0, "{}", report.render());
+    }
+}
