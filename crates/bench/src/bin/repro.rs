@@ -19,6 +19,14 @@
 //!                    heuristic-grid batch SOM; with --baseline, exits
 //!                    nonzero when any row regresses > 50% and > 250 ms
 //!                    over the stored report. Takes minutes.)
+//!                    bench-som [--baseline <file>]
+//!                    (writes BENCH_som.json with the warm-vs-cold batch
+//!                    SOM epoch-throughput curve at n = 1k/10k/100k and
+//!                    the out-of-core streaming row at n = 10⁶ with its
+//!                    measured peak heap; always fails if the warm
+//!                    speedup collapses below 1.3x at n ≥ 10k, and with
+//!                    --baseline also gates each timed cell against the
+//!                    stored report at > 50% and > 250 ms)
 //!   observability:   trace [--prom <file>] (writes OBS_trace.json; exits
 //!                    nonzero if any study's SOM did not converge; with
 //!                    --prom, also writes the document in Prometheus text
@@ -29,8 +37,8 @@
 //!                    format, loadable in Perfetto)
 //!                    check-trace <file> (validates a Chrome trace-event
 //!                    file's shape: every event has ph/ts/dur/tid)
-//!   run history:     trace/profile/bench-pipeline/bench-scale each append
-//!                    one compact record to OBS_history.jsonl
+//!   run history:     trace/profile/bench-pipeline/bench-scale/bench-som
+//!                    each append one compact record to OBS_history.jsonl
 //!                    history [--gate] (renders the trend table over the
 //!                    store; with --gate, judges the latest run of each
 //!                    kind against the rolling median + k·MAD window of
@@ -67,7 +75,7 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use hiermeans_bench::{
-    check, experiments, extensions, faults, history, kernels, perf, profile, scale, store_cli,
+    check, experiments, extensions, faults, history, kernels, perf, profile, scale, som, store_cli,
     trace,
 };
 use hiermeans_workload::measurement::Characterization;
@@ -86,6 +94,9 @@ fn run(artifact: &str) -> Result<String, String> {
     }
     if artifact == "bench-scale" {
         return run_bench_scale(None);
+    }
+    if artifact == "bench-som" {
+        return run_bench_som(None);
     }
     if artifact == "bench-kernels" {
         return kernels::bench_kernels_json()
@@ -231,6 +242,39 @@ fn run_bench_scale(baseline: Option<&str>) -> Result<String, String> {
     Ok(out)
 }
 
+/// Runs the warm-vs-cold SOM epoch-throughput curve and the out-of-core
+/// streaming row, writes `BENCH_som.json`, applies the warm speedup gate
+/// (the warm path must stay ≥ 1.3× at n ≥ 10 000), and — when a baseline
+/// file is given — gates each timed cell against it at > 50% and > 250 ms.
+fn run_bench_som(baseline: Option<&str>) -> Result<String, String> {
+    // Parse the baseline before benching: the committed baseline
+    // conventionally lives at BENCH_som.json itself, which the write below
+    // replaces.
+    let base: Option<som::SomBenchReport> = baseline
+        .map(|path| {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("bench-som: cannot read baseline {path}: {e}"))?;
+            serde_json::from_str(&text)
+                .map_err(|e| format!("bench-som: parsing baseline {path}: {e}"))
+        })
+        .transpose()?;
+    let report = som::bench_som();
+    let json =
+        serde_json::to_string_pretty(&report).map_err(|e| format!("bench-som failed: {e}"))?;
+    std::fs::write("BENCH_som.json", &json).map_err(|e| format!("writing BENCH_som.json: {e}"))?;
+    // The record and the artifact land before the gates: a degraded run
+    // must appear in the history and on disk, not vanish from the trend.
+    let appended = history::append(&history::record_from_som(&report))?;
+    let rendered = som::render_som_report(&report);
+    let mut out = format!("wrote BENCH_som.json\n{appended}\n{rendered}");
+    som::warm_speedup_gate(&report).map_err(|e| format!("bench-som: {e}\n{rendered}"))?;
+    if let (Some(path), Some(base)) = (baseline, base) {
+        let table = som::compare_with_som_baseline(&report, &base)?;
+        out.push_str(&format!("\nsom regression gate vs {path}: ok\n{table}"));
+    }
+    Ok(out)
+}
+
 /// Runs the traced paper studies, writes `OBS_trace.json` (and, when
 /// `--prom` was given, the Prometheus text exposition), and applies the SOM
 /// convergence gate.
@@ -356,7 +400,9 @@ fn main() -> ExitCode {
              means-family duplication correlation mica evaluation json-reports extensions\n  \
              performance: bench-pipeline [--baseline <file>] (writes BENCH_pipeline.json), \
              bench-kernels (writes BENCH_kernels.json), \
-             bench-scale [--baseline <file>] (writes BENCH_scale.json; takes minutes)\n  \
+             bench-scale [--baseline <file>] (writes BENCH_scale.json; takes minutes), \
+             bench-som [--baseline <file>] (writes BENCH_som.json with the warm-vs-cold \
+             epoch-throughput curve and the n = 10^6 streaming row)\n  \
              observability: trace [--prom <file>] (writes OBS_trace.json), \
              profile (writes OBS_profile.json + OBS_profile.trace.json), \
              check-trace <file>\n  \
@@ -424,6 +470,13 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             };
             run_guarded(|| run_bench_scale(Some(&path)), "bench-scale")
+        } else if artifact == "bench-som" && args.peek().map(String::as_str) == Some("--baseline") {
+            args.next();
+            let Some(path) = args.next() else {
+                eprintln!("bench-som: missing --baseline <file> argument");
+                return ExitCode::FAILURE;
+            };
+            run_guarded(|| run_bench_som(Some(&path)), "bench-som")
         } else {
             run_guarded(|| run(&artifact), &artifact)
         };

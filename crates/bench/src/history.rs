@@ -20,6 +20,7 @@ use hiermeans_obs::{stages, TraceDocument};
 
 use crate::perf::PipelineBenchReport;
 use crate::scale::ScaleBenchReport;
+use crate::som::SomBenchReport;
 
 /// The on-disk history store, conventionally committed alongside the
 /// `BENCH_*.json` baselines.
@@ -142,6 +143,36 @@ pub fn record_from_scale(report: &ScaleBenchReport) -> RunRecord {
     record
 }
 
+/// Distills a `repro bench-som` report: gated `ms` samples per
+/// `(n, cold|warm)` curve cell plus the streaming row, and trend-only
+/// `ratio` samples for the warm speedups (the speedup direction is
+/// higher-is-better, so it must not feed the higher-is-worse gate).
+#[must_use]
+pub fn record_from_som(report: &SomBenchReport) -> RunRecord {
+    let mut record = RunRecord::new("bench_som", parallel::worker_count());
+    for t in &report.results {
+        record.push(format!("som/n={}/cold", t.n), t.cold_ms, "ms");
+        record.push(format!("som/n={}/warm", t.n), t.warm_ms, "ms");
+        record.push(format!("som/n={}/warm_speedup", t.n), t.speedup, "ratio");
+        record.push(
+            format!("som/n={}/warm_hit_rate", t.n),
+            t.warm_hit_rate,
+            "ratio",
+        );
+    }
+    if let Some(s) = &report.stream {
+        record.push(format!("stream/n={}", s.n), s.ms, "ms");
+        if let Some(bytes) = s.peak_bytes {
+            record.push(
+                format!("stream/n={}/peak_bytes", s.n),
+                bytes as f64,
+                "bytes",
+            );
+        }
+    }
+    record
+}
+
 /// Appends `record` to the store at [`HISTORY_PATH`] and returns the
 /// one-line confirmation `repro` prints.
 ///
@@ -239,6 +270,51 @@ mod tests {
         assert_eq!(record.sample("pipeline/n=13/serial"), Some(2.0));
         assert_eq!(record.sample("pipeline/n=13/parallel"), Some(1.0));
         assert!(record.samples.iter().all(|s| s.unit == "ms"));
+    }
+
+    #[test]
+    fn som_record_gates_timings_but_not_speedups() {
+        let report = SomBenchReport {
+            meta: None,
+            results: vec![crate::som::SomEpochTiming {
+                n: 10_000,
+                dim: 8,
+                units: 484,
+                epochs: 12,
+                cold_ms: 2_000.0,
+                warm_ms: 800.0,
+                speedup: 2.5,
+                warm_hit_rate: 0.9,
+            }],
+            stream: Some(crate::som::StreamTiming {
+                n: 1_000_000,
+                dim: 8,
+                units: 256,
+                epochs: 2,
+                ms: 5_000.0,
+                peak_bytes: Some(4 << 20),
+            }),
+        };
+        let record = record_from_som(&report);
+        assert_eq!(record.kind, "bench_som");
+        assert_eq!(record.sample("som/n=10000/cold"), Some(2_000.0));
+        assert_eq!(record.sample("som/n=10000/warm"), Some(800.0));
+        assert_eq!(record.sample("stream/n=1000000"), Some(5_000.0));
+        assert_eq!(
+            record.sample("stream/n=1000000/peak_bytes"),
+            Some((4 << 20) as f64)
+        );
+        // Speedup and hit rate are higher-is-better: trend-only ratios.
+        let ratio_keys: Vec<_> = record
+            .samples
+            .iter()
+            .filter(|s| s.unit == "ratio")
+            .map(|s| s.key.as_str())
+            .collect();
+        assert_eq!(
+            ratio_keys,
+            ["som/n=10000/warm_speedup", "som/n=10000/warm_hit_rate"]
+        );
     }
 
     #[test]

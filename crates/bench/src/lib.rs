@@ -17,5 +17,6 @@ pub mod kernels;
 pub mod perf;
 pub mod profile;
 pub mod scale;
+pub mod som;
 pub mod store_cli;
 pub mod trace;

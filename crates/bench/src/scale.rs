@@ -70,7 +70,7 @@ fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     best
 }
 
-fn mixture(n: usize, dim: usize) -> Matrix {
+pub(crate) fn mixture(n: usize, dim: usize) -> Matrix {
     // The planted structure is irrelevant to the timings; the seeded
     // generator just guarantees identical inputs run to run.
     gaussian_mixture(&MixtureSpec::separated(n, dim, 8, 0x5CA1E))

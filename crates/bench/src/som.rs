@@ -1,0 +1,497 @@
+//! SOM trainer benchmarks: epoch-warm BMU search and out-of-core streaming.
+//!
+//! The `repro bench-som` artifact calls [`bench_som`] and writes
+//! `BENCH_som.json` — one row per corpus size on the epoch-throughput
+//! curve, timing the batch trainer cold ([`WarmStart::Disabled`]) and warm
+//! ([`WarmStart::Enabled`]) on identical inputs, plus one row for the
+//! streaming trainer at n = 10⁶ with its measured peak heap. Warm and cold
+//! train bitwise-identical maps (proven by the equivalence suites), so the
+//! ratio is a pure like-for-like speedup.
+//!
+//! A committed baseline turns the curves into a regression gate
+//! ([`compare_with_som_baseline`]), and [`warm_speedup_gate`] fails any run
+//! where the warm path stops paying for itself at scale — the guard that
+//! the drift-bounded pruning keeps certifying hits rather than silently
+//! degrading into an all-rescan cache.
+
+use std::time::Instant;
+
+use hiermeans_obs::memhook;
+use hiermeans_obs::{Collector, ObsConfig};
+use hiermeans_som::{
+    DecaySchedule, Initializer, NeighborhoodKernel, Som, SomBuilder, TrainingMode, WarmStart,
+};
+use hiermeans_workload::stream::SyntheticRowSource;
+use hiermeans_workload::synthetic::MixtureSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::scale::mixture;
+
+/// One warm-vs-cold measurement of batch training at a corpus size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SomEpochTiming {
+    /// Corpus size (rows).
+    pub n: usize,
+    /// Dimensionality of the rows.
+    pub dim: usize,
+    /// Codebook units (grid width × height).
+    pub units: usize,
+    /// Epochs per timed run.
+    pub epochs: usize,
+    /// Best-of-reps wall-clock milliseconds, warm start disabled.
+    pub cold_ms: f64,
+    /// Best-of-reps wall-clock milliseconds, warm start enabled.
+    pub warm_ms: f64,
+    /// `cold_ms / warm_ms` — the epoch-throughput ratio.
+    pub speedup: f64,
+    /// Fraction of batch BMU searches answered from the warm cache
+    /// (`bmu_warm_hits / (bmu_warm_hits + bmu_exact_rescans)`), from an
+    /// untimed traced run of the same configuration.
+    pub warm_hit_rate: f64,
+}
+
+/// The streaming-trainer row: one million rows, never materialized.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamTiming {
+    /// Corpus size (rows generated per pass, never resident).
+    pub n: usize,
+    /// Dimensionality of the rows.
+    pub dim: usize,
+    /// Codebook units.
+    pub units: usize,
+    /// Epochs trained.
+    pub epochs: usize,
+    /// Wall-clock milliseconds for the full training call.
+    pub ms: f64,
+    /// Peak bytes of new heap held at once across the call, when the
+    /// binary installs the tracking allocator (`repro` does); `None` in
+    /// binaries without the hook. A resident matrix would need
+    /// `n * dim * 8` bytes.
+    pub peak_bytes: Option<i64>,
+}
+
+/// The full `BENCH_som.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SomBenchReport {
+    /// Warm-vs-cold rows, ascending `n`.
+    pub results: Vec<SomEpochTiming>,
+    /// The out-of-core streaming row.
+    pub stream: Option<StreamTiming>,
+    /// Provenance stamp (`None` in pre-stamp baselines).
+    #[serde(default)]
+    pub meta: Option<hiermeans_obs::history::BenchMeta>,
+}
+
+/// Relative regression tolerance for the baseline gate, matching the scale
+/// gate's rationale: single-shot timings on shared hardware, so the gate
+/// catches the warm path breaking, not percent-level drift.
+pub const SOM_TOLERANCE: f64 = 0.5;
+
+/// Absolute floor in milliseconds: rows within this of the baseline never
+/// fail, whatever the ratio.
+pub const SOM_FLOOR_MS: f64 = 250.0;
+
+/// Corpus sizes from which the warm speedup is gated: below this the whole
+/// run is floor-level noise.
+pub const SOM_WARM_GATE_MIN_N: usize = 10_000;
+
+/// Minimum warm-over-cold speedup at `n ≥ SOM_WARM_GATE_MIN_N`. The
+/// committed baseline shows ≥ 2×; the gate floor sits lower so CI noise
+/// cannot flake it, while a warm path that degrades to all-rescans
+/// (speedup ≈ 1) still fails loudly.
+pub const SOM_WARM_SPEEDUP_FLOOR: f64 = 1.3;
+
+fn best_of(reps: usize, mut f: impl FnMut() -> Som) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn builder(
+    width: usize,
+    height: usize,
+    epochs: usize,
+    sigma_div: f64,
+    warm: WarmStart,
+) -> SomBuilder {
+    // The settling regime the warm certificate is designed for: a
+    // bounded-support kernel (most units contribute exactly zero once
+    // sigma shrinks) under the classic Kohonen inverse-time schedule,
+    // whose sigma depends on the absolute step — the batch fixed point
+    // stops moving after a settling prefix and every later epoch is
+    // warm-certifiable. A linearly-decaying sigma, by contrast, moves the
+    // fixed point every epoch and keeps drift above the row margins until
+    // the very end. Random initialization keeps the rows comparable with
+    // the streaming entry, which supports no other initializer.
+    let diameter = (((width - 1) as f64).powi(2) + ((height - 1) as f64).powi(2)).sqrt();
+    SomBuilder::new(width, height)
+        .seed(7)
+        .epochs(epochs)
+        .mode(TrainingMode::Batch)
+        .initializer(Initializer::Random)
+        .kernel(NeighborhoodKernel::CutGaussian)
+        .sigma(DecaySchedule::InverseTime {
+            start: diameter / sigma_div,
+            c: 1.0,
+        })
+        .warm_start(warm)
+}
+
+/// Runs the epoch-throughput curve (n = 1k / 10k / 100k, warm on and off)
+/// and the n = 10⁶ streaming row. Takes a few minutes in release — the
+/// 100k row alone trains 192 epochs cold and warm.
+pub fn bench_som() -> SomBenchReport {
+    let mut results = Vec::new();
+    // Grids near the heuristic ≈5·√n sizing the scaled pipeline uses,
+    // capped at the 32×32 = 1024-unit kernel-table ceiling. Epoch budgets
+    // run long enough for the codebook to settle (the inverse-time
+    // schedule's settling epoch is absolute, later for bigger grids) —
+    // warm reuse is an asymptotic win, and these rows measure the steady
+    // state a real training run spends most of its time in. The 100k row
+    // starts sigma tighter (diameter/4) so its 1024 units settle within
+    // the budget.
+    for (n, width, height, epochs, sigma_div, reps) in [
+        (1_000usize, 12usize, 13usize, 96usize, 2.0f64, 3usize),
+        (10_000, 22, 22, 96, 2.0, 2),
+        (100_000, 32, 32, 192, 4.0, 1),
+    ] {
+        let dim = 8;
+        let points = mixture(n, dim);
+        let cold_ms = best_of(reps, || {
+            builder(width, height, epochs, sigma_div, WarmStart::Disabled)
+                .train(&points)
+                .expect("finite mixture")
+        });
+        let warm_ms = best_of(reps, || {
+            builder(width, height, epochs, sigma_div, WarmStart::Enabled)
+                .train(&points)
+                .expect("finite mixture")
+        });
+        // Hit rate from an untimed traced run: quality sampling off so the
+        // trace adds no extra BMU passes to attribute.
+        let collector = Collector::enabled_with(ObsConfig {
+            epoch_quality_stride: 0,
+            lanes: false,
+            memory: false,
+        });
+        builder(width, height, epochs, sigma_div, WarmStart::Enabled)
+            .train_traced(&points, &collector)
+            .expect("finite mixture");
+        let report = collector.report().expect("enabled collector");
+        let hits = report.counter("bmu_warm_hits").unwrap_or(0);
+        let rescans = report.counter("bmu_exact_rescans").unwrap_or(0);
+        let searches = hits + rescans;
+        results.push(SomEpochTiming {
+            n,
+            dim,
+            units: width * height,
+            epochs,
+            cold_ms,
+            warm_ms,
+            speedup: cold_ms / warm_ms,
+            warm_hit_rate: if searches == 0 {
+                0.0
+            } else {
+                hits as f64 / searches as f64
+            },
+        });
+    }
+
+    // Out-of-core: one million synthetic rows streamed per pass, never
+    // resident. The tracking allocator (installed by `repro`) certifies the
+    // bounded footprint right in the artifact.
+    let stream = {
+        let (n, dim, width, height, epochs) = (1_000_000usize, 8usize, 16usize, 16usize, 2usize);
+        let spec = MixtureSpec::separated(n, dim, 8, 0x5CA1E);
+        let start = Instant::now();
+        let (som, peak) = memhook::global_window(|| {
+            let mut source = SyntheticRowSource::new(spec).expect("valid spec");
+            builder(width, height, epochs, 2.0, WarmStart::Disabled)
+                .train_stream(&mut source)
+                .expect("streaming training succeeds")
+        });
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(&som);
+        Some(StreamTiming {
+            n,
+            dim,
+            units: width * height,
+            epochs,
+            ms,
+            peak_bytes: memhook::hook_installed().then_some(peak),
+        })
+    };
+
+    SomBenchReport {
+        results,
+        stream,
+        meta: Some(hiermeans_obs::history::BenchMeta::capture()),
+    }
+}
+
+/// Renders the throughput table `repro bench-som` prints.
+#[must_use]
+pub fn render_som_report(report: &SomBenchReport) -> String {
+    let mut out = String::new();
+    out.push_str("n        units  epochs  cold_ms    warm_ms    speedup  hit_rate\n");
+    for t in &report.results {
+        out.push_str(&format!(
+            "{:<8} {:<6} {:<7} {:>9.1} {:>10.1} {:>8.2}  {:>7.1}%\n",
+            t.n,
+            t.units,
+            t.epochs,
+            t.cold_ms,
+            t.warm_ms,
+            t.speedup,
+            t.warm_hit_rate * 100.0
+        ));
+    }
+    if let Some(s) = &report.stream {
+        let peak = match s.peak_bytes {
+            Some(bytes) => format!("{:.1} MiB peak heap", bytes as f64 / (1 << 20) as f64),
+            None => "peak heap unmeasured (no tracking allocator)".to_owned(),
+        };
+        out.push_str(&format!(
+            "stream   {:<6} {:<7} {:>9.1} ms for n = {} ({peak}; dense would need {:.0} MiB)\n",
+            s.units,
+            s.epochs,
+            s.ms,
+            s.n,
+            (s.n * s.dim * 8) as f64 / (1 << 20) as f64
+        ));
+    }
+    out
+}
+
+/// Fails when the warm path stops paying for itself: every row at
+/// `n ≥ SOM_WARM_GATE_MIN_N` must keep `speedup ≥ SOM_WARM_SPEEDUP_FLOOR`.
+///
+/// # Errors
+///
+/// Returns the offending rows when any large-`n` speedup fell under the
+/// floor.
+pub fn warm_speedup_gate(report: &SomBenchReport) -> Result<(), String> {
+    let slow: Vec<String> = report
+        .results
+        .iter()
+        .filter(|t| t.n >= SOM_WARM_GATE_MIN_N && t.speedup < SOM_WARM_SPEEDUP_FLOOR)
+        .map(|t| {
+            format!(
+                "n={}: {:.2}x (hit rate {:.1}%)",
+                t.n,
+                t.speedup,
+                t.warm_hit_rate * 100.0
+            )
+        })
+        .collect();
+    if slow.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "warm speedup gate failed (< {SOM_WARM_SPEEDUP_FLOOR}x at n >= {SOM_WARM_GATE_MIN_N}): {}",
+            slow.join(", ")
+        ))
+    }
+}
+
+/// Compares a fresh SOM bench report against a stored baseline, row by row
+/// (joined on `n`, warm and cold timed columns judged independently; the
+/// streaming row joins on its `n` too).
+///
+/// A cell regresses when it exceeds the baseline's by more than
+/// [`SOM_TOLERANCE`] *and* more than [`SOM_FLOOR_MS`] absolute. Rows
+/// present in only one report are listed but never fail.
+///
+/// # Errors
+///
+/// Returns the rendered comparison as an error when any cell regressed.
+pub fn compare_with_som_baseline(
+    current: &SomBenchReport,
+    baseline: &SomBenchReport,
+) -> Result<String, String> {
+    fn judge(label: &str, base_ms: f64, cur_ms: f64) -> (String, bool) {
+        let slow = cur_ms > base_ms * (1.0 + SOM_TOLERANCE) && cur_ms - base_ms > SOM_FLOOR_MS;
+        let line = format!(
+            "{label:<20} {:>11.1} {:>11.1} {:>7.2}  {}\n",
+            base_ms,
+            cur_ms,
+            cur_ms / base_ms,
+            if slow { "REGRESSED" } else { "ok" }
+        );
+        (line, slow)
+    }
+    let mut out = String::from("row                  baseline_ms  current_ms   ratio  verdict\n");
+    let mut regressed = false;
+    let mut push = |out: &mut String, (line, slow): (String, bool)| {
+        out.push_str(&line);
+        regressed |= slow;
+    };
+    for base in &baseline.results {
+        let Some(cur) = current.results.iter().find(|c| c.n == base.n) else {
+            out.push_str(&format!(
+                "som/n={:<12} (missing from current run)\n",
+                base.n
+            ));
+            continue;
+        };
+        push(
+            &mut out,
+            judge(&format!("som/n={}/cold", base.n), base.cold_ms, cur.cold_ms),
+        );
+        push(
+            &mut out,
+            judge(&format!("som/n={}/warm", base.n), base.warm_ms, cur.warm_ms),
+        );
+    }
+    if let Some(base) = &baseline.stream {
+        match &current.stream {
+            Some(cur) if cur.n == base.n => {
+                push(
+                    &mut out,
+                    judge(&format!("stream/n={}", base.n), base.ms, cur.ms),
+                );
+            }
+            _ => out.push_str(&format!(
+                "stream/n={:<9} (missing from current run)\n",
+                base.n
+            )),
+        }
+    }
+    if regressed {
+        Err(format!(
+            "som regression gate failed (> {:.0}% and > {SOM_FLOOR_MS} ms over baseline)\n{out}",
+            SOM_TOLERANCE * 100.0
+        ))
+    } else {
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(n: usize, cold_ms: f64, warm_ms: f64) -> SomEpochTiming {
+        SomEpochTiming {
+            n,
+            dim: 8,
+            units: 484,
+            epochs: 12,
+            cold_ms,
+            warm_ms,
+            speedup: cold_ms / warm_ms,
+            warm_hit_rate: 0.9,
+        }
+    }
+
+    fn report(rows: Vec<SomEpochTiming>, stream: Option<StreamTiming>) -> SomBenchReport {
+        SomBenchReport {
+            results: rows,
+            stream,
+            meta: None,
+        }
+    }
+
+    fn stream_row(n: usize, ms: f64) -> StreamTiming {
+        StreamTiming {
+            n,
+            dim: 8,
+            units: 256,
+            epochs: 2,
+            ms,
+            peak_bytes: Some(4 << 20),
+        }
+    }
+
+    #[test]
+    fn speedup_gate_passes_fast_warm_rows() {
+        let r = report(vec![row(10_000, 2_000.0, 800.0)], None);
+        assert!(warm_speedup_gate(&r).is_ok());
+    }
+
+    #[test]
+    fn speedup_gate_fails_a_collapsed_warm_path() {
+        let r = report(vec![row(10_000, 2_000.0, 1_900.0)], None);
+        let err = warm_speedup_gate(&r).unwrap_err();
+        assert!(err.contains("n=10000"), "{err}");
+    }
+
+    #[test]
+    fn speedup_gate_ignores_small_n_noise() {
+        // 1k rows are floor-level; only n >= 10k is gated.
+        let r = report(vec![row(1_000, 10.0, 11.0)], None);
+        assert!(warm_speedup_gate(&r).is_ok());
+    }
+
+    #[test]
+    fn baseline_gate_passes_within_tolerance() {
+        let baseline = report(
+            vec![row(10_000, 2_000.0, 800.0)],
+            Some(stream_row(1_000_000, 5_000.0)),
+        );
+        let current = report(
+            vec![row(10_000, 2_600.0, 900.0)],
+            Some(stream_row(1_000_000, 6_000.0)),
+        );
+        let table = compare_with_som_baseline(&current, &baseline).unwrap();
+        assert!(table.contains("som/n=10000/warm"), "{table}");
+        assert!(table.contains("stream/n=1000000"), "{table}");
+    }
+
+    #[test]
+    fn baseline_gate_fails_on_large_regression() {
+        let baseline = report(vec![row(10_000, 2_000.0, 800.0)], None);
+        let slow = report(vec![row(10_000, 2_000.0, 1_800.0)], None);
+        let err = compare_with_som_baseline(&slow, &baseline).unwrap_err();
+        assert!(err.contains("REGRESSED"), "{err}");
+        assert!(err.contains("som/n=10000/warm"), "{err}");
+    }
+
+    #[test]
+    fn baseline_gate_ignores_sub_floor_noise() {
+        // 3x slower but only ~100 ms absolute: below the floor.
+        let baseline = report(vec![row(1_000, 50.0, 40.0)], None);
+        let current = report(vec![row(1_000, 150.0, 140.0)], None);
+        assert!(compare_with_som_baseline(&current, &baseline).is_ok());
+    }
+
+    #[test]
+    fn baseline_gate_tolerates_row_set_changes() {
+        let baseline = report(
+            vec![row(500_000, 9_000.0, 4_000.0)],
+            Some(stream_row(1_000_000, 5_000.0)),
+        );
+        let current = report(vec![row(10_000, 2_000.0, 800.0)], None);
+        let table = compare_with_som_baseline(&current, &baseline).unwrap();
+        assert!(table.contains("missing from current run"), "{table}");
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let r = report(
+            vec![row(10_000, 2_000.0, 800.0)],
+            Some(stream_row(1_000_000, 5_000.0)),
+        );
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: SomBenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.results[0].n, 10_000);
+        assert_eq!(back.stream.unwrap().n, 1_000_000);
+    }
+
+    #[test]
+    fn render_covers_every_row() {
+        let r = report(
+            vec![row(10_000, 2_000.0, 800.0)],
+            Some(stream_row(1_000_000, 5_000.0)),
+        );
+        let table = render_som_report(&r);
+        assert!(table.contains("10000"), "{table}");
+        assert!(table.contains("2.50"), "{table}");
+        assert!(table.contains("stream"), "{table}");
+        assert!(table.contains("MiB"), "{table}");
+    }
+}

@@ -53,6 +53,13 @@ pub struct PipelineConfig {
     /// results are identical to [`KernelPolicy::Scalar`] — same cluster
     /// assignments, same trace fingerprint — just faster.
     pub kernel_policy: KernelPolicy,
+    /// Whether batch SOM training may reuse previous-epoch BMUs under the
+    /// drift bound ([`hiermeans_som::WarmStart::Enabled`], the default) or
+    /// must rescan exactly every epoch. The trained map, cluster
+    /// assignments, and trace fingerprint are bitwise identical either way
+    /// — the warm path only skips searches it can prove redundant. Online
+    /// training (the paper's default) ignores the knob.
+    pub warm_start: hiermeans_som::WarmStart,
     /// How the agglomerative stage runs its merge loop.
     /// [`AgglomerationStrategy::Auto`] (the default) keeps the naive
     /// closest-pair loop for small inputs — the paper's 13-workload studies
@@ -80,6 +87,7 @@ impl Default for PipelineConfig {
             linkage: Linkage::Complete,
             metric: Metric::Euclidean,
             kernel_policy: KernelPolicy::default(),
+            warm_start: hiermeans_som::WarmStart::default(),
             agglomeration: AgglomerationStrategy::default(),
             collector: Collector::disabled(),
         }
@@ -241,6 +249,7 @@ pub fn run_pipeline(
             })
             .mode(config.training)
             .kernel_policy(config.kernel_policy)
+            .warm_start(config.warm_start)
             .train_traced(vectors, collector)?
     };
     let positions = {
@@ -265,6 +274,53 @@ pub fn run_pipeline(
         dendrogram,
         collector: collector.clone(),
     })
+}
+
+/// Trains the pipeline's SOM stage out-of-core: rows stream through a
+/// [`hiermeans_linalg::rows::RowSource`] in fixed strips instead of a
+/// resident `n × dim` matrix, so training memory is bounded by the codebook
+/// and one strip regardless of `n`. The builder wiring (grid, schedule,
+/// metric, kernel policy, warm start) is exactly [`run_pipeline`]'s, and a
+/// random-initialized streamed run is bitwise identical to the resident
+/// trainer on the same rows (PCA-plane initialization needs the resident
+/// matrix, so streaming falls back to random). Requires
+/// [`hiermeans_som::TrainingMode::Batch`] (the [`PipelineConfig::scaled`]
+/// default); streaming runs serially.
+///
+/// The downstream stages (projection, clustering) still need per-row
+/// outputs; callers at streaming scale project strip-wise themselves or
+/// cluster a sample. This entry point exists for the n = 10⁶ bounded-memory
+/// training mode.
+///
+/// # Errors
+///
+/// * [`CoreError::Som`] for training failures, including
+///   [`hiermeans_som::SomError::RowSource`] when the backend fails and an
+///   `InvalidConfig` when `config.training` is not batch.
+pub fn train_som_streaming(
+    source: &mut dyn hiermeans_linalg::rows::RowSource,
+    config: &PipelineConfig,
+) -> Result<Som, CoreError> {
+    let collector = &config.collector;
+    let _span = collector.span(stages::PIPELINE_SOM);
+    let diameter = hiermeans_som::Grid::new(
+        config.som_width.max(1),
+        config.som_height.max(1),
+        hiermeans_som::GridTopology::Rectangular,
+    )
+    .diameter();
+    Ok(SomBuilder::new(config.som_width, config.som_height)
+        .seed(config.seed)
+        .epochs(config.epochs)
+        .metric(config.metric)
+        .sigma(hiermeans_som::DecaySchedule::Linear {
+            start: diameter / 2.0,
+            end: config.sigma_end,
+        })
+        .mode(config.training)
+        .kernel_policy(config.kernel_policy)
+        .warm_start(config.warm_start)
+        .train_stream_traced(source, collector)?)
 }
 
 /// Skips the SOM and clusters directly on the raw characteristic vectors —

@@ -1,0 +1,87 @@
+//! End-to-end epoch-warm equivalence on the paper's three studies.
+//!
+//! The epoch-warm BMU search is a pure performance change: running the
+//! full suite analysis in batch mode with [`WarmStart::Enabled`] must
+//! produce the same cluster assignments and the same observability trace
+//! fingerprint as [`WarmStart::Disabled`] — bit for bit, per study. A
+//! cached BMU is only ever reused when the drift bound proves the exact
+//! scan would return it, and the warm hit/rescan counters are advisory
+//! (excluded from the fingerprint), so nothing downstream can tell the
+//! paths apart.
+//!
+//! The studies run in batch mode here (warm reuse is a batch-trainer
+//! feature; online training ignores the knob), with the paper's default
+//! configuration otherwise.
+
+use hiermeans_core::analysis::{SuiteAnalysis, K_RANGE};
+use hiermeans_core::pipeline::PipelineConfig;
+use hiermeans_obs::Collector;
+use hiermeans_som::{TrainingMode, WarmStart};
+use hiermeans_workload::measurement::Characterization;
+use hiermeans_workload::Machine;
+
+fn paper_studies() -> Vec<(&'static str, Characterization)> {
+    vec![
+        ("sar_machine_a", Characterization::SarCounters(Machine::A)),
+        ("sar_machine_b", Characterization::SarCounters(Machine::B)),
+        ("method_utilization", Characterization::MethodUtilization),
+    ]
+}
+
+fn run_study(characterization: Characterization, warm: WarmStart) -> (SuiteAnalysis, String) {
+    let collector = Collector::enabled();
+    let config = PipelineConfig {
+        training: TrainingMode::Batch,
+        warm_start: warm,
+        collector: collector.clone(),
+        ..PipelineConfig::default()
+    };
+    let analysis =
+        SuiteAnalysis::paper_with_config(characterization, &config).expect("paper study runs");
+    let fingerprint = collector
+        .report()
+        .expect("enabled collector yields a report")
+        .fingerprint();
+    (analysis, fingerprint)
+}
+
+#[test]
+fn warm_start_matches_cold_on_all_paper_studies() {
+    for (label, characterization) in paper_studies() {
+        let (cold, cold_fp) = run_study(characterization, WarmStart::Disabled);
+        let (warm, warm_fp) = run_study(characterization, WarmStart::Enabled);
+
+        // Same map positions bit for bit, so the clustering stage sees
+        // identical input.
+        assert_eq!(
+            cold.pipeline().positions(),
+            warm.pipeline().positions(),
+            "{label}: SOM positions diverged across warm-start settings"
+        );
+        assert_eq!(
+            cold.pipeline().dendrogram(),
+            warm.pipeline().dendrogram(),
+            "{label}: dendrograms diverged across warm-start settings"
+        );
+        assert_eq!(
+            cold.recommended_k(),
+            warm.recommended_k(),
+            "{label}: recommended k diverged across warm-start settings"
+        );
+        let max_k = (*K_RANGE.end()).min(cold.suite().len());
+        for k in *K_RANGE.start()..=max_k {
+            assert_eq!(
+                cold.pipeline().clusters(k).unwrap(),
+                warm.pipeline().clusters(k).unwrap(),
+                "{label}: cluster assignment at k={k} diverged across warm-start settings"
+            );
+        }
+        // The whole trace — spans, non-advisory counters, per-epoch QE/TE
+        // bits, merge trajectory — is identical; only the advisory warm
+        // hit/rescan counters (excluded from the fingerprint) differ.
+        assert_eq!(
+            cold_fp, warm_fp,
+            "{label}: trace fingerprints diverged across warm-start settings"
+        );
+    }
+}

@@ -54,6 +54,7 @@ pub mod eigen;
 pub mod kernels;
 pub mod parallel;
 pub mod pca;
+pub mod rows;
 pub mod scale;
 pub mod stats;
 pub mod validate;

@@ -239,6 +239,28 @@ impl Matrix {
         t
     }
 
+    /// Writes the transpose into `out` without allocating.
+    ///
+    /// This is the reuse-a-scratch-buffer form of [`Matrix::transpose`] for
+    /// per-epoch codebook preparation, where the transposed matrix is
+    /// rebuilt every epoch into the same allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.shape() != (self.ncols(), self.nrows())`.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (self.cols, self.rows),
+            "transpose buffer shape"
+        );
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+    }
+
     /// Matrix product `self * rhs`.
     ///
     /// Runs the cache-blocked kernel from [`crate::kernels`]; results are
@@ -522,6 +544,21 @@ mod tests {
         assert_eq!(m.transpose().transpose(), m);
         assert_eq!(m.transpose().shape(), (3, 2));
         assert_eq!(m.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn transpose_into_matches_transpose() {
+        let m = sample();
+        let mut out = Matrix::zeros(3, 2);
+        m.transpose_into(&mut out);
+        assert_eq!(out, m.transpose());
+    }
+
+    #[test]
+    #[should_panic(expected = "transpose buffer shape")]
+    fn transpose_into_rejects_wrong_shape() {
+        let mut out = Matrix::zeros(2, 2);
+        sample().transpose_into(&mut out);
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Streaming row access over a characteristic-vector matrix.
+//!
+//! [`RowSource`] abstracts "a matrix whose rows can be loaded strip by
+//! strip" so the batch-SOM trainer can consume data it never holds resident
+//! in full: an in-memory [`Matrix`] (the trivial backend below), a binary
+//! file streamed through a fixed buffer, or a deterministic generator that
+//! re-synthesizes rows on every pass. Backends that derive rows from
+//! sequential state (files, RNG streams) rely on the trainer's access
+//! pattern contract: within one pass, strips are requested in ascending,
+//! contiguous order, and a request starting at row 0 marks the start of a
+//! fresh pass (a rewind).
+
+use std::fmt;
+
+use crate::Matrix;
+
+/// Error from a [`RowSource`] backend.
+///
+/// Backend failures (an I/O error in a file source, a corrupt header) are
+/// carried as rendered detail text: [`crate::LinalgError`] is `Eq`/`Clone`
+/// by design, so source errors that are neither (e.g. `std::io::Error`) are
+/// flattened at the boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowSourceError {
+    /// Human-readable description of what failed in the backend.
+    pub detail: String,
+}
+
+impl RowSourceError {
+    /// Builds an error from any displayable backend failure.
+    pub fn new(detail: impl fmt::Display) -> Self {
+        RowSourceError {
+            detail: detail.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for RowSourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "row source: {}", self.detail)
+    }
+}
+
+impl std::error::Error for RowSourceError {}
+
+/// A matrix whose rows are loaded strip by strip instead of held resident.
+///
+/// # Access pattern contract
+///
+/// Callers (the streaming SOM trainer) request strips in ascending,
+/// contiguous order within a pass — `load_rows(0, c0, ..)`,
+/// `load_rows(c0, c1, ..)`, … — and signal the start of a fresh pass by
+/// requesting `start == 0` again. Sequential backends (buffered files,
+/// deterministic generators) may rely on this to avoid random access;
+/// random-access backends (an in-memory [`Matrix`]) may ignore it.
+pub trait RowSource {
+    /// Total number of rows.
+    fn nrows(&self) -> usize;
+
+    /// Row dimensionality.
+    fn ncols(&self) -> usize;
+
+    /// Loads rows `start..start + count` into `out` in row-major order.
+    ///
+    /// `out` must hold exactly `count * ncols()` values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RowSourceError`] on backend failure (I/O, corruption) or a
+    /// request outside `0..nrows()`.
+    fn load_rows(
+        &mut self,
+        start: usize,
+        count: usize,
+        out: &mut [f64],
+    ) -> Result<(), RowSourceError>;
+}
+
+impl RowSource for &Matrix {
+    fn nrows(&self) -> usize {
+        Matrix::nrows(self)
+    }
+
+    fn ncols(&self) -> usize {
+        Matrix::ncols(self)
+    }
+
+    fn load_rows(
+        &mut self,
+        start: usize,
+        count: usize,
+        out: &mut [f64],
+    ) -> Result<(), RowSourceError> {
+        let (rows, cols) = self.shape();
+        if start + count > rows {
+            return Err(RowSourceError::new(format!(
+                "rows {start}..{} out of bounds ({rows})",
+                start + count
+            )));
+        }
+        if out.len() != count * cols {
+            return Err(RowSourceError::new(format!(
+                "strip buffer holds {} values, need {}",
+                out.len(),
+                count * cols
+            )));
+        }
+        out.copy_from_slice(&self.as_slice()[start * cols..(start + count) * cols]);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_source_streams_strips() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let mut src = &m;
+        assert_eq!(RowSource::nrows(&src), 3);
+        assert_eq!(RowSource::ncols(&src), 2);
+        let mut buf = vec![0.0; 4];
+        src.load_rows(1, 2, &mut buf).unwrap();
+        assert_eq!(buf, vec![3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn matrix_source_rejects_bad_requests() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        let mut src = &m;
+        let mut buf = vec![0.0; 2];
+        assert!(src.load_rows(1, 1, &mut buf).is_err());
+        let mut short = vec![0.0; 1];
+        assert!(src.load_rows(0, 1, &mut short).is_err());
+    }
+}

@@ -38,11 +38,17 @@ pub enum Counter {
     WorkloadsCharacterized,
     /// Raw features dropped by the characterization filters.
     FeaturesDropped,
+    /// Batch BMU searches answered from the epoch-warm cache (the drift
+    /// bound certified the previous epoch's BMU, no scan ran).
+    BmuWarmHits,
+    /// Batch BMU searches that fell back to the exact scan because the
+    /// drift bound could not certify the cached BMU.
+    BmuExactRescans,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 8] = [
+    pub const ALL: [Counter; 10] = [
         Counter::BmuSearches,
         Counter::DistanceEvaluations,
         Counter::KernelEvaluations,
@@ -51,6 +57,8 @@ impl Counter {
         Counter::ScoreSweepCells,
         Counter::WorkloadsCharacterized,
         Counter::FeaturesDropped,
+        Counter::BmuWarmHits,
+        Counter::BmuExactRescans,
     ];
 
     /// Stable snake_case name used in `OBS_trace.json`.
@@ -64,7 +72,19 @@ impl Counter {
             Counter::ScoreSweepCells => "score_sweep_cells",
             Counter::WorkloadsCharacterized => "workloads_characterized",
             Counter::FeaturesDropped => "features_dropped",
+            Counter::BmuWarmHits => "bmu_warm_hits",
+            Counter::BmuExactRescans => "bmu_exact_rescans",
         }
+    }
+
+    /// Whether the counter is *advisory*: it describes which internal fast
+    /// path served a result, not the result itself. Advisory counters are
+    /// excluded from [`crate::report::TraceReport::fingerprint`] — the warm
+    /// hit/rescan split legitimately differs between warm-enabled and
+    /// warm-disabled runs of the same study even though every exported
+    /// artifact is bitwise identical.
+    pub fn advisory(self) -> bool {
+        matches!(self, Counter::BmuWarmHits | Counter::BmuExactRescans)
     }
 }
 

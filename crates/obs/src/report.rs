@@ -48,7 +48,13 @@ use crate::State;
 ///   Structurally additive (a new `kind` value, no new fields), so v4
 ///   artifacts still parse; v5 artifacts containing `store` events do not
 ///   parse with a v4 reader, hence the bump.
-pub const SCHEMA_VERSION: u32 = 5;
+/// * v6 — adds the epoch-warm BMU counters (`bmu_warm_hits`,
+///   `bmu_exact_rescans`) and the per-epoch `warm_hit_rate` field on
+///   [`EpochRecord`]. All three are *advisory* — they describe which
+///   internal fast path served a search, not the search's result — so they
+///   are excluded from [`TraceReport::fingerprint`]. Additive and
+///   `#[serde(default)]`-compatible: v5 artifacts still parse.
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// One recorded point event, exported.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -256,7 +262,7 @@ impl TraceReport {
         for s in &self.spans {
             let _ = writeln!(out, "span {} id={} parent={:?}", s.name, s.id, s.parent);
         }
-        for c in &self.counters {
+        for c in self.counters.iter().filter(|c| !advisory_counter(&c.name)) {
             let _ = writeln!(out, "counter {}={}", c.name, c.value);
         }
         for h in self.histograms.iter().filter(|h| !h.timing) {
@@ -271,6 +277,8 @@ impl TraceReport {
                 h.max.to_bits()
             );
         }
+        // `warm_hit_rate` is deliberately absent: it is advisory (differs
+        // between warm-enabled and warm-disabled runs of identical maps).
         for e in &self.som_epochs {
             let _ = writeln!(
                 out,
@@ -372,6 +380,17 @@ impl TraceReport {
                 self.som_epochs.len()
             );
         }
+        let warm_hits = self.counter("bmu_warm_hits").unwrap_or(0);
+        let warm_rescans = self.counter("bmu_exact_rescans").unwrap_or(0);
+        if warm_hits + warm_rescans > 0 {
+            let _ = writeln!(
+                out,
+                "  warm bmu: {} cache hits / {} exact rescans ({:.1}% prune hit rate)",
+                warm_hits,
+                warm_rescans,
+                100.0 * warm_hits as f64 / (warm_hits + warm_rescans) as f64
+            );
+        }
         if let Some(v) = &self.convergence {
             let _ = writeln!(
                 out,
@@ -405,6 +424,14 @@ impl TraceReport {
         }
         out
     }
+}
+
+/// Whether an exported counter name belongs to an advisory counter
+/// ([`Counter::advisory`]) and must stay out of the fingerprint.
+fn advisory_counter(name: &str) -> bool {
+    Counter::ALL
+        .iter()
+        .any(|c| c.advisory() && c.name() == name)
 }
 
 fn fmt_bytes(bytes: u64) -> String {
@@ -503,6 +530,7 @@ mod tests {
                 quantization_error: 0.5,
                 topographic_error: 0.1,
                 sigma: 3.0,
+                warm_hit_rate: None,
             });
             c.record_merge(0.75);
         }
@@ -535,6 +563,24 @@ mod tests {
         let mut b = a.clone();
         b.counters[0].value += 1;
         assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn advisory_warm_telemetry_does_not_perturb_the_fingerprint() {
+        let a = sample_report();
+        let mut b = a.clone();
+        for c in &mut b.counters {
+            if c.name == "bmu_warm_hits" || c.name == "bmu_exact_rescans" {
+                c.value += 1234;
+            }
+        }
+        for e in &mut b.som_epochs {
+            e.warm_hit_rate = Some(0.875);
+        }
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // ...but the rendered tree narrates the warm split.
+        assert!(b.render_tree().contains("warm bmu:"));
+        assert!(!a.render_tree().contains("warm bmu:"));
     }
 
     #[test]
@@ -645,36 +691,42 @@ mod tests {
                 quantization_error: 1.0,
                 topographic_error: 0.0,
                 sigma: 1.0,
+                warm_hit_rate: None,
             },
             EpochRecord {
                 epoch: 1,
                 quantization_error: 0.99,
                 topographic_error: 0.0,
                 sigma: 1.0,
+                warm_hit_rate: None,
             },
             EpochRecord {
                 epoch: 2,
                 quantization_error: 0.99,
                 topographic_error: 0.0,
                 sigma: 1.0,
+                warm_hit_rate: None,
             },
             EpochRecord {
                 epoch: 3,
                 quantization_error: 0.99,
                 topographic_error: 0.0,
                 sigma: 1.0,
+                warm_hit_rate: None,
             },
             EpochRecord {
                 epoch: 4,
                 quantization_error: 0.99,
                 topographic_error: 0.0,
                 sigma: 1.0,
+                warm_hit_rate: None,
             },
             EpochRecord {
                 epoch: 5,
                 quantization_error: 0.99,
                 topographic_error: 0.0,
                 sigma: 1.0,
+                warm_hit_rate: None,
             },
         ]));
         let doc = TraceDocument::new(

@@ -48,6 +48,12 @@ pub enum SomError {
         /// The panic payload rendered as text.
         payload: String,
     },
+    /// A streaming row source failed to deliver a strip during out-of-core
+    /// training (I/O failure, corrupt backing file, bad request).
+    RowSource {
+        /// The backend failure rendered as text.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SomError {
@@ -70,6 +76,9 @@ impl fmt::Display for SomError {
             SomError::WorkerPanic { chunk, payload } => {
                 write!(f, "worker panicked in chunk {chunk}: {payload}")
             }
+            SomError::RowSource { detail } => {
+                write!(f, "streaming row source failed: {detail}")
+            }
         }
     }
 }
@@ -87,6 +96,12 @@ impl Error for SomError {
 impl From<LinalgError> for SomError {
     fn from(e: LinalgError) -> Self {
         SomError::Linalg(e)
+    }
+}
+
+impl From<hiermeans_linalg::rows::RowSourceError> for SomError {
+    fn from(e: hiermeans_linalg::rows::RowSourceError) -> Self {
+        SomError::RowSource { detail: e.detail }
     }
 }
 

@@ -54,6 +54,7 @@ pub mod quality;
 pub mod schedule;
 pub mod train;
 pub mod umatrix;
+pub mod warm;
 
 pub use error::SomError;
 pub use grid::{Grid, GridTopology};
@@ -61,3 +62,4 @@ pub use hiermeans_linalg::kernels::KernelPolicy;
 pub use kernel::NeighborhoodKernel;
 pub use schedule::{DecaySchedule, ScheduleError};
 pub use train::{heuristic_map_size, Initializer, Som, SomBuilder, TrainingMode};
+pub use warm::WarmStart;

@@ -18,7 +18,7 @@
 use hiermeans_linalg::{parallel, Matrix};
 use hiermeans_obs::memhook::{self, TrackingAlloc};
 use hiermeans_obs::{Collector, ObsConfig};
-use hiermeans_som::{KernelPolicy, SomBuilder, TrainingMode};
+use hiermeans_som::{Initializer, KernelPolicy, SomBuilder, TrainingMode, WarmStart};
 
 #[global_allocator]
 static ALLOCATOR: TrackingAlloc = TrackingAlloc;
@@ -81,6 +81,36 @@ fn allocations_for_lanes(mode: TrainingMode, policy: KernelPolicy, epochs: usize
     })
 }
 
+fn allocations_for_stream(warm: WarmStart, epochs: usize) -> u64 {
+    let data = sample_data();
+    allocations_during(|| {
+        let mut source: &Matrix = &data;
+        let som = SomBuilder::new(4, 4)
+            .seed(11)
+            .epochs(epochs)
+            .mode(TrainingMode::Batch)
+            .initializer(Initializer::Random)
+            .warm_start(warm)
+            .train_stream(&mut source)
+            .unwrap();
+        std::hint::black_box(&som);
+    })
+}
+
+fn allocations_for_warm(warm: WarmStart, epochs: usize) -> u64 {
+    let data = sample_data();
+    allocations_during(|| {
+        let som = SomBuilder::new(4, 4)
+            .seed(11)
+            .epochs(epochs)
+            .mode(TrainingMode::Batch)
+            .warm_start(warm)
+            .train(&data)
+            .unwrap();
+        std::hint::black_box(&som);
+    })
+}
+
 /// Training for many epochs allocates exactly as much as training for one:
 /// all per-epoch work runs on preallocated scratch.
 #[test]
@@ -129,6 +159,43 @@ fn steady_state_epochs_allocate_nothing_with_lanes_enabled() {
             many, one,
             "{mode:?}/{policy:?} with lanes: 51 epochs allocated {many}, 1 epoch {one} — \
              lane recording must not allocate in steady state"
+        );
+    }
+    parallel::set_worker_override(None);
+}
+
+/// The epoch-warm cache and its drift accounting are allocated once at
+/// setup: warm batch epochs stay allocation-free, with the warm path on or
+/// off.
+#[test]
+fn steady_state_warm_epochs_allocate_nothing() {
+    parallel::set_worker_override(Some(1));
+    for warm in [WarmStart::Enabled, WarmStart::Disabled] {
+        allocations_for_warm(warm, 1);
+        let one = allocations_for_warm(warm, 1);
+        let many = allocations_for_warm(warm, 51);
+        assert_eq!(
+            many, one,
+            "warm={warm:?}: 51 epochs allocated {many}, 1 epoch {one} — \
+             warm bookkeeping must not allocate in steady state"
+        );
+    }
+    parallel::set_worker_override(None);
+}
+
+/// The streaming trainer reuses one strip buffer and the same scratch:
+/// steady-state streamed epochs allocate nothing either.
+#[test]
+fn steady_state_stream_epochs_allocate_nothing() {
+    parallel::set_worker_override(Some(1));
+    for warm in [WarmStart::Enabled, WarmStart::Disabled] {
+        allocations_for_stream(warm, 1);
+        let one = allocations_for_stream(warm, 1);
+        let many = allocations_for_stream(warm, 51);
+        assert_eq!(
+            many, one,
+            "stream warm={warm:?}: 51 epochs allocated {many}, 1 epoch {one} — \
+             streamed epochs must run on the preallocated strip and scratch"
         );
     }
     parallel::set_worker_override(None);

@@ -32,6 +32,10 @@
 //! * [`synthetic`] — seeded Gaussian-mixture corpora with planted cluster
 //!   structure, for scale benchmarks and recovery tests far past the
 //!   paper's 13 workloads.
+//! * [`stream`] — out-of-core row sources over characteristic-vector
+//!   matrices: a strip-generating synthetic backend (bitwise identical to
+//!   the resident draw) and a paging binary-file backend, both feeding the
+//!   SOM's bounded-memory streaming trainer.
 //! * [`charvec`] — assembles characteristic vectors: sample averaging,
 //!   invariant-counter filtering, universal/unique-method filtering, and
 //!   z-score standardization, exactly as Section IV-C describes.
@@ -68,6 +72,7 @@ pub mod merger;
 pub mod mica;
 pub mod rng;
 pub mod sar;
+pub mod stream;
 pub mod suite;
 pub mod synthetic;
 pub mod timing;

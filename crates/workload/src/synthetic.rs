@@ -70,6 +70,23 @@ pub struct PlantedMixture {
 /// zero, `k > n`, `spread` is not positive and finite, or `noise` is
 /// negative or non-finite.
 pub fn gaussian_mixture(spec: &MixtureSpec) -> Result<PlantedMixture, WorkloadError> {
+    validate(spec)?;
+    let root = SimRng::new(spec.seed);
+    let centers = planted_centers(spec, &root);
+    let mut point_rng = root.derive("mixture/points");
+    let mut points = Matrix::zeros(spec.n, spec.dim);
+    let mut labels = Vec::with_capacity(spec.n);
+    for i in 0..spec.n {
+        let c = i % spec.k;
+        labels.push(c);
+        fill_row(&centers, spec.noise, c, &mut point_rng, points.row_mut(i));
+    }
+    Ok(PlantedMixture { points, labels })
+}
+
+/// Rejects out-of-domain mixture parameters (shared by the resident draw
+/// and [`crate::stream::SyntheticRowSource`]).
+pub(crate) fn validate(spec: &MixtureSpec) -> Result<(), WorkloadError> {
     if spec.n == 0 || spec.dim == 0 || spec.k == 0 {
         return Err(WorkloadError::InvalidParameter {
             name: "n/dim/k",
@@ -94,7 +111,13 @@ pub fn gaussian_mixture(spec: &MixtureSpec) -> Result<PlantedMixture, WorkloadEr
             reason: "noise must be non-negative and finite",
         });
     }
-    let root = SimRng::new(spec.seed);
+    Ok(())
+}
+
+/// Draws the planted centers from the `mixture/centers` sub-stream of
+/// `root`. `derive` never mutates `root`, so centers are identical no
+/// matter how many times (or in what order) they are drawn.
+pub(crate) fn planted_centers(spec: &MixtureSpec, root: &SimRng) -> Matrix {
     let mut center_rng = root.derive("mixture/centers");
     let mut centers = Matrix::zeros(spec.k, spec.dim);
     for c in 0..spec.k {
@@ -102,17 +125,23 @@ pub fn gaussian_mixture(spec: &MixtureSpec) -> Result<PlantedMixture, WorkloadEr
             centers[(c, d)] = center_rng.uniform_in(0.0, spec.spread);
         }
     }
-    let mut point_rng = root.derive("mixture/points");
-    let mut points = Matrix::zeros(spec.n, spec.dim);
-    let mut labels = Vec::with_capacity(spec.n);
-    for i in 0..spec.n {
-        let c = i % spec.k;
-        labels.push(c);
-        for d in 0..spec.dim {
-            points[(i, d)] = centers[(c, d)] + spec.noise * point_rng.standard_normal();
-        }
+    centers
+}
+
+/// Writes one mixture point into `out`: `cluster`'s center plus isotropic
+/// noise drawn from `rng`. Points must be generated row-sequentially from
+/// a fresh `mixture/points` stream — Box–Muller caches a spare variate in
+/// `rng` across calls, so skipping or reordering rows changes the bits.
+pub(crate) fn fill_row(
+    centers: &Matrix,
+    noise: f64,
+    cluster: usize,
+    rng: &mut SimRng,
+    out: &mut [f64],
+) {
+    for (d, v) in out.iter_mut().enumerate() {
+        *v = centers[(cluster, d)] + noise * rng.standard_normal();
     }
-    Ok(PlantedMixture { points, labels })
 }
 
 #[cfg(test)]
