@@ -35,6 +35,7 @@ fn bench_overhead(c: &mut Criterion) {
                     epoch_quality_stride: 0,
                     lanes: false,
                     memory: false,
+                    ..ObsConfig::default()
                 }),
                 ..PipelineConfig::default()
             };
@@ -48,6 +49,7 @@ fn bench_overhead(c: &mut Criterion) {
                     epoch_quality_stride: 0,
                     lanes: true,
                     memory: false,
+                    ..ObsConfig::default()
                 }),
                 ..PipelineConfig::default()
             };

@@ -27,16 +27,27 @@
 //!                    speedup collapses below 1.3x at n ≥ 10k, and with
 //!                    --baseline also gates each timed cell against the
 //!                    stored report at > 50% and > 250 ms)
-//!   observability:   trace [--prom <file>] (writes OBS_trace.json; exits
-//!                    nonzero if any study's SOM did not converge; with
-//!                    --prom, also writes the document in Prometheus text
-//!                    exposition format)
-//!                    profile (writes OBS_profile.json with per-worker
-//!                    lane timelines, occupancy, and parallel efficiency,
-//!                    plus OBS_profile.trace.json in Chrome trace-event
-//!                    format, loadable in Perfetto)
+//!   observability:   trace [--prom <file>] [--live [addr]] (writes
+//!                    OBS_trace.json; exits nonzero if any study's SOM did
+//!                    not converge; with --prom, also writes the document
+//!                    in Prometheus text exposition format)
+//!                    profile [--live [addr]] (writes OBS_profile.json
+//!                    with per-worker lane timelines, occupancy, and
+//!                    parallel efficiency, plus OBS_profile.trace.json in
+//!                    Chrome trace-event format, loadable in Perfetto)
 //!                    check-trace <file> (validates a Chrome trace-event
-//!                    file's shape: every event has ph/ts/dur/tid)
+//!                    file's shape — every event has ph/ts/dur/tid — or,
+//!                    for an OBS_trace/OBS_profile document, the full
+//!                    schema: finite quality records, warm-hit-rate and
+//!                    memory blocks, meta and live stamps)
+//!   live telemetry:  long-running runs (trace, profile, bench-scale,
+//!                    bench-som, submit, merge) accept --live [addr]
+//!                    (default 127.0.0.1:9184) to host in-process
+//!                    GET /metrics, /healthz, /readyz, /trace, and
+//!                    /events (SSE progress) endpoints for the run's
+//!                    duration; hosting changes no artifact bytes
+//!                    watch [addr] (attaches to a --live run's /events
+//!                    stream and renders progress rows until the run ends)
 //!   run history:     trace/profile/bench-pipeline/bench-scale/bench-som
 //!                    each append one compact record to OBS_history.jsonl
 //!                    history [--gate] (renders the trend table over the
@@ -75,9 +86,10 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use hiermeans_bench::{
-    check, experiments, extensions, faults, history, kernels, perf, profile, scale, som, store_cli,
-    trace,
+    check, experiments, extensions, faults, history, kernels, live_client, perf, profile, scale,
+    som, store_cli, trace,
 };
+use hiermeans_obs::LiveServer;
 use hiermeans_workload::measurement::Characterization;
 use hiermeans_workload::Machine;
 
@@ -93,10 +105,10 @@ fn run(artifact: &str) -> Result<String, String> {
         return run_bench_pipeline(None);
     }
     if artifact == "bench-scale" {
-        return run_bench_scale(None);
+        return run_bench_scale(None, None);
     }
     if artifact == "bench-som" {
-        return run_bench_som(None);
+        return run_bench_som(None, None);
     }
     if artifact == "bench-kernels" {
         return kernels::bench_kernels_json()
@@ -108,19 +120,10 @@ fn run(artifact: &str) -> Result<String, String> {
             .map_err(|e| format!("bench-kernels failed: {e}"));
     }
     if artifact == "trace" {
-        return run_trace(None);
+        return run_trace(None, None);
     }
     if artifact == "profile" {
-        let (document, json, chrome_json, rendered) =
-            profile::profile_artifact().map_err(|e| format!("profile failed: {e}"))?;
-        std::fs::write("OBS_profile.json", &json)
-            .map_err(|e| format!("writing OBS_profile.json: {e}"))?;
-        std::fs::write("OBS_profile.trace.json", &chrome_json)
-            .map_err(|e| format!("writing OBS_profile.trace.json: {e}"))?;
-        let appended = history::append(&history::record_from_profile(&document))?;
-        return Ok(format!(
-            "wrote OBS_profile.json and OBS_profile.trace.json\n{appended}\n{rendered}"
-        ));
+        return run_profile(None);
     }
     if artifact == "history" {
         return run_history(false);
@@ -216,7 +219,7 @@ fn run_bench_pipeline(baseline: Option<&str>) -> Result<String, String> {
 /// batch SOM), writes `BENCH_scale.json`, and — when a baseline file is
 /// given — applies the scale regression gate: any curve row more than 50%
 /// (and 250 ms) over the baseline's fails the run.
-fn run_bench_scale(baseline: Option<&str>) -> Result<String, String> {
+fn run_bench_scale(baseline: Option<&str>, live_addr: Option<&str>) -> Result<String, String> {
     // Parse the baseline before benching: the committed baseline
     // conventionally lives at BENCH_scale.json itself, which the write
     // below replaces.
@@ -228,6 +231,11 @@ fn run_bench_scale(baseline: Option<&str>) -> Result<String, String> {
                 .map_err(|e| format!("bench-scale: parsing baseline {path}: {e}"))
         })
         .transpose()?;
+    // The scale curves deliberately run without collectors (telemetry in
+    // the timed region would distort them), so the plane serves process
+    // liveness — /metrics with the process RSS gauge and /healthz — while
+    // the minutes-long run grinds, rather than per-epoch progress.
+    let server = host_live(live_addr)?;
     let report = scale::bench_scale();
     let json =
         serde_json::to_string_pretty(&report).map_err(|e| format!("bench-scale failed: {e}"))?;
@@ -239,6 +247,9 @@ fn run_bench_scale(baseline: Option<&str>) -> Result<String, String> {
         let table = scale::compare_with_scale_baseline(&report, &base)?;
         out.push_str(&format!("\nscale regression gate vs {path}: ok\n{table}"));
     }
+    if let Some(server) = &server {
+        out.push_str(&live_note(server));
+    }
     Ok(out)
 }
 
@@ -246,7 +257,7 @@ fn run_bench_scale(baseline: Option<&str>) -> Result<String, String> {
 /// streaming row, writes `BENCH_som.json`, applies the warm speedup gate
 /// (the warm path must stay ≥ 1.3× at n ≥ 10 000), and — when a baseline
 /// file is given — gates each timed cell against it at > 50% and > 250 ms.
-fn run_bench_som(baseline: Option<&str>) -> Result<String, String> {
+fn run_bench_som(baseline: Option<&str>, live_addr: Option<&str>) -> Result<String, String> {
     // Parse the baseline before benching: the committed baseline
     // conventionally lives at BENCH_som.json itself, which the write below
     // replaces.
@@ -258,7 +269,8 @@ fn run_bench_som(baseline: Option<&str>) -> Result<String, String> {
                 .map_err(|e| format!("bench-som: parsing baseline {path}: {e}"))
         })
         .transpose()?;
-    let report = som::bench_som();
+    let server = host_live(live_addr)?;
+    let report = som::bench_som(server.as_ref());
     let json =
         serde_json::to_string_pretty(&report).map_err(|e| format!("bench-som failed: {e}"))?;
     std::fs::write("BENCH_som.json", &json).map_err(|e| format!("writing BENCH_som.json: {e}"))?;
@@ -272,21 +284,46 @@ fn run_bench_som(baseline: Option<&str>) -> Result<String, String> {
         let table = som::compare_with_som_baseline(&report, &base)?;
         out.push_str(&format!("\nsom regression gate vs {path}: ok\n{table}"));
     }
+    if let Some(server) = &server {
+        out.push_str(&live_note(server));
+    }
     Ok(out)
+}
+
+/// Hosts the live telemetry plane when `--live` was given: the server stays
+/// up for the duration of the calling subcommand and shuts down (joining
+/// every connection thread) when it drops.
+fn host_live(addr: Option<&str>) -> Result<Option<LiveServer>, String> {
+    addr.map(|a| LiveServer::bind(a, hiermeans_linalg::parallel::worker_count()))
+        .transpose()
+}
+
+/// One summary line appended to a `--live` run's output.
+fn live_note(server: &LiveServer) -> String {
+    let summary = server.summary();
+    let r = &summary.requests;
+    format!(
+        "\nlive telemetry on {}: {} events published; requests: {} /metrics, {} /healthz, {} /readyz, {} /trace, {} /events",
+        summary.addr, summary.events_published, r.metrics, r.healthz, r.readyz, r.trace, r.events
+    )
 }
 
 /// Runs the traced paper studies, writes `OBS_trace.json` (and, when
 /// `--prom` was given, the Prometheus text exposition), and applies the SOM
 /// convergence gate.
-fn run_trace(prom: Option<&str>) -> Result<String, String> {
+fn run_trace(prom: Option<&str>, live_addr: Option<&str>) -> Result<String, String> {
+    let server = host_live(live_addr)?;
     let (document, json, rendered) =
-        trace::trace_artifact().map_err(|e| format!("trace failed: {e}"))?;
+        trace::trace_artifact(server.as_ref()).map_err(|e| format!("trace failed: {e}"))?;
     std::fs::write("OBS_trace.json", &json).map_err(|e| format!("writing OBS_trace.json: {e}"))?;
     let mut wrote = "wrote OBS_trace.json".to_owned();
     if let Some(path) = prom {
         let text = hiermeans_obs::prom::to_prometheus(&document);
         std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
         wrote.push_str(&format!(" and {path}"));
+    }
+    if let Some(server) = &server {
+        wrote.push_str(&live_note(server));
     }
     // The record lands before the convergence gate: a non-converged run
     // must appear in the history (the statistical gate fails it there too),
@@ -295,6 +332,24 @@ fn run_trace(prom: Option<&str>) -> Result<String, String> {
     if !document.all_converged() {
         return Err(format!("trace: SOM convergence gate failed\n{rendered}"));
     }
+    Ok(format!("{wrote}\n{appended}\n{rendered}"))
+}
+
+/// Runs the profiled paper studies (`repro profile`), writing
+/// `OBS_profile.json` and the Chrome trace-event companion.
+fn run_profile(live_addr: Option<&str>) -> Result<String, String> {
+    let server = host_live(live_addr)?;
+    let (document, json, chrome_json, rendered) =
+        profile::profile_artifact(server.as_ref()).map_err(|e| format!("profile failed: {e}"))?;
+    std::fs::write("OBS_profile.json", &json)
+        .map_err(|e| format!("writing OBS_profile.json: {e}"))?;
+    std::fs::write("OBS_profile.trace.json", &chrome_json)
+        .map_err(|e| format!("writing OBS_profile.trace.json: {e}"))?;
+    let mut wrote = "wrote OBS_profile.json and OBS_profile.trace.json".to_owned();
+    if let Some(server) = &server {
+        wrote.push_str(&live_note(server));
+    }
+    let appended = history::append(&history::record_from_profile(&document))?;
     Ok(format!("{wrote}\n{appended}\n{rendered}"))
 }
 
@@ -352,15 +407,28 @@ fn run_check_report(path: &str) -> Result<String, String> {
     Ok(format!("{path}: ok ({} history records)", records.len()))
 }
 
-/// Validates a Chrome trace-event file (`repro check-trace <file>`): every
-/// event must be a complete `ph: "X"` duration event with numeric
-/// `ts`/`dur`/`pid`/`tid` — the shape Perfetto's importer requires.
+/// Validates a trace file (`repro check-trace <file>`). Chrome trace-event
+/// files (a top-level `traceEvents` array) are checked for the shape
+/// Perfetto's importer requires — every event a complete `ph: "X"`
+/// duration event with numeric `ts`/`dur`/`pid`/`tid`. Anything else is
+/// validated as an `OBS_trace.json`/`OBS_profile.json` document: schema
+/// version, finite per-epoch quality records, warm-hit-rate bounds, and
+/// the optional memory, meta, and live blocks.
 fn run_check_trace(path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("check-trace: cannot read {path}: {e}"))?;
-    let events =
-        hiermeans_obs::chrome::validate(&text).map_err(|e| format!("check-trace {path}: {e}"))?;
-    Ok(format!("{path}: ok ({events} trace events)"))
+    let sniffed = serde_json::from_str::<serde::Value>(&text)
+        .map_err(|e| format!("check-trace {path}: not JSON: {e}"))?;
+    if sniffed.get("traceEvents").is_some() {
+        let events = hiermeans_obs::chrome::validate(&text)
+            .map_err(|e| format!("check-trace {path}: {e}"))?;
+        return Ok(format!("{path}: ok ({events} trace events)"));
+    }
+    let (studies, epochs) = hiermeans_obs::report::validate_document(&text)
+        .map_err(|e| format!("check-trace {path}: {e}"))?;
+    Ok(format!(
+        "{path}: ok ({studies} studies, {epochs} epoch records)"
+    ))
 }
 
 /// Validates a matrix file, printing typed diagnostics instead of
@@ -400,19 +468,23 @@ fn main() -> ExitCode {
              means-family duplication correlation mica evaluation json-reports extensions\n  \
              performance: bench-pipeline [--baseline <file>] (writes BENCH_pipeline.json), \
              bench-kernels (writes BENCH_kernels.json), \
-             bench-scale [--baseline <file>] (writes BENCH_scale.json; takes minutes), \
-             bench-som [--baseline <file>] (writes BENCH_som.json with the warm-vs-cold \
-             epoch-throughput curve and the n = 10^6 streaming row)\n  \
-             observability: trace [--prom <file>] (writes OBS_trace.json), \
-             profile (writes OBS_profile.json + OBS_profile.trace.json), \
-             check-trace <file>\n  \
+             bench-scale [--baseline <file>] [--live [addr]] (writes BENCH_scale.json; \
+             takes minutes), \
+             bench-som [--baseline <file>] [--live [addr]] (writes BENCH_som.json with \
+             the warm-vs-cold epoch-throughput curve and the n = 10^6 streaming row)\n  \
+             observability: trace [--prom <file>] [--live [addr]] (writes OBS_trace.json), \
+             profile [--live [addr]] (writes OBS_profile.json + OBS_profile.trace.json), \
+             check-trace <file> (Chrome trace or OBS document)\n  \
+             live telemetry: --live [addr] (default 127.0.0.1:9184) hosts /metrics, \
+             /healthz, /readyz, /trace, and /events (SSE) for the run's duration; \
+             watch [addr] renders a --live run's progress stream\n  \
              run history: history [--gate] (trend table over OBS_history.jsonl; \
              --gate fails on statistical regressions), \
              report (writes OBS_report.html), check-report <file>\n  \
              robustness: faults (writes OBS_faults.json), check <file>\n  \
-             fleet store: submit [--store <file>] (<subs.jsonl> | --paper | \
+             fleet store: submit [--store <file>] [--live [addr]] (<subs.jsonl> | --paper | \
              --synthetic <n> [--seed <s>]), \
-             merge [--store <dst>] <src.jsonl>, \
+             merge [--store <dst>] [--live [addr]] <src.jsonl>, \
              query [--store <file>], \
              fsck [--store <file>] [--repair]"
         );
@@ -446,37 +518,65 @@ fn main() -> ExitCode {
         } else if artifact == "history" && args.peek().map(String::as_str) == Some("--gate") {
             args.next();
             run_guarded(|| run_history(true), "history")
-        } else if artifact == "trace" && args.peek().map(String::as_str) == Some("--prom") {
-            args.next();
-            let Some(path) = args.next() else {
-                eprintln!("trace: --prom requires a <file> argument");
-                return ExitCode::FAILURE;
-            };
-            run_guarded(|| run_trace(Some(&path)), "trace")
-        } else if artifact == "bench-pipeline"
-            && args.peek().map(String::as_str) == Some("--baseline")
-        {
-            args.next();
-            let Some(path) = args.next() else {
-                eprintln!("bench-pipeline: --baseline requires a <file> argument");
-                return ExitCode::FAILURE;
-            };
-            run_guarded(|| run_bench_pipeline(Some(&path)), "bench-pipeline")
-        } else if artifact == "bench-scale" && args.peek().map(String::as_str) == Some("--baseline")
-        {
-            args.next();
-            let Some(path) = args.next() else {
-                eprintln!("bench-scale: missing --baseline <file> argument");
-                return ExitCode::FAILURE;
-            };
-            run_guarded(|| run_bench_scale(Some(&path)), "bench-scale")
-        } else if artifact == "bench-som" && args.peek().map(String::as_str) == Some("--baseline") {
-            args.next();
-            let Some(path) = args.next() else {
-                eprintln!("bench-som: missing --baseline <file> argument");
-                return ExitCode::FAILURE;
-            };
-            run_guarded(|| run_bench_som(Some(&path)), "bench-som")
+        } else if artifact == "watch" {
+            let addr = live_client::take_live_addr(&mut args);
+            run_guarded(
+                || {
+                    let mut out = std::io::stdout();
+                    live_client::watch(&addr, &mut out)
+                },
+                "watch",
+            )
+        } else if matches!(
+            artifact.as_str(),
+            "trace" | "profile" | "bench-pipeline" | "bench-scale" | "bench-som"
+        ) {
+            // These subcommands take flags in any order: --baseline <file>
+            // (benches), --prom <file> (trace), --live [addr] (all the
+            // long-running ones).
+            let mut baseline: Option<String> = None;
+            let mut prom: Option<String> = None;
+            let mut live: Option<String> = None;
+            loop {
+                match args.peek().map(String::as_str) {
+                    Some("--baseline") if artifact.starts_with("bench-") => {
+                        args.next();
+                        let Some(path) = args.next() else {
+                            eprintln!("{artifact}: --baseline requires a <file> argument");
+                            return ExitCode::FAILURE;
+                        };
+                        baseline = Some(path);
+                    }
+                    Some("--prom") if artifact == "trace" => {
+                        args.next();
+                        let Some(path) = args.next() else {
+                            eprintln!("trace: --prom requires a <file> argument");
+                            return ExitCode::FAILURE;
+                        };
+                        prom = Some(path);
+                    }
+                    Some("--live") if artifact != "bench-pipeline" => {
+                        args.next();
+                        live = Some(live_client::take_live_addr(&mut args));
+                    }
+                    _ => break,
+                }
+            }
+            match artifact.as_str() {
+                "trace" => run_guarded(|| run_trace(prom.as_deref(), live.as_deref()), "trace"),
+                "profile" => run_guarded(|| run_profile(live.as_deref()), "profile"),
+                "bench-pipeline" => {
+                    run_guarded(|| run_bench_pipeline(baseline.as_deref()), "bench-pipeline")
+                }
+                "bench-scale" => run_guarded(
+                    || run_bench_scale(baseline.as_deref(), live.as_deref()),
+                    "bench-scale",
+                ),
+                _ => run_guarded(
+                    || run_bench_som(baseline.as_deref(), live.as_deref()),
+                    "bench-som",
+                ),
+            }
         } else {
             run_guarded(|| run(&artifact), &artifact)
         };

@@ -14,6 +14,7 @@ pub mod extensions;
 pub mod faults;
 pub mod history;
 pub mod kernels;
+pub mod live_client;
 pub mod perf;
 pub mod profile;
 pub mod scale;

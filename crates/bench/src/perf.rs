@@ -96,6 +96,7 @@ fn median_ms(stage: &'static str, reps: usize, mut f: impl FnMut(&Collector)) ->
                 epoch_quality_stride: 0,
                 lanes: false,
                 memory: true,
+                ..ObsConfig::default()
             });
             f(&collector);
             let report = collector.report().expect("enabled collector");

@@ -15,7 +15,8 @@
 
 use hiermeans_core::analysis::SuiteAnalysis;
 use hiermeans_linalg::parallel;
-use hiermeans_obs::{chrome, Collector, ObsConfig, StudyTrace, TraceDocument};
+use hiermeans_obs::history::BenchMeta;
+use hiermeans_obs::{chrome, Collector, LiveServer, ObsConfig, StudyTrace, TraceDocument};
 
 use crate::trace::paper_studies;
 
@@ -26,13 +27,29 @@ use crate::trace::paper_studies;
 ///
 /// Returns the first study's failure, labeled.
 pub fn paper_profile_document() -> Result<TraceDocument, String> {
+    paper_profile_document_live(None)
+}
+
+/// [`paper_profile_document`] with an optional live telemetry plane.
+/// Quality sampling is off for profile fidelity, so the plane sees epoch
+/// and final-report snapshots rather than per-epoch quality records.
+///
+/// # Errors
+///
+/// Returns the first study's failure, labeled.
+pub fn paper_profile_document_live(live: Option<&LiveServer>) -> Result<TraceDocument, String> {
     let mut studies = Vec::new();
     for (label, characterization) in paper_studies() {
-        let collector = Collector::enabled_with(ObsConfig {
+        let config = ObsConfig {
             epoch_quality_stride: 0,
             lanes: true,
             memory: true,
-        });
+            ..ObsConfig::default()
+        };
+        let collector = match live {
+            Some(server) => Collector::enabled_live(config, server.publisher(label)),
+            None => Collector::enabled_with(config),
+        };
         SuiteAnalysis::paper_with(characterization, &collector)
             .map_err(|e| format!("{label}: {e}"))?;
         let trace = collector
@@ -43,7 +60,12 @@ pub fn paper_profile_document() -> Result<TraceDocument, String> {
             trace,
         });
     }
-    Ok(TraceDocument::new(parallel::worker_count(), studies))
+    let mut document =
+        TraceDocument::new(parallel::worker_count(), studies).with_meta(BenchMeta::capture());
+    if let Some(server) = live {
+        document = document.with_live(server.summary());
+    }
+    Ok(document)
 }
 
 /// Produces the `repro profile` outputs: the document, the pretty JSON for
@@ -53,8 +75,10 @@ pub fn paper_profile_document() -> Result<TraceDocument, String> {
 /// # Errors
 ///
 /// Propagates study and serialization failures.
-pub fn profile_artifact() -> Result<(TraceDocument, String, String, String), String> {
-    let document = paper_profile_document()?;
+pub fn profile_artifact(
+    live: Option<&LiveServer>,
+) -> Result<(TraceDocument, String, String, String), String> {
+    let document = paper_profile_document_live(live)?;
     let json = serde_json::to_string_pretty(&document).map_err(|e| e.to_string())?;
     let chrome_json = chrome::to_chrome_trace(&document);
     chrome::validate(&chrome_json).map_err(|e| format!("chrome trace self-check: {e}"))?;
@@ -74,6 +98,7 @@ mod tests {
             epoch_quality_stride: 0,
             lanes: true,
             memory: true,
+            ..ObsConfig::default()
         });
         let (label, ch) = paper_studies().remove(0);
         SuiteAnalysis::paper_with(ch, &collector).unwrap();

@@ -17,7 +17,7 @@
 use std::time::Instant;
 
 use hiermeans_obs::memhook;
-use hiermeans_obs::{Collector, ObsConfig};
+use hiermeans_obs::{Collector, LiveServer, ObsConfig};
 use hiermeans_som::{
     DecaySchedule, Initializer, NeighborhoodKernel, Som, SomBuilder, TrainingMode, WarmStart,
 };
@@ -144,7 +144,12 @@ fn builder(
 /// Runs the epoch-throughput curve (n = 1k / 10k / 100k, warm on and off)
 /// and the n = 10⁶ streaming row. Takes a few minutes in release — the
 /// 100k row alone trains 192 epochs cold and warm.
-pub fn bench_som() -> SomBenchReport {
+///
+/// With a live server attached (`repro bench-som --live`), the untimed
+/// traced runs and the streaming row publish progress through it; the
+/// *timed* cold/warm runs stay untraced so the curve measures the trainer,
+/// not the plane.
+pub fn bench_som(live: Option<&LiveServer>) -> SomBenchReport {
     let mut results = Vec::new();
     // Grids near the heuristic ≈5·√n sizing the scaled pipeline uses,
     // capped at the 32×32 = 1024-unit kernel-table ceiling. Epoch budgets
@@ -173,11 +178,18 @@ pub fn bench_som() -> SomBenchReport {
         });
         // Hit rate from an untimed traced run: quality sampling off so the
         // trace adds no extra BMU passes to attribute.
-        let collector = Collector::enabled_with(ObsConfig {
+        let config = ObsConfig {
             epoch_quality_stride: 0,
             lanes: false,
             memory: false,
-        });
+            ..ObsConfig::default()
+        };
+        let collector = match live {
+            Some(server) => {
+                Collector::enabled_live(config, server.publisher(&format!("bench_som_n{n}")))
+            }
+            None => Collector::enabled_with(config),
+        };
         builder(width, height, epochs, sigma_div, WarmStart::Enabled)
             .train_traced(&points, &collector)
             .expect("finite mixture");
@@ -210,9 +222,27 @@ pub fn bench_som() -> SomBenchReport {
         let start = Instant::now();
         let (som, peak) = memhook::global_window(|| {
             let mut source = SyntheticRowSource::new(spec).expect("valid spec");
-            builder(width, height, epochs, 2.0, WarmStart::Disabled)
-                .train_stream(&mut source)
-                .expect("streaming training succeeds")
+            let b = builder(width, height, epochs, 2.0, WarmStart::Disabled);
+            match live {
+                // Live strip/epoch beats for the multi-minute streamed
+                // pass. Publishing allocates inside the global window, so
+                // a `--live` run's recorded peak can sit slightly above a
+                // plain run's — the trained map stays bitwise identical.
+                Some(server) => {
+                    let collector = Collector::enabled_live(
+                        ObsConfig {
+                            epoch_quality_stride: 0,
+                            lanes: false,
+                            memory: false,
+                            ..ObsConfig::default()
+                        },
+                        server.publisher("bench_som_stream"),
+                    );
+                    b.train_stream_traced(&mut source, &collector)
+                }
+                None => b.train_stream(&mut source),
+            }
+            .expect("streaming training succeeds")
         });
         let ms = start.elapsed().as_secs_f64() * 1e3;
         std::hint::black_box(&som);

@@ -19,7 +19,8 @@ use std::vec::IntoIter;
 
 use hiermeans_core::analysis::paper_vectors;
 use hiermeans_core::fleet::{ClusterModel, FleetScoreboard, DEFAULT_MAX_K};
-use hiermeans_obs::{Collector, ResilienceEvent};
+use hiermeans_linalg::parallel;
+use hiermeans_obs::{Collector, LiveServer, ObsConfig, ResilienceEvent};
 use hiermeans_store::{
     fsck, ingest_lines, ingest_submissions, synthetic_fleet, IngestConfig, ResultStore, Submission,
 };
@@ -325,11 +326,16 @@ fn run_submit(args: &mut Peekable<IntoIter<String>>) -> Result<String, String> {
     let mut synthetic: Option<usize> = None;
     let mut seed = 42u64;
     let mut file: Option<String> = None;
+    let mut live_addr: Option<String> = None;
     loop {
         match args.peek().map(String::as_str) {
             Some("--store") => {
                 args.next();
                 store_path = take_value(args, "submit", "--store")?;
+            }
+            Some("--live") => {
+                args.next();
+                live_addr = Some(crate::live_client::take_live_addr(args));
             }
             Some("--paper") => {
                 args.next();
@@ -357,7 +363,8 @@ fn run_submit(args: &mut Peekable<IntoIter<String>>) -> Result<String, String> {
         }
     }
     let store = ResultStore::new(&store_path);
-    let collector = Collector::enabled();
+    let server = host_live(live_addr.as_deref())?;
+    let collector = ingest_collector(server.as_ref(), &store_path);
     let cfg = IngestConfig::default();
     let report = if paper {
         ingest_submissions(&store, &paper_submissions()?, &cfg, &collector)?
@@ -382,9 +389,19 @@ fn run_submit(args: &mut Peekable<IntoIter<String>>) -> Result<String, String> {
 /// damage silently.
 fn run_merge(args: &mut Peekable<IntoIter<String>>) -> Result<String, String> {
     let mut store_path = STORE_PATH.to_owned();
-    if args.peek().map(String::as_str) == Some("--store") {
-        args.next();
-        store_path = take_value(args, "merge", "--store")?;
+    let mut live_addr: Option<String> = None;
+    loop {
+        match args.peek().map(String::as_str) {
+            Some("--store") => {
+                args.next();
+                store_path = take_value(args, "merge", "--store")?;
+            }
+            Some("--live") => {
+                args.next();
+                live_addr = Some(crate::live_client::take_live_addr(args));
+            }
+            _ => break,
+        }
     }
     let source = args
         .next()
@@ -392,7 +409,8 @@ fn run_merge(args: &mut Peekable<IntoIter<String>>) -> Result<String, String> {
     let text = std::fs::read_to_string(&source)
         .map_err(|e| format!("merge: cannot read {source}: {e}"))?;
     let store = ResultStore::new(&store_path);
-    let collector = Collector::enabled();
+    let server = host_live(live_addr.as_deref())?;
+    let collector = ingest_collector(server.as_ref(), &store_path);
     let report = ingest_lines(&store, &text, &IngestConfig::default(), &collector)?;
     let mut out = format!("merge {source} -> {store_path}\n");
     out.push_str(&render_submit(&store, &report, &collector)?);
@@ -447,6 +465,21 @@ fn run_fsck(args: &mut Peekable<IntoIter<String>>) -> Result<String, String> {
         return Err(format!("fsck: store has unrepaired problems\n{out}"));
     }
     Ok(out)
+}
+
+/// Hosts the live telemetry plane for one ingest run (`--live [addr]`).
+fn host_live(addr: Option<&str>) -> Result<Option<LiveServer>, String> {
+    addr.map(|a| LiveServer::bind(a, parallel::worker_count()))
+        .transpose()
+}
+
+/// The ingest collector: attached to the live plane (labeled with the
+/// store path, so SSE `Ingest` records name the store) when one is hosted.
+fn ingest_collector(server: Option<&LiveServer>, store_path: &str) -> Collector {
+    match server {
+        Some(server) => Collector::enabled_live(ObsConfig::default(), server.publisher(store_path)),
+        None => Collector::enabled(),
+    }
 }
 
 fn take_value(

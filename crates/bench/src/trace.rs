@@ -9,7 +9,8 @@
 
 use hiermeans_core::analysis::SuiteAnalysis;
 use hiermeans_linalg::parallel;
-use hiermeans_obs::{Collector, ObsConfig, StudyTrace, TraceDocument};
+use hiermeans_obs::history::BenchMeta;
+use hiermeans_obs::{Collector, LiveServer, ObsConfig, StudyTrace, TraceDocument};
 use hiermeans_workload::measurement::Characterization;
 use hiermeans_workload::Machine;
 
@@ -30,15 +31,31 @@ pub fn paper_studies() -> Vec<(&'static str, Characterization)> {
 ///
 /// Returns the first study's failure, labeled.
 pub fn paper_trace_document() -> Result<TraceDocument, String> {
+    paper_trace_document_live(None)
+}
+
+/// [`paper_trace_document`] with an optional live telemetry plane: when a
+/// server is given, each study's collector publishes snapshots and
+/// progress events through a per-study publisher. Live on vs. off changes
+/// no study output — publishing never writes into the recorded trace.
+///
+/// # Errors
+///
+/// Returns the first study's failure, labeled.
+pub fn paper_trace_document_live(live: Option<&LiveServer>) -> Result<TraceDocument, String> {
     let mut studies = Vec::new();
     for (label, characterization) in paper_studies() {
         // Memory telemetry is on for repro runs; the `repro` binary
         // installs the tracking allocator, so spans carry attribution.
         // Memory never feeds the fingerprint, so determinism gates hold.
-        let collector = Collector::enabled_with(ObsConfig {
+        let config = ObsConfig {
             memory: true,
             ..ObsConfig::default()
-        });
+        };
+        let collector = match live {
+            Some(server) => Collector::enabled_live(config, server.publisher(label)),
+            None => Collector::enabled_with(config),
+        };
         SuiteAnalysis::paper_with(characterization, &collector)
             .map_err(|e| format!("{label}: {e}"))?;
         let trace = collector
@@ -49,17 +66,24 @@ pub fn paper_trace_document() -> Result<TraceDocument, String> {
             trace,
         });
     }
-    Ok(TraceDocument::new(parallel::worker_count(), studies))
+    let mut document =
+        TraceDocument::new(parallel::worker_count(), studies).with_meta(BenchMeta::capture());
+    if let Some(server) = live {
+        document = document.with_live(server.summary());
+    }
+    Ok(document)
 }
 
 /// Produces the `repro trace` output: the document, its pretty JSON, and
-/// the rendered stage trees.
+/// the rendered stage trees. Hosts the live plane when `live` is given.
 ///
 /// # Errors
 ///
 /// Propagates study and serialization failures.
-pub fn trace_artifact() -> Result<(TraceDocument, String, String), String> {
-    let document = paper_trace_document()?;
+pub fn trace_artifact(
+    live: Option<&LiveServer>,
+) -> Result<(TraceDocument, String, String), String> {
+    let document = paper_trace_document_live(live)?;
     let json = serde_json::to_string_pretty(&document).map_err(|e| e.to_string())?;
     let rendered = document.render();
     Ok((document, json, rendered))

@@ -19,6 +19,7 @@ fn lane_fingerprint(ch: Characterization, workers: Option<usize>) -> String {
         epoch_quality_stride: 0,
         lanes: true,
         memory: false,
+        ..ObsConfig::default()
     });
     SuiteAnalysis::paper_with(ch, &collector).unwrap();
     parallel::set_worker_override(None);
@@ -39,7 +40,7 @@ fn lane_fingerprint_is_worker_count_invariant_for_every_paper_study() {
 
 #[test]
 fn profile_artifact_emits_valid_chrome_trace_with_worker_lanes() {
-    let (document, json, chrome_json, _rendered) = profile::profile_artifact().unwrap();
+    let (document, json, chrome_json, _rendered) = profile::profile_artifact(None).unwrap();
     // Every study reports lane analytics.
     for study in &document.studies {
         assert!(

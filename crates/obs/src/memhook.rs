@@ -39,7 +39,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Once, OnceLock};
+use std::sync::{Condvar, Mutex, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
@@ -344,26 +344,96 @@ fn read_status_kb(field: &str) -> Option<u64> {
     None
 }
 
-/// Starts the background RSS sampler once per process: a detached thread
-/// polling `VmRSS` every 50 ms and folding the maximum into a process-wide
-/// gauge. Its own allocations are exempt from every measurement window.
-pub fn ensure_rss_sampler() {
-    static STARTED: Once = Once::new();
-    STARTED.call_once(|| {
-        // Spawn failure just means sampling is absent; VmHWM still covers
-        // the process peak at report time.
-        let _ = std::thread::Builder::new()
-            .name("obs-rss-sampler".to_owned())
-            .spawn(|| {
-                STATS.with(|s| s.exempt.set(true));
-                loop {
-                    if let Some(kb) = read_status_kb("VmRSS") {
-                        SAMPLED_RSS_MAX_KB.fetch_max(kb, Ordering::Relaxed);
-                    }
-                    std::thread::sleep(std::time::Duration::from_millis(50));
+/// Refcounted handle to the background RSS sampler thread. The thread runs
+/// only while at least one memory-enabled collector is alive; the last
+/// release signals the condvar and *joins* the thread, so shutdown is
+/// deterministic instead of racing process exit. A later acquire restarts
+/// it — [`SAMPLED_RSS_MAX_KB`] is monotone across restarts, so the peak
+/// gauge never regresses.
+struct SamplerState {
+    users: usize,
+    handle: Option<SamplerHandle>,
+}
+
+struct SamplerHandle {
+    stop: std::sync::Arc<(Mutex<bool>, Condvar)>,
+    join: std::thread::JoinHandle<()>,
+}
+
+static SAMPLER: Mutex<SamplerState> = Mutex::new(SamplerState {
+    users: 0,
+    handle: None,
+});
+
+fn sampler_lock() -> std::sync::MutexGuard<'static, SamplerState> {
+    SAMPLER
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Registers one user of the background RSS sampler, starting the thread
+/// on the 0→1 transition: it polls `VmRSS` every 50 ms and folds the
+/// maximum into a process-wide gauge. Its own allocations are exempt from
+/// every measurement window. Pair with [`rss_sampler_release`].
+pub fn rss_sampler_acquire() {
+    let mut sampler = sampler_lock();
+    sampler.users += 1;
+    if sampler.handle.is_some() {
+        return;
+    }
+    let stop = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+    let thread_stop = std::sync::Arc::clone(&stop);
+    // Spawn failure just means sampling is absent; VmHWM still covers
+    // the process peak at report time.
+    let spawned = std::thread::Builder::new()
+        .name("obs-rss-sampler".to_owned())
+        .spawn(move || {
+            STATS.with(|s| s.exempt.set(true));
+            let (stopped, signal) = &*thread_stop;
+            let mut guard = stopped
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            while !*guard {
+                if let Some(kb) = read_status_kb("VmRSS") {
+                    SAMPLED_RSS_MAX_KB.fetch_max(kb, Ordering::Relaxed);
                 }
-            });
-    });
+                guard = signal
+                    .wait_timeout(guard, std::time::Duration::from_millis(50))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .0;
+            }
+        });
+    if let Ok(join) = spawned {
+        sampler.handle = Some(SamplerHandle { stop, join });
+    }
+}
+
+/// Releases one sampler user; the 1→0 transition stops the thread and
+/// joins it before returning.
+pub fn rss_sampler_release() {
+    let handle = {
+        let mut sampler = sampler_lock();
+        sampler.users = sampler.users.saturating_sub(1);
+        if sampler.users == 0 {
+            sampler.handle.take()
+        } else {
+            None
+        }
+    };
+    if let Some(SamplerHandle { stop, join }) = handle {
+        let (stopped, signal) = &*stop;
+        *stopped
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+        signal.notify_all();
+        let _ = join.join();
+    }
+}
+
+/// Whether the sampler thread is currently running (test hook).
+#[must_use]
+pub fn rss_sampler_running() -> bool {
+    sampler_lock().handle.is_some()
 }
 
 /// The process's peak resident set size in kB: the kernel's `VmHWM`

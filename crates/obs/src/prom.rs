@@ -148,8 +148,10 @@ fn fmt_f64(v: f64) -> String {
     format!("{v}")
 }
 
-/// Escapes a label value per the exposition format.
-fn escape(label: &str) -> String {
+/// Escapes a label value per the exposition format: backslash first (so
+/// introduced escapes are not re-escaped), then double quote, then
+/// newline. Shared with the live plane's scrape-time gauges.
+pub(crate) fn escape(label: &str) -> String {
     label
         .replace('\\', "\\\\")
         .replace('"', "\\\"")
@@ -291,5 +293,40 @@ mod tests {
     #[test]
     fn label_escaping() {
         assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        // Newlines must escape to the two characters `\n`, or the sample
+        // line splits and the exposition stops parsing.
+        assert_eq!(escape("line1\nline2"), "line1\\nline2");
+        // Backslash escapes first: a literal `\n` in the label must not
+        // collapse into an escaped newline.
+        assert_eq!(escape("raw\\nseq"), "raw\\\\nseq");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn hostile_study_label_stays_one_line_per_sample() {
+        let c = Collector::enabled();
+        c.add(Counter::BmuSearches, 5);
+        let doc = TraceDocument::new(
+            1,
+            vec![StudyTrace {
+                label: "evil\"study\\with\nnewline".into(),
+                trace: c.report().unwrap(),
+            }],
+        );
+        let text = to_prometheus(&doc);
+        assert!(
+            text.contains("{study=\"evil\\\"study\\\\with\\nnewline\"}"),
+            "{text}"
+        );
+        // The hostile label must not have produced an unparseable line:
+        // every non-comment line still splits into `series value`.
+        for line in text
+            .lines()
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        {
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(series.starts_with("hiermeans_"), "{line}");
+            assert!(value.parse::<f64>().is_ok(), "{line}");
+        }
     }
 }

@@ -54,7 +54,15 @@ use crate::State;
 ///   internal fast path served a search, not the search's result — so they
 ///   are excluded from [`TraceReport::fingerprint`]. Additive and
 ///   `#[serde(default)]`-compatible: v5 artifacts still parse.
-pub const SCHEMA_VERSION: u32 = 6;
+/// * v7 — adds two document-level fields on [`TraceDocument`]: `meta`
+///   (provenance — schema version, git revision, host fingerprint, cargo
+///   profile, [`crate::history::BenchMeta`] — matching what the
+///   `BENCH_*.json` baselines already carry) and `live` (the telemetry
+///   plane's end-of-run [`crate::live::LiveSummary`] when the run hosted
+///   `--live`). Both are run-varying metadata outside every
+///   [`TraceReport::fingerprint`], additive, and
+///   `#[serde(default)]`-compatible: v6 artifacts still parse.
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// One recorded point event, exported.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -472,6 +480,15 @@ pub struct TraceDocument {
     pub workers: usize,
     /// One entry per study, in run order.
     pub studies: Vec<StudyTrace>,
+    /// Provenance stamp (schema ver, git rev, host, cargo profile), the
+    /// same block the `BENCH_*.json` baselines carry. `None` in pre-v7
+    /// artifacts.
+    #[serde(default)]
+    pub meta: Option<crate::history::BenchMeta>,
+    /// End-of-run summary of the live telemetry plane when the run hosted
+    /// `--live`; `None` otherwise.
+    #[serde(default)]
+    pub live: Option<crate::live::LiveSummary>,
 }
 
 impl TraceDocument {
@@ -482,7 +499,23 @@ impl TraceDocument {
             schema_version: SCHEMA_VERSION,
             workers,
             studies,
+            meta: None,
+            live: None,
         }
+    }
+
+    /// Stamps the provenance block.
+    #[must_use]
+    pub fn with_meta(mut self, meta: crate::history::BenchMeta) -> Self {
+        self.meta = Some(meta);
+        self
+    }
+
+    /// Stamps the live telemetry-plane summary.
+    #[must_use]
+    pub fn with_live(mut self, live: crate::live::LiveSummary) -> Self {
+        self.live = Some(live);
+        self
     }
 
     /// Whether every study's SOM reported a converged verdict. A study with
@@ -512,6 +545,155 @@ impl TraceDocument {
         }
         out
     }
+}
+
+/// Structural shape validation for `OBS_trace.json` / `OBS_profile.json`
+/// documents — the `repro check-trace` backend for non-Chrome artifacts.
+///
+/// Deliberately schema-driven over raw JSON rather than a serde round-trip:
+/// `#[serde(default)]` would silently paper over a missing or mistyped
+/// field, which is exactly the corruption this check exists to catch. On
+/// top of the document skeleton it pins the v6 additions (`warm_hit_rate`
+/// on epoch records in `[0, 1]`, the `memory` block) and the v7 additions
+/// (the `meta` provenance block, the `live` plane summary).
+///
+/// Returns `(studies, epoch_records)` counts on success.
+///
+/// # Errors
+///
+/// Returns a `field: problem` message for the first violation found.
+pub fn validate_document(text: &str) -> Result<(usize, usize), String> {
+    use serde::Value;
+
+    fn require<'v>(obj: &'v Value, field: &str, at: &str) -> Result<&'v Value, String> {
+        obj.get(field)
+            .ok_or_else(|| format!("missing `{at}{field}`"))
+    }
+    fn as_u64(value: &Value, at: &str) -> Result<u64, String> {
+        match value {
+            Value::UInt(v) => Ok(*v),
+            Value::Int(v) if *v >= 0 => Ok(*v as u64),
+            _ => Err(format!("`{at}` is not a non-negative integer")),
+        }
+    }
+    fn as_finite(value: &Value, at: &str) -> Result<f64, String> {
+        match value {
+            Value::Float(v) if v.is_finite() => Ok(*v),
+            Value::Int(v) => Ok(*v as f64),
+            Value::UInt(v) => Ok(*v as f64),
+            _ => Err(format!("`{at}` is not a finite number")),
+        }
+    }
+    fn as_str<'v>(value: &'v Value, at: &str) -> Result<&'v str, String> {
+        match value {
+            Value::Str(v) => Ok(v),
+            _ => Err(format!("`{at}` is not a string")),
+        }
+    }
+    fn as_array<'v>(value: &'v Value, at: &str) -> Result<&'v [Value], String> {
+        match value {
+            Value::Array(v) => Ok(v),
+            _ => Err(format!("`{at}` is not an array")),
+        }
+    }
+
+    let root: Value = serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    if !matches!(root, Value::Object(_)) {
+        return Err("root is not an object".to_owned());
+    }
+    let version = as_u64(require(&root, "schema_version", "")?, "schema_version")?;
+    if version > u64::from(SCHEMA_VERSION) {
+        return Err(format!(
+            "`schema_version` {version} is newer than this reader's v{SCHEMA_VERSION}"
+        ));
+    }
+    as_u64(require(&root, "workers", "")?, "workers")?;
+    let studies = as_array(require(&root, "studies", "")?, "studies")?;
+    let mut epoch_records = 0usize;
+    for (i, study) in studies.iter().enumerate() {
+        let here = format!("studies[{i}].");
+        as_str(require(study, "label", &here)?, &format!("{here}label"))?;
+        let trace = require(study, "trace", &here)?;
+        if !matches!(trace, Value::Object(_)) {
+            return Err(format!("`{here}trace` is not an object"));
+        }
+        let there = format!("{here}trace.");
+        for field in ["spans", "counters", "histograms", "som_epochs"] {
+            as_array(require(trace, field, &there)?, &format!("{there}{field}"))?;
+        }
+        let epochs = as_array(trace.get("som_epochs").expect("checked above"), "")?;
+        for (j, epoch) in epochs.iter().enumerate() {
+            let at = format!("{there}som_epochs[{j}].");
+            as_u64(require(epoch, "epoch", &at)?, &format!("{at}epoch"))?;
+            for field in ["quantization_error", "topographic_error", "sigma"] {
+                as_finite(require(epoch, field, &at)?, &format!("{at}{field}"))?;
+            }
+            // v6: advisory warm hit rate — absent, null, or a rate.
+            match epoch.get("warm_hit_rate") {
+                None | Some(Value::Null) => {}
+                Some(value) => {
+                    let field = format!("{at}warm_hit_rate");
+                    let rate = as_finite(value, &field)?;
+                    if !(0.0..=1.0).contains(&rate) {
+                        return Err(format!("`{field}` {rate} outside [0, 1]"));
+                    }
+                }
+            }
+        }
+        epoch_records += epochs.len();
+        // v4/v6: the memory block — absent, null, or fully shaped.
+        match trace.get("memory") {
+            None | Some(Value::Null) => {}
+            Some(memory) => {
+                let at = format!("{there}memory.");
+                as_u64(
+                    require(memory, "peak_rss_kb", &at)?,
+                    &format!("{at}peak_rss_kb"),
+                )?;
+                let stages = as_array(require(memory, "stages", &at)?, &format!("{at}stages"))?;
+                for (k, stage) in stages.iter().enumerate() {
+                    let at = format!("{at}stages[{k}].");
+                    as_str(require(stage, "stage", &at)?, &format!("{at}stage"))?;
+                    for field in ["span", "allocs", "bytes", "peak_bytes"] {
+                        as_u64(require(stage, field, &at)?, &format!("{at}{field}"))?;
+                    }
+                }
+            }
+        }
+    }
+    // v7: the provenance stamp — absent, null, or fully shaped.
+    match root.get("meta") {
+        None | Some(Value::Null) => {}
+        Some(meta) => {
+            as_u64(
+                require(meta, "schema_version", "meta.")?,
+                "meta.schema_version",
+            )?;
+            as_u64(require(meta, "captured_ms", "meta.")?, "meta.captured_ms")?;
+            for field in ["git_rev", "host", "cargo_profile"] {
+                as_str(require(meta, field, "meta.")?, &format!("meta.{field}"))?;
+            }
+        }
+    }
+    // v7: the live telemetry-plane summary — absent, null, or fully shaped.
+    match root.get("live") {
+        None | Some(Value::Null) => {}
+        Some(live) => {
+            as_str(require(live, "addr", "live.")?, "live.addr")?;
+            as_u64(
+                require(live, "events_published", "live.")?,
+                "live.events_published",
+            )?;
+            let requests = require(live, "requests", "live.")?;
+            for field in ["metrics", "healthz", "readyz", "trace", "events"] {
+                as_u64(
+                    require(requests, field, "live.requests.")?,
+                    &format!("live.requests.{field}"),
+                )?;
+            }
+        }
+    }
+    Ok((studies.len(), epoch_records))
 }
 
 #[cfg(test)]
@@ -744,5 +926,137 @@ mod tests {
         let json = serde_json::to_string(&doc).unwrap();
         let back: TraceDocument = serde_json::from_str(&json).unwrap();
         assert_eq!(doc, back);
+    }
+
+    fn stamped_document() -> TraceDocument {
+        TraceDocument::new(
+            2,
+            vec![StudyTrace {
+                label: "synthetic".into(),
+                trace: sample_report(),
+            }],
+        )
+        .with_meta(crate::history::BenchMeta::capture())
+        .with_live(crate::live::LiveSummary {
+            addr: "127.0.0.1:9184".into(),
+            requests: crate::live::LiveRequestCounts::default(),
+            events_published: 3,
+        })
+    }
+
+    /// Navigates into an object field of the shim's [`serde::Value`].
+    fn field_mut<'v>(value: &'v mut serde::Value, name: &str) -> &'v mut serde::Value {
+        match value {
+            serde::Value::Object(fields) => {
+                &mut fields
+                    .iter_mut()
+                    .find(|(k, _)| k == name)
+                    .unwrap_or_else(|| panic!("field `{name}`"))
+                    .1
+            }
+            _ => panic!("`{name}` parent is not an object"),
+        }
+    }
+
+    fn item_mut(value: &mut serde::Value, index: usize) -> &mut serde::Value {
+        match value {
+            serde::Value::Array(items) => &mut items[index],
+            _ => panic!("not an array"),
+        }
+    }
+
+    fn drop_field(value: &mut serde::Value, name: &str) {
+        match value {
+            serde::Value::Object(fields) => fields.retain(|(k, _)| k != name),
+            _ => panic!("not an object"),
+        }
+    }
+
+    #[test]
+    fn meta_and_live_stamps_round_trip_and_stay_optional() {
+        let doc = stamped_document();
+        let json = serde_json::to_string(&doc).unwrap();
+        let back: TraceDocument = serde_json::from_str(&json).unwrap();
+        assert_eq!(doc, back);
+        // A v6-style document without the stamps still parses.
+        let bare = serde_json::to_string(&TraceDocument::new(1, Vec::new())).unwrap();
+        let mut value: serde::Value = serde_json::from_str(&bare).unwrap();
+        drop_field(&mut value, "meta");
+        drop_field(&mut value, "live");
+        let back: TraceDocument =
+            serde_json::from_str(&serde_json::to_string(&value).unwrap()).unwrap();
+        assert_eq!(back.meta, None);
+        assert_eq!(back.live, None);
+    }
+
+    #[test]
+    fn validate_document_accepts_a_real_stamped_document() {
+        let json = serde_json::to_string(&stamped_document()).unwrap();
+        assert_eq!(validate_document(&json), Ok((1, 1)));
+    }
+
+    #[test]
+    fn validate_document_rejects_shape_violations() {
+        let doc = stamped_document();
+        let json = serde_json::to_string(&doc).unwrap();
+        let base: serde::Value = serde_json::from_str(&json).unwrap();
+        let rendered = |v: &serde::Value| serde_json::to_string(v).unwrap();
+
+        let mut missing_workers = base.clone();
+        drop_field(&mut missing_workers, "workers");
+        let err = validate_document(&rendered(&missing_workers)).unwrap_err();
+        assert!(err.contains("workers"), "{err}");
+
+        let mut future = base.clone();
+        *field_mut(&mut future, "schema_version") =
+            serde::Value::UInt(u64::from(SCHEMA_VERSION) + 1);
+        let err = validate_document(&rendered(&future)).unwrap_err();
+        assert!(err.contains("newer"), "{err}");
+
+        let mut bad_rate = base.clone();
+        let epoch = item_mut(
+            field_mut(
+                field_mut(item_mut(field_mut(&mut bad_rate, "studies"), 0), "trace"),
+                "som_epochs",
+            ),
+            0,
+        );
+        *field_mut(epoch, "warm_hit_rate") = serde::Value::Float(1.5);
+        let err = validate_document(&rendered(&bad_rate)).unwrap_err();
+        assert!(err.contains("warm_hit_rate"), "{err}");
+
+        let mut bad_memory = base.clone();
+        let trace = field_mut(item_mut(field_mut(&mut bad_memory, "studies"), 0), "trace");
+        *field_mut(trace, "memory") =
+            serde::Value::Object(vec![("stages".to_owned(), serde::Value::Array(Vec::new()))]);
+        let err = validate_document(&rendered(&bad_memory)).unwrap_err();
+        assert!(err.contains("peak_rss_kb"), "{err}");
+
+        let mut bad_meta = base.clone();
+        *field_mut(field_mut(&mut bad_meta, "meta"), "git_rev") = serde::Value::UInt(42);
+        let err = validate_document(&rendered(&bad_meta)).unwrap_err();
+        assert!(err.contains("git_rev"), "{err}");
+
+        let mut bad_live = base;
+        drop_field(
+            field_mut(field_mut(&mut bad_live, "live"), "requests"),
+            "metrics",
+        );
+        let err = validate_document(&rendered(&bad_live)).unwrap_err();
+        assert!(err.contains("metrics"), "{err}");
+    }
+
+    #[test]
+    fn validate_document_tolerates_absent_optional_blocks() {
+        // Null / absent warm_hit_rate, memory, meta, live all pass.
+        let doc = TraceDocument::new(
+            1,
+            vec![StudyTrace {
+                label: "s".into(),
+                trace: sample_report(),
+            }],
+        );
+        let json = serde_json::to_string(&doc).unwrap();
+        assert_eq!(validate_document(&json), Ok((1, 1)));
     }
 }

@@ -140,7 +140,8 @@ fn global_window_sees_all_threads() {
 
 #[test]
 fn peak_rss_is_available() {
-    memhook::ensure_rss_sampler();
+    memhook::rss_sampler_acquire();
     let kb = memhook::peak_rss_kb().expect("Linux: VmHWM readable");
     assert!(kb > 1024, "a Rust test process exceeds 1 MiB RSS: {kb}");
+    memhook::rss_sampler_release();
 }

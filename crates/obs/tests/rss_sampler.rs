@@ -1,0 +1,49 @@
+//! Lifecycle of the background RSS sampler thread: it must start with the
+//! first memory-enabled collector, survive while any such collector is
+//! alive, and be *joined* (not abandoned) when the last one drops.
+//!
+//! This lives in its own test binary with a single `#[test]` so no other
+//! concurrently running test can hold a memory collector and perturb the
+//! refcount the assertions below depend on.
+
+use hiermeans_obs::{memhook, Collector, ObsConfig};
+
+fn memory_collector() -> Collector {
+    Collector::enabled_with(ObsConfig {
+        memory: true,
+        ..ObsConfig::default()
+    })
+}
+
+#[test]
+fn sampler_follows_collector_lifetimes_and_joins_on_last_drop() {
+    assert!(
+        !memhook::rss_sampler_running(),
+        "no memory collector exists yet"
+    );
+
+    // 0 -> 1 starts the thread; a second user shares it.
+    let first = memory_collector();
+    assert!(memhook::rss_sampler_running());
+    let second = memory_collector();
+    assert!(memhook::rss_sampler_running());
+
+    // Dropping one of two keeps it alive; dropping the last joins it.
+    drop(first);
+    assert!(memhook::rss_sampler_running());
+    drop(second);
+    assert!(
+        !memhook::rss_sampler_running(),
+        "last collector drop must stop and join the sampler"
+    );
+
+    // The sampler restarts for a later collector and the peak gauge stays
+    // monotone across the restart.
+    let third = memory_collector();
+    assert!(memhook::rss_sampler_running());
+    let peak = memhook::peak_rss_kb();
+    assert!(peak.is_some(), "Linux: VmHWM readable");
+    drop(third);
+    assert!(!memhook::rss_sampler_running());
+    assert!(memhook::peak_rss_kb() >= peak);
+}

@@ -68,6 +68,7 @@ fn allocations_for_lanes(mode: TrainingMode, policy: KernelPolicy, epochs: usize
             epoch_quality_stride: 0,
             lanes: true,
             memory: false,
+            ..ObsConfig::default()
         });
         let som = SomBuilder::new(4, 4)
             .seed(11)

@@ -298,6 +298,7 @@ pub fn ingest_submissions(
                     report.repairs.push(note);
                 }
                 fleet.absorb(sub);
+                collector.live_ingest(1, 0);
                 Disposition::Accepted { content_hash }
             }
             Err(reason) => {
@@ -312,6 +313,7 @@ pub fn ingest_submissions(
                     action: "quarantined".to_owned(),
                     detail: format!("{identity}: [{}] {reason}", reason.kind()),
                 });
+                collector.live_ingest(0, 1);
                 Disposition::Quarantined { reason }
             }
         };
@@ -377,6 +379,7 @@ pub fn ingest_lines(
                     action: "quarantined".to_owned(),
                     detail: format!("line {line_no}: [{}] {reason}", reason.kind()),
                 });
+                collector.live_ingest(0, 1);
                 report.outcomes.push(IngestOutcome {
                     identity: format!("line {line_no}"),
                     disposition: Disposition::Quarantined { reason },
